@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: connectivity. The paper's evaluation implicitly assumes
+ * all-to-all coupling. This bench routes the three benchmark
+ * circuits onto linear and grid coupling maps and reports the SWAP
+ * and depth cost - i.e. how much longer one shot takes on a sparse
+ * chip, which directly scales the quantum term of every end-to-end
+ * result.
+ */
+
+#include "bench_util.hh"
+
+#include "quantum/mapping.hh"
+
+using namespace qtenon;
+using namespace qtenon::bench;
+
+namespace {
+
+void
+row(vqa::Algorithm alg, std::uint32_t n)
+{
+    vqa::WorkloadConfig wcfg;
+    wcfg.algorithm = alg;
+    wcfg.numQubits = n;
+    auto w = vqa::Workload::build(wcfg);
+
+    quantum::QuantumTimingModel timing;
+    quantum::Router router;
+
+    const auto base = timing.schedule(w.circuit).duration;
+
+    auto lin = router.route(w.circuit, quantum::CouplingMap::linear(n));
+    const auto lin_t = timing.schedule(lin.circuit).duration;
+
+    // Squarish grid holding n qubits.
+    std::uint32_t rows = 1;
+    while (rows * rows < n)
+        ++rows;
+    const auto cols = (n + rows - 1) / rows;
+    auto grid_map = quantum::CouplingMap::grid(rows, cols);
+    auto grd = router.route(w.circuit, grid_map);
+    const auto grd_t = timing.schedule(grd.circuit).duration;
+
+    std::printf("%-6s %4u %10s %10s (%4llu swaps, %4.1fx) %10s "
+                "(%4llu swaps, %4.1fx)\n",
+                vqa::algorithmName(alg).c_str(), n,
+                core::formatTime(base).c_str(),
+                core::formatTime(lin_t).c_str(),
+                static_cast<unsigned long long>(lin.swapsInserted),
+                static_cast<double>(lin_t) / static_cast<double>(base),
+                core::formatTime(grd_t).c_str(),
+                static_cast<unsigned long long>(grd.swapsInserted),
+                static_cast<double>(grd_t) /
+                    static_cast<double>(base));
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: coupling-map routing (one-shot duration)");
+    std::printf("%-6s %4s %10s %34s %34s\n", "algo", "n", "all2all",
+                "linear chain", "square grid");
+    for (auto alg : {vqa::Algorithm::Qaoa, vqa::Algorithm::Vqe,
+                     vqa::Algorithm::Qnn}) {
+        for (std::uint32_t n : {16u, 32u, 64u})
+            row(alg, n);
+    }
+    std::printf("\nexpectation: VQE/QNN ladders are already nearest-"
+                "neighbour (no swaps); QAOA's chord edges pay "
+                "routing cost on sparse maps, inflating the quantum "
+                "term the paper's all-to-all assumption hides\n");
+    return 0;
+}

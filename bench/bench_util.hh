@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: default
+ * experiment configurations matching the paper's Sec. 7.1 setup and
+ * small table-printing utilities.
+ */
+
+#ifndef QTENON_BENCH_BENCH_UTIL_HH
+#define QTENON_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace qtenon::bench {
+
+/** The paper's benchmark setup: 500 shots, 10 iterations. */
+inline core::ComparisonConfig
+paperConfig(vqa::Algorithm alg, vqa::OptimizerKind opt,
+            std::uint32_t num_qubits,
+            runtime::HostCoreModel host = runtime::HostCoreModel::rocket())
+{
+    core::ComparisonConfig cfg;
+    cfg.workload.algorithm = alg;
+    cfg.workload.numQubits = num_qubits;
+    cfg.driver.shots = 500;
+    cfg.driver.iterations = 10;
+    cfg.driver.optimizer = opt;
+    cfg.driver.recordShotData = false; // timing replay needs no words
+    cfg.qtenon.host = host;
+    return cfg;
+}
+
+inline const char *
+optimizerName(vqa::OptimizerKind k)
+{
+    return k == vqa::OptimizerKind::GradientDescent ? "GD" : "SPSA";
+}
+
+/** Print a centered section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n===== %s =====\n", title.c_str());
+}
+
+/** Print one breakdown row with percentages. */
+inline void
+printBreakdown(const char *label, const runtime::TimeBreakdown &bd)
+{
+    std::printf("%-24s total %-12s quantum %5.1f%%  pulse %5.1f%%  "
+                "comm %5.1f%%  host %5.1f%%\n",
+                label, core::formatTime(bd.wall).c_str(),
+                bd.percent(bd.quantum), bd.percent(bd.pulseGen),
+                bd.percent(bd.comm), bd.percent(bd.host));
+}
+
+} // namespace qtenon::bench
+
+#endif // QTENON_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 11 reproduction: classical-execution and end-to-end speedup
+ * of Qtenon (Rocket and BOOM-L hosts) over the decoupled baseline,
+ * running QAOA/VQE/QNN with the gradient-descent (parameter-shift)
+ * optimizer across 8..64 qubits.
+ *
+ * Paper reference: average classical speedups of 354.0x (QAOA),
+ * 375.8x (VQE), 221.7x (QNN); end-to-end speedups at 64 qubits of
+ * 14.7x / 11.7x / 6.9x.
+ */
+
+#include "speedup_sweep.hh"
+
+int
+main()
+{
+    qtenon::bench::printSpeedupFigure(
+        qtenon::vqa::OptimizerKind::GradientDescent);
+    std::printf("\npaper: avg classical 354.0x/375.8x/221.7x; "
+                "64q end-to-end 14.7x/11.7x/6.9x\n");
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 12 reproduction: classical-execution and end-to-end speedup
+ * under the SPSA optimizer across 8..64 qubits.
+ *
+ * Paper reference: average classical speedups of 167.1x (QAOA),
+ * 131.8x (VQE), 124.6x (QNN); end-to-end speedups at 64 qubits of
+ * 14.9x / 11.5x / 6.9x.
+ */
+
+#include "speedup_sweep.hh"
+
+int
+main()
+{
+    qtenon::bench::printSpeedupFigure(qtenon::vqa::OptimizerKind::Spsa);
+    std::printf("\npaper: avg classical 167.1x/131.8x/124.6x; "
+                "64q end-to-end 14.9x/11.5x/6.9x\n");
+    return 0;
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): statevector gate
+ * throughput, mean-field evolution, SLT lookups, the pulse pipeline,
+ * cache accesses, bus transactions, and entry packing. These measure
+ * simulator performance, complementing the modeled-time figure
+ * benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "controller/pipeline.hh"
+#include "controller/program_entry.hh"
+#include "controller/slt.hh"
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "memory/tilelink.hh"
+#include "quantum/ansatz.hh"
+#include "quantum/sampler.hh"
+#include "quantum/statevector.hh"
+#include "sim/random.hh"
+
+using namespace qtenon;
+
+static void
+BM_StatevectorHadamardLayer(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    quantum::StateVector sv(n);
+    quantum::Gate h{quantum::GateType::H, 0, 0, {}};
+    for (auto _ : state) {
+        for (std::uint32_t q = 0; q < n; ++q) {
+            h.qubit0 = q;
+            sv.apply(h, 0.0);
+        }
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StatevectorHadamardLayer)->Arg(10)->Arg(16)->Arg(20);
+
+static void
+BM_StatevectorSample(benchmark::State &state)
+{
+    auto g = quantum::Graph::threeRegular(12);
+    auto c = quantum::ansatz::qaoaMaxCut(g, 3);
+    quantum::StateVector sv(12);
+    sv.applyCircuit(c);
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        auto shots = sv.sample(500, rng);
+        benchmark::DoNotOptimize(shots.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_StatevectorSample);
+
+static void
+BM_MeanFieldEvolve(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    auto c = quantum::ansatz::hardwareEfficient(n, 3, false);
+    quantum::MeanFieldSampler mf;
+    for (auto _ : state) {
+        auto bloch = mf.evolve(c);
+        benchmark::DoNotOptimize(bloch.data());
+    }
+    state.SetItemsProcessed(state.iterations() * c.numGates());
+}
+BENCHMARK(BM_MeanFieldEvolve)->Arg(64)->Arg(256);
+
+static void
+BM_SltLookupHit(benchmark::State &state)
+{
+    controller::SkipLookupTable slt(64);
+    slt.lookup(0, 3, 1234, 1024);
+    for (auto _ : state) {
+        auto r = slt.lookup(0, 3, 1234, 1024);
+        benchmark::DoNotOptimize(r.pulseEntry);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SltLookupHit);
+
+static void
+BM_SltLookupMissAllocate(benchmark::State &state)
+{
+    controller::SkipLookupTable slt(64);
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        auto r = slt.lookup(i % 64, 3, (i << 7) ^ 0x5A5A, 1024);
+        benchmark::DoNotOptimize(r.pulseEntry);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SltLookupMissAllocate);
+
+static void
+BM_PipelineFullGen(benchmark::State &state)
+{
+    const auto entries = static_cast<std::uint32_t>(state.range(0));
+    sim::EventQueue eq;
+    memory::QccLayout layout;
+    controller::QuantumControllerCache qcc(
+        eq, "qcc", sim::ClockDomain::fromHz(200'000'000), layout);
+    controller::SkipLookupTable slt(layout.numQubits);
+    controller::PulsePipeline pipe(qcc, slt);
+
+    std::vector<std::uint64_t> work;
+    for (std::uint32_t i = 0; i < entries; ++i) {
+        controller::ProgramEntry e;
+        e.type = 0x8;
+        e.data = i << 9;
+        const auto qaddr = layout.programAddr(i % 64, i / 64);
+        qcc.writeProgram(qaddr, e);
+        work.push_back(qaddr);
+    }
+    for (auto _ : state) {
+        // Re-invalidate so every iteration regenerates.
+        for (auto qaddr : work) {
+            auto e = qcc.readProgram(qaddr);
+            e.status = controller::EntryStatus::Invalid;
+            qcc.writeProgram(qaddr, e);
+        }
+        slt.reset();
+        auto r = pipe.run(work);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_PipelineFullGen)->Arg(64)->Arg(512);
+
+static void
+BM_CacheHit(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    memory::Dram dram(eq, "dram");
+    memory::Cache cache(eq, "l2", sim::ClockDomain(1000),
+                        memory::CacheConfig{}, &dram);
+    memory::MemPacket p;
+    p.addr = 0x40;
+    cache.access(p, [](sim::Tick) {});
+    eq.run();
+    for (auto _ : state) {
+        cache.access(p, [](sim::Tick) {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHit);
+
+static void
+BM_TileLinkTransaction(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    memory::Dram dram(eq, "dram");
+    memory::TileLinkBus bus(eq, "bus", sim::ClockDomain(1000),
+                            memory::TileLinkConfig{}, &dram);
+    memory::MemPacket p;
+    p.size = 64;
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        p.addr = addr;
+        addr += 64;
+        bus.access(p, [](sim::Tick) {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TileLinkTransaction);
+
+static void
+BM_ProgramEntryPack(benchmark::State &state)
+{
+    controller::ProgramEntry e;
+    e.type = 0x9;
+    e.data = 0x123456;
+    e.qaddr = 0xABCDE;
+    for (auto _ : state) {
+        std::uint64_t lo, hi;
+        e.pack(lo, hi);
+        auto back = controller::ProgramEntry::unpack(lo, hi);
+        benchmark::DoNotOptimize(back.data);
+    }
+}
+BENCHMARK(BM_ProgramEntryPack);
+
+static void
+BM_AngleEncode(benchmark::State &state)
+{
+    double a = 0.1;
+    for (auto _ : state) {
+        auto code = controller::ProgramEntry::encodeAngle(a);
+        benchmark::DoNotOptimize(code);
+        a += 1e-3;
+    }
+}
+BENCHMARK(BM_AngleEncode);
+
+BENCHMARK_MAIN();

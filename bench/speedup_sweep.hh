@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared sweep machinery for Figures 11 and 12: one functional trace
+ * per workload, replayed on Qtenon-Rocket, Qtenon-Boom, and the
+ * decoupled baseline.
+ */
+
+#ifndef QTENON_BENCH_SPEEDUP_SWEEP_HH
+#define QTENON_BENCH_SPEEDUP_SWEEP_HH
+
+#include "bench_util.hh"
+
+namespace qtenon::bench {
+
+/** One sweep point's results. */
+struct SweepPoint {
+    std::uint32_t qubits = 0;
+    runtime::TimeBreakdown baseline;
+    runtime::TimeBreakdown rocket;
+    runtime::TimeBreakdown boom;
+
+    static double
+    ratio(sim::Tick num, sim::Tick den)
+    {
+        return den ? static_cast<double>(num) /
+                static_cast<double>(den)
+                   : 0.0;
+    }
+
+    double classicalSpeedup(const runtime::TimeBreakdown &q) const
+    {
+        return ratio(baseline.classical(), q.classical());
+    }
+    double endToEndSpeedup(const runtime::TimeBreakdown &q) const
+    {
+        return ratio(baseline.wall, q.wall);
+    }
+};
+
+/** Run one workload at one size on all three systems. */
+inline SweepPoint
+runSweepPoint(vqa::Algorithm alg, vqa::OptimizerKind opt,
+              std::uint32_t n)
+{
+    SweepPoint p;
+    p.qubits = n;
+
+    auto cfg = paperConfig(alg, opt, n);
+    auto workload = vqa::Workload::build(cfg.workload);
+    vqa::VqaDriver driver(cfg.driver);
+    auto trace = driver.run(workload);
+
+    for (auto host : {runtime::HostCoreModel::rocket(),
+                      runtime::HostCoreModel::boomLarge()}) {
+        auto qcfg = cfg.qtenon;
+        qcfg.numQubits = n;
+        qcfg.host = host;
+        core::QtenonSystem sys(qcfg);
+        auto exec = sys.execute(trace, workload.circuit);
+        if (host.name == "rocket")
+            p.rocket = exec.total();
+        else
+            p.boom = exec.total();
+    }
+
+    baseline::DecoupledSystem base(cfg.baselineCfg);
+    p.baseline = base.execute(workload.circuit, trace);
+    return p;
+}
+
+/** Print the classical + end-to-end speedup series for one figure. */
+inline void
+printSpeedupFigure(vqa::OptimizerKind opt)
+{
+    const std::uint32_t sizes[] = {8, 16, 24, 32, 40, 48, 56, 64};
+    const vqa::Algorithm algos[] = {vqa::Algorithm::Qaoa,
+                                    vqa::Algorithm::Vqe,
+                                    vqa::Algorithm::Qnn};
+
+    for (auto alg : algos) {
+        banner(vqa::algorithmName(alg) + std::string(" / ") +
+               optimizerName(opt));
+        std::printf("%8s %14s %14s %12s %12s\n", "#qubits",
+                    "classical(R)x", "classical(B)x", "e2e(R)x",
+                    "e2e(B)x");
+        double sum_classical = 0.0;
+        double max_e2e = 0.0;
+        for (auto n : sizes) {
+            auto p = runSweepPoint(alg, opt, n);
+            const double cr = p.classicalSpeedup(p.rocket);
+            const double cb = p.classicalSpeedup(p.boom);
+            const double er = p.endToEndSpeedup(p.rocket);
+            const double eb = p.endToEndSpeedup(p.boom);
+            sum_classical += cb;
+            max_e2e = std::max(max_e2e, std::max(er, eb));
+            std::printf("%8u %13.1fx %13.1fx %11.1fx %11.1fx\n", n,
+                        cr, cb, er, eb);
+        }
+        std::printf("average classical speedup (Boom): %.1fx, "
+                    "peak end-to-end: %.1fx\n",
+                    sum_classical / 8.0, max_e2e);
+    }
+}
+
+} // namespace qtenon::bench
+
+#endif // QTENON_BENCH_SPEEDUP_SWEEP_HH

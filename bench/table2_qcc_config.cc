@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 2 reproduction: the quantum controller cache geometry for 64
+ * qubits - entry layouts, per-segment sizes, and the 5.66 MB total.
+ */
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "memory/address_map.hh"
+
+using namespace qtenon::memory;
+
+namespace {
+
+void
+row(const char *segment, const char *layout, double kb)
+{
+    std::printf("%-10s %-42s %10.1f KB\n", segment, layout, kb);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("===== Table 2: quantum controller cache for 64 "
+                "qubits =====\n");
+    QccLayout l;
+
+    row(".program",
+        "64 set x 1024 entry, 4+1+27+3+30 = 65 bit",
+        l.programBytes() / 1024.0);
+    row(".pulse", "64 set x 1024 entry, 10 x 64 bit",
+        l.pulseBytes() / 1024.0);
+    row(".measure", "5120 entry, 64 bit",
+        l.measureBytes() / 1024.0);
+    row(".slt", "64 set x 2 way x 128 entry, 20+30+1+5 = 56 bit",
+        l.sltBytes() / 1024.0);
+    row(".regfile", "1024 entry, 32 bit", l.regfileBytes() / 1024.0);
+    std::printf("%-10s %-42s %10.2f MB  (paper: 5.66 MB)\n", "total",
+                "", l.totalBytes() / (1024.0 * 1024.0));
+
+    std::printf("\nQAddress bases: .program 0x%llx  .regfile 0x%llx  "
+                ".measure 0x%llx  .pulse 0x%llx\n",
+                (unsigned long long)l.programBase(),
+                (unsigned long long)l.regfileBase(),
+                (unsigned long long)l.measureBase(),
+                (unsigned long long)l.pulseBase());
+
+    std::printf("\nScaling (Sec. 7.5):\n");
+    for (std::uint32_t n : {64u, 128u, 192u, 256u, 320u}) {
+        QccLayout s;
+        s.numQubits = n;
+        std::printf("  %3u qubits -> %6.2f MB\n", n,
+                    s.totalBytes() / (1024.0 * 1024.0));
+    }
+    std::printf("paper: 256 qubits require ~22.63 MB\n");
+    return 0;
+}

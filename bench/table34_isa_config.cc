@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tables 3 and 4 reproduction: the extended ISA (with this
+ * implementation's actual RoCC encodings) and the hardware
+ * configuration the system instantiates, cross-checked against the
+ * modeled components.
+ */
+
+#include "bench_util.hh"
+
+#include "isa/assembler.hh"
+
+using namespace qtenon;
+using namespace qtenon::bench;
+
+int
+main()
+{
+    banner("Table 3: Qtenon's extended ISA");
+    std::printf("%-10s %-11s %-7s %s\n", "type", "instr", "funct7",
+                "explanation");
+    struct Row {
+        const char *type;
+        isa::Opcode op;
+        const char *what;
+    };
+    const Row rows[] = {
+        {"comm.", isa::Opcode::QUpdate,
+         "host register -> quantum controller cache"},
+        {"comm.", isa::Opcode::QSet,
+         "host memory -> quantum controller cache"},
+        {"comm.", isa::Opcode::QAcquire,
+         "quantum controller cache -> host memory"},
+        {"compute", isa::Opcode::QGen, "generate pulses"},
+        {"compute", isa::Opcode::QRun,
+         "run the quantum program for rs1 shots"},
+    };
+    for (const auto &r : rows) {
+        isa::RoccInstruction i;
+        i.funct7 = r.op;
+        std::printf("%-10s %-11s 0x%02x    %s   (word 0x%08x)\n",
+                    r.type, isa::opcodeName(r.op).c_str(),
+                    static_cast<unsigned>(r.op), r.what, i.encode());
+    }
+
+    banner("Table 4: hardware configuration");
+    core::QtenonConfig cfg;
+    core::QtenonSystem sys(cfg);
+    const auto &ctrl = sys.controller().config();
+
+    std::printf("%-10s Rocket/Boom-L @ %.0f GHz (IPC %.1f / %.1f)\n",
+                "Core", cfg.coreFreqHz / 1e9,
+                runtime::HostCoreModel::rocket().ipc,
+                runtime::HostCoreModel::boomLarge().ipc);
+    std::printf("%-10s %llu KB %u-way, %u B lines (L2)\n", "L2",
+                (unsigned long long)(cfg.l2.sizeBytes / 1024),
+                cfg.l2.associativity, cfg.l2.lineBytes);
+    std::printf("%-10s %.2f MB, Table 2 geometry\n", "QCC",
+                ctrl.layout.totalBytes() / (1024.0 * 1024.0));
+    std::printf("%-10s %u qubits, %u PGUs @ %llu cycles\n", "QC",
+                ctrl.layout.numQubits, ctrl.pipeline.numPgus,
+                (unsigned long long)ctrl.pipeline.pguLatency);
+    std::printf("%-10s %u-bank DRAM, %.0f ns access\n", "Memory",
+                cfg.dram.numBanks,
+                sim::ticksToNs(cfg.dram.accessLatency));
+    std::printf("%-10s %u-bit beats, %u tags, SRAM @ %.0f MHz\n",
+                "Bus/SRAM", cfg.bus.widthBits,
+                1u << cfg.bus.tagBits, ctrl.sramFreqHz / 1e6);
+    std::printf("%-10s %ux%u-bit DACs @ %.0f GHz per qubit "
+                "(%.0f bits/ns)\n",
+                "ADI", ctrl.adi.dacsPerQubit, ctrl.adi.dacBits,
+                ctrl.adi.dacRateHz / 1e9,
+                sys.controller().adi().requiredBitsPerNs());
+
+    std::printf("\npaper Table 4: Rocket/Boom-L @1 GHz, 16KB L1, "
+                "5.66 MB QCC, 64 qubits + 8 PGUs,\n512KB 8-bank L2, "
+                "16GB DDR3 x4 banks\n");
+    return 0;
+}

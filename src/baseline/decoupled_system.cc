@@ -1,0 +1,63 @@
+#include "decoupled_system.hh"
+
+namespace qtenon::baseline {
+
+DecoupledSystem::DecoupledSystem(DecoupledConfig cfg)
+    : _cfg(cfg), _compiler(cfg.flavor, cfg.compileCost),
+      _timing(cfg.gateTiming)
+{}
+
+runtime::TimeBreakdown
+DecoupledSystem::executeRound(const quantum::QuantumCircuit &c,
+                              const runtime::RoundRecord &round) const
+{
+    runtime::TimeBreakdown bd;
+    const EthernetLink link(_cfg.ethernet);
+    const FpgaController fpga(_cfg.fpga);
+
+    // 1. Host: JIT recompilation of the full circuit (every round).
+    bd.host += _compiler.jitCompileTime(c);
+
+    // 2. Ship the binary to the FPGA over Ethernet.
+    const auto binary = _compiler.binaryBytes(c);
+    bd.comm += link.messageLatency(binary);
+    bd.commSet += link.messageLatency(binary);
+
+    // 3. FPGA regenerates every pulse sequentially.
+    const auto instrs = _compiler.instructionCount(c);
+    const auto pulses = _compiler.nativeGateCount(c);
+    bd.pulseGen += fpga.pulseGenerationTime(instrs, pulses);
+
+    // 4. Quantum execution: shots, each crossing the ADI twice.
+    const auto sched = _timing.schedule(c);
+    bd.quantum += round.shots * sched.duration +
+        round.shots * fpga.adiRoundTrip();
+
+    // 5. Readout shipped back to the host.
+    const std::uint64_t readout_bytes =
+        round.shots * ((c.numQubits() + 7) / 8);
+    bd.comm += link.messageLatency(readout_bytes);
+    bd.commAcquire += link.messageLatency(readout_bytes);
+
+    // 6. Host post-processing + optimizer step.
+    bd.host += _cfg.host.timeFor(
+        static_cast<double>(round.shots) * round.postOpsPerShot);
+    bd.host += _cfg.host.timeFor(round.optimizerOps);
+
+    // Everything is strictly sequential.
+    bd.hostBusy = bd.host;
+    bd.wall = bd.quantum + bd.pulseGen + bd.comm + bd.host;
+    return bd;
+}
+
+runtime::TimeBreakdown
+DecoupledSystem::execute(const quantum::QuantumCircuit &c,
+                         const runtime::VqaTrace &trace) const
+{
+    runtime::TimeBreakdown total;
+    for (const auto &r : trace.rounds)
+        total += executeRound(c, r);
+    return total;
+}
+
+} // namespace qtenon::baseline

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The decoupled baseline system (paper Fig. 2, Sec. 7.1): an x86
+ * host, a 100 GbE UDP link, and an FPGA pulse controller, executing
+ * each VQA round strictly sequentially:
+ *
+ *   host JIT recompile -> ship binary over Ethernet -> FPGA pulse
+ *   generation -> ADI -> quantum shots -> readout over Ethernet ->
+ *   host post-processing + optimizer step
+ *
+ * No incremental compilation, no overlap, no pulse reuse.
+ */
+
+#ifndef QTENON_BASELINE_DECOUPLED_SYSTEM_HH
+#define QTENON_BASELINE_DECOUPLED_SYSTEM_HH
+
+#include "ethernet.hh"
+#include "fpga_controller.hh"
+#include "isa/baseline_isa.hh"
+#include "quantum/circuit.hh"
+#include "quantum/timing.hh"
+#include "runtime/breakdown.hh"
+#include "runtime/host_core.hh"
+#include "runtime/trace.hh"
+
+namespace qtenon::baseline {
+
+/** Baseline configuration. */
+struct DecoupledConfig {
+    EthernetConfig ethernet;
+    FpgaConfig fpga;
+    isa::BaselineFlavor flavor = isa::BaselineFlavor::HisepQ;
+    isa::BaselineCompileCost compileCost;
+    runtime::HostCoreModel host = runtime::HostCoreModel::i9();
+    quantum::GateTiming gateTiming;
+};
+
+/** The analytic baseline timing model. */
+class DecoupledSystem
+{
+  public:
+    explicit DecoupledSystem(DecoupledConfig cfg = DecoupledConfig{});
+
+    const DecoupledConfig &config() const { return _cfg; }
+    const isa::BaselineCompiler &compiler() const { return _compiler; }
+
+    /** Timing of one evaluation round of @p c with @p shots shots. */
+    runtime::TimeBreakdown executeRound(
+        const quantum::QuantumCircuit &c,
+        const runtime::RoundRecord &round) const;
+
+    /** Replay a whole trace (the baseline has no setup phase: it
+     *  recompiles every round anyway). */
+    runtime::TimeBreakdown execute(const quantum::QuantumCircuit &c,
+                                   const runtime::VqaTrace &trace) const;
+
+  private:
+    DecoupledConfig _cfg;
+    isa::BaselineCompiler _compiler;
+    quantum::QuantumTimingModel _timing;
+};
+
+} // namespace qtenon::baseline
+
+#endif // QTENON_BASELINE_DECOUPLED_SYSTEM_HH

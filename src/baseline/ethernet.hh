@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The host<->FPGA network link of the decoupled baseline (paper
+ * Sec. 7.1): 100-gigabit Ethernet carrying UDP, switches omitted.
+ *
+ * Latency = per-message protocol-stack cost + per-packet overhead +
+ * serialization at line rate. The stack cost dominates for the
+ * small messages VQA rounds exchange, which is what gives decoupled
+ * systems their millisecond-class round-trip (Table 1).
+ */
+
+#ifndef QTENON_BASELINE_ETHERNET_HH
+#define QTENON_BASELINE_ETHERNET_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace qtenon::baseline {
+
+/** Link parameters. */
+struct EthernetConfig {
+    /** Line rate in bits per second. */
+    double bandwidthBps = 100e9;
+    /** Software/UDP stack cost per message, each endpoint. The
+     *  millisecond scale matches Table 1's ~10 ms Ethernet round
+     *  latency for decoupled systems. */
+    sim::Tick stackLatency = 3500 * sim::usTicks;
+    /** Per-packet handling overhead. */
+    sim::Tick perPacket = 2 * sim::usTicks;
+    /** UDP payload per packet. */
+    std::uint32_t mtuBytes = 1472;
+    /** Propagation (cable) delay. */
+    sim::Tick propagation = 1 * sim::usTicks;
+};
+
+/** eQASM-class USB 2.0 control link (Table 1's "~1 ms" column). */
+inline EthernetConfig
+usbLinkConfig()
+{
+    EthernetConfig cfg;
+    cfg.bandwidthBps = 480e6;              // USB 2.0 high speed
+    cfg.stackLatency = 500 * sim::usTicks; // host controller stack
+    cfg.perPacket = 125 * sim::usTicks;    // microframe scheduling
+    cfg.mtuBytes = 512;                    // bulk transfer packet
+    return cfg;
+}
+
+/** One-direction message timing over the link. */
+class EthernetLink
+{
+  public:
+    explicit EthernetLink(EthernetConfig cfg = EthernetConfig{})
+        : _cfg(cfg)
+    {}
+
+    const EthernetConfig &config() const { return _cfg; }
+
+    /** Packets needed for @p bytes. */
+    std::uint64_t
+    packetsFor(std::uint64_t bytes) const
+    {
+        return bytes == 0
+            ? 1 : (bytes + _cfg.mtuBytes - 1) / _cfg.mtuBytes;
+    }
+
+    /** One-way latency for a @p bytes message. */
+    sim::Tick
+    messageLatency(std::uint64_t bytes) const
+    {
+        const auto pkts = packetsFor(bytes);
+        const double ser_ns =
+            static_cast<double>(bytes) * 8.0 / _cfg.bandwidthBps * 1e9;
+        return _cfg.stackLatency + _cfg.propagation +
+            pkts * _cfg.perPacket +
+            static_cast<sim::Tick>(ser_ns * sim::nsTicks);
+    }
+
+    /** Request/response pair latency. */
+    sim::Tick
+    roundTrip(std::uint64_t req_bytes, std::uint64_t resp_bytes) const
+    {
+        return messageLatency(req_bytes) + messageLatency(resp_bytes);
+    }
+
+  private:
+    EthernetConfig _cfg;
+};
+
+} // namespace qtenon::baseline
+
+#endif // QTENON_BASELINE_ETHERNET_HH

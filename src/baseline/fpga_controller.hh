@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The FPGA pulse controller of the decoupled baseline (paper Fig. 2,
+ * Sec. 7.1): receives a compiled binary each round, generates every
+ * control pulse sequentially at a fixed 1000 ns per pulse, and moves
+ * data across a 100 ns/direction Analog-Digital Interface. No pulse
+ * caching, no incremental path - the structural disadvantage Qtenon's
+ * SLT + pipeline remove.
+ */
+
+#ifndef QTENON_BASELINE_FPGA_CONTROLLER_HH
+#define QTENON_BASELINE_FPGA_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace qtenon::baseline {
+
+/** FPGA controller timing parameters. */
+struct FpgaConfig {
+    /** Fixed pulse-generation latency per pulse (sequential PGU). */
+    sim::Tick pulseLatency = 1000 * sim::nsTicks;
+    /** ADI latency, each direction. */
+    sim::Tick adiLatency = 100 * sim::nsTicks;
+    /** Instruction decode/queueing per instruction. */
+    sim::Tick perInstruction = 10 * sim::nsTicks;
+};
+
+/** Timing model of the baseline controller. */
+class FpgaController
+{
+  public:
+    explicit FpgaController(FpgaConfig cfg = FpgaConfig{}) : _cfg(cfg) {}
+
+    const FpgaConfig &config() const { return _cfg; }
+
+    /**
+     * Pulse-generation time for a binary with @p instructions
+     * instructions producing @p pulses pulses: strictly sequential,
+     * no reuse across rounds.
+     */
+    sim::Tick
+    pulseGenerationTime(std::uint64_t instructions,
+                        std::uint64_t pulses) const
+    {
+        return instructions * _cfg.perInstruction +
+            pulses * _cfg.pulseLatency;
+    }
+
+    /** ADI cost to start a circuit and return its readout. */
+    sim::Tick
+    adiRoundTrip() const
+    {
+        return 2 * _cfg.adiLatency;
+    }
+
+  private:
+    FpgaConfig _cfg;
+};
+
+} // namespace qtenon::baseline
+
+#endif // QTENON_BASELINE_FPGA_CONTROLLER_HH

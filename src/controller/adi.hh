@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The Analog-Digital Interface (ADI) model, data path 4 of the
+ * controller (paper Sec. 5.2).
+ *
+ * Each qubit is driven by two 16-bit 2 GHz DACs, demanding
+ * 64 bits/ns (8 GB/s) per qubit. A 640-bit .pulse entry is spread
+ * over ten parallel 64-bit buffers and serialized by a SerDes at the
+ * DAC rate; readout returns through ADCs with a fixed interface
+ * latency per direction.
+ */
+
+#ifndef QTENON_CONTROLLER_ADI_HH
+#define QTENON_CONTROLLER_ADI_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace qtenon::controller {
+
+/** ADI physical parameters. */
+struct AdiConfig {
+    std::uint32_t dacBits = 16;
+    std::uint32_t dacsPerQubit = 2;
+    std::uint64_t dacRateHz = 2'000'000'000ull;
+    /** SRAM clock feeding the SerDes buffers. */
+    std::uint64_t sramFreqHz = 200'000'000ull;
+    /** Pulse entry width fed into the SerDes. */
+    std::uint32_t pulseEntryBits = 640;
+    std::uint32_t serdesBuffers = 10;
+    /** Fixed interface latency, each direction. */
+    sim::Tick interfaceLatency = 100 * sim::nsTicks;
+};
+
+/** Bandwidth arithmetic + latency helpers for the ADI. */
+class AdiModel
+{
+  public:
+    explicit AdiModel(AdiConfig cfg = AdiConfig{}) : _cfg(cfg) {}
+
+    const AdiConfig &config() const { return _cfg; }
+
+    /** Required DAC bandwidth per qubit in bits per nanosecond. */
+    double
+    requiredBitsPerNs() const
+    {
+        return static_cast<double>(_cfg.dacBits) * _cfg.dacsPerQubit *
+            (_cfg.dacRateHz / 1e9);
+    }
+
+    /** SRAM-side supply in bits per nanosecond (entry per cycle). */
+    double
+    suppliedBitsPerNs() const
+    {
+        return static_cast<double>(_cfg.pulseEntryBits) *
+            (_cfg.sramFreqHz / 1e9);
+    }
+
+    /** Whether the SRAM + SerDes can keep the DACs fed. */
+    bool bandwidthSufficient() const
+    {
+        return suppliedBitsPerNs() >= requiredBitsPerNs();
+    }
+
+    /** Time for the DACs to play out one pulse entry. */
+    sim::Tick
+    entryPlayTime() const
+    {
+        const double ns = static_cast<double>(_cfg.pulseEntryBits) /
+            requiredBitsPerNs();
+        return static_cast<sim::Tick>(ns * sim::nsTicks);
+    }
+
+    /** Output-path latency for a control stream of @p entries. */
+    sim::Tick
+    outputLatency(std::uint64_t entries) const
+    {
+        return _cfg.interfaceLatency + entries * entryPlayTime();
+    }
+
+    /** Readout-path latency (ADC direction). */
+    sim::Tick inputLatency() const { return _cfg.interfaceLatency; }
+
+  private:
+    AdiConfig _cfg;
+};
+
+} // namespace qtenon::controller
+
+#endif // QTENON_CONTROLLER_ADI_HH

@@ -1,0 +1,294 @@
+#include "controller.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace qtenon::controller {
+
+QuantumController::QuantumController(sim::EventQueue &eq,
+                                     std::string name,
+                                     ControllerConfig cfg,
+                                     memory::TileLinkBus *bus)
+    : Clocked(eq, name, sim::ClockDomain::fromHz(cfg.coreFreqHz)),
+      _cfg(cfg), _bus(bus),
+      _sramClock(sim::ClockDomain::fromHz(cfg.sramFreqHz)),
+      _slt(cfg.layout.numQubits, cfg.slt), _adi(cfg.adi)
+{
+    if (!bus)
+        sim::fatal("controller '", name, "' needs a system bus");
+    _qcc = std::make_unique<QuantumControllerCache>(
+        eq, name + ".qcc", _sramClock, cfg.layout);
+    _pipeline = std::make_unique<PulsePipeline>(*_qcc, _slt,
+                                                cfg.pipeline);
+
+    stats().registerScalar(&roccTransfers, "rocc_transfers",
+                           "RoCC register transfers");
+    stats().registerScalar(&setBytes, "set_bytes",
+                           "bytes moved by q_set");
+    stats().registerScalar(&acquireBytes, "acquire_bytes",
+                           "bytes moved by q_acquire");
+    stats().registerScalar(&generateRuns, "generate_runs",
+                           "q_gen pipeline invocations");
+    stats().registerScalar(&pulsesGenerated, "pulses_generated",
+                           "control pulses produced by PGUs");
+    stats().registerScalar(&barrierQueries, "barrier_queries",
+                           "host barrier queries over RoCC");
+}
+
+sim::Tick
+QuantumController::roccWrite(std::uint64_t qaddr, std::uint64_t data)
+{
+    if (!_qcc->userAccessible(qaddr))
+        sim::fatal("q_update to non-public QAddress 0x", std::hex,
+                   qaddr);
+    ++roccTransfers;
+
+    const auto seg = _cfg.layout.segmentOf(qaddr);
+    if (seg == memory::QccSegment::Regfile) {
+        const auto reg = static_cast<std::uint32_t>(
+            qaddr - _cfg.layout.regfileBase());
+        QTRACE(Controller, "q_update regfile[", reg, "] = 0x",
+               std::hex, data);
+        _qcc->writeRegfile(reg, static_cast<std::uint32_t>(data));
+        // Invalidate dependent program entries: their pulses must be
+        // regenerated at the next q_gen.
+        auto it = _regfileLinks.find(reg);
+        if (it != _regfileLinks.end()) {
+            for (auto pq : it->second) {
+                auto e = _qcc->readProgram(pq);
+                if (e.status != EntryStatus::Invalid) {
+                    e.status = EntryStatus::Invalid;
+                    _qcc->writeProgram(pq, e);
+                }
+                _stale.push_back(pq);
+            }
+        }
+    } else if (seg == memory::QccSegment::Program) {
+        // Direct program-entry rewrite over RoCC (low 64 bits of the
+        // 65-bit entry; the top type bit rides in data path metadata).
+        auto e = ProgramEntry::unpack(data, 0);
+        _qcc->writeProgram(qaddr, e);
+        _stale.push_back(qaddr);
+    } else {
+        sim::fatal("q_update targets .regfile or .program, got "
+                   "segment ", int(seg));
+    }
+    // One core cycle, per the paper's RoCC path.
+    return clockEdge(1);
+}
+
+sim::Tick
+QuantumController::roccRead(std::uint64_t qaddr,
+                            std::uint64_t &data) const
+{
+    if (!_qcc->userAccessible(qaddr))
+        sim::fatal("RoCC read from non-public QAddress 0x", std::hex,
+                   qaddr);
+    const_cast<QuantumController *>(this)->roccTransfers++;
+
+    const auto seg = _cfg.layout.segmentOf(qaddr);
+    if (seg == memory::QccSegment::Measure) {
+        data = _qcc->readMeasure(static_cast<std::uint32_t>(
+            qaddr - _cfg.layout.measureBase()));
+    } else if (seg == memory::QccSegment::Regfile) {
+        data = _qcc->readRegfile(static_cast<std::uint32_t>(
+            qaddr - _cfg.layout.regfileBase()));
+    } else {
+        std::uint64_t lo, hi;
+        _qcc->readProgram(qaddr).pack(lo, hi);
+        data = lo;
+    }
+    return clockEdge(1);
+}
+
+bool
+QuantumController::barrierQuery(std::uint64_t host_addr,
+                                std::uint64_t size)
+{
+    ++barrierQueries;
+    return _barrier.query(host_addr, size);
+}
+
+void
+QuantumController::dmaSetProgram(std::uint64_t host_addr,
+                                 std::uint32_t qubit,
+                                 std::vector<ProgramEntry> entries,
+                                 DoneCallback done)
+{
+    const auto &layout = _cfg.layout;
+    if (qubit >= layout.numQubits)
+        sim::fatal("q_set on out-of-range qubit ", qubit);
+    if (entries.size() > layout.programEntriesPerQubit)
+        sim::fatal("q_set of ", entries.size(),
+                   " entries exceeds the program chunk");
+
+    const std::uint64_t total_bytes =
+        entries.size() * _cfg.programEntryHostBytes;
+    QTRACE(Controller, "q_set qubit ", qubit, ": ", entries.size(),
+           " entries (", total_bytes, " bytes)");
+    setBytes += static_cast<double>(total_bytes);
+
+    const std::uint32_t chunk = _cfg.dmaChunkBytes;
+    const std::uint64_t num_chunks =
+        std::max<std::uint64_t>(1, (total_bytes + chunk - 1) / chunk);
+
+    // Install functionally now; timing is carried by the bus events.
+    auto shared_entries =
+        std::make_shared<std::vector<ProgramEntry>>(std::move(entries));
+    auto remaining = std::make_shared<std::uint64_t>(num_chunks);
+    auto cb = std::make_shared<DoneCallback>(std::move(done));
+
+    for (std::uint64_t c = 0; c < num_chunks; ++c) {
+        memory::MemPacket pkt;
+        pkt.cmd = memory::MemCmd::Read;
+        pkt.addr = host_addr + c * chunk;
+        pkt.size = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk, total_bytes - c * chunk));
+
+        _bus->accessTagged(pkt,
+            [this, shared_entries, remaining, cb, qubit,
+             num_chunks](const memory::BusResponse &resp) {
+                _rbq.arrive(resp.tag, resp,
+                    [this](std::uint8_t,
+                           const memory::BusResponse &r) {
+                        // Stage the beat's words in the WBQ; they
+                        // drain into the SRAM one word per cycle.
+                        const std::uint32_t words =
+                            (r.pkt.size + 3) / 4;
+                        _wbq.enqueue(words);
+                        const sim::Tick start = std::max(
+                            r.completed, _wbqDrainFree);
+                        _wbqDrainFree = start +
+                            _sramClock.cyclesToTicks(words);
+                        _wbq.drain(words);
+                    });
+                if (--(*remaining) == 0) {
+                    // Install entries and finish when the WBQ drains.
+                    const auto &layout = _cfg.layout;
+                    for (std::size_t i = 0;
+                         i < shared_entries->size(); ++i) {
+                        _qcc->writeProgram(
+                            layout.programAddr(
+                                qubit,
+                                static_cast<std::uint32_t>(i)),
+                            (*shared_entries)[i]);
+                    }
+                    _qcc->setProgramLength(
+                        qubit, static_cast<std::uint32_t>(
+                                   shared_entries->size()));
+                    const sim::Tick fin =
+                        std::max(curTick(), _wbqDrainFree);
+                    eventq().scheduleLambda(fin,
+                        [cb, fin] { (*cb)(fin); }, "q_set done");
+                }
+            },
+            [this](std::uint8_t tag, sim::Tick) { _rbq.expect(tag); });
+    }
+}
+
+void
+QuantumController::dmaAcquire(std::uint64_t host_addr,
+                              std::uint32_t first_entry,
+                              std::uint32_t num_entries,
+                              DoneCallback done)
+{
+    const std::uint64_t total_bytes = std::uint64_t(num_entries) *
+        memory::QccLayout::measureEntryBits / 8;
+    acquireBytes += static_cast<double>(total_bytes);
+    _barrier.declare(host_addr, total_bytes);
+
+    // Read the .measure SRAM (port-serialized), then PUT to host.
+    _qcc->portAccess(num_entries);
+    (void)first_entry;
+
+    const std::uint32_t chunk = _cfg.dmaChunkBytes;
+    const std::uint64_t num_chunks =
+        std::max<std::uint64_t>(1, (total_bytes + chunk - 1) / chunk);
+    auto remaining = std::make_shared<std::uint64_t>(num_chunks);
+    auto latest = std::make_shared<sim::Tick>(0);
+    auto cb = std::make_shared<DoneCallback>(std::move(done));
+
+    for (std::uint64_t c = 0; c < num_chunks; ++c) {
+        memory::MemPacket pkt;
+        pkt.cmd = memory::MemCmd::Write;
+        pkt.addr = host_addr + c * chunk;
+        pkt.size = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk, total_bytes - c * chunk));
+
+        _bus->accessTagged(pkt,
+            [remaining, latest, cb](const memory::BusResponse &resp) {
+                *latest = std::max(*latest, resp.completed);
+                if (--(*remaining) == 0)
+                    (*cb)(*latest);
+            },
+            [this, pkt](std::uint8_t, sim::Tick) {
+                // The barrier goes valid once the PUT has been sent
+                // through the system bus (Sec. 6.2).
+                _barrier.markSynced(pkt.addr, pkt.size);
+            });
+    }
+}
+
+void
+QuantumController::generate(std::vector<std::uint64_t> work,
+                            std::function<void(const PipelineResult &,
+                                               sim::Tick)> done)
+{
+    ++generateRuns;
+    QTRACE(Pipeline, "q_gen over ", work.size(), " entries");
+    auto result = _pipeline->run(work);
+    pulsesGenerated += static_cast<double>(result.pulsesGenerated);
+    _stale.clear();
+    const sim::Tick fin = clockEdge(result.cycles);
+    eventq().scheduleLambda(fin,
+        [done = std::move(done), result, fin] { done(result, fin); },
+        "q_gen done");
+}
+
+void
+QuantumController::generateAll(
+    std::function<void(const PipelineResult &, sim::Tick)> done)
+{
+    const auto &layout = _cfg.layout;
+    std::vector<std::uint64_t> work;
+    for (std::uint32_t q = 0; q < layout.numQubits; ++q) {
+        const auto len = _qcc->programLength(q);
+        for (std::uint32_t i = 0; i < len; ++i)
+            work.push_back(layout.programAddr(q, i));
+    }
+    generate(std::move(work), std::move(done));
+}
+
+void
+QuantumController::recordMeasurement(std::uint32_t entry,
+                                     std::uint64_t bits)
+{
+    _qcc->writeMeasure(entry, bits);
+}
+
+void
+QuantumController::linkRegfile(std::uint32_t reg,
+                               std::uint64_t program_qaddr)
+{
+    _regfileLinks[reg].push_back(program_qaddr);
+}
+
+void
+QuantumController::clearRegfileLinks()
+{
+    _regfileLinks.clear();
+    _stale.clear();
+}
+
+std::vector<std::uint64_t>
+QuantumController::staleProgramEntries() const
+{
+    auto stale = _stale;
+    std::sort(stale.begin(), stale.end());
+    stale.erase(std::unique(stale.begin(), stale.end()), stale.end());
+    return stale;
+}
+
+} // namespace qtenon::controller

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The Qtenon quantum controller (paper Sec. 5.2): ties together the
+ * QCC, the per-qubit SLTs, the pulse pipeline, the RBQ/WBQ bus
+ * machinery, the soft memory barrier, and the ADI, and exposes the
+ * operations the five ISA instructions map onto:
+ *
+ *   data path 1  roccWrite / roccRead (host register <-> public QCC)
+ *   data path 2  dmaSet / dmaAcquire  (host L2 <-> public QCC)
+ *   data path 3  QSpace traffic inside the SLT (host L2 <-> private)
+ *   data path 4  the ADI toward the quantum chip
+ */
+
+#ifndef QTENON_CONTROLLER_CONTROLLER_HH
+#define QTENON_CONTROLLER_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "adi.hh"
+#include "barrier.hh"
+#include "memory/tilelink.hh"
+#include "pipeline.hh"
+#include "qcc.hh"
+#include "rbq.hh"
+#include "slt.hh"
+#include "wbq.hh"
+
+namespace qtenon::controller {
+
+/** Complete controller configuration. */
+struct ControllerConfig {
+    memory::QccLayout layout;
+    SltConfig slt;
+    PipelineConfig pipeline;
+    AdiConfig adi;
+    /** Core-side clock (RoCC, pipeline). */
+    std::uint64_t coreFreqHz = 1'000'000'000ull;
+    /** QCC SRAM clock. */
+    std::uint64_t sramFreqHz = 200'000'000ull;
+    /** Host-memory footprint of one serialized program entry. */
+    std::uint32_t programEntryHostBytes = 12;
+    /** Bus chunk used for DMA transfers. */
+    std::uint32_t dmaChunkBytes = 64;
+};
+
+/** Completion callback carrying the finish tick. */
+using DoneCallback = std::function<void(sim::Tick)>;
+
+/** The controller proper. */
+class QuantumController : public sim::Clocked
+{
+  public:
+    QuantumController(sim::EventQueue &eq, std::string name,
+                      ControllerConfig cfg, memory::TileLinkBus *bus);
+
+    const ControllerConfig &config() const { return _cfg; }
+    QuantumControllerCache &qcc() { return *_qcc; }
+    SkipLookupTable &slt() { return _slt; }
+    MemoryBarrier &barrier() { return _barrier; }
+    const AdiModel &adi() const { return _adi; }
+    PulsePipeline &pipeline() { return *_pipeline; }
+
+    /** @name Data path 1: RoCC register transfers (1 cycle, 64-bit) */
+    /// @{
+
+    /**
+     * q_update: write @p data to public QAddress @p qaddr. Returns the
+     * completion tick. Regfile writes invalidate dependent program
+     * entries so the next q_gen regenerates their pulses.
+     */
+    sim::Tick roccWrite(std::uint64_t qaddr, std::uint64_t data);
+
+    /** Read a public QAddress over RoCC. */
+    sim::Tick roccRead(std::uint64_t qaddr, std::uint64_t &data) const;
+
+    /**
+     * Non-blocking barrier query (single cycle): may the host read
+     * [host_addr, host_addr + size)?
+     */
+    bool barrierQuery(std::uint64_t host_addr, std::uint64_t size);
+    /// @}
+
+    /** @name Data path 2: bulk DMA via the system bus */
+    /// @{
+
+    /**
+     * q_set: install @p entries at the program chunk of @p qubit,
+     * transferring from host memory at @p host_addr. The RBQ realigns
+     * out-of-order bus responses and the WBQ staging drains into the
+     * SRAM at one 32-bit word per SRAM cycle.
+     */
+    void dmaSetProgram(std::uint64_t host_addr, std::uint32_t qubit,
+                       std::vector<ProgramEntry> entries,
+                       DoneCallback done);
+
+    /**
+     * q_acquire: transfer @p num_entries of .measure starting at
+     * @p first_entry to host memory at @p host_addr. Marks the host
+     * range synced in the barrier as each PUT leaves on the bus.
+     */
+    void dmaAcquire(std::uint64_t host_addr, std::uint32_t first_entry,
+                    std::uint32_t num_entries, DoneCallback done);
+    /// @}
+
+    /** @name Computation */
+    /// @{
+
+    /** q_gen over explicit work items. */
+    void generate(std::vector<std::uint64_t> work,
+                  std::function<void(const PipelineResult &,
+                                     sim::Tick)> done);
+
+    /** q_gen over every installed program entry. */
+    void generateAll(std::function<void(const PipelineResult &,
+                                        sim::Tick)> done);
+    /// @}
+
+    /** Functional helper: record one shot's readout in .measure. */
+    void recordMeasurement(std::uint32_t entry, std::uint64_t bits);
+
+    /** Register that regfile slot @p reg feeds program @p qaddr. */
+    void linkRegfile(std::uint32_t reg, std::uint64_t program_qaddr);
+
+    /** Clear the regfile->program dependency map. */
+    void clearRegfileLinks();
+
+    /** Invalidated-but-installed entries awaiting regeneration. */
+    std::vector<std::uint64_t> staleProgramEntries() const;
+
+    /** @name Statistics */
+    /// @{
+    sim::Scalar roccTransfers;
+    sim::Scalar setBytes;
+    sim::Scalar acquireBytes;
+    sim::Scalar generateRuns;
+    sim::Scalar pulsesGenerated;
+    sim::Scalar barrierQueries;
+    /// @}
+
+  private:
+    ControllerConfig _cfg;
+    memory::TileLinkBus *_bus;
+    sim::ClockDomain _sramClock;
+    std::unique_ptr<QuantumControllerCache> _qcc;
+    SkipLookupTable _slt;
+    std::unique_ptr<PulsePipeline> _pipeline;
+    MemoryBarrier _barrier;
+    AdiModel _adi;
+    ReorderBufferQueue<memory::BusResponse> _rbq;
+    WriteBufferQueue _wbq;
+    /** Analytic WBQ drain horizon (tick the staging empties). */
+    sim::Tick _wbqDrainFree = 0;
+    /** regfile slot -> dependent program entries. */
+    std::unordered_map<std::uint32_t, std::vector<std::uint64_t>>
+        _regfileLinks;
+    /** Program entries invalidated by q_update since the last q_gen. */
+    std::vector<std::uint64_t> _stale;
+};
+
+} // namespace qtenon::controller
+
+#endif // QTENON_CONTROLLER_CONTROLLER_HH

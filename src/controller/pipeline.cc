@@ -1,0 +1,219 @@
+#include "pipeline.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace qtenon::controller {
+
+PulsePipeline::PulsePipeline(QuantumControllerCache &qcc,
+                             SkipLookupTable &slt, PipelineConfig cfg)
+    : _qcc(qcc), _slt(slt), _cfg(cfg)
+{
+    if (cfg.numPgus == 0)
+        sim::fatal("pipeline needs at least one PGU");
+}
+
+PulseEntry
+PulsePipeline::synthesizePulse(const ProgramEntry &e,
+                               std::uint32_t qubit) const
+{
+    (void)qubit; // per-qubit calibration offsets are not modeled
+    const auto data =
+        e.regFlag ? _qcc.readRegfile(e.data) : e.data;
+    const auto type = ProgramEntry::decodeType(e.type);
+    const double angle = ProgramEntry::decodeAngle(data);
+    return _synth.entryFor(type, angle);
+}
+
+PipelineResult
+PulsePipeline::runAll()
+{
+    const auto &layout = _qcc.layout();
+    std::vector<std::uint64_t> work;
+    for (std::uint32_t q = 0; q < layout.numQubits; ++q) {
+        const auto len = _qcc.programLength(q);
+        for (std::uint32_t i = 0; i < len; ++i)
+            work.push_back(layout.programAddr(q, i));
+    }
+    return run(work);
+}
+
+PipelineResult
+PulsePipeline::run(const std::vector<std::uint64_t> &work)
+{
+    PipelineResult res;
+    const auto &layout = _qcc.layout();
+
+    std::size_t pc = 0; // stage 1 program counter over the work list
+    // Stage latches, modeled as value + valid bit like RTL registers.
+    InFlight stage1{};
+    bool stage1_valid = false;
+    InFlight stage2out{}; // awaiting a PGU in stage 3
+    bool stage2_valid = false;
+    std::vector<Pgu> pgus(_cfg.numPgus);
+    // Pulse QAddresses currently being generated (status Pending):
+    // later entries hitting the same parameter must not re-dispatch.
+    std::vector<std::uint64_t> in_flight;
+    auto is_in_flight = [&](std::uint64_t qaddr) {
+        return std::find(in_flight.begin(), in_flight.end(), qaddr) !=
+            in_flight.end();
+    };
+
+    sim::Cycles cycle = 0;
+    auto any_pgu_busy = [&] {
+        return std::any_of(pgus.begin(), pgus.end(),
+                           [](const Pgu &p) { return p.busy; });
+    };
+
+    while (pc < work.size() || stage1_valid || stage2_valid ||
+           any_pgu_busy()) {
+        bool progress = false;
+
+        // ---- Stage 4: arbiter writes back one finished PGU/cycle.
+        {
+            Pgu *done = nullptr;
+            for (auto &p : pgus) {
+                if (p.busy && p.doneCycle <= cycle &&
+                    (!done || p.doneCycle < done->doneCycle)) {
+                    done = &p;
+                }
+            }
+            if (done) {
+                auto e = _qcc.readProgram(done->programQaddr);
+                _qcc.writePulse(done->pulseQaddr,
+                                synthesizePulse(
+                                    e, layout.qubitOf(done->pulseQaddr)));
+                e.status = EntryStatus::Valid;
+                _qcc.writeProgram(done->programQaddr, e);
+                in_flight.erase(std::remove(in_flight.begin(),
+                                            in_flight.end(),
+                                            done->pulseQaddr),
+                                in_flight.end());
+                done->busy = false;
+                ++res.pulsesGenerated;
+                progress = true;
+            }
+        }
+
+        // ---- Stage 3: dispatch the stage-2 output to a free PGU.
+        bool stall = false;
+        if (stage2_valid && stage2out.readyCycle <= cycle) {
+            // Priority encoder: lowest-numbered free PGU.
+            auto it = std::find_if(pgus.begin(), pgus.end(),
+                                   [](const Pgu &p) { return !p.busy; });
+            if (it != pgus.end()) {
+                it->busy = true;
+                it->doneCycle = cycle + _cfg.pguLatency;
+                it->pulseQaddr = stage2out.pulseQaddr;
+                it->programQaddr = stage2out.programQaddr;
+                stage2_valid = false;
+                progress = true;
+            } else {
+                stall = true;
+                ++res.pguStallCycles;
+            }
+        } else if (stage2_valid) {
+            // Held in stage 2 while a QSpace access completes.
+            stall = true;
+        }
+
+        // ---- Stage 2: decode + SLT.
+        if (!stall && stage1_valid) {
+            InFlight f = stage1;
+            stage1_valid = false;
+            progress = true;
+            ++res.entriesProcessed;
+
+            auto entry = f.entry;
+            std::uint32_t data = entry.data;
+            if (entry.regFlag)
+                data = _qcc.readRegfile(entry.data);
+
+            if (entry.status == EntryStatus::Valid &&
+                _qcc.pulseValid(entry.qaddr)) {
+                // Pulse already present: nothing to do.
+                ++res.skippedValid;
+            } else if (!_cfg.sltEnabled) {
+                // Ablation: no skip path; regenerate unconditionally.
+                const auto pulse_entry = _slt.allocate(
+                    f.qubit, layout.pulseEntriesPerQubit);
+                const auto pulse_qaddr =
+                    layout.pulseAddr(f.qubit, pulse_entry);
+                entry.qaddr = static_cast<std::uint32_t>(pulse_qaddr);
+                entry.status = EntryStatus::Pending;
+                _qcc.writeProgram(f.programQaddr, entry);
+                f.entry = entry;
+                f.pulseQaddr = pulse_qaddr;
+                f.readyCycle = cycle + 1;
+                stage2out = f;
+                stage2_valid = true;
+            } else {
+                auto slt = _slt.lookup(f.qubit, entry.type, data,
+                                       layout.pulseEntriesPerQubit);
+                res.sltHits += slt.hit ? 1 : 0;
+                res.sltMisses += slt.hit ? 0 : 1;
+                res.qspaceHits += slt.qspaceHit ? 1 : 0;
+
+                const auto pulse_qaddr =
+                    layout.pulseAddr(f.qubit, slt.pulseEntry);
+                entry.qaddr = static_cast<std::uint32_t>(pulse_qaddr);
+                const bool must_generate =
+                    (slt.needsGeneration ||
+                     !_qcc.pulseValid(pulse_qaddr)) &&
+                    !is_in_flight(pulse_qaddr);
+                if (must_generate) {
+                    entry.status = EntryStatus::Pending;
+                    _qcc.writeProgram(f.programQaddr, entry);
+                    in_flight.push_back(pulse_qaddr);
+                    f.entry = entry;
+                    f.pulseQaddr = pulse_qaddr;
+                    f.readyCycle = cycle + slt.cycles;
+                    stage2out = f;
+                    stage2_valid = true;
+                } else {
+                    // Hit (or generation already in flight): link the
+                    // program entry to the cached pulse.
+                    entry.status = EntryStatus::Valid;
+                    _qcc.writeProgram(f.programQaddr, entry);
+                }
+            }
+        }
+
+        // ---- Stage 1: fetch the next work item.
+        if (!stall && !stage1_valid && pc < work.size()) {
+            InFlight f{};
+            f.programQaddr = work[pc++];
+            f.qubit = layout.qubitOf(f.programQaddr);
+            f.entry = _qcc.readProgram(f.programQaddr);
+            stage1 = f;
+            stage1_valid = true;
+            progress = true;
+        }
+
+        // ---- Advance time: fast-forward when only PGUs are working.
+        if (progress) {
+            ++cycle;
+            continue;
+        }
+        sim::Cycles next = ~sim::Cycles(0);
+        for (const auto &p : pgus) {
+            if (p.busy)
+                next = std::min(next, p.doneCycle);
+        }
+        if (stage2_valid && stage2out.readyCycle > cycle)
+            next = std::min(next, stage2out.readyCycle);
+        if (next == ~sim::Cycles(0)) {
+            // Nothing in flight and no progress: should be done.
+            break;
+        }
+        if (stall && next > cycle)
+            res.pguStallCycles += next - cycle - 1;
+        cycle = std::max(cycle + 1, next);
+    }
+
+    res.cycles = cycle;
+    return res;
+}
+
+} // namespace qtenon::controller

@@ -1,0 +1,53 @@
+#include "program_entry.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace qtenon::controller {
+
+namespace {
+
+constexpr double angleRange = 8.0 * M_PI; // [-4pi, 4pi)
+constexpr std::uint32_t angleSteps = 1u << ProgramEntry::dataBits;
+
+} // namespace
+
+std::uint32_t
+ProgramEntry::encodeAngle(double radians)
+{
+    // Wrap into [-4pi, 4pi).
+    double w = std::fmod(radians + 4.0 * M_PI, angleRange);
+    if (w < 0)
+        w += angleRange;
+    w -= 4.0 * M_PI;
+    const double unit = (w + 4.0 * M_PI) / angleRange;
+    auto code = static_cast<std::uint64_t>(unit * angleSteps);
+    if (code >= angleSteps)
+        code = angleSteps - 1;
+    return static_cast<std::uint32_t>(code);
+}
+
+double
+ProgramEntry::decodeAngle(std::uint32_t code)
+{
+    const double unit =
+        (static_cast<double>(code) + 0.5) / angleSteps;
+    return unit * angleRange - 4.0 * M_PI;
+}
+
+std::uint8_t
+ProgramEntry::encodeType(quantum::GateType t)
+{
+    return static_cast<std::uint8_t>(t) & 0xF;
+}
+
+quantum::GateType
+ProgramEntry::decodeType(std::uint8_t code)
+{
+    if (code > static_cast<std::uint8_t>(quantum::GateType::Measure))
+        sim::panic("bad gate type code ", int(code));
+    return static_cast<quantum::GateType>(code);
+}
+
+} // namespace qtenon::controller

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The packed 65-bit .program entry (paper Table 2 / Fig. 6):
+ *
+ *   type (4b) | reg_flag (1b) | data (27b) | status (3b) | qaddr (30b)
+ *
+ * `type` encodes the gate kind; `data` holds either a fixed-point
+ * rotation angle or, when reg_flag is set, a .regfile index; `status`
+ * says whether `qaddr` (the .pulse location of the generated control
+ * pulse) is valid.
+ */
+
+#ifndef QTENON_CONTROLLER_PROGRAM_ENTRY_HH
+#define QTENON_CONTROLLER_PROGRAM_ENTRY_HH
+
+#include <cstdint>
+
+#include "quantum/gate.hh"
+
+namespace qtenon::controller {
+
+/** Entry status codes (3-bit field). */
+enum class EntryStatus : std::uint8_t {
+    /** QAddress not assigned yet; pulse must be generated. */
+    Invalid = 0,
+    /** QAddress valid and the pulse is present in .pulse. */
+    Valid = 1,
+    /** Pulse generation in flight. */
+    Pending = 2,
+};
+
+/** One .program entry, with pack/unpack to the 65-bit layout. */
+struct ProgramEntry {
+    static constexpr std::uint32_t typeBits = 4;
+    static constexpr std::uint32_t dataBits = 27;
+    static constexpr std::uint32_t statusBits = 3;
+    static constexpr std::uint32_t qaddrBits = 30;
+    static constexpr std::uint32_t totalBits =
+        typeBits + 1 + dataBits + statusBits + qaddrBits;
+
+    std::uint8_t type = 0;
+    bool regFlag = false;
+    std::uint32_t data = 0;
+    EntryStatus status = EntryStatus::Invalid;
+    std::uint32_t qaddr = 0;
+
+    /**
+     * Fixed-point angle codec for the data field: signed angle in
+     * [-4pi, 4pi) quantized to 27 bits.
+     */
+    static std::uint32_t encodeAngle(double radians);
+    static double decodeAngle(std::uint32_t code);
+
+    /** Gate type <-> 4-bit code. */
+    static std::uint8_t encodeType(quantum::GateType t);
+    static quantum::GateType decodeType(std::uint8_t code);
+
+    /** Pack to the 65-bit wire layout (hi bit in `hi`). */
+    void
+    pack(std::uint64_t &lo, std::uint64_t &hi) const
+    {
+        std::uint64_t v = 0;
+        // [63:60] type, [59] reg_flag, [58:32] data, [32:30]... the
+        // paper's Fig. 6 bit ranges overlap in print; we adopt the
+        // consistent layout below, matching field widths exactly:
+        // bit 64..61 type, 60 reg_flag, 59..33 data, 32..30 status,
+        // 29..0 qaddr.
+        v |= std::uint64_t(qaddr & ((1u << qaddrBits) - 1));
+        v |= std::uint64_t(static_cast<std::uint8_t>(status) & 0x7)
+            << qaddrBits;
+        v |= std::uint64_t(data & ((1u << dataBits) - 1)) << 33;
+        v |= std::uint64_t(regFlag ? 1 : 0) << 60;
+        // type occupies bits 64..61; bits 63..61 go in lo, bit 64 in hi
+        v |= std::uint64_t(type & 0x7) << 61;
+        lo = v;
+        hi = (type >> 3) & 0x1;
+    }
+
+    static ProgramEntry
+    unpack(std::uint64_t lo, std::uint64_t hi)
+    {
+        ProgramEntry e;
+        e.qaddr = static_cast<std::uint32_t>(
+            lo & ((1u << qaddrBits) - 1));
+        e.status = static_cast<EntryStatus>((lo >> qaddrBits) & 0x7);
+        e.data = static_cast<std::uint32_t>(
+            (lo >> 33) & ((1u << dataBits) - 1));
+        e.regFlag = (lo >> 60) & 0x1;
+        e.type = static_cast<std::uint8_t>(
+            ((lo >> 61) & 0x7) | ((hi & 0x1) << 3));
+        return e;
+    }
+
+    bool
+    operator==(const ProgramEntry &o) const
+    {
+        return type == o.type && regFlag == o.regFlag &&
+            data == o.data && status == o.status && qaddr == o.qaddr;
+    }
+};
+
+} // namespace qtenon::controller
+
+#endif // QTENON_CONTROLLER_PROGRAM_ENTRY_HH

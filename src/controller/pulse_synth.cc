@@ -1,0 +1,90 @@
+#include "pulse_synth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qtenon::controller {
+
+double
+PulseSynthesizer::durationNs(quantum::GateType type) const
+{
+    using quantum::GateType;
+    switch (type) {
+      case GateType::Measure:
+        return _cfg.measureNs;
+      case GateType::RZZ:
+      case GateType::CZ:
+      case GateType::CNOT:
+        return _cfg.twoQubitNs;
+      default:
+        return _cfg.oneQubitNs;
+    }
+}
+
+Waveform
+PulseSynthesizer::synthesize(quantum::GateType type, double angle) const
+{
+    const double duration_ns = durationNs(type);
+    const auto samples = static_cast<std::size_t>(
+        duration_ns * _cfg.sampleRateHz / 1e9);
+
+    // Rotation amplitude: the integrated Rabi drive is proportional
+    // to the angle; non-parameterized gates drive a fixed pi (or
+    // pi/2 for H-like) pulse.
+    double amp = 1.0;
+    if (quantum::isParameterized(type)) {
+        // Wrap into (-pi, pi] and scale.
+        const double a = std::remainder(angle, 2.0 * M_PI);
+        amp = a / M_PI;
+    }
+
+    Waveform w;
+    w.i.resize(samples);
+    w.q.resize(samples);
+    const double sigma = duration_ns * _cfg.sigmaFraction;
+    const double mid = duration_ns / 2.0;
+    const double dt = 1e9 / _cfg.sampleRateHz;
+    const double full_scale = 32767.0;
+
+    for (std::size_t s = 0; s < samples; ++s) {
+        const double t = (static_cast<double>(s) + 0.5) * dt;
+        const double x = (t - mid) / sigma;
+        const double gauss = std::exp(-0.5 * x * x);
+        // DRAG: quadrature gets the scaled derivative of the
+        // envelope, suppressing leakage to the second level.
+        const double deriv = -x / sigma * gauss;
+        const double iv = amp * gauss;
+        const double qv = amp * _cfg.dragCoefficient * deriv;
+        w.i[s] = static_cast<std::int16_t>(
+            std::clamp(iv, -1.0, 1.0) * full_scale);
+        w.q[s] = static_cast<std::int16_t>(
+            std::clamp(qv, -1.0, 1.0) * full_scale);
+    }
+    return w;
+}
+
+PulseEntry
+PulseSynthesizer::packEntry(const Waveform &w) const
+{
+    // 640 bits = 10 x 64-bit words = 20 samples x (16-bit I + 16-bit
+    // Q): each word carries two samples' I/Q pairs.
+    PulseEntry entry{};
+    for (std::uint32_t s = 0; s < samplesPerEntry; ++s) {
+        const std::uint16_t iv = s < w.numSamples()
+            ? static_cast<std::uint16_t>(w.i[s]) : 0;
+        const std::uint16_t qv = s < w.numSamples()
+            ? static_cast<std::uint16_t>(w.q[s]) : 0;
+        const std::uint64_t pair =
+            (std::uint64_t(qv) << 16) | std::uint64_t(iv);
+        entry[s / 2] |= pair << ((s % 2) * 32);
+    }
+    return entry;
+}
+
+PulseEntry
+PulseSynthesizer::entryFor(quantum::GateType type, double angle) const
+{
+    return packEntry(synthesize(type, angle));
+}
+
+} // namespace qtenon::controller

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Quantum Controller Cache (QCC): the SRAM buffer at the L1 level
+ * of the unified memory hierarchy (paper Sec. 5.1).
+ *
+ * Holds the five segments' contents functionally, enforces the
+ * public/private split (.slt and .pulse are hardware-private), and
+ * models SRAM port timing in the 200 MHz controller clock domain.
+ */
+
+#ifndef QTENON_CONTROLLER_QCC_HH
+#define QTENON_CONTROLLER_QCC_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "memory/address_map.hh"
+#include "program_entry.hh"
+#include "sim/sim_object.hh"
+
+namespace qtenon::controller {
+
+/** A 640-bit generated control pulse (.pulse entry). */
+using PulseEntry = std::array<std::uint64_t, 10>;
+
+/**
+ * Functional + timing model of the QCC SRAM. QAddresses are
+ * entry-granular per memory::QccLayout.
+ */
+class QuantumControllerCache : public sim::Clocked
+{
+  public:
+    QuantumControllerCache(sim::EventQueue &eq, std::string name,
+                           sim::ClockDomain clock,
+                           memory::QccLayout layout);
+
+    const memory::QccLayout &layout() const { return _layout; }
+
+    /** @name .program segment */
+    /// @{
+    const ProgramEntry &readProgram(std::uint64_t qaddr) const;
+    void writeProgram(std::uint64_t qaddr, const ProgramEntry &e);
+    /** Number of valid program entries installed for @p qubit. */
+    std::uint32_t programLength(std::uint32_t qubit) const;
+    void setProgramLength(std::uint32_t qubit, std::uint32_t len);
+    /// @}
+
+    /** @name .pulse segment (hardware-private) */
+    /// @{
+    const PulseEntry &readPulse(std::uint64_t qaddr) const;
+    void writePulse(std::uint64_t qaddr, const PulseEntry &p);
+    bool pulseValid(std::uint64_t qaddr) const;
+    /// @}
+
+    /** @name .measure segment */
+    /// @{
+    std::uint64_t readMeasure(std::uint32_t entry) const;
+    void writeMeasure(std::uint32_t entry, std::uint64_t value);
+    /// @}
+
+    /** @name .regfile segment */
+    /// @{
+    std::uint32_t readRegfile(std::uint32_t entry) const;
+    void writeRegfile(std::uint32_t entry, std::uint32_t value);
+    /// @}
+
+    /**
+     * Whether a user-originated access to @p qaddr is legal (public
+     * segments only).
+     */
+    bool userAccessible(std::uint64_t qaddr) const;
+
+    /**
+     * SRAM port timing: returns the tick at which an access starting
+     * now completes, serializing on the port.
+     */
+    sim::Tick portAccess(std::uint32_t entries = 1);
+
+    sim::Scalar programReads;
+    sim::Scalar programWrites;
+    sim::Scalar pulseWrites;
+    sim::Scalar measureWrites;
+    sim::Scalar regfileWrites;
+
+  private:
+    std::uint64_t programIndex(std::uint64_t qaddr) const;
+    std::uint64_t pulseIndex(std::uint64_t qaddr) const;
+
+    memory::QccLayout _layout;
+    std::vector<ProgramEntry> _program;
+    std::vector<PulseEntry> _pulse;
+    std::vector<bool> _pulseValid;
+    std::vector<std::uint64_t> _measure;
+    std::vector<std::uint32_t> _regfile;
+    std::vector<std::uint32_t> _programLength;
+    sim::Tick _portFree = 0;
+};
+
+} // namespace qtenon::controller
+
+#endif // QTENON_CONTROLLER_QCC_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Reorder Buffer Queue (RBQ), paper Sec. 5.2 / Fig. 5.
+ *
+ * The system bus returns responses out of order; the RBQ holds one
+ * queue per 5-bit tag (32 total) and a tag queue recording issue
+ * order, releasing responses strictly in that order.
+ */
+
+#ifndef QTENON_CONTROLLER_RBQ_HH
+#define QTENON_CONTROLLER_RBQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace qtenon::controller {
+
+/**
+ * In-order release of out-of-order tagged responses. The caller
+ * declares issue order via expect(tag); responses arrive via
+ * arrive(tag, payload); deliveries fire in expect() order.
+ */
+template <typename Payload>
+class ReorderBufferQueue
+{
+  public:
+    using Deliver = std::function<void(std::uint8_t, const Payload &)>;
+
+    explicit ReorderBufferQueue(std::uint32_t num_tags = 32)
+        : _arrived(num_tags), _numTags(num_tags)
+    {}
+
+    /** Record that a request with @p tag was issued (in order). */
+    void
+    expect(std::uint8_t tag)
+    {
+        _order.push_back(tag);
+        _maxOccupancy = std::max(_maxOccupancy, _order.size());
+    }
+
+    /**
+     * A response for @p tag arrived; deliver it and any now-unblocked
+     * successors through @p deliver.
+     */
+    void
+    arrive(std::uint8_t tag, Payload payload, const Deliver &deliver)
+    {
+        _arrived[tag].push_back(std::move(payload));
+        if (!_order.empty() && _order.front() != tag)
+            ++_reordered;
+        drain(deliver);
+    }
+
+    /** Pending (issued, not yet delivered) responses. */
+    std::size_t pending() const { return _order.size(); }
+
+    std::size_t maxOccupancy() const { return _maxOccupancy; }
+    std::uint64_t reorderedArrivals() const { return _reordered; }
+
+  private:
+    void
+    drain(const Deliver &deliver)
+    {
+        while (!_order.empty()) {
+            const auto tag = _order.front();
+            auto &q = _arrived[tag];
+            if (q.empty())
+                return;
+            Payload p = std::move(q.front());
+            q.pop_front();
+            _order.pop_front();
+            deliver(tag, p);
+        }
+    }
+
+    std::deque<std::uint8_t> _order;
+    std::vector<std::deque<Payload>> _arrived;
+    std::uint32_t _numTags;
+    std::size_t _maxOccupancy = 0;
+    std::uint64_t _reordered = 0;
+};
+
+} // namespace qtenon::controller
+
+#endif // QTENON_CONTROLLER_RBQ_HH

@@ -1,0 +1,158 @@
+#include "slt.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::controller {
+
+SkipLookupTable::SkipLookupTable(std::uint32_t num_qubits, SltConfig cfg)
+    : _cfg(cfg), _numQubits(num_qubits)
+{
+    _entries.assign(
+        std::size_t(num_qubits) * cfg.entriesPerWay * cfg.ways,
+        Entry{});
+    _qspace.resize(num_qubits);
+    _nextPulseEntry.assign(num_qubits, 0);
+}
+
+std::uint32_t
+SkipLookupTable::allocate(std::uint32_t qubit,
+                          std::uint32_t pulse_entries_per_qubit)
+{
+    if (qubit >= _numQubits)
+        sim::panic("SLT allocate on out-of-range qubit ", qubit);
+    const auto entry = _nextPulseEntry[qubit];
+    _nextPulseEntry[qubit] = (entry + 1) % pulse_entries_per_qubit;
+    return entry;
+}
+
+void
+SkipLookupTable::reset()
+{
+    for (auto &e : _entries)
+        e = Entry{};
+    for (auto &m : _qspace)
+        m.clear();
+    std::fill(_nextPulseEntry.begin(), _nextPulseEntry.end(), 0);
+    hits = misses = qspaceHits = qspaceAllocs = evictions = 0;
+}
+
+std::uint32_t
+SkipLookupTable::indexOf(std::uint8_t type, std::uint32_t data)
+{
+    // Fig. 7: 3 bits of type and 4 bits of truncated data concatenate
+    // into the 7-bit set index.
+    const std::uint32_t t3 = type & 0x7;
+    const std::uint32_t d4 = (data >> 10) & 0xF;
+    return (t3 << 4) | d4;
+}
+
+std::uint32_t
+SkipLookupTable::tagOf(std::uint8_t type, std::uint32_t data) const
+{
+    // Mix the full 31-bit identity down to tagBits deterministically.
+    std::uint64_t key =
+        (std::uint64_t(type) << 27) | (data & ((1u << 27) - 1));
+    key ^= key >> 13;
+    key *= 0x9E3779B97F4A7C15ull;
+    key ^= key >> 29;
+    return static_cast<std::uint32_t>(key & ((1u << _cfg.tagBits) - 1));
+}
+
+SkipLookupTable::Entry &
+SkipLookupTable::entryAt(std::uint32_t qubit, std::uint32_t index,
+                         std::uint32_t way)
+{
+    const std::size_t base =
+        std::size_t(qubit) * _cfg.entriesPerWay * _cfg.ways;
+    return _entries[base + std::size_t(index) * _cfg.ways + way];
+}
+
+SltResult
+SkipLookupTable::lookup(std::uint32_t qubit, std::uint8_t type,
+                        std::uint32_t data,
+                        std::uint32_t pulse_entries_per_qubit)
+{
+    if (qubit >= _numQubits)
+        sim::panic("SLT lookup on out-of-range qubit ", qubit);
+
+    SltResult r;
+    r.cycles = _cfg.lookupCycles;
+
+    // The 7-bit concatenated index is reduced to however many
+    // entries a way actually has (128 in the paper's geometry).
+    const auto index = indexOf(type, data) % _cfg.entriesPerWay;
+    const auto tag = tagOf(type, data);
+    const std::uint32_t count_max = (1u << _cfg.countBits) - 1;
+
+    // Probe both ways.
+    for (std::uint32_t w = 0; w < _cfg.ways; ++w) {
+        auto &e = entryAt(qubit, index, w);
+        if (e.valid && e.tag == tag) {
+            ++hits;
+            if (e.count < count_max)
+                ++e.count;
+            r.hit = true;
+            r.pulseEntry = e.pulseEntry;
+            return r;
+        }
+    }
+
+    ++misses;
+
+    // Miss: choose a victim way by the Least-Count policy.
+    std::uint32_t victim = 0;
+    bool found_invalid = false;
+    std::uint32_t least = ~std::uint32_t(0);
+    for (std::uint32_t w = 0; w < _cfg.ways; ++w) {
+        auto &e = entryAt(qubit, index, w);
+        if (!e.valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+        if (e.count < least) {
+            least = e.count;
+            victim = w;
+        }
+    }
+
+    auto &v = entryAt(qubit, index, victim);
+    if (!found_invalid && v.valid) {
+        // Evict with write-back to QSpace (one DRAM write).
+        ++evictions;
+        r.evicted = true;
+        _qspace[qubit][v.tag] = v.pulseEntry;
+        r.cycles += _cfg.qspaceAccessCycles;
+    }
+
+    // Consult QSpace for the requested tag (one DRAM read).
+    r.cycles += _cfg.qspaceAccessCycles;
+    auto it = _qspace[qubit].find(tag);
+    std::uint32_t pulse_entry;
+    if (it != _qspace[qubit].end()) {
+        ++qspaceHits;
+        r.qspaceHit = true;
+        pulse_entry = it->second;
+    } else {
+        // Allocate a fresh pulse slot for this qubit.
+        ++qspaceAllocs;
+        pulse_entry = _nextPulseEntry[qubit];
+        _nextPulseEntry[qubit] =
+            (pulse_entry + 1) % pulse_entries_per_qubit;
+        if (_nextPulseEntry[qubit] == 0 && !_warnedWrap) {
+            _warnedWrap = true;
+            sim::warn("SLT pulse allocator wrapped; distinct parameter "
+                      "count exceeds the .pulse chunk size");
+        }
+        r.needsGeneration = true;
+    }
+
+    v.valid = true;
+    v.tag = tag;
+    v.pulseEntry = pulse_entry;
+    v.count = 1;
+    r.pulseEntry = pulse_entry;
+    return r;
+}
+
+} // namespace qtenon::controller

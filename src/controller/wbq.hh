@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The Write Buffer Queue (WBQ), paper Sec. 5.2 / Fig. 5.
+ *
+ * Bridges the 256-bit system-bus datapath to the 32-bit-granular
+ * public QCC segments: eight separate 32-bit lanes, each fed by one
+ * 32-bit slice of an incoming beat; an SIndex selects the write
+ * destination as lanes drain.
+ */
+
+#ifndef QTENON_CONTROLLER_WBQ_HH
+#define QTENON_CONTROLLER_WBQ_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace qtenon::controller {
+
+/** Occupancy/timing model of the eight-lane write buffer. */
+class WriteBufferQueue
+{
+  public:
+    explicit WriteBufferQueue(std::uint32_t lanes = 8,
+                              std::uint32_t depth_words = 16)
+        : _depth(depth_words), _laneWords(lanes, 0)
+    {}
+
+    std::uint32_t numLanes() const
+    {
+        return static_cast<std::uint32_t>(_laneWords.size());
+    }
+
+    /**
+     * Try to accept @p words 32-bit words from one bus beat, spread
+     * round-robin across lanes. Returns false when any needed lane
+     * is full (the bus response must retry next cycle).
+     */
+    bool
+    enqueue(std::uint32_t words)
+    {
+        const auto lanes = numLanes();
+        std::vector<std::uint32_t> add(lanes, 0);
+        for (std::uint32_t w = 0; w < words; ++w)
+            ++add[(_nextLane + w) % lanes];
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+            if (_laneWords[l] + add[l] > _depth) {
+                ++_fullRejects;
+                return false;
+            }
+        }
+        for (std::uint32_t l = 0; l < lanes; ++l)
+            _laneWords[l] += add[l];
+        _nextLane = (_nextLane + words) % lanes;
+        _enqueuedWords += words;
+        _maxOccupancy = std::max(_maxOccupancy, occupancy());
+        return true;
+    }
+
+    /**
+     * Drain up to @p max_words words this cycle (SIndex write into
+     * the public space). Returns how many drained.
+     */
+    std::uint32_t
+    drain(std::uint32_t max_words)
+    {
+        std::uint32_t drained = 0;
+        const auto lanes = numLanes();
+        while (drained < max_words) {
+            // Drain the fullest lane first.
+            auto it = std::max_element(_laneWords.begin(),
+                                       _laneWords.end());
+            if (*it == 0)
+                break;
+            --(*it);
+            ++drained;
+        }
+        (void)lanes;
+        _drainedWords += drained;
+        return drained;
+    }
+
+    /** Total buffered words across lanes. */
+    std::uint32_t
+    occupancy() const
+    {
+        std::uint32_t sum = 0;
+        for (auto w : _laneWords)
+            sum += w;
+        return sum;
+    }
+
+    std::uint32_t laneOccupancy(std::uint32_t lane) const
+    {
+        return _laneWords[lane];
+    }
+
+    std::uint64_t enqueuedWords() const { return _enqueuedWords; }
+    std::uint64_t drainedWords() const { return _drainedWords; }
+    std::uint64_t fullRejects() const { return _fullRejects; }
+    std::uint32_t maxOccupancy() const { return _maxOccupancy; }
+
+  private:
+    std::uint32_t _depth;
+    std::vector<std::uint32_t> _laneWords;
+    std::uint32_t _nextLane = 0;
+    std::uint64_t _enqueuedWords = 0;
+    std::uint64_t _drainedWords = 0;
+    std::uint64_t _fullRejects = 0;
+    std::uint32_t _maxOccupancy = 0;
+};
+
+} // namespace qtenon::controller
+
+#endif // QTENON_CONTROLLER_WBQ_HH

@@ -1,0 +1,49 @@
+#include "experiment.hh"
+
+#include <cstdio>
+
+namespace qtenon::core {
+
+Comparison
+compareSystems(const ComparisonConfig &cfg)
+{
+    Comparison cmp;
+
+    auto workload = vqa::Workload::build(cfg.workload);
+    cmp.name = workload.name;
+
+    vqa::VqaDriver driver(cfg.driver);
+    cmp.trace = driver.run(workload);
+
+    // Qtenon: event-driven replay on a fresh system.
+    auto qcfg = cfg.qtenon;
+    qcfg.numQubits = cfg.workload.numQubits;
+    QtenonSystem sys(qcfg);
+    cmp.shotDuration = sys.shotDuration(workload.circuit);
+    const auto exec = sys.execute(cmp.trace, workload.circuit);
+    cmp.qtenon = exec.total();
+
+    // Baseline: analytic replay of the same trace.
+    baseline::DecoupledSystem base(cfg.baselineCfg);
+    cmp.baseline = base.execute(workload.circuit, cmp.trace);
+
+    return cmp;
+}
+
+std::string
+formatTime(sim::Tick t)
+{
+    char buf[64];
+    const double ns = sim::ticksToNs(t);
+    if (ns < 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1f ns", ns);
+    else if (ns < 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+    else if (ns < 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+    return buf;
+}
+
+} // namespace qtenon::core

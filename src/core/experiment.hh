@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment helpers shared by the bench binaries: run one workload
+ * on both systems from a single functional trace and report the
+ * paper's headline metrics (classical and end-to-end speedup,
+ * per-category breakdowns).
+ */
+
+#ifndef QTENON_CORE_EXPERIMENT_HH
+#define QTENON_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "baseline/decoupled_system.hh"
+#include "qtenon_system.hh"
+
+namespace qtenon::core {
+
+/** Inputs of one comparison point. */
+struct ComparisonConfig {
+    vqa::WorkloadConfig workload;
+    vqa::DriverConfig driver;
+    QtenonConfig qtenon;
+    baseline::DecoupledConfig baselineCfg;
+};
+
+/** Both systems' results over the same functional trace. */
+struct Comparison {
+    std::string name;
+    runtime::TimeBreakdown qtenon;
+    runtime::TimeBreakdown baseline;
+    runtime::VqaTrace trace;
+    sim::Tick shotDuration = 0;
+
+    double
+    endToEndSpeedup() const
+    {
+        return qtenon.wall
+            ? static_cast<double>(baseline.wall) /
+                static_cast<double>(qtenon.wall)
+            : 0.0;
+    }
+
+    double
+    classicalSpeedup() const
+    {
+        const auto q = qtenon.classical();
+        return q ? static_cast<double>(baseline.classical()) /
+                static_cast<double>(q)
+                 : 0.0;
+    }
+};
+
+/**
+ * Run the workload functionally once, then replay the trace on a
+ * fresh Qtenon system and on the decoupled baseline.
+ */
+Comparison compareSystems(const ComparisonConfig &cfg);
+
+/** Format ticks with an adaptive unit (ns/us/ms/s). */
+std::string formatTime(sim::Tick t);
+
+} // namespace qtenon::core
+
+#endif // QTENON_CORE_EXPERIMENT_HH

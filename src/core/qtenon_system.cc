@@ -1,0 +1,81 @@
+#include "qtenon_system.hh"
+
+namespace qtenon::core {
+
+QtenonSystem::QtenonSystem(QtenonConfig cfg) : _cfg(cfg)
+{
+    const auto core_clock = sim::ClockDomain::fromHz(_cfg.coreFreqHz);
+
+    _dram = std::make_unique<memory::Dram>(_eq, "dram", _cfg.dram);
+    _l2 = std::make_unique<memory::Cache>(_eq, "l2", core_clock,
+                                          _cfg.l2, _dram.get());
+    _bus = std::make_unique<memory::TileLinkBus>(
+        _eq, "bus", core_clock, _cfg.bus, _l2.get());
+
+    controller::ControllerConfig ctrl_cfg;
+    ctrl_cfg.layout.numQubits = _cfg.numQubits;
+    ctrl_cfg.slt = _cfg.slt;
+    ctrl_cfg.pipeline = _cfg.pipeline;
+    ctrl_cfg.adi = _cfg.adi;
+    ctrl_cfg.coreFreqHz = _cfg.coreFreqHz;
+    _controller = std::make_unique<controller::QuantumController>(
+        _eq, "qc", ctrl_cfg, _bus.get());
+
+    runtime::ExecutorConfig exec_cfg;
+    exec_cfg.software = _cfg.software;
+    exec_cfg.host = _cfg.host;
+    exec_cfg.gateTiming = _cfg.gateTiming;
+    exec_cfg.batchIntervalOverride = _cfg.batchIntervalOverride;
+    _executor = std::make_unique<runtime::QtenonExecutor>(
+        _eq, *_controller, isa::QtenonCompiler{}, exec_cfg);
+}
+
+QtenonSystem::~QtenonSystem() = default;
+
+void
+QtenonSystem::dumpStats(std::ostream &os) const
+{
+    _dram->stats().dump(os);
+    _l2->stats().dump(os);
+    _bus->stats().dump(os);
+    _controller->stats().dump(os);
+    _controller->qcc().stats().dump(os);
+
+    // SLT counters live outside the StatGroup machinery.
+    const auto &slt = _controller->slt();
+    os << "qc.slt.hits " << slt.hits << " # SLT hits\n";
+    os << "qc.slt.misses " << slt.misses << " # SLT misses\n";
+    os << "qc.slt.qspace_hits " << slt.qspaceHits
+       << " # QSpace hits after SLT miss\n";
+    os << "qc.slt.evictions " << slt.evictions
+       << " # least-count evictions\n";
+}
+
+sim::Tick
+QtenonSystem::shotDuration(const quantum::QuantumCircuit &c) const
+{
+    quantum::QuantumTimingModel timing(_cfg.gateTiming);
+    return timing.schedule(c).duration;
+}
+
+runtime::ExecutionResult
+QtenonSystem::execute(const runtime::VqaTrace &trace,
+                      const quantum::QuantumCircuit &c)
+{
+    return _executor->execute(trace, shotDuration(c));
+}
+
+VqaRunResult
+QtenonSystem::runVqa(vqa::Workload &w, vqa::DriverConfig driver_cfg)
+{
+    VqaRunResult res;
+    vqa::VqaDriver driver(driver_cfg);
+    res.trace = driver.run(w);
+    res.shotDuration = shotDuration(w.circuit);
+    res.timing = _executor->execute(res.trace, res.shotDuration);
+    res.finalCost = res.trace.costHistory.empty()
+        ? 0.0 : res.trace.costHistory.back();
+    return res;
+}
+
+} // namespace qtenon::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The public facade of the Qtenon reproduction: builds the complete
+ * tightly-coupled system (DRAM, L2, TileLink bus, quantum controller,
+ * host runtime) from one configuration struct and executes VQA
+ * traces against it.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   core::QtenonConfig cfg;
+ *   cfg.numQubits = 8;
+ *   core::QtenonSystem sys(cfg);
+ *   auto workload = vqa::Workload::build({...});
+ *   auto result = sys.runVqa(workload, {...});
+ */
+
+#ifndef QTENON_CORE_QTENON_SYSTEM_HH
+#define QTENON_CORE_QTENON_SYSTEM_HH
+
+#include <memory>
+
+#include "controller/controller.hh"
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "memory/tilelink.hh"
+#include "runtime/executor.hh"
+#include "vqa/driver.hh"
+
+namespace qtenon::core {
+
+/** Full-system configuration (defaults reproduce Tables 2 and 4). */
+struct QtenonConfig {
+    std::uint32_t numQubits = 64;
+    runtime::HostCoreModel host = runtime::HostCoreModel::rocket();
+    runtime::SoftwareConfig software = runtime::SoftwareConfig::full();
+    controller::SltConfig slt;
+    controller::PipelineConfig pipeline;
+    controller::AdiConfig adi;
+    memory::CacheConfig l2 = {512 * 1024, 4, 64, 8, 2, 1};
+    memory::DramConfig dram;
+    memory::TileLinkConfig bus;
+    quantum::GateTiming gateTiming;
+    std::uint64_t coreFreqHz = 1'000'000'000ull;
+    /** Ablation: force K shots per measurement PUT (0 = policy). */
+    std::uint64_t batchIntervalOverride = 0;
+};
+
+/** Result of one end-to-end VQA run on Qtenon. */
+struct VqaRunResult {
+    runtime::ExecutionResult timing;
+    runtime::VqaTrace trace;
+    sim::Tick shotDuration = 0;
+    double finalCost = 0.0;
+};
+
+/** The assembled system. */
+class QtenonSystem
+{
+  public:
+    explicit QtenonSystem(QtenonConfig cfg = QtenonConfig{});
+    ~QtenonSystem();
+
+    const QtenonConfig &config() const { return _cfg; }
+    sim::EventQueue &eventQueue() { return _eq; }
+    controller::QuantumController &controller() { return *_controller; }
+    memory::TileLinkBus &bus() { return *_bus; }
+    memory::Cache &l2() { return *_l2; }
+    memory::Dram &dram() { return *_dram; }
+    runtime::QtenonExecutor &executor() { return *_executor; }
+
+    /** One shot's wall time for @p c under the configured timing. */
+    sim::Tick shotDuration(const quantum::QuantumCircuit &c) const;
+
+    /** Dump every component's statistics, gem5-style. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Replay a prepared trace (timing only). */
+    runtime::ExecutionResult execute(const runtime::VqaTrace &trace,
+                                     const quantum::QuantumCircuit &c);
+
+    /**
+     * End-to-end convenience: run the functional optimization and
+     * replay the resulting trace on this system.
+     */
+    VqaRunResult runVqa(vqa::Workload &w,
+                        vqa::DriverConfig driver_cfg = {});
+
+  private:
+    QtenonConfig _cfg;
+    sim::EventQueue _eq;
+    std::unique_ptr<memory::Dram> _dram;
+    std::unique_ptr<memory::Cache> _l2;
+    std::unique_ptr<memory::TileLinkBus> _bus;
+    std::unique_ptr<controller::QuantumController> _controller;
+    std::unique_ptr<runtime::QtenonExecutor> _executor;
+};
+
+} // namespace qtenon::core
+
+#endif // QTENON_CORE_QTENON_SYSTEM_HH

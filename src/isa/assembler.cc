@@ -1,0 +1,119 @@
+#include "assembler.hh"
+
+#include <sstream>
+
+namespace qtenon::isa {
+
+std::uint64_t
+InstructionStream::count(Opcode op) const
+{
+    std::uint64_t n = 0;
+    for (const auto &o : ops) {
+        if (o.instruction.funct7 == op)
+            ++n;
+    }
+    return n;
+}
+
+AssembledOp
+QtenonAssembler::makeOp(Opcode op, std::uint64_t rs1,
+                        std::uint64_t rs2, bool uses_rs1,
+                        bool uses_rs2) const
+{
+    AssembledOp a;
+    a.instruction.funct7 = op;
+    a.instruction.rs1 = uses_rs1 ? _abi.addrReg : 0;
+    a.instruction.rs2 = uses_rs2 ? _abi.lenReg : 0;
+    a.instruction.xs1 = uses_rs1;
+    a.instruction.xs2 = uses_rs2;
+    a.rs1Value = rs1;
+    a.rs2Value = rs2;
+    return a;
+}
+
+InstructionStream
+QtenonAssembler::assembleInstall(const ProgramImage &image,
+                                 std::uint64_t host_base) const
+{
+    InstructionStream s;
+
+    // Initialize every regfile slot.
+    for (std::size_t r = 0; r < image.regfileInit.size(); ++r) {
+        s.ops.push_back(makeOp(
+            Opcode::QUpdate,
+            _layout.regfileAddr(static_cast<std::uint32_t>(r)),
+            image.regfileInit[r], true, true));
+    }
+
+    // One q_set per qubit chunk.
+    std::uint64_t host = host_base;
+    for (std::uint32_t q = 0; q < image.numQubits; ++q) {
+        const auto entries = image.perQubit[q].size();
+        s.ops.push_back(makeOp(
+            Opcode::QSet, host,
+            packLengthQaddr(entries, _layout.programAddr(q, 0)), true,
+            true));
+        host += entries * 12;
+    }
+
+    // Initial full pulse generation.
+    s.ops.push_back(makeOp(Opcode::QGen, 0, 0, false, false));
+    return s;
+}
+
+InstructionStream
+QtenonAssembler::assembleRound(const UpdatePlan &plan,
+                               std::uint64_t shots,
+                               std::uint64_t acquire_dest,
+                               std::uint64_t acquire_entries) const
+{
+    InstructionStream s;
+    for (const auto &[reg, value] : plan) {
+        s.ops.push_back(makeOp(Opcode::QUpdate,
+                               _layout.regfileAddr(reg), value, true,
+                               true));
+    }
+    s.ops.push_back(makeOp(Opcode::QGen, 0, 0, false, false));
+    s.ops.push_back(makeOp(Opcode::QRun, shots, 0, true, false));
+    s.ops.push_back(makeOp(
+        Opcode::QAcquire, acquire_dest,
+        packLengthQaddr(acquire_entries, _layout.measureAddr(0)), true,
+        true));
+    return s;
+}
+
+std::string
+QtenonAssembler::disassemble(const AssembledOp &op)
+{
+    std::ostringstream os;
+    os << opcodeName(op.instruction.funct7);
+    switch (op.instruction.funct7) {
+      case Opcode::QUpdate:
+        os << " qaddr=0x" << std::hex << op.rs1Value << ", data=0x"
+           << op.rs2Value;
+        break;
+      case Opcode::QSet:
+      case Opcode::QAcquire:
+        os << " caddr=0x" << std::hex << op.rs1Value << ", len="
+           << std::dec << lengthOf(op.rs2Value) << ", qaddr=0x"
+           << std::hex << qaddrOf(op.rs2Value);
+        break;
+      case Opcode::QRun:
+        os << " shots=" << std::dec << op.rs1Value;
+        break;
+      case Opcode::QGen:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+QtenonAssembler::disassemble(const InstructionStream &s)
+{
+    std::ostringstream os;
+    for (const auto &op : s.ops)
+        os << disassemble(op) << "\n";
+    return os.str();
+}
+
+} // namespace qtenon::isa

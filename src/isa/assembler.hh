@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Qtenon assembler: lowers a compiled program image and an
+ * optimizer round into the literal RoCC instruction stream a host
+ * binary would contain, and disassembles streams back to text.
+ *
+ * This is the code-generation layer the paper's modified RISC-V GNU
+ * toolchain provides; it also backs Table 1's instruction counting
+ * with real streams rather than closed-form estimates.
+ */
+
+#ifndef QTENON_ISA_ASSEMBLER_HH
+#define QTENON_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler.hh"
+#include "encoding.hh"
+#include "memory/address_map.hh"
+#include "program.hh"
+
+namespace qtenon::isa {
+
+/**
+ * One emitted instruction with its operand register *values* (the
+ * surrounding integer code that loads them is not modeled).
+ */
+struct AssembledOp {
+    RoccInstruction instruction;
+    std::uint64_t rs1Value = 0;
+    std::uint64_t rs2Value = 0;
+};
+
+/** A complete instruction stream. */
+struct InstructionStream {
+    std::vector<AssembledOp> ops;
+
+    std::size_t size() const { return ops.size(); }
+
+    /** Count ops with the given opcode. */
+    std::uint64_t count(Opcode op) const;
+
+    /** Encoded size in bytes (32-bit instructions). */
+    std::uint64_t bytes() const { return ops.size() * 4; }
+};
+
+/** Register conventions used by the emitted streams. */
+struct AssemblerAbi {
+    std::uint8_t addrReg = 10;  // x10: classical address
+    std::uint8_t lenReg = 11;   // x11: {length, QAddress}
+    std::uint8_t qaddrReg = 12; // x12: QAddress
+    std::uint8_t dataReg = 13;  // x13: data / parameter
+    std::uint8_t shotReg = 14;  // x14: shot count
+};
+
+/** Lowers images and rounds to instruction streams. */
+class QtenonAssembler
+{
+  public:
+    QtenonAssembler(memory::QccLayout layout,
+                    AssemblerAbi abi = AssemblerAbi{})
+        : _layout(layout), _abi(abi)
+    {}
+
+    const memory::QccLayout &layout() const { return _layout; }
+
+    /**
+     * The one-time installation stream: a q_update per regfile slot
+     * and a q_set per qubit chunk, followed by the initial q_gen.
+     */
+    InstructionStream assembleInstall(const ProgramImage &image,
+                                      std::uint64_t host_base) const;
+
+    /**
+     * One optimizer round: q_updates for the plan, then
+     * q_gen / q_run(shots) / q_acquire(dest).
+     */
+    InstructionStream assembleRound(const UpdatePlan &plan,
+                                    std::uint64_t shots,
+                                    std::uint64_t acquire_dest,
+                                    std::uint64_t acquire_entries) const;
+
+    /** Render one op as assembly text. */
+    static std::string disassemble(const AssembledOp &op);
+
+    /** Render a whole stream, one instruction per line. */
+    static std::string disassemble(const InstructionStream &s);
+
+  private:
+    AssembledOp makeOp(Opcode op, std::uint64_t rs1,
+                       std::uint64_t rs2, bool uses_rs1,
+                       bool uses_rs2) const;
+
+    memory::QccLayout _layout;
+    AssemblerAbi _abi;
+};
+
+} // namespace qtenon::isa
+
+#endif // QTENON_ISA_ASSEMBLER_HH

@@ -1,0 +1,60 @@
+#include "baseline_isa.hh"
+
+namespace qtenon::isa {
+
+using quantum::GateType;
+
+std::uint64_t
+BaselineCompiler::nativeGateCount(const quantum::QuantumCircuit &c) const
+{
+    std::uint64_t n = 0;
+    for (const auto &g : c.gates()) {
+        switch (g.type) {
+          case GateType::RZZ:
+            // CNOT RZ CNOT, each CNOT as H CZ H: 2*3 + 1 = 7 native.
+            n += 7;
+            break;
+          case GateType::CNOT:
+            n += 3; // H CZ H
+            break;
+          case GateType::I:
+            break;
+          default:
+            n += 1;
+            break;
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+BaselineCompiler::instructionCount(const quantum::QuantumCircuit &c) const
+{
+    const auto native = nativeGateCount(c);
+    switch (_flavor) {
+      case BaselineFlavor::EQasm:
+        // One gate instruction plus roughly one timing/wait
+        // instruction per gate.
+        return native * 2;
+      case BaselineFlavor::HisepQ:
+        // Denser encoding amortizes timing control: ~1.2 instr/gate.
+        return native + (native + 4) / 5;
+    }
+    return native;
+}
+
+std::uint64_t
+BaselineCompiler::binaryBytes(const quantum::QuantumCircuit &c) const
+{
+    // 32-bit instruction words.
+    return instructionCount(c) * 4;
+}
+
+sim::Tick
+BaselineCompiler::jitCompileTime(const quantum::QuantumCircuit &c) const
+{
+    return _cost.fixedPerCompile +
+        _cost.perNativeGate * nativeGateCount(c);
+}
+
+} // namespace qtenon::isa

@@ -1,0 +1,101 @@
+#include "compiler.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::isa {
+
+using controller::EntryStatus;
+using controller::ProgramEntry;
+using quantum::GateType;
+
+ProgramImage
+QtenonCompiler::compile(const quantum::QuantumCircuit &c) const
+{
+    ProgramImage img;
+    img.numQubits = c.numQubits();
+    img.perQubit.resize(c.numQubits());
+    img.paramToReg.assign(c.numParameters(), ~std::uint32_t(0));
+
+    // One regfile slot per symbolic parameter, allocated in parameter
+    // order so the optimizer can address slots directly.
+    for (std::uint32_t p = 0; p < c.numParameters(); ++p) {
+        img.paramToReg[p] = p;
+        img.regfileInit.push_back(
+            ProgramEntry::encodeAngle(c.parameter(p)));
+    }
+
+    auto emit = [&](std::uint32_t qubit, const quantum::Gate &g) {
+        ProgramEntry e;
+        e.type = ProgramEntry::encodeType(g.type);
+        e.status = EntryStatus::Invalid;
+        if (quantum::isParameterized(g.type) && g.param.isSymbolic()) {
+            e.regFlag = true;
+            e.data = img.paramToReg[g.param.index];
+            img.links.push_back(RegfileLink{
+                e.data, qubit,
+                static_cast<std::uint32_t>(img.perQubit[qubit].size())});
+        } else {
+            e.regFlag = false;
+            e.data = ProgramEntry::encodeAngle(c.resolveAngle(g));
+        }
+        img.perQubit[qubit].push_back(e);
+    };
+
+    for (const auto &g : c.gates()) {
+        // Two-qubit gates drive control pulses on both qubits.
+        emit(g.qubit0, g);
+        if (quantum::isTwoQubit(g.type))
+            emit(g.qubit1, g);
+    }
+    return img;
+}
+
+UpdatePlan
+QtenonCompiler::planUpdates(const ProgramImage &image,
+                            const std::vector<double> &old_params,
+                            const std::vector<double> &new_params) const
+{
+    if (old_params.size() != new_params.size() ||
+        new_params.size() != image.paramToReg.size()) {
+        sim::panic("update plan parameter vectors disagree with image");
+    }
+    UpdatePlan plan;
+    for (std::size_t p = 0; p < new_params.size(); ++p) {
+        const auto old_code = ProgramEntry::encodeAngle(old_params[p]);
+        const auto new_code = ProgramEntry::encodeAngle(new_params[p]);
+        if (old_code != new_code)
+            plan.emplace_back(image.paramToReg[p], new_code);
+    }
+    return plan;
+}
+
+double
+QtenonCompiler::initialCompileCycles(const ProgramImage &image) const
+{
+    return _cost.fixedCycles +
+        _cost.cyclesPerEntry * static_cast<double>(image.totalEntries());
+}
+
+double
+QtenonCompiler::incrementalCycles(std::size_t num_updates) const
+{
+    return _cost.cyclesPerUpdate * static_cast<double>(num_updates);
+}
+
+InstructionCount
+QtenonCompiler::countInstructions(const ProgramImage &image,
+                                  std::uint64_t rounds,
+                                  std::uint64_t updates_per_round,
+                                  std::uint64_t acquires_per_round)
+{
+    InstructionCount n;
+    // One q_set per qubit chunk to install the program once.
+    n.qSet = image.numQubits;
+    n.qUpdate = rounds * updates_per_round;
+    n.qGen = rounds;
+    n.qRun = rounds;
+    n.qAcquire = rounds * acquires_per_round;
+    return n;
+}
+
+} // namespace qtenon::isa

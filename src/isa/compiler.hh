@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Qtenon compiler (paper Sec. 6.1).
+ *
+ * Treats the quantum program as computable data: each gate becomes a
+ * .program entry in the chunk of every qubit it drives; symbolic
+ * parameters get a .regfile slot and the entry's reg_flag, so
+ * *dynamic incremental compilation* reduces a parameter change to a
+ * single q_update instead of a full recompile.
+ */
+
+#ifndef QTENON_ISA_COMPILER_HH
+#define QTENON_ISA_COMPILER_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "program.hh"
+#include "quantum/circuit.hh"
+#include "sim/types.hh"
+
+namespace qtenon::isa {
+
+/** Host-side compile cost model (cycles on the host core). */
+struct CompilerCostModel {
+    /** Initial compile: cycles per emitted .program entry. */
+    double cyclesPerEntry = 30.0;
+    /** Fixed front-end cost per compile. */
+    double fixedCycles = 2000.0;
+    /** Incremental path: cycles per q_update prepared. */
+    double cyclesPerUpdate = 12.0;
+};
+
+/** One planned q_update: (regfile slot, encoded value). */
+using UpdatePlan = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/** Instruction-count breakdown for a whole VQA run (Table 1). */
+struct InstructionCount {
+    std::uint64_t qSet = 0;
+    std::uint64_t qUpdate = 0;
+    std::uint64_t qAcquire = 0;
+    std::uint64_t qGen = 0;
+    std::uint64_t qRun = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return qSet + qUpdate + qAcquire + qGen + qRun;
+    }
+};
+
+/** The compiler. */
+class QtenonCompiler
+{
+  public:
+    explicit QtenonCompiler(CompilerCostModel cost = CompilerCostModel{})
+        : _cost(cost)
+    {}
+
+    const CompilerCostModel &costModel() const { return _cost; }
+
+    /** Compile @p c into a program image. */
+    ProgramImage compile(const quantum::QuantumCircuit &c) const;
+
+    /**
+     * Plan the q_updates needed to move the installed image from
+     * @p old_params to @p new_params (indices parallel the circuit's
+     * parameter table). Only changed parameters are updated.
+     */
+    UpdatePlan planUpdates(const ProgramImage &image,
+                           const std::vector<double> &old_params,
+                           const std::vector<double> &new_params) const;
+
+    /** Host cycles for the initial compile of @p image. */
+    double initialCompileCycles(const ProgramImage &image) const;
+
+    /** Host cycles to prepare @p plan incremental updates. */
+    double incrementalCycles(std::size_t num_updates) const;
+
+    /**
+     * Qtenon instruction count for a full VQA run: one q_set per
+     * qubit chunk up front, then per round @p updates_per_round
+     * q_updates plus q_gen + q_run + q_acquire.
+     */
+    static InstructionCount countInstructions(
+        const ProgramImage &image, std::uint64_t rounds,
+        std::uint64_t updates_per_round,
+        std::uint64_t acquires_per_round = 1);
+
+  private:
+    CompilerCostModel _cost;
+};
+
+} // namespace qtenon::isa
+
+#endif // QTENON_ISA_COMPILER_HH

@@ -1,0 +1,54 @@
+#include "encoding.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::isa {
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::QUpdate: return "q_update";
+      case Opcode::QSet: return "q_set";
+      case Opcode::QAcquire: return "q_acquire";
+      case Opcode::QGen: return "q_gen";
+      case Opcode::QRun: return "q_run";
+    }
+    sim::panic("unknown opcode");
+}
+
+std::uint32_t
+RoccInstruction::encode() const
+{
+    // RoCC layout: funct7 | rs2 | rs1 | xd | xs1 | xs2 | rd | opcode
+    //              [31:25]  [24:20] [19:15] 14   13    12  [11:7] [6:0]
+    std::uint32_t w = roccCustom0 & 0x7F;
+    w |= (std::uint32_t(rd) & 0x1F) << 7;
+    w |= (xs2 ? 1u : 0u) << 12;
+    w |= (xs1 ? 1u : 0u) << 13;
+    w |= (xd ? 1u : 0u) << 14;
+    w |= (std::uint32_t(rs1) & 0x1F) << 15;
+    w |= (std::uint32_t(rs2) & 0x1F) << 20;
+    w |= (std::uint32_t(static_cast<std::uint8_t>(funct7)) & 0x7F)
+        << 25;
+    return w;
+}
+
+RoccInstruction
+RoccInstruction::decode(std::uint32_t word)
+{
+    if ((word & 0x7F) != roccCustom0)
+        sim::fatal("not a RoCC custom-0 instruction: 0x", std::hex,
+                   word);
+    RoccInstruction i;
+    i.rd = (word >> 7) & 0x1F;
+    i.xs2 = (word >> 12) & 0x1;
+    i.xs1 = (word >> 13) & 0x1;
+    i.xd = (word >> 14) & 0x1;
+    i.rs1 = (word >> 15) & 0x1F;
+    i.rs2 = (word >> 20) & 0x1F;
+    i.funct7 = static_cast<Opcode>((word >> 25) & 0x7F);
+    return i;
+}
+
+} // namespace qtenon::isa

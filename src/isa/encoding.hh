@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Qtenon's RISC-V ISA extension (paper Sec. 6.1, Table 3, Fig. 8).
+ *
+ * Five instructions ride the RoCC custom-0 opcode:
+ *
+ *   data communication   q_update, q_set, q_acquire
+ *   computation          q_gen, q_run
+ *
+ * The 32-bit instruction encodes register designators; the Fig. 8(b)
+ * *data formats* describe the operand register contents:
+ *
+ *   q_update   rs1 = QAddress[38:0],      rs2 = parameter
+ *   q_set      rs1 = classical address,   rs2 = {len[63:39], QAddr[38:0]}
+ *   q_acquire  rs1 = classical address,   rs2 = {len[63:39], QAddr[38:0]}
+ */
+
+#ifndef QTENON_ISA_ENCODING_HH
+#define QTENON_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <string>
+
+namespace qtenon::isa {
+
+/** The five Qtenon operations (funct7 values). */
+enum class Opcode : std::uint8_t {
+    QUpdate = 0x01,
+    QSet = 0x02,
+    QAcquire = 0x03,
+    QGen = 0x10,
+    QRun = 0x11,
+};
+
+/** Mnemonic for an opcode. */
+std::string opcodeName(Opcode op);
+
+/** The RoCC custom-0 major opcode. */
+constexpr std::uint32_t roccCustom0 = 0x0B;
+
+/** A decoded RoCC instruction (Fig. 8a field layout). */
+struct RoccInstruction {
+    Opcode funct7 = Opcode::QUpdate;
+    std::uint8_t rs2 = 0;
+    std::uint8_t rs1 = 0;
+    bool xd = false;
+    bool xs1 = false;
+    bool xs2 = false;
+    std::uint8_t rd = 0;
+
+    /** Encode into the 32-bit RoCC format. */
+    std::uint32_t encode() const;
+
+    /** Decode from the 32-bit RoCC format. */
+    static RoccInstruction decode(std::uint32_t word);
+
+    bool operator==(const RoccInstruction &) const = default;
+};
+
+/** QAddress field width within rs2 (paper: lower 39 bits). */
+constexpr std::uint32_t qaddrFieldBits = 39;
+
+/** Build the {length, QAddress} rs2 register value. */
+constexpr std::uint64_t
+packLengthQaddr(std::uint64_t length, std::uint64_t qaddr)
+{
+    return (length << qaddrFieldBits) |
+        (qaddr & ((std::uint64_t(1) << qaddrFieldBits) - 1));
+}
+
+/** Split an rs2 register value into length and QAddress. */
+constexpr std::uint64_t
+lengthOf(std::uint64_t rs2)
+{
+    return rs2 >> qaddrFieldBits;
+}
+
+constexpr std::uint64_t
+qaddrOf(std::uint64_t rs2)
+{
+    return rs2 & ((std::uint64_t(1) << qaddrFieldBits) - 1);
+}
+
+} // namespace qtenon::isa
+
+#endif // QTENON_ISA_ENCODING_HH

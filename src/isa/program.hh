@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The compiled Qtenon program image: per-qubit .program entry lists,
+ * the regfile assignment for symbolic parameters, and the
+ * regfile -> program-entry links the controller uses to invalidate
+ * pulses on q_update.
+ */
+
+#ifndef QTENON_ISA_PROGRAM_HH
+#define QTENON_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "controller/program_entry.hh"
+
+namespace qtenon::isa {
+
+/** One regfile -> program-entry dependency. */
+struct RegfileLink {
+    std::uint32_t reg;
+    std::uint32_t qubit;
+    std::uint32_t entry;
+};
+
+/** The compiled image q_set ships to the controller. */
+struct ProgramImage {
+    std::uint32_t numQubits = 0;
+
+    /** .program contents per qubit. */
+    std::vector<std::vector<controller::ProgramEntry>> perQubit;
+
+    /** Parameter index -> regfile slot (one slot per parameter). */
+    std::vector<std::uint32_t> paramToReg;
+
+    /** Initial regfile contents (encoded angles), indexed by slot. */
+    std::vector<std::uint32_t> regfileInit;
+
+    /** All regfile dependencies. */
+    std::vector<RegfileLink> links;
+
+    /** Total .program entries across qubits. */
+    std::uint64_t
+    totalEntries() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &v : perQubit)
+            n += v.size();
+        return n;
+    }
+
+    /** Longest per-qubit entry list. */
+    std::uint32_t
+    maxChunkEntries() const
+    {
+        std::uint32_t m = 0;
+        for (const auto &v : perQubit)
+            m = std::max<std::uint32_t>(
+                m, static_cast<std::uint32_t>(v.size()));
+        return m;
+    }
+};
+
+} // namespace qtenon::isa
+
+#endif // QTENON_ISA_PROGRAM_HH

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The QAddress layout of the quantum controller cache (paper Fig. 4,
+ * Table 2).
+ *
+ * The QCC is a 2D space: five segments, each split into per-qubit
+ * chunks so the qubit index is encoded in the address rather than in
+ * every program entry. QAddresses are entry-granular. The 64-qubit
+ * defaults reproduce the paper's published constants:
+ *
+ *   .program  qubit k at 0x400*k, 1024 entries each (65-bit entries)
+ *   .regfile  0x70000, 1024 x 32-bit
+ *   .measure  0x71000, 5120 x 64-bit
+ *   .pulse    0x80000 + 0x400*k, 1024 x 640-bit entries per qubit
+ *   .slt      hardware-private, 2 sets x 128 x 56-bit per qubit
+ *
+ * Total 5.66 MB at 64 qubits (verified by a unit test and printed by
+ * bench/table2_qcc_config). Larger qubit counts scale the bases while
+ * keeping the paper's constants whenever they still fit.
+ */
+
+#ifndef QTENON_MEMORY_ADDRESS_MAP_HH
+#define QTENON_MEMORY_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+namespace qtenon::memory {
+
+/** The five QCC segments. */
+enum class QccSegment : std::uint8_t {
+    Program,
+    Pulse,
+    Measure,
+    Slt,
+    Regfile,
+    Invalid,
+};
+
+/** Whether user code may address a segment (Sec. 5.1). */
+constexpr bool
+isPublicSegment(QccSegment s)
+{
+    return s == QccSegment::Program || s == QccSegment::Measure ||
+           s == QccSegment::Regfile;
+}
+
+/** Geometry + address arithmetic for the QCC. */
+struct QccLayout {
+    std::uint32_t numQubits = 64;
+    std::uint32_t programEntriesPerQubit = 1024;
+    std::uint32_t pulseEntriesPerQubit = 1024;
+    std::uint32_t regfileEntries = 1024;
+    std::uint32_t measureEntries = 5120;
+    std::uint32_t sltSets = 2;
+    std::uint32_t sltEntriesPerSet = 128;
+
+    /** Entry widths in bits (Table 2). */
+    static constexpr std::uint32_t programEntryBits = 65;
+    static constexpr std::uint32_t pulseEntryBits = 640;
+    static constexpr std::uint32_t measureEntryBits = 64;
+    static constexpr std::uint32_t sltEntryBits = 56;
+    static constexpr std::uint32_t regfileEntryBits = 32;
+
+    /** QAddress field width: the paper quotes a 2^39 space. */
+    static constexpr std::uint32_t qaddressBits = 39;
+
+    /** @name Entry-granular segment bases */
+    /// @{
+    std::uint64_t programBase() const { return 0; }
+
+    std::uint64_t
+    programEnd() const
+    {
+        return programBase() +
+            std::uint64_t(numQubits) * programEntriesPerQubit;
+    }
+
+    std::uint64_t
+    regfileBase() const
+    {
+        // The paper places .regfile at 0x70000 for 64 qubits; scale
+        // up only when the program segment outgrows that.
+        const std::uint64_t paper_base = 0x70000;
+        return programEnd() <= paper_base ? paper_base : programEnd();
+    }
+
+    std::uint64_t
+    measureBase() const
+    {
+        const std::uint64_t paper_base = 0x71000;
+        const auto lo = regfileBase() + regfileEntries;
+        return lo <= paper_base ? paper_base : lo;
+    }
+
+    std::uint64_t
+    pulseBase() const
+    {
+        const std::uint64_t paper_base = 0x80000;
+        const auto lo = measureBase() + measureEntries;
+        return lo <= paper_base ? paper_base : lo;
+    }
+
+    std::uint64_t
+    pulseEnd() const
+    {
+        return pulseBase() +
+            std::uint64_t(numQubits) * pulseEntriesPerQubit;
+    }
+    /// @}
+
+    /** @name Per-qubit entry addresses */
+    /// @{
+    std::uint64_t
+    programAddr(std::uint32_t qubit, std::uint32_t entry) const
+    {
+        return programBase() +
+            std::uint64_t(qubit) * programEntriesPerQubit + entry;
+    }
+
+    std::uint64_t
+    pulseAddr(std::uint32_t qubit, std::uint32_t entry) const
+    {
+        return pulseBase() +
+            std::uint64_t(qubit) * pulseEntriesPerQubit + entry;
+    }
+
+    std::uint64_t
+    regfileAddr(std::uint32_t entry) const
+    {
+        return regfileBase() + entry;
+    }
+
+    std::uint64_t
+    measureAddr(std::uint32_t entry) const
+    {
+        return measureBase() + entry;
+    }
+    /// @}
+
+    /** Segment containing QAddress @p qaddr. */
+    QccSegment
+    segmentOf(std::uint64_t qaddr) const
+    {
+        if (qaddr < programEnd())
+            return QccSegment::Program;
+        if (qaddr >= regfileBase() &&
+            qaddr < regfileBase() + regfileEntries) {
+            return QccSegment::Regfile;
+        }
+        if (qaddr >= measureBase() &&
+            qaddr < measureBase() + measureEntries) {
+            return QccSegment::Measure;
+        }
+        if (qaddr >= pulseBase() && qaddr < pulseEnd())
+            return QccSegment::Pulse;
+        return QccSegment::Invalid;
+    }
+
+    /** Qubit owning a .program or .pulse QAddress. */
+    std::uint32_t
+    qubitOf(std::uint64_t qaddr) const
+    {
+        const auto seg = segmentOf(qaddr);
+        if (seg == QccSegment::Program) {
+            return static_cast<std::uint32_t>(
+                (qaddr - programBase()) / programEntriesPerQubit);
+        }
+        if (seg == QccSegment::Pulse) {
+            return static_cast<std::uint32_t>(
+                (qaddr - pulseBase()) / pulseEntriesPerQubit);
+        }
+        return 0;
+    }
+
+    /** @name Segment sizes in bytes (Table 2) */
+    /// @{
+    std::uint64_t
+    programBytes() const
+    {
+        return std::uint64_t(numQubits) * programEntriesPerQubit *
+            programEntryBits / 8;
+    }
+
+    std::uint64_t
+    pulseBytes() const
+    {
+        return std::uint64_t(numQubits) * pulseEntriesPerQubit *
+            pulseEntryBits / 8;
+    }
+
+    std::uint64_t
+    measureBytes() const
+    {
+        return std::uint64_t(measureEntries) * measureEntryBits / 8;
+    }
+
+    std::uint64_t
+    sltBytes() const
+    {
+        return std::uint64_t(numQubits) * sltSets * sltEntriesPerSet *
+            sltEntryBits / 8;
+    }
+
+    std::uint64_t
+    regfileBytes() const
+    {
+        return std::uint64_t(regfileEntries) * regfileEntryBits / 8;
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return programBytes() + pulseBytes() + measureBytes() +
+            sltBytes() + regfileBytes();
+    }
+    /// @}
+
+    /**
+     * QSpace: the DRAM region backing evicted SLT entries. The paper
+     * allocates 2^20 x 4 bytes = 4 MB per qubit (20-bit tag, 4-byte
+     * entries).
+     */
+    static constexpr std::uint64_t qspacePerQubitBytes =
+        (std::uint64_t(1) << 20) * 4;
+
+    /** Host-physical base of QSpace (an arbitrary reserved region). */
+    static constexpr std::uint64_t qspaceBase = 0x2'0000'0000ull;
+
+    std::uint64_t
+    qspaceAddr(std::uint32_t qubit, std::uint32_t tag) const
+    {
+        return qspaceBase + std::uint64_t(qubit) * qspacePerQubitBytes +
+            std::uint64_t(tag) * 4;
+    }
+};
+
+} // namespace qtenon::memory
+
+#endif // QTENON_MEMORY_ADDRESS_MAP_HH

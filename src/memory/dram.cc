@@ -1,0 +1,49 @@
+#include "dram.hh"
+
+#include <algorithm>
+
+namespace qtenon::memory {
+
+Dram::Dram(sim::EventQueue &eq, std::string name, DramConfig cfg)
+    : SimObject(eq, std::move(name)), _cfg(cfg),
+      _bankFree(cfg.numBanks, 0)
+{
+    stats().registerScalar(&reads, "reads", "DRAM read requests");
+    stats().registerScalar(&writes, "writes", "DRAM write requests");
+    stats().registerAverage(&queueDelay, "queue_delay",
+                            "per-request bank queueing delay (ticks)");
+}
+
+std::uint32_t
+Dram::bankOf(std::uint64_t addr) const
+{
+    return (addr / _cfg.interleaveBytes) % _cfg.numBanks;
+}
+
+void
+Dram::access(const MemPacket &pkt, MemCallback on_complete)
+{
+    if (pkt.isWrite())
+        ++writes;
+    else
+        ++reads;
+
+    const auto bank = bankOf(pkt.addr);
+    const sim::Tick now = curTick();
+    const sim::Tick start = std::max(now, _bankFree[bank]);
+    queueDelay.sample(static_cast<double>(start - now));
+
+    // Large requests occupy the bank for multiple bursts.
+    const std::uint32_t bursts =
+        (pkt.size + _cfg.interleaveBytes - 1) / _cfg.interleaveBytes;
+    const sim::Tick busy = _cfg.bankBusy * std::max(1u, bursts);
+    _bankFree[bank] = start + busy;
+
+    const sim::Tick done = start + _cfg.accessLatency +
+        busy - _cfg.bankBusy;
+    eventq().scheduleLambda(done,
+        [cb = std::move(on_complete), done] { cb(done); },
+        "dram completion");
+}
+
+} // namespace qtenon::memory

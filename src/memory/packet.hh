@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory request packets shared by caches, DRAM, and the system bus.
+ */
+
+#ifndef QTENON_MEMORY_PACKET_HH
+#define QTENON_MEMORY_PACKET_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace qtenon::memory {
+
+/** Memory command kinds. */
+enum class MemCmd : std::uint8_t {
+    Read,
+    Write,
+};
+
+/** A timing-model memory request (data payloads are modelled by size). */
+struct MemPacket {
+    MemCmd cmd = MemCmd::Read;
+    std::uint64_t addr = 0;
+    std::uint32_t size = 8;
+
+    bool isWrite() const { return cmd == MemCmd::Write; }
+    bool isRead() const { return cmd == MemCmd::Read; }
+};
+
+/** Callback invoked when a request completes, with the finish tick. */
+using MemCallback = std::function<void(sim::Tick)>;
+
+/**
+ * Timing interface every memory component implements. access() may
+ * complete the request at any tick >= now by invoking the callback
+ * (possibly synchronously via a scheduled event).
+ */
+class MemDevice
+{
+  public:
+    virtual ~MemDevice() = default;
+
+    /** Issue a request; @p on_complete fires when it finishes. */
+    virtual void access(const MemPacket &pkt,
+                        MemCallback on_complete) = 0;
+};
+
+} // namespace qtenon::memory
+
+#endif // QTENON_MEMORY_PACKET_HH

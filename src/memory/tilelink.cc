@@ -1,0 +1,120 @@
+#include "tilelink.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace qtenon::memory {
+
+TileLinkBus::TileLinkBus(sim::EventQueue &eq, std::string name,
+                         sim::ClockDomain clock, TileLinkConfig cfg,
+                         MemDevice *downstream)
+    : Clocked(eq, std::move(name), clock), _cfg(cfg),
+      _downstream(downstream)
+{
+    if (!downstream)
+        sim::fatal("bus '", this->name(), "' needs a downstream device");
+    if (_cfg.tagBits == 0 || _cfg.tagBits > 5)
+        sim::fatal("tag width must be 1..5 bits");
+    _freeTagMask = (numTags() >= 32)
+        ? ~std::uint32_t(0) : ((1u << numTags()) - 1);
+
+    stats().registerScalar(&transactions, "transactions",
+                           "bus transactions completed");
+    stats().registerScalar(&beats, "beats", "request beats transferred");
+    stats().registerScalar(&tagStalls, "tag_stalls",
+                           "requests that waited for a free tag");
+    stats().registerAverage(&tagOccupancy, "tag_occupancy",
+                            "tags in use when issuing");
+}
+
+std::uint32_t
+TileLinkBus::freeTags() const
+{
+    return std::popcount(_freeTagMask);
+}
+
+std::uint8_t
+TileLinkBus::allocateTag()
+{
+    const int tag = std::countr_zero(_freeTagMask);
+    _freeTagMask &= ~(1u << tag);
+    return static_cast<std::uint8_t>(tag);
+}
+
+void
+TileLinkBus::access(const MemPacket &pkt, MemCallback on_complete)
+{
+    accessTagged(pkt,
+        [cb = std::move(on_complete)](const BusResponse &r) {
+            cb(r.completed);
+        });
+}
+
+void
+TileLinkBus::accessTagged(const MemPacket &pkt,
+                          TaggedCallback on_complete,
+                          IssueCallback on_issue)
+{
+    if (_freeTagMask == 0)
+        ++tagStalls;
+    _waiting.push_back(
+        Pending{pkt, std::move(on_complete), std::move(on_issue)});
+    tryIssue();
+}
+
+void
+TileLinkBus::tryIssue()
+{
+    while (!_waiting.empty() && _freeTagMask != 0) {
+        Pending p = std::move(_waiting.front());
+        _waiting.pop_front();
+
+        const std::uint8_t tag = allocateTag();
+        tagOccupancy.sample(
+            static_cast<double>(numTags() - freeTags()));
+        if (p.issueCb)
+            p.issueCb(tag, curTick());
+
+        const sim::Cycles req_beats = beatsFor(p.pkt.size);
+        beats += static_cast<double>(req_beats);
+
+        const sim::Tick now = curTick();
+        const sim::Tick start = std::max(now, _requestChannelFree);
+        _requestChannelFree = start +
+            clockDomain().cyclesToTicks(req_beats);
+        const sim::Tick arrive = _requestChannelFree +
+            clockDomain().cyclesToTicks(_cfg.channelLatency);
+
+        // Hand the request to the downstream device once it has fully
+        // crossed the request channel.
+        eventq().scheduleLambda(arrive,
+            [this, p = std::move(p), tag, now]() mutable {
+                MemPacket pkt = p.pkt;
+                _downstream->access(pkt,
+                    [this, cb = std::move(p.cb), pkt, tag,
+                     now](sim::Tick down_done) {
+                        const sim::Tick done = down_done +
+                            clockDomain().cyclesToTicks(
+                                _cfg.channelLatency);
+                        eventq().scheduleLambda(done,
+                            [this, cb, pkt, tag, now, done] {
+                                ++transactions;
+                                _freeTagMask |= (1u << tag);
+                                BusResponse r;
+                                r.tag = tag;
+                                r.issued = now;
+                                r.completed = done;
+                                r.pkt = pkt;
+                                cb(r);
+                                tryIssue();
+                            },
+                            "bus response");
+                    });
+            },
+            "bus request");
+    }
+}
+
+} // namespace qtenon::memory

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * TileLink-style system bus model.
+ *
+ * Captures the properties the paper's controller interface depends
+ * on (Sec. 5.2): 256-bit beats, a pool of 32 unique 5-bit source
+ * tags limiting outstanding transactions, and out-of-order responses
+ * (downstream latency varies), which is why the controller needs the
+ * Reorder Buffer Queue.
+ */
+
+#ifndef QTENON_MEMORY_TILELINK_HH
+#define QTENON_MEMORY_TILELINK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "packet.hh"
+#include "sim/sim_object.hh"
+
+namespace qtenon::memory {
+
+/** Bus parameters. */
+struct TileLinkConfig {
+    std::uint32_t widthBits = 256;
+    std::uint32_t tagBits = 5;
+    /** Fixed request/response channel traversal latency. */
+    sim::Cycles channelLatency = 2;
+};
+
+/** A completed bus transaction, as seen by the requester. */
+struct BusResponse {
+    std::uint8_t tag = 0;
+    sim::Tick issued = 0;
+    sim::Tick completed = 0;
+    MemPacket pkt;
+};
+
+/**
+ * The bus connecting the quantum controller to the host L2/DRAM.
+ * Requests acquire a tag and serialize on the request channel for
+ * ceil(size / beat) cycles; responses complete whenever the
+ * downstream device answers, i.e. out of order.
+ */
+class TileLinkBus : public sim::Clocked, public MemDevice
+{
+  public:
+    using TaggedCallback = std::function<void(const BusResponse &)>;
+    /** Observer invoked when a tag is allocated (request leaves). */
+    using IssueCallback = std::function<void(std::uint8_t tag,
+                                             sim::Tick when)>;
+
+    TileLinkBus(sim::EventQueue &eq, std::string name,
+                sim::ClockDomain clock, TileLinkConfig cfg,
+                MemDevice *downstream);
+
+    /** MemDevice entry point (tag handled internally). */
+    void access(const MemPacket &pkt, MemCallback on_complete) override;
+
+    /** Issue a request and observe the tag in the response. */
+    void accessTagged(const MemPacket &pkt, TaggedCallback on_complete,
+                      IssueCallback on_issue = nullptr);
+
+    const TileLinkConfig &config() const { return _cfg; }
+    std::uint32_t numTags() const { return 1u << _cfg.tagBits; }
+    std::uint32_t freeTags() const;
+
+    /** Beats needed to move @p bytes across the bus. */
+    sim::Cycles
+    beatsFor(std::uint32_t bytes) const
+    {
+        const std::uint32_t beat_bytes = _cfg.widthBits / 8;
+        return std::max<sim::Cycles>(
+            1, (bytes + beat_bytes - 1) / beat_bytes);
+    }
+
+    sim::Scalar transactions;
+    sim::Scalar beats;
+    sim::Scalar tagStalls;
+    sim::Average tagOccupancy;
+
+  private:
+    struct Pending {
+        MemPacket pkt;
+        TaggedCallback cb;
+        IssueCallback issueCb;
+    };
+
+    void tryIssue();
+    std::uint8_t allocateTag();
+
+    TileLinkConfig _cfg;
+    MemDevice *_downstream;
+    std::uint32_t _freeTagMask;
+    std::deque<Pending> _waiting;
+    sim::Tick _requestChannelFree = 0;
+};
+
+} // namespace qtenon::memory
+
+#endif // QTENON_MEMORY_TILELINK_HH

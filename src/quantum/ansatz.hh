@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ansatz builders for the paper's three benchmark VQAs (Sec. 7.1):
+ *
+ *  - QAOA: standard alternating ansatz for MAX-CUT, 5 layers by
+ *    default; 2 symbolic parameters per layer (gamma, beta).
+ *  - VQE: hardware-efficient ansatz (Ry + CZ ladder), n parameters
+ *    per layer.
+ *  - QNN: hardware-efficient ansatz with alternating Ry(theta) and CZ
+ *    in 2 layers, with a data-encoding layer in front.
+ */
+
+#ifndef QTENON_QUANTUM_ANSATZ_HH
+#define QTENON_QUANTUM_ANSATZ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit.hh"
+#include "graph.hh"
+
+namespace qtenon::quantum::ansatz {
+
+/**
+ * Standard QAOA alternating ansatz for MAX-CUT on @p g.
+ *
+ * Each layer applies RZZ(2*gamma_l) on every edge, then RX(2*beta_l)
+ * on every qubit. Measurement of all qubits is appended.
+ *
+ * @param g the MAX-CUT instance
+ * @param layers number of alternating layers p
+ * @param measure whether to append full-register measurement
+ */
+QuantumCircuit qaoaMaxCut(const Graph &g, std::uint32_t layers,
+                          bool measure = true);
+
+/**
+ * Hardware-efficient VQE ansatz: per layer, Ry(theta) on every qubit
+ * followed by a linear CZ entangling ladder.
+ *
+ * @param num_qubits register width (number of spin-orbitals)
+ * @param layers ansatz depth
+ * @param measure whether to append full-register measurement
+ */
+QuantumCircuit hardwareEfficient(std::uint32_t num_qubits,
+                                 std::uint32_t layers,
+                                 bool measure = true);
+
+/**
+ * QNN circuit: an RX data-encoding layer (literal angles from
+ * @p features, cycled over qubits) followed by the 2-layer
+ * hardware-efficient trainable block.
+ */
+QuantumCircuit qnn(std::uint32_t num_qubits,
+                   const std::vector<double> &features,
+                   std::uint32_t layers = 2, bool measure = true);
+
+} // namespace qtenon::quantum::ansatz
+
+#endif // QTENON_QUANTUM_ANSATZ_HH

@@ -1,0 +1,171 @@
+#include "circuit.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum {
+
+std::uint32_t
+QuantumCircuit::addParameter(double initial, std::string name)
+{
+    auto idx = static_cast<std::uint32_t>(_paramValues.size());
+    _paramValues.push_back(initial);
+    if (name.empty())
+        name = "theta" + std::to_string(idx);
+    _paramNames.push_back(std::move(name));
+    return idx;
+}
+
+double
+QuantumCircuit::parameter(std::uint32_t idx) const
+{
+    if (idx >= _paramValues.size())
+        sim::panic("parameter index ", idx, " out of range");
+    return _paramValues[idx];
+}
+
+void
+QuantumCircuit::setParameter(std::uint32_t idx, double value)
+{
+    if (idx >= _paramValues.size())
+        sim::panic("parameter index ", idx, " out of range");
+    _paramValues[idx] = value;
+}
+
+void
+QuantumCircuit::setParameters(const std::vector<double> &values)
+{
+    if (values.size() != _paramValues.size()) {
+        sim::panic("parameter vector size ", values.size(),
+                   " != table size ", _paramValues.size());
+    }
+    _paramValues = values;
+}
+
+const std::string &
+QuantumCircuit::parameterName(std::uint32_t idx) const
+{
+    if (idx >= _paramNames.size())
+        sim::panic("parameter index ", idx, " out of range");
+    return _paramNames[idx];
+}
+
+void
+QuantumCircuit::checkQubit(std::uint32_t q) const
+{
+    if (q >= _numQubits)
+        sim::panic("qubit ", q, " out of range (n=", _numQubits, ")");
+}
+
+void
+QuantumCircuit::gate(GateType t, std::uint32_t q)
+{
+    checkQubit(q);
+    if (isParameterized(t))
+        sim::panic("gate ", gateName(t), " requires an angle");
+    if (isTwoQubit(t))
+        sim::panic("gate ", gateName(t), " requires two qubits");
+    _gates.push_back(Gate{t, q, q, ParamRef{}});
+}
+
+void
+QuantumCircuit::gate2(GateType t, std::uint32_t q0, std::uint32_t q1)
+{
+    checkQubit(q0);
+    checkQubit(q1);
+    if (q0 == q1)
+        sim::panic("two-qubit gate on identical qubits ", q0);
+    if (!isTwoQubit(t))
+        sim::panic("gate ", gateName(t), " is not a two-qubit gate");
+    if (isParameterized(t))
+        sim::panic("gate ", gateName(t), " requires an angle");
+    _gates.push_back(Gate{t, q0, q1, ParamRef{}});
+}
+
+void
+QuantumCircuit::rotation(GateType t, std::uint32_t q, ParamRef p)
+{
+    checkQubit(q);
+    if (!isParameterized(t) || isTwoQubit(t))
+        sim::panic("gate ", gateName(t), " is not a 1q rotation");
+    if (p.isSymbolic() && p.index >= _paramValues.size())
+        sim::panic("rotation references undeclared parameter ", p.index);
+    _gates.push_back(Gate{t, q, q, p});
+}
+
+void
+QuantumCircuit::rotation2(GateType t, std::uint32_t q0, std::uint32_t q1,
+                          ParamRef p)
+{
+    checkQubit(q0);
+    checkQubit(q1);
+    if (q0 == q1)
+        sim::panic("two-qubit rotation on identical qubits ", q0);
+    if (!isParameterized(t) || !isTwoQubit(t))
+        sim::panic("gate ", gateName(t), " is not a 2q rotation");
+    if (p.isSymbolic() && p.index >= _paramValues.size())
+        sim::panic("rotation references undeclared parameter ", p.index);
+    _gates.push_back(Gate{t, q0, q1, p});
+}
+
+void
+QuantumCircuit::measureAll()
+{
+    for (std::uint32_t q = 0; q < _numQubits; ++q)
+        measure(q);
+}
+
+double
+QuantumCircuit::resolveAngle(const Gate &g) const
+{
+    if (!isParameterized(g.type))
+        return 0.0;
+    if (g.param.isSymbolic())
+        return parameter(g.param.index);
+    return g.param.value;
+}
+
+CircuitStats
+QuantumCircuit::stats() const
+{
+    CircuitStats s;
+    std::vector<std::uint64_t> layer(_numQubits, 0);
+    for (const auto &g : _gates) {
+        if (g.type == GateType::Measure) {
+            ++s.measurements;
+        } else if (isTwoQubit(g.type)) {
+            ++s.twoQubitGates;
+        } else {
+            ++s.oneQubitGates;
+        }
+        if (isParameterized(g.type) && g.param.isSymbolic())
+            ++s.parameterizedGates;
+
+        if (isTwoQubit(g.type)) {
+            auto l = std::max(layer[g.qubit0], layer[g.qubit1]) + 1;
+            layer[g.qubit0] = layer[g.qubit1] = l;
+        } else {
+            ++layer[g.qubit0];
+        }
+    }
+    s.depth = layer.empty()
+        ? 0 : *std::max_element(layer.begin(), layer.end());
+    return s;
+}
+
+std::vector<std::size_t>
+QuantumCircuit::gatesUsingParameter(std::uint32_t idx) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < _gates.size(); ++i) {
+        const auto &g = _gates[i];
+        if (isParameterized(g.type) && g.param.isSymbolic() &&
+            g.param.index == idx) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+} // namespace qtenon::quantum

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * QuantumCircuit: the gate-level IR all layers of the stack share.
+ *
+ * A circuit owns a gate list and a parameter table. Symbolic
+ * parameters are the unit of Qtenon's dynamic incremental
+ * compilation: an optimizer updates entries of the table, and only
+ * gates referencing changed entries need new pulses.
+ */
+
+#ifndef QTENON_QUANTUM_CIRCUIT_HH
+#define QTENON_QUANTUM_CIRCUIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gate.hh"
+
+namespace qtenon::quantum {
+
+/** Static shape statistics of a circuit. */
+struct CircuitStats {
+    std::uint64_t oneQubitGates = 0;
+    std::uint64_t twoQubitGates = 0;
+    std::uint64_t measurements = 0;
+    std::uint64_t parameterizedGates = 0;
+    /** Depth counting each gate as one layer slot per operand qubit. */
+    std::uint64_t depth = 0;
+
+    std::uint64_t
+    totalGates() const
+    {
+        return oneQubitGates + twoQubitGates + measurements;
+    }
+};
+
+/** A parameterized quantum circuit over a fixed number of qubits. */
+class QuantumCircuit
+{
+  public:
+    explicit QuantumCircuit(std::uint32_t num_qubits)
+        : _numQubits(num_qubits)
+    {}
+
+    std::uint32_t numQubits() const { return _numQubits; }
+    const std::vector<Gate> &gates() const { return _gates; }
+    std::size_t numGates() const { return _gates.size(); }
+
+    /** @name Parameter table */
+    /// @{
+
+    /** Declare a new symbolic parameter, returning its index. */
+    std::uint32_t addParameter(double initial = 0.0,
+                               std::string name = "");
+
+    std::uint32_t numParameters() const
+    {
+        return static_cast<std::uint32_t>(_paramValues.size());
+    }
+
+    double parameter(std::uint32_t idx) const;
+    void setParameter(std::uint32_t idx, double value);
+    const std::vector<double> &parameters() const { return _paramValues; }
+    void setParameters(const std::vector<double> &values);
+    const std::string &parameterName(std::uint32_t idx) const;
+
+    /// @}
+
+    /** @name Gate construction */
+    /// @{
+    void gate(GateType t, std::uint32_t q);
+    void gate2(GateType t, std::uint32_t q0, std::uint32_t q1);
+    void rotation(GateType t, std::uint32_t q, ParamRef p);
+    void rotation2(GateType t, std::uint32_t q0, std::uint32_t q1,
+                   ParamRef p);
+
+    void h(std::uint32_t q) { gate(GateType::H, q); }
+    void x(std::uint32_t q) { gate(GateType::X, q); }
+    void rx(std::uint32_t q, ParamRef p)
+    {
+        rotation(GateType::RX, q, p);
+    }
+    void ry(std::uint32_t q, ParamRef p)
+    {
+        rotation(GateType::RY, q, p);
+    }
+    void rz(std::uint32_t q, ParamRef p)
+    {
+        rotation(GateType::RZ, q, p);
+    }
+    void rzz(std::uint32_t q0, std::uint32_t q1, ParamRef p)
+    {
+        rotation2(GateType::RZZ, q0, q1, p);
+    }
+    void cz(std::uint32_t q0, std::uint32_t q1)
+    {
+        gate2(GateType::CZ, q0, q1);
+    }
+    void cnot(std::uint32_t q0, std::uint32_t q1)
+    {
+        gate2(GateType::CNOT, q0, q1);
+    }
+    void measure(std::uint32_t q) { gate(GateType::Measure, q); }
+    /** Append a measurement of every qubit. */
+    void measureAll();
+    /// @}
+
+    /** Resolve a gate's angle against the parameter table. */
+    double resolveAngle(const Gate &g) const;
+
+    /** Compute shape statistics (gate counts, depth). */
+    CircuitStats stats() const;
+
+    /** Gates that reference symbolic parameter @p idx. */
+    std::vector<std::size_t> gatesUsingParameter(std::uint32_t idx) const;
+
+  private:
+    void checkQubit(std::uint32_t q) const;
+
+    std::uint32_t _numQubits;
+    std::vector<Gate> _gates;
+    std::vector<double> _paramValues;
+    std::vector<std::string> _paramNames;
+};
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_CIRCUIT_HH

@@ -1,0 +1,341 @@
+#include "density_matrix.hh"
+
+#include <array>
+#include <cmath>
+#include <functional>
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum {
+
+namespace {
+
+constexpr std::complex<double> iUnit{0.0, 1.0};
+
+/** 2x2 matrix (row-major) for a single-qubit gate. */
+std::array<DensityMatrix::Amp, 4>
+gateMatrix(GateType t, double angle)
+{
+    using Amp = DensityMatrix::Amp;
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    const double c = std::cos(angle / 2.0);
+    const double s = std::sin(angle / 2.0);
+    switch (t) {
+      case GateType::I:
+        return {Amp{1}, Amp{0}, Amp{0}, Amp{1}};
+      case GateType::X:
+        return {Amp{0}, Amp{1}, Amp{1}, Amp{0}};
+      case GateType::Y:
+        return {Amp{0}, -iUnit, iUnit, Amp{0}};
+      case GateType::Z:
+        return {Amp{1}, Amp{0}, Amp{0}, Amp{-1}};
+      case GateType::H:
+        return {Amp{inv_sqrt2}, Amp{inv_sqrt2}, Amp{inv_sqrt2},
+                Amp{-inv_sqrt2}};
+      case GateType::S:
+        return {Amp{1}, Amp{0}, Amp{0}, iUnit};
+      case GateType::Sdg:
+        return {Amp{1}, Amp{0}, Amp{0}, -iUnit};
+      case GateType::T:
+        return {Amp{1}, Amp{0}, Amp{0},
+                std::exp(iUnit * (M_PI / 4.0))};
+      case GateType::RX:
+        return {Amp{c}, -iUnit * s, -iUnit * s, Amp{c}};
+      case GateType::RY:
+        return {Amp{c}, Amp{-s}, Amp{s}, Amp{c}};
+      case GateType::RZ:
+        return {std::exp(-iUnit * (angle / 2.0)), Amp{0}, Amp{0},
+                std::exp(iUnit * (angle / 2.0))};
+      default:
+        sim::panic("not a single-qubit unitary");
+    }
+}
+
+} // namespace
+
+DensityMatrix::DensityMatrix(std::uint32_t num_qubits,
+                             std::uint32_t max_qubits)
+    : _numQubits(num_qubits), _dim(std::uint64_t(1) << num_qubits)
+{
+    if (num_qubits == 0)
+        sim::fatal("density matrix needs at least one qubit");
+    if (num_qubits > max_qubits) {
+        sim::fatal("density matrix for ", num_qubits,
+                   " qubits exceeds the ", max_qubits, "-qubit cap");
+    }
+    reset();
+}
+
+DensityMatrix
+DensityMatrix::fromState(const StateVector &sv)
+{
+    DensityMatrix dm(sv.numQubits(),
+                     std::max<std::uint32_t>(defaultMaxQubits,
+                                             sv.numQubits()));
+    for (std::uint64_t r = 0; r < dm._dim; ++r) {
+        for (std::uint64_t c = 0; c < dm._dim; ++c) {
+            dm._rho[r * dm._dim + c] =
+                sv.amplitude(r) * std::conj(sv.amplitude(c));
+        }
+    }
+    return dm;
+}
+
+void
+DensityMatrix::reset()
+{
+    _rho.assign(_dim * _dim, Amp{0.0, 0.0});
+    _rho[0] = Amp{1.0, 0.0};
+}
+
+void
+DensityMatrix::apply1q(std::uint32_t q, const Amp m[2][2])
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+
+    // Left multiply: rows.
+    for (std::uint64_t r = 0; r < _dim; ++r) {
+        if (r & bit)
+            continue;
+        const std::uint64_t r1 = r | bit;
+        for (std::uint64_t c = 0; c < _dim; ++c) {
+            const Amp a = _rho[r * _dim + c];
+            const Amp b = _rho[r1 * _dim + c];
+            _rho[r * _dim + c] = m[0][0] * a + m[0][1] * b;
+            _rho[r1 * _dim + c] = m[1][0] * a + m[1][1] * b;
+        }
+    }
+    // Right multiply by U^dagger: columns.
+    for (std::uint64_t c = 0; c < _dim; ++c) {
+        if (c & bit)
+            continue;
+        const std::uint64_t c1 = c | bit;
+        for (std::uint64_t r = 0; r < _dim; ++r) {
+            const Amp a = _rho[r * _dim + c];
+            const Amp b = _rho[r * _dim + c1];
+            _rho[r * _dim + c] =
+                a * std::conj(m[0][0]) + b * std::conj(m[0][1]);
+            _rho[r * _dim + c1] =
+                a * std::conj(m[1][0]) + b * std::conj(m[1][1]);
+        }
+    }
+}
+
+void
+DensityMatrix::applyControlledPhase(std::uint64_t mask,
+                                    Amp phase_on_match)
+{
+    // Diagonal unitary d(i) = phase when (i & mask) == mask else 1.
+    auto d = [&](std::uint64_t i) {
+        return (i & mask) == mask ? phase_on_match : Amp{1.0, 0.0};
+    };
+    for (std::uint64_t r = 0; r < _dim; ++r) {
+        for (std::uint64_t c = 0; c < _dim; ++c)
+            _rho[r * _dim + c] *= d(r) * std::conj(d(c));
+    }
+}
+
+void
+DensityMatrix::apply(const Gate &g, double angle)
+{
+    switch (g.type) {
+      case GateType::Measure:
+        return;
+      case GateType::CZ:
+        applyControlledPhase((std::uint64_t(1) << g.qubit0) |
+                                 (std::uint64_t(1) << g.qubit1),
+                             Amp{-1.0, 0.0});
+        return;
+      case GateType::CNOT: {
+        // H on target, CZ, H on target.
+        const auto h = gateMatrix(GateType::H, 0.0);
+        const Amp hm[2][2] = {{h[0], h[1]}, {h[2], h[3]}};
+        apply1q(g.qubit1, hm);
+        applyControlledPhase((std::uint64_t(1) << g.qubit0) |
+                                 (std::uint64_t(1) << g.qubit1),
+                             Amp{-1.0, 0.0});
+        apply1q(g.qubit1, hm);
+        return;
+      }
+      case GateType::RZZ: {
+        // Diagonal: e^{-i angle/2} on even parity, e^{+i} on odd.
+        const Amp even = std::exp(-iUnit * (angle / 2.0));
+        const Amp odd = std::exp(iUnit * (angle / 2.0));
+        const std::uint64_t abit = std::uint64_t(1) << g.qubit0;
+        const std::uint64_t bbit = std::uint64_t(1) << g.qubit1;
+        auto d = [&](std::uint64_t i) {
+            const bool pa = i & abit;
+            const bool pb = i & bbit;
+            return (pa == pb) ? even : odd;
+        };
+        for (std::uint64_t r = 0; r < _dim; ++r) {
+            for (std::uint64_t c = 0; c < _dim; ++c)
+                _rho[r * _dim + c] *= d(r) * std::conj(d(c));
+        }
+        return;
+      }
+      default: {
+        const auto m = gateMatrix(g.type, angle);
+        const Amp mm[2][2] = {{m[0], m[1]}, {m[2], m[3]}};
+        apply1q(g.qubit0, mm);
+        return;
+      }
+    }
+}
+
+void
+DensityMatrix::applyCircuit(const QuantumCircuit &c)
+{
+    if (c.numQubits() != _numQubits)
+        sim::panic("circuit register mismatch");
+    for (const auto &g : c.gates())
+        apply(g, c.resolveAngle(g));
+}
+
+void
+DensityMatrix::applyKraus1q(
+    std::uint32_t q, const std::vector<std::array<Amp, 4>> &kraus)
+{
+    const auto orig = _rho;
+    std::vector<Amp> accum(_dim * _dim, Amp{0.0, 0.0});
+    for (const auto &k : kraus) {
+        _rho = orig;
+        const Amp km[2][2] = {{k[0], k[1]}, {k[2], k[3]}};
+        apply1q(q, km);
+        for (std::uint64_t i = 0; i < _rho.size(); ++i)
+            accum[i] += _rho[i];
+    }
+    _rho = std::move(accum);
+}
+
+void
+DensityMatrix::depolarize(std::uint32_t q, double p)
+{
+    if (p < 0.0 || p > 1.0)
+        sim::fatal("depolarizing probability out of range: ", p);
+    const double k0 = std::sqrt(1.0 - p);
+    const double kp = std::sqrt(p / 3.0);
+    applyKraus1q(q, {
+        {Amp{k0}, Amp{0}, Amp{0}, Amp{k0}},           // I
+        {Amp{0}, Amp{kp}, Amp{kp}, Amp{0}},           // X
+        {Amp{0}, -iUnit * kp, iUnit * kp, Amp{0}},    // Y
+        {Amp{kp}, Amp{0}, Amp{0}, Amp{-kp}},          // Z
+    });
+}
+
+void
+DensityMatrix::dephase(std::uint32_t q, double p)
+{
+    if (p < 0.0 || p > 1.0)
+        sim::fatal("dephasing probability out of range: ", p);
+    const double k0 = std::sqrt(1.0 - p);
+    const double kz = std::sqrt(p);
+    applyKraus1q(q, {
+        {Amp{k0}, Amp{0}, Amp{0}, Amp{k0}},
+        {Amp{kz}, Amp{0}, Amp{0}, Amp{-kz}},
+    });
+}
+
+void
+DensityMatrix::amplitudeDamp(std::uint32_t q, double gamma)
+{
+    if (gamma < 0.0 || gamma > 1.0)
+        sim::fatal("damping rate out of range: ", gamma);
+    applyKraus1q(q, {
+        {Amp{1}, Amp{0}, Amp{0}, Amp{std::sqrt(1.0 - gamma)}},
+        {Amp{0}, Amp{std::sqrt(gamma)}, Amp{0}, Amp{0}},
+    });
+}
+
+void
+DensityMatrix::depolarizeAll(double p)
+{
+    for (std::uint32_t q = 0; q < _numQubits; ++q)
+        depolarize(q, p);
+}
+
+double
+DensityMatrix::trace() const
+{
+    double t = 0.0;
+    for (std::uint64_t i = 0; i < _dim; ++i)
+        t += _rho[i * _dim + i].real();
+    return t;
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(rho^2) = sum |rho_ij|^2 for Hermitian rho.
+    double p = 0.0;
+    for (const auto &a : _rho)
+        p += std::norm(a);
+    return p;
+}
+
+double
+DensityMatrix::probability(std::uint64_t basis) const
+{
+    return _rho[basis * _dim + basis].real();
+}
+
+double
+DensityMatrix::marginalOne(std::uint32_t q) const
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    double p = 0.0;
+    for (std::uint64_t i = 0; i < _dim; ++i) {
+        if (i & bit)
+            p += _rho[i * _dim + i].real();
+    }
+    return p;
+}
+
+double
+DensityMatrix::expectationZ(std::uint32_t q) const
+{
+    return 1.0 - 2.0 * marginalOne(q);
+}
+
+double
+DensityMatrix::expectation(const Hamiltonian &h) const
+{
+    if (h.numQubits() != _numQubits)
+        sim::panic("Hamiltonian register mismatch");
+
+    double e = h.identityOffset();
+    for (const auto &t : h.terms()) {
+        std::uint64_t flip = 0;
+        for (const auto &f : t.string.factors) {
+            if (f.op == Pauli::X || f.op == Pauli::Y)
+                flip |= std::uint64_t(1) << f.qubit;
+        }
+        Amp acc{0.0, 0.0};
+        for (std::uint64_t j = 0; j < _dim; ++j) {
+            // P|j> = phase(j) |j ^ flip>; Tr(rho P) = sum_j
+            // rho[j, j^flip] * phase... careful with convention:
+            // (rho P)[j][j] = rho[j][j^flip] * P[j^flip -> ...].
+            Amp phase{1.0, 0.0};
+            for (const auto &f : t.string.factors) {
+                const bool bit = j & (std::uint64_t(1) << f.qubit);
+                switch (f.op) {
+                  case Pauli::I:
+                  case Pauli::X:
+                    break;
+                  case Pauli::Y:
+                    phase *= bit ? Amp{0.0, -1.0} : Amp{0.0, 1.0};
+                    break;
+                  case Pauli::Z:
+                    if (bit)
+                        phase = -phase;
+                    break;
+                }
+            }
+            acc += _rho[j * _dim + (j ^ flip)] * phase;
+        }
+        e += t.coefficient * acc.real();
+    }
+    return e;
+}
+
+} // namespace qtenon::quantum

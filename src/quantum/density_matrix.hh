@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Density-matrix simulator with noise channels.
+ *
+ * The third exact functional backend: models open-system evolution
+ * (depolarizing, dephasing, amplitude damping) that pure-state
+ * simulators cannot, at the cost of 4^n storage (capped around ten
+ * qubits). Used to study how decoherence on the NISQ device shifts
+ * VQA cost landscapes - the physical effects the paper's fixed gate
+ * times abstract away.
+ */
+
+#ifndef QTENON_QUANTUM_DENSITY_MATRIX_HH
+#define QTENON_QUANTUM_DENSITY_MATRIX_HH
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit.hh"
+#include "pauli.hh"
+#include "statevector.hh"
+
+namespace qtenon::quantum {
+
+/** Dense 2^n x 2^n density operator. */
+class DensityMatrix
+{
+  public:
+    using Amp = std::complex<double>;
+
+    /** Default qubit cap (storage is 16 bytes x 4^n). */
+    static constexpr std::uint32_t defaultMaxQubits = 10;
+
+    explicit DensityMatrix(std::uint32_t num_qubits,
+                           std::uint32_t max_qubits = defaultMaxQubits);
+
+    /** Build rho = |psi><psi| from a statevector. */
+    static DensityMatrix fromState(const StateVector &sv);
+
+    std::uint32_t numQubits() const { return _numQubits; }
+    std::uint64_t dim() const { return _dim; }
+
+    const Amp &element(std::uint64_t row, std::uint64_t col) const
+    {
+        return _rho[row * _dim + col];
+    }
+
+    /** Reset to |0...0><0...0|. */
+    void reset();
+
+    /** Unitary gate application: rho -> U rho U^dagger. */
+    void apply(const Gate &g, double angle);
+
+    /** Apply every gate of @p c (measurements ignored). */
+    void applyCircuit(const QuantumCircuit &c);
+
+    /** @name Noise channels */
+    /// @{
+
+    /** Depolarizing channel with error probability @p p on qubit q. */
+    void depolarize(std::uint32_t q, double p);
+
+    /** Pure dephasing: off-diagonals of qubit q shrink by (1-2p). */
+    void dephase(std::uint32_t q, double p);
+
+    /** Amplitude damping toward |0> with rate @p gamma. */
+    void amplitudeDamp(std::uint32_t q, double gamma);
+
+    /**
+     * Apply a uniform noise layer: depolarize every qubit with
+     * probability @p p (a crude per-layer decoherence model).
+     */
+    void depolarizeAll(double p);
+    /// @}
+
+    /** @name Observables */
+    /// @{
+    double trace() const;
+    /** Tr(rho^2): 1 for pure states, 1/2^n for maximally mixed. */
+    double purity() const;
+    double probability(std::uint64_t basis) const;
+    double marginalOne(std::uint32_t q) const;
+    double expectationZ(std::uint32_t q) const;
+    /** Tr(rho H) for a Pauli-sum Hamiltonian. */
+    double expectation(const Hamiltonian &h) const;
+    /// @}
+
+  private:
+    void apply1q(std::uint32_t q, const Amp m[2][2]);
+    void applyControlledPhase(std::uint64_t mask, Amp phase_on_match);
+    /** rho -> sum_k K_k rho K_k^dagger for 2x2 Kraus ops on q. */
+    void applyKraus1q(std::uint32_t q,
+                      const std::vector<std::array<Amp, 4>> &kraus);
+
+    std::uint32_t _numQubits;
+    std::uint64_t _dim;
+    std::vector<Amp> _rho;
+};
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_DENSITY_MATRIX_HH

@@ -1,0 +1,131 @@
+#include "draw.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace qtenon::quantum {
+
+namespace {
+
+/** Cell label for one gate. */
+std::string
+label(const QuantumCircuit &c, const Gate &g)
+{
+    if (g.type == GateType::Measure)
+        return "M";
+    std::string name = gateName(g.type);
+    if (isParameterized(g.type)) {
+        char buf[24];
+        if (g.param.isSymbolic()) {
+            std::snprintf(buf, sizeof(buf), "(p%u)", g.param.index);
+        } else {
+            std::snprintf(buf, sizeof(buf), "(%.2f)",
+                          c.resolveAngle(g));
+        }
+        name += buf;
+    }
+    return name;
+}
+
+} // namespace
+
+std::string
+draw(const QuantumCircuit &c, std::size_t max_columns)
+{
+    const auto n = c.numQubits();
+
+    // Assign each gate to an ASAP column.
+    struct Cell {
+        std::string text;
+        std::uint32_t q0;
+        std::uint32_t q1;
+        bool two;
+    };
+    std::vector<std::vector<Cell>> columns;
+    std::vector<std::size_t> front(n, 0);
+    bool truncated = false;
+
+    for (const auto &g : c.gates()) {
+        const auto lo = std::min(g.qubit0, g.qubit1);
+        const auto hi = std::max(g.qubit0, g.qubit1);
+        std::size_t col = 0;
+        // The gate occupies every wire it spans (connector included).
+        for (auto q = lo; q <= hi; ++q)
+            col = std::max(col, front[q]);
+        if (col >= max_columns) {
+            truncated = true;
+            break;
+        }
+        if (col >= columns.size())
+            columns.resize(col + 1);
+        columns[col].push_back(
+            Cell{label(c, g), g.qubit0, g.qubit1,
+                 isTwoQubit(g.type)});
+        for (auto q = lo; q <= hi; ++q)
+            front[q] = col + 1;
+    }
+
+    // Column widths.
+    std::vector<std::size_t> width(columns.size(), 1);
+    for (std::size_t col = 0; col < columns.size(); ++col) {
+        for (const auto &cell : columns[col])
+            width[col] = std::max(width[col], cell.text.size());
+    }
+
+    // Per-qubit wire text plus an inter-row connector line.
+    std::vector<std::string> wires(n);
+    std::vector<std::string> links(n); // connector below wire q
+    for (std::uint32_t q = 0; q < n; ++q) {
+        char head[16];
+        std::snprintf(head, sizeof(head), "q%-3u: ", q);
+        wires[q] = head;
+        links[q] = std::string(wires[q].size(), ' ');
+    }
+
+    for (std::size_t col = 0; col < columns.size(); ++col) {
+        std::vector<std::string> cell_text(n);
+        std::vector<bool> connect(n, false);
+        for (const auto &cell : columns[col]) {
+            if (cell.two) {
+                cell_text[cell.q0] = cell.text;
+                cell_text[cell.q1] = "*";
+                const auto lo = std::min(cell.q0, cell.q1);
+                const auto hi = std::max(cell.q0, cell.q1);
+                for (auto q = lo; q < hi; ++q)
+                    connect[q] = true;
+            } else {
+                cell_text[cell.q0] = cell.text;
+            }
+        }
+        for (std::uint32_t q = 0; q < n; ++q) {
+            std::string t = cell_text[q];
+            if (t.empty())
+                t = std::string(width[col], '-');
+            else
+                t += std::string(width[col] - t.size(), '-');
+            wires[q] += "-" + t + "-";
+            std::string l(width[col] + 2, ' ');
+            if (connect[q])
+                l[1 + width[col] / 2] = '|';
+            links[q] += l;
+        }
+    }
+
+    std::string out;
+    for (std::uint32_t q = 0; q < n; ++q) {
+        out += wires[q];
+        if (truncated)
+            out += " ...";
+        out += "\n";
+        // Only emit connector rows that contain a '|'.
+        if (q + 1 < n &&
+            links[q].find('|') != std::string::npos) {
+            out += links[q];
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace qtenon::quantum

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * ASCII circuit rendering: one wire per qubit, gates in ASAP
+ * columns, two-qubit gates drawn with vertical connectors. Purely a
+ * debugging/teaching aid for the examples and logs.
+ */
+
+#ifndef QTENON_QUANTUM_DRAW_HH
+#define QTENON_QUANTUM_DRAW_HH
+
+#include <string>
+
+#include "circuit.hh"
+
+namespace qtenon::quantum {
+
+/**
+ * Render @p c as fixed-width ASCII art. Parameterized gates show a
+ * short angle (e.g. "RY(0.50)"); symbolic parameters show their
+ * index (e.g. "RY(p3)").
+ *
+ * @param max_columns wrap/truncate protection for huge circuits; a
+ *        trailing ellipsis marks truncation.
+ */
+std::string draw(const QuantumCircuit &c, std::size_t max_columns = 48);
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_DRAW_HH

@@ -1,0 +1,101 @@
+#include "dynamic.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum {
+
+void
+DynamicCircuit::gate(GateType t, std::uint32_t q, double angle)
+{
+    if (q >= _numQubits)
+        sim::fatal("qubit ", q, " out of range");
+    DynamicOp op;
+    op.kind = DynamicOp::Kind::Gate;
+    op.gate = Gate{t, q, q, ParamRef::literal(angle)};
+    _ops.push_back(op);
+}
+
+void
+DynamicCircuit::gate2(GateType t, std::uint32_t q0, std::uint32_t q1)
+{
+    if (q0 >= _numQubits || q1 >= _numQubits || q0 == q1)
+        sim::fatal("bad two-qubit operands");
+    DynamicOp op;
+    op.kind = DynamicOp::Kind::Gate;
+    op.gate = Gate{t, q0, q1, ParamRef{}};
+    _ops.push_back(op);
+}
+
+void
+DynamicCircuit::gateIf(GateType t, std::uint32_t q, std::uint32_t cbit,
+                       bool value, double angle)
+{
+    if (cbit >= _numCbits)
+        sim::fatal("classical bit ", cbit, " out of range");
+    gate(t, q, angle);
+    _ops.back().condBit = static_cast<std::int32_t>(cbit);
+    _ops.back().condValue = value;
+}
+
+void
+DynamicCircuit::measure(std::uint32_t q, std::uint32_t cbit)
+{
+    if (q >= _numQubits || cbit >= _numCbits)
+        sim::fatal("bad measure operands");
+    DynamicOp op;
+    op.kind = DynamicOp::Kind::Measure;
+    op.gate = Gate{GateType::Measure, q, q, ParamRef{}};
+    op.cbit = cbit;
+    _ops.push_back(op);
+}
+
+void
+DynamicCircuit::reset(std::uint32_t q)
+{
+    if (q >= _numQubits)
+        sim::fatal("qubit ", q, " out of range");
+    DynamicOp op;
+    op.kind = DynamicOp::Kind::Reset;
+    op.gate = Gate{GateType::I, q, q, ParamRef{}};
+    _ops.push_back(op);
+}
+
+DynamicCircuit::Outcome
+DynamicCircuit::run(sim::Rng &rng) const
+{
+    StateVector sv(_numQubits);
+    return run(sv, rng);
+}
+
+DynamicCircuit::Outcome
+DynamicCircuit::run(StateVector &sv, sim::Rng &rng) const
+{
+    if (sv.numQubits() != _numQubits)
+        sim::fatal("statevector register mismatch");
+    Outcome out;
+    out.cbits.assign(_numCbits, false);
+
+    for (const auto &op : _ops) {
+        switch (op.kind) {
+          case DynamicOp::Kind::Gate: {
+            if (op.condBit >= 0 &&
+                out.cbits[static_cast<std::size_t>(op.condBit)] !=
+                    op.condValue) {
+                break;
+            }
+            sv.apply(op.gate, op.gate.param.value);
+            break;
+          }
+          case DynamicOp::Kind::Measure:
+            out.cbits[op.cbit] =
+                sv.measureAndCollapse(op.gate.qubit0, rng);
+            break;
+          case DynamicOp::Kind::Reset:
+            sv.resetQubit(op.gate.qubit0, rng);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace qtenon::quantum

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dynamic circuits: mid-circuit measurement with classical
+ * feed-forward, the primitive behind active reset and
+ * measurement-conditioned gates (the capability QubiC 2.0 adds to
+ * decoupled controllers and that Qtenon's tight coupling would make
+ * single-digit-nanosecond cheap).
+ *
+ * A DynamicCircuit is a small op list over a quantum register and a
+ * classical bit register; the runner executes it on the dense
+ * statevector, collapsing on measurement and gating conditional ops
+ * on classical bits.
+ */
+
+#ifndef QTENON_QUANTUM_DYNAMIC_HH
+#define QTENON_QUANTUM_DYNAMIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit.hh"
+#include "sim/random.hh"
+#include "statevector.hh"
+
+namespace qtenon::quantum {
+
+/** One dynamic-circuit operation. */
+struct DynamicOp {
+    enum class Kind : std::uint8_t {
+        /** Apply `gate` (optionally conditioned on a classical bit). */
+        Gate,
+        /** Measure qubit into classical bit `cbit` (collapsing). */
+        Measure,
+        /** Active reset of `gate.qubit0` to |0>. */
+        Reset,
+    };
+
+    Kind kind = Kind::Gate;
+    quantum::Gate gate;
+    /** Classical destination bit for Measure. */
+    std::uint32_t cbit = 0;
+    /** If >= 0, apply the gate only when cbit `condBit` equals
+     *  `condValue`. */
+    std::int32_t condBit = -1;
+    bool condValue = true;
+};
+
+/** A dynamic (feed-forward) circuit. */
+class DynamicCircuit
+{
+  public:
+    DynamicCircuit(std::uint32_t num_qubits, std::uint32_t num_cbits)
+        : _numQubits(num_qubits), _numCbits(num_cbits)
+    {}
+
+    std::uint32_t numQubits() const { return _numQubits; }
+    std::uint32_t numCbits() const { return _numCbits; }
+    const std::vector<DynamicOp> &ops() const { return _ops; }
+
+    /** @name Construction */
+    /// @{
+    void gate(GateType t, std::uint32_t q, double angle = 0.0);
+    void gate2(GateType t, std::uint32_t q0, std::uint32_t q1);
+    /** Conditioned single-qubit gate: applied iff cbit == value. */
+    void gateIf(GateType t, std::uint32_t q, std::uint32_t cbit,
+                bool value = true, double angle = 0.0);
+    void measure(std::uint32_t q, std::uint32_t cbit);
+    void reset(std::uint32_t q);
+    /// @}
+
+    /** Classical bits after one execution. */
+    struct Outcome {
+        std::vector<bool> cbits;
+        std::uint64_t
+        word() const
+        {
+            std::uint64_t w = 0;
+            for (std::size_t i = 0; i < cbits.size(); ++i)
+                if (cbits[i])
+                    w |= std::uint64_t(1) << i;
+            return w;
+        }
+    };
+
+    /** Execute once on a fresh statevector. */
+    Outcome run(sim::Rng &rng) const;
+
+    /** Execute on an existing state (collapses it). */
+    Outcome run(StateVector &sv, sim::Rng &rng) const;
+
+  private:
+    std::uint32_t _numQubits;
+    std::uint32_t _numCbits;
+    std::vector<DynamicOp> _ops;
+};
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_DYNAMIC_HH

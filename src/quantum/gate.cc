@@ -1,0 +1,57 @@
+#include "gate.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum {
+
+bool
+isParameterized(GateType t)
+{
+    switch (t) {
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+      case GateType::RZZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isTwoQubit(GateType t)
+{
+    switch (t) {
+      case GateType::RZZ:
+      case GateType::CZ:
+      case GateType::CNOT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+gateName(GateType t)
+{
+    switch (t) {
+      case GateType::I: return "I";
+      case GateType::X: return "X";
+      case GateType::Y: return "Y";
+      case GateType::Z: return "Z";
+      case GateType::H: return "H";
+      case GateType::S: return "S";
+      case GateType::Sdg: return "Sdg";
+      case GateType::T: return "T";
+      case GateType::RX: return "RX";
+      case GateType::RY: return "RY";
+      case GateType::RZ: return "RZ";
+      case GateType::RZZ: return "RZZ";
+      case GateType::CZ: return "CZ";
+      case GateType::CNOT: return "CNOT";
+      case GateType::Measure: return "M";
+    }
+    sim::panic("unknown gate type");
+}
+
+} // namespace qtenon::quantum

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Gate set for the quantum circuit IR.
+ *
+ * The gate set covers what the paper's workloads need: Pauli and
+ * Clifford basics, parameterized rotations (the "frequently updated
+ * parameters" that Qtenon's .regfile and q_update serve), the CZ/CNOT
+ * entanglers used by the QAOA/VQE/QNN ansaetze, the native two-qubit
+ * RZZ interaction QAOA lowers to, and measurement.
+ */
+
+#ifndef QTENON_QUANTUM_GATE_HH
+#define QTENON_QUANTUM_GATE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace qtenon::quantum {
+
+/** The supported gate types. */
+enum class GateType : std::uint8_t {
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    RX,
+    RY,
+    RZ,
+    RZZ,
+    CZ,
+    CNOT,
+    Measure,
+};
+
+/** Whether a gate type takes a rotation-angle parameter. */
+bool isParameterized(GateType t);
+
+/** Whether a gate type acts on two qubits. */
+bool isTwoQubit(GateType t);
+
+/** Short mnemonic, e.g. "RY". */
+std::string gateName(GateType t);
+
+/**
+ * Reference to a gate angle: either a literal constant or an index
+ * into the owning circuit's parameter table. Parameter-table entries
+ * are exactly the values Qtenon maps to .regfile slots.
+ */
+struct ParamRef {
+    static constexpr std::uint32_t noParam = ~std::uint32_t(0);
+
+    /** A literal (compile-time constant) angle. */
+    static ParamRef literal(double v) { return ParamRef{v, noParam}; }
+
+    /** A reference to symbolic parameter @p idx. */
+    static ParamRef symbol(std::uint32_t idx) { return ParamRef{0.0, idx}; }
+
+    bool isSymbolic() const { return index != noParam; }
+
+    double value = 0.0;
+    std::uint32_t index = noParam;
+};
+
+/** One gate application in a circuit. */
+struct Gate {
+    GateType type = GateType::I;
+    std::uint32_t qubit0 = 0;
+    /** Second operand for two-qubit gates; unused otherwise. */
+    std::uint32_t qubit1 = 0;
+    ParamRef param;
+};
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_GATE_HH

@@ -1,0 +1,175 @@
+#include "mapping.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum {
+
+void
+CouplingMap::addCoupler(std::uint32_t a, std::uint32_t b)
+{
+    if (a >= _numQubits || b >= _numQubits)
+        sim::fatal("coupler (", a, ",", b, ") outside map of ",
+                   _numQubits, " qubits");
+    if (a == b)
+        sim::fatal("self-coupler on qubit ", a);
+    if (connected(a, b))
+        sim::fatal("duplicate coupler (", a, ",", b, ")");
+    _adjacent[a].push_back(b);
+    _adjacent[b].push_back(a);
+}
+
+bool
+CouplingMap::connected(std::uint32_t a, std::uint32_t b) const
+{
+    const auto &adj = _adjacent[a];
+    return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+std::vector<std::uint32_t>
+CouplingMap::shortestPath(std::uint32_t a, std::uint32_t b) const
+{
+    if (a == b)
+        return {a};
+    std::vector<std::int64_t> prev(_numQubits, -1);
+    std::deque<std::uint32_t> frontier{a};
+    prev[a] = a;
+    while (!frontier.empty()) {
+        const auto cur = frontier.front();
+        frontier.pop_front();
+        for (auto next : _adjacent[cur]) {
+            if (prev[next] != -1)
+                continue;
+            prev[next] = cur;
+            if (next == b) {
+                std::vector<std::uint32_t> path{b};
+                auto walk = b;
+                while (walk != a) {
+                    walk = static_cast<std::uint32_t>(prev[walk]);
+                    path.push_back(walk);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push_back(next);
+        }
+    }
+    sim::fatal("coupling map is disconnected between ", a, " and ", b);
+}
+
+std::uint32_t
+CouplingMap::distance(std::uint32_t a, std::uint32_t b) const
+{
+    return static_cast<std::uint32_t>(shortestPath(a, b).size() - 1);
+}
+
+CouplingMap
+CouplingMap::linear(std::uint32_t n)
+{
+    CouplingMap m(n);
+    for (std::uint32_t q = 0; q + 1 < n; ++q)
+        m.addCoupler(q, q + 1);
+    return m;
+}
+
+CouplingMap
+CouplingMap::grid(std::uint32_t rows, std::uint32_t cols)
+{
+    CouplingMap m(rows * cols);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            const auto q = r * cols + c;
+            if (c + 1 < cols)
+                m.addCoupler(q, q + 1);
+            if (r + 1 < rows)
+                m.addCoupler(q, q + cols);
+        }
+    }
+    return m;
+}
+
+CouplingMap
+CouplingMap::allToAll(std::uint32_t n)
+{
+    CouplingMap m(n);
+    for (std::uint32_t a = 0; a < n; ++a) {
+        for (std::uint32_t b = a + 1; b < n; ++b)
+            m.addCoupler(a, b);
+    }
+    return m;
+}
+
+RoutingResult
+Router::route(const QuantumCircuit &c, const CouplingMap &map) const
+{
+    if (map.numQubits() < c.numQubits())
+        sim::fatal("coupling map smaller than the circuit register");
+
+    RoutingResult res;
+    res.circuit = QuantumCircuit(map.numQubits());
+    res.readoutMap.assign(c.numQubits(), 0);
+
+    // Copy the parameter table so symbolic references stay valid.
+    for (std::uint32_t p = 0; p < c.numParameters(); ++p)
+        res.circuit.addParameter(c.parameter(p), c.parameterName(p));
+
+    // layout[logical] = physical; placement[physical] = logical.
+    std::vector<std::uint32_t> layout(map.numQubits());
+    std::vector<std::uint32_t> placement(map.numQubits());
+    for (std::uint32_t q = 0; q < map.numQubits(); ++q)
+        layout[q] = placement[q] = q;
+
+    auto emit_swap = [&](std::uint32_t pa, std::uint32_t pb) {
+        // SWAP = CNOT(a,b) CNOT(b,a) CNOT(a,b).
+        res.circuit.cnot(pa, pb);
+        res.circuit.cnot(pb, pa);
+        res.circuit.cnot(pa, pb);
+        ++res.swapsInserted;
+        std::swap(placement[pa], placement[pb]);
+        layout[placement[pa]] = pa;
+        layout[placement[pb]] = pb;
+    };
+
+    for (const auto &g : c.gates()) {
+        if (g.type == GateType::Measure) {
+            const auto phys = layout[g.qubit0];
+            res.circuit.measure(phys);
+            res.readoutMap[g.qubit0] = phys;
+            continue;
+        }
+        if (!isTwoQubit(g.type)) {
+            Gate out = g;
+            out.qubit0 = out.qubit1 = layout[g.qubit0];
+            if (isParameterized(g.type))
+                res.circuit.rotation(g.type, out.qubit0, g.param);
+            else
+                res.circuit.gate(g.type, out.qubit0);
+            continue;
+        }
+
+        // Two-qubit gate: swap operand 0 toward operand 1 until the
+        // physical qubits are coupled.
+        auto pa = layout[g.qubit0];
+        auto pb = layout[g.qubit1];
+        if (!map.connected(pa, pb)) {
+            auto path = map.shortestPath(pa, pb);
+            // Swap along the path, leaving one hop.
+            for (std::size_t hop = 0; hop + 2 < path.size(); ++hop)
+                emit_swap(path[hop], path[hop + 1]);
+            pa = layout[g.qubit0];
+            pb = layout[g.qubit1];
+        }
+        if (isParameterized(g.type))
+            res.circuit.rotation2(g.type, pa, pb, g.param);
+        else
+            res.circuit.gate2(g.type, pa, pb);
+    }
+
+    res.finalLayout.assign(layout.begin(),
+                           layout.begin() + c.numQubits());
+    return res;
+}
+
+} // namespace qtenon::quantum

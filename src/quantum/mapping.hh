@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Qubit mapping and routing: physical coupling maps and a SWAP-
+ * inserting router.
+ *
+ * The paper evaluates with implicit all-to-all connectivity; real
+ * superconducting chips couple qubits on a line or grid, and a
+ * transpiler must insert SWAPs to route two-qubit gates. This module
+ * provides the substrate and lets the ablation benches quantify how
+ * much connectivity assumptions affect circuit depth and therefore
+ * quantum execution time.
+ */
+
+#ifndef QTENON_QUANTUM_MAPPING_HH
+#define QTENON_QUANTUM_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit.hh"
+
+namespace qtenon::quantum {
+
+/** Physical qubit connectivity graph. */
+class CouplingMap
+{
+  public:
+    explicit CouplingMap(std::uint32_t num_qubits)
+        : _numQubits(num_qubits), _adjacent(num_qubits)
+    {}
+
+    std::uint32_t numQubits() const { return _numQubits; }
+
+    /** Add an undirected coupler between physical qubits. */
+    void addCoupler(std::uint32_t a, std::uint32_t b);
+
+    bool connected(std::uint32_t a, std::uint32_t b) const;
+    const std::vector<std::uint32_t> &
+    neighbors(std::uint32_t q) const
+    {
+        return _adjacent[q];
+    }
+
+    /** BFS shortest path from @p a to @p b (inclusive endpoints). */
+    std::vector<std::uint32_t> shortestPath(std::uint32_t a,
+                                            std::uint32_t b) const;
+
+    /** Hop distance (0 for a == b, 1 for coupled pairs). */
+    std::uint32_t distance(std::uint32_t a, std::uint32_t b) const;
+
+    /** A 1D chain 0-1-...-n-1. */
+    static CouplingMap linear(std::uint32_t n);
+
+    /** A rows x cols nearest-neighbour grid. */
+    static CouplingMap grid(std::uint32_t rows, std::uint32_t cols);
+
+    /** Full connectivity (the paper's implicit assumption). */
+    static CouplingMap allToAll(std::uint32_t n);
+
+  private:
+    std::uint32_t _numQubits;
+    std::vector<std::vector<std::uint32_t>> _adjacent;
+};
+
+/** Output of routing one circuit onto a coupling map. */
+struct RoutingResult {
+    /** The routed circuit over physical qubits. */
+    QuantumCircuit circuit{1};
+    /** SWAPs inserted (each lowered to three CNOTs). */
+    std::uint64_t swapsInserted = 0;
+    /** logical qubit -> physical qubit after the full circuit. */
+    std::vector<std::uint32_t> finalLayout;
+    /** logical qubit -> physical readout bit for its measurement. */
+    std::vector<std::uint32_t> readoutMap;
+};
+
+/**
+ * A greedy shortest-path router: walks the gate list, and for each
+ * two-qubit gate on non-adjacent physical qubits swaps the first
+ * operand along a BFS shortest path until adjacent.
+ */
+class Router
+{
+  public:
+    /** Route @p c onto @p map (identity initial layout). */
+    RoutingResult route(const QuantumCircuit &c,
+                        const CouplingMap &map) const;
+};
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_MAPPING_HH

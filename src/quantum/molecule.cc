@@ -1,0 +1,73 @@
+#include "molecule.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum {
+
+Hamiltonian
+h2()
+{
+    // Coefficients from O'Malley et al. / standard Qiskit reduction.
+    Hamiltonian h(2);
+    h.addIdentity(-1.05237325);
+    h.addTerm(0.39793742, PauliString::parse("Z0"));
+    h.addTerm(-0.39793742, PauliString::parse("Z1"));
+    h.addTerm(-0.01128010, PauliString::parse("Z0 Z1"));
+    h.addTerm(0.18093119, PauliString::parse("X0 X1"));
+    return h;
+}
+
+Hamiltonian
+syntheticMolecule(std::uint32_t spin_orbitals)
+{
+    if (spin_orbitals < 2)
+        sim::fatal("synthetic molecule needs >= 2 spin-orbitals");
+
+    Hamiltonian h(spin_orbitals);
+    const auto n = spin_orbitals;
+
+    // Core energy offset scaling with system size.
+    h.addIdentity(-0.5 * static_cast<double>(n));
+
+    for (std::uint32_t q = 0; q < n; ++q) {
+        // On-site field, alternating sign like paired spin-orbitals.
+        const double field = 0.4 * std::cos(0.7 * (q + 1));
+        PauliString z;
+        z.factors.push_back({q, Pauli::Z});
+        h.addTerm(field, z);
+    }
+
+    for (std::uint32_t q = 0; q + 1 < n; ++q) {
+        // Nearest-neighbour Coulomb-like coupling.
+        const double zz = 0.25 + 0.05 * std::sin(0.3 * q);
+        PauliString s;
+        s.factors.push_back({q, Pauli::Z});
+        s.factors.push_back({q + 1, Pauli::Z});
+        h.addTerm(zz, s);
+
+        // Hopping terms (XX + YY).
+        const double hop = 0.18 * std::cos(0.2 * q);
+        PauliString xx;
+        xx.factors.push_back({q, Pauli::X});
+        xx.factors.push_back({q + 1, Pauli::X});
+        h.addTerm(hop, xx);
+        PauliString yy;
+        yy.factors.push_back({q, Pauli::Y});
+        yy.factors.push_back({q + 1, Pauli::Y});
+        h.addTerm(hop, yy);
+    }
+
+    // Sparse long-range ZZ interactions (every fourth pair).
+    for (std::uint32_t q = 0; q + 4 < n; q += 4) {
+        PauliString s;
+        s.factors.push_back({q, Pauli::Z});
+        s.factors.push_back({q + 4, Pauli::Z});
+        h.addTerm(0.05, s);
+    }
+
+    return h;
+}
+
+} // namespace qtenon::quantum

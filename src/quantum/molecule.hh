@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Molecular Hamiltonians for the VQE workload.
+ *
+ * h2() is the standard 2-qubit-reduced H2/STO-3G Hamiltonian with
+ * published coefficients, used for functional verification.
+ * syntheticMolecule() scales to arbitrary spin-orbital counts with a
+ * deterministic spin-chain-plus-hopping structure, standing in for
+ * the proprietary molecular instances the paper's 8..64-qubit VQE
+ * sweep would need (the architecture results depend only on qubit
+ * count and term structure, not chemistry accuracy).
+ */
+
+#ifndef QTENON_QUANTUM_MOLECULE_HH
+#define QTENON_QUANTUM_MOLECULE_HH
+
+#include <cstdint>
+
+#include "pauli.hh"
+
+namespace qtenon::quantum {
+
+/**
+ * The 2-qubit reduced H2 Hamiltonian at bond length 0.7414 A
+ * (STO-3G, parity mapping). Ground-state energy ~= -1.8573 Ha.
+ */
+Hamiltonian h2();
+
+/**
+ * Deterministic synthetic molecular Hamiltonian on @p spin_orbitals
+ * qubits: nearest-neighbour ZZ couplings, on-site Z fields, XX+YY
+ * hopping terms, and a long-range ZZ sprinkle, with smoothly varying
+ * coefficients.
+ */
+Hamiltonian syntheticMolecule(std::uint32_t spin_orbitals);
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_MOLECULE_HH

@@ -1,0 +1,204 @@
+#include "qasm.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum::qasm {
+
+namespace {
+
+const char *
+mnemonic(GateType t)
+{
+    switch (t) {
+      case GateType::I: return "id";
+      case GateType::X: return "x";
+      case GateType::Y: return "y";
+      case GateType::Z: return "z";
+      case GateType::H: return "h";
+      case GateType::S: return "s";
+      case GateType::Sdg: return "sdg";
+      case GateType::T: return "t";
+      case GateType::RX: return "rx";
+      case GateType::RY: return "ry";
+      case GateType::RZ: return "rz";
+      case GateType::RZZ: return "rzz";
+      case GateType::CZ: return "cz";
+      case GateType::CNOT: return "cx";
+      case GateType::Measure: return "measure";
+    }
+    sim::panic("unknown gate type");
+}
+
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Parse "q[13]" -> 13. */
+std::uint32_t
+parseQubit(const std::string &tok, const std::string &line)
+{
+    const auto lb = tok.find('[');
+    const auto rb = tok.find(']');
+    if (lb == std::string::npos || rb == std::string::npos || rb < lb)
+        sim::fatal("bad qubit reference '", tok, "' in: ", line);
+    return static_cast<std::uint32_t>(
+        std::stoul(tok.substr(lb + 1, rb - lb - 1)));
+}
+
+} // namespace
+
+std::string
+emit(const QuantumCircuit &c)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    if (c.numParameters() > 0) {
+        os << "// parameters:";
+        for (std::uint32_t p = 0; p < c.numParameters(); ++p)
+            os << " " << c.parameterName(p) << "=" << c.parameter(p);
+        os << "\n";
+    }
+    os << "qreg q[" << c.numQubits() << "];\n";
+    os << "creg m[" << c.numQubits() << "];\n";
+
+    char buf[64];
+    for (const auto &g : c.gates()) {
+        if (g.type == GateType::Measure) {
+            os << "measure q[" << g.qubit0 << "] -> m[" << g.qubit0
+               << "];\n";
+            continue;
+        }
+        os << mnemonic(g.type);
+        if (isParameterized(g.type)) {
+            std::snprintf(buf, sizeof(buf), "(%.17g)",
+                          c.resolveAngle(g));
+            os << buf;
+        }
+        os << " q[" << g.qubit0 << "]";
+        if (isTwoQubit(g.type))
+            os << ",q[" << g.qubit1 << "]";
+        os << ";\n";
+    }
+    return os.str();
+}
+
+QuantumCircuit
+parse(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    std::uint32_t num_qubits = 0;
+    std::vector<std::string> body;
+
+    while (std::getline(is, line)) {
+        // Strip comments.
+        const auto slash = line.find("//");
+        if (slash != std::string::npos)
+            line = line.substr(0, slash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.rfind("OPENQASM", 0) == 0 ||
+            line.rfind("include", 0) == 0 ||
+            line.rfind("creg", 0) == 0) {
+            continue;
+        }
+        if (line.rfind("qreg", 0) == 0) {
+            num_qubits = parseQubit(line, line);
+            continue;
+        }
+        body.push_back(line);
+    }
+    if (num_qubits == 0)
+        sim::fatal("QASM text declares no qreg");
+
+    QuantumCircuit c(num_qubits);
+    for (const auto &stmt : body) {
+        std::string s = stmt;
+        if (!s.empty() && s.back() == ';')
+            s.pop_back();
+
+        // measure q[i] -> m[i]
+        if (s.rfind("measure", 0) == 0) {
+            c.measure(parseQubit(s.substr(7), stmt));
+            continue;
+        }
+
+        // mnemonic[(angle)] q[a][,q[b]]
+        std::size_t i = 0;
+        while (i < s.size() && (std::isalpha(
+                   static_cast<unsigned char>(s[i])))) {
+            ++i;
+        }
+        const std::string name = s.substr(0, i);
+        double angle = 0.0;
+        bool has_angle = false;
+        if (i < s.size() && s[i] == '(') {
+            const auto close = s.find(')', i);
+            if (close == std::string::npos)
+                sim::fatal("unterminated angle in: ", stmt);
+            angle = std::stod(s.substr(i + 1, close - i - 1));
+            has_angle = true;
+            i = close + 1;
+        }
+        const auto args = trim(s.substr(i));
+        const auto comma = args.find(',');
+        const auto q0 = parseQubit(
+            comma == std::string::npos ? args : args.substr(0, comma),
+            stmt);
+        std::uint32_t q1 = q0;
+        if (comma != std::string::npos)
+            q1 = parseQubit(args.substr(comma + 1), stmt);
+
+        auto lit = ParamRef::literal(angle);
+        if (name == "id") {
+            c.gate(GateType::I, q0);
+        } else if (name == "x") {
+            c.x(q0);
+        } else if (name == "y") {
+            c.gate(GateType::Y, q0);
+        } else if (name == "z") {
+            c.gate(GateType::Z, q0);
+        } else if (name == "h") {
+            c.h(q0);
+        } else if (name == "s") {
+            c.gate(GateType::S, q0);
+        } else if (name == "sdg") {
+            c.gate(GateType::Sdg, q0);
+        } else if (name == "t") {
+            c.gate(GateType::T, q0);
+        } else if (name == "rx" && has_angle) {
+            c.rx(q0, lit);
+        } else if (name == "ry" && has_angle) {
+            c.ry(q0, lit);
+        } else if (name == "rz" && has_angle) {
+            c.rz(q0, lit);
+        } else if (name == "rzz" && has_angle) {
+            c.rzz(q0, q1, lit);
+        } else if (name == "cz") {
+            c.cz(q0, q1);
+        } else if (name == "cx") {
+            c.cnot(q0, q1);
+        } else {
+            sim::fatal("unsupported QASM statement: ", stmt);
+        }
+    }
+    return c;
+}
+
+} // namespace qtenon::quantum::qasm

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * OpenQASM 2-style text serialization of circuits.
+ *
+ * The paper's decoupled baseline compiles Qiskit circuits into
+ * OpenQASM before shipping them to the FPGA controller; this module
+ * provides that interchange format (a pragmatic subset: one qreg/
+ * creg, the gate set of this library, literal angles). Symbolic
+ * parameters are emitted as their current resolved values with a
+ * header comment preserving the parameter names.
+ */
+
+#ifndef QTENON_QUANTUM_QASM_HH
+#define QTENON_QUANTUM_QASM_HH
+
+#include <string>
+
+#include "circuit.hh"
+
+namespace qtenon::quantum::qasm {
+
+/** Serialize @p c to OpenQASM-style text. */
+std::string emit(const QuantumCircuit &c);
+
+/**
+ * Parse text produced by emit() (or hand-written in the same
+ * subset). Unknown statements are fatal. Angles become literals.
+ */
+QuantumCircuit parse(const std::string &text);
+
+} // namespace qtenon::quantum::qasm
+
+#endif // QTENON_QUANTUM_QASM_HH

@@ -1,0 +1,142 @@
+#include "sat.hh"
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum {
+
+void
+Max2Sat::addClause(std::uint32_t v0, bool neg0, std::uint32_t v1,
+                   bool neg1)
+{
+    if (v0 >= _numVars || v1 >= _numVars)
+        sim::fatal("clause variable out of range");
+    if (v0 == v1)
+        sim::fatal("clause on a single variable");
+    _clauses.push_back(Clause{v0, neg0, v1, neg1});
+}
+
+std::uint64_t
+Max2Sat::satisfiedCount(std::uint64_t assignment) const
+{
+    std::uint64_t sat = 0;
+    for (const auto &c : _clauses) {
+        const bool a = (assignment >> c.var0) & 1;
+        const bool b = (assignment >> c.var1) & 1;
+        const bool lit0 = c.neg0 ? !a : a;
+        const bool lit1 = c.neg1 ? !b : b;
+        if (lit0 || lit1)
+            ++sat;
+    }
+    return sat;
+}
+
+std::uint64_t
+Max2Sat::bestSatisfiableBruteForce() const
+{
+    if (_numVars > 24)
+        sim::fatal("brute-force MAX-2-SAT capped at 24 variables");
+    std::uint64_t best = 0;
+    for (std::uint64_t a = 0; a < (std::uint64_t(1) << _numVars); ++a)
+        best = std::max(best, satisfiedCount(a));
+    return best;
+}
+
+Hamiltonian
+Max2Sat::toIsing() const
+{
+    // Convention: variable TRUE <-> qubit reads 1 <-> z = -1.
+    // Clause (l0 OR l1) is violated iff both literals are false;
+    // violation indicator = (1 + s0 z0)(1 + s1 z1)/4 where s = +1
+    // for a positive literal, -1 for a negated one.
+    Hamiltonian h(_numVars);
+    for (const auto &c : _clauses) {
+        const double s0 = c.neg0 ? -1.0 : 1.0;
+        const double s1 = c.neg1 ? -1.0 : 1.0;
+        h.addIdentity(0.25);
+
+        PauliString za;
+        za.factors.push_back({c.var0, Pauli::Z});
+        h.addTerm(0.25 * s0, za);
+
+        PauliString zb;
+        zb.factors.push_back({c.var1, Pauli::Z});
+        h.addTerm(0.25 * s1, zb);
+
+        PauliString zz;
+        zz.factors.push_back({c.var0, Pauli::Z});
+        zz.factors.push_back({c.var1, Pauli::Z});
+        h.addTerm(0.25 * s0 * s1, zz);
+    }
+    return h;
+}
+
+QuantumCircuit
+Max2Sat::ansatz(std::uint32_t layers) const
+{
+    QuantumCircuit c(_numVars);
+    for (std::uint32_t q = 0; q < _numVars; ++q)
+        c.h(q);
+
+    // Aggregate per-qubit fields and per-pair couplings.
+    std::vector<double> field(_numVars, 0.0);
+    std::vector<std::vector<double>> coupling(
+        _numVars, std::vector<double>(_numVars, 0.0));
+    for (const auto &cl : _clauses) {
+        const double s0 = cl.neg0 ? -1.0 : 1.0;
+        const double s1 = cl.neg1 ? -1.0 : 1.0;
+        field[cl.var0] += 0.25 * s0;
+        field[cl.var1] += 0.25 * s1;
+        const auto lo = std::min(cl.var0, cl.var1);
+        const auto hi = std::max(cl.var0, cl.var1);
+        coupling[lo][hi] += 0.25 * s0 * s1;
+    }
+
+    for (std::uint32_t l = 0; l < layers; ++l) {
+        const auto gamma =
+            c.addParameter(0.1, "gamma" + std::to_string(l));
+        const auto beta =
+            c.addParameter(0.1, "beta" + std::to_string(l));
+        // Cost layer: fields then couplings. The symbolic gamma
+        // multiplies the unit angle; per-term weights fold into the
+        // literal part by emitting weighted literal rotations when
+        // the weight differs from the common scale. For simplicity
+        // (and matching how QAOA compilers emit 2-local Ising
+        // layers) every term gets its own rotation with the shared
+        // symbolic parameter; the weight rides in repeated
+        // applications being unnecessary for +-0.25 weights.
+        for (std::uint32_t q = 0; q < _numVars; ++q) {
+            if (field[q] != 0.0)
+                c.rz(q, ParamRef::symbol(gamma));
+        }
+        for (std::uint32_t a = 0; a < _numVars; ++a) {
+            for (std::uint32_t b = a + 1; b < _numVars; ++b) {
+                if (coupling[a][b] != 0.0)
+                    c.rzz(a, b, ParamRef::symbol(gamma));
+            }
+        }
+        for (std::uint32_t q = 0; q < _numVars; ++q)
+            c.rx(q, ParamRef::symbol(beta));
+    }
+    c.measureAll();
+    return c;
+}
+
+Max2Sat
+Max2Sat::random(std::uint32_t num_vars, std::uint32_t num_clauses,
+                sim::Rng &rng)
+{
+    Max2Sat f(num_vars);
+    while (f.numClauses() < num_clauses) {
+        const auto v0 =
+            static_cast<std::uint32_t>(rng.index(num_vars));
+        auto v1 = static_cast<std::uint32_t>(rng.index(num_vars));
+        if (v0 == v1)
+            continue;
+        f.addClause(v0, rng.coin(0.5), v1, rng.coin(0.5));
+    }
+    return f;
+}
+
+} // namespace qtenon::quantum

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * MAX-2-SAT instances and their Ising/QAOA mapping.
+ *
+ * The paper motivates hybrid quantum-classical acceleration of SAT
+ * (HyQSAT [29]); this module provides the workload substrate: random
+ * 2-CNF formulas, clause counting, the standard reduction of each
+ * clause to a 2-local Ising penalty, and a QAOA-style ansatz over
+ * the resulting Hamiltonian (RZ fields + RZZ couplings).
+ */
+
+#ifndef QTENON_QUANTUM_SAT_HH
+#define QTENON_QUANTUM_SAT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit.hh"
+#include "pauli.hh"
+#include "sim/random.hh"
+
+namespace qtenon::quantum {
+
+/** A 2-CNF formula over variables 0..n-1. */
+class Max2Sat
+{
+  public:
+    /** One clause: (lit0 OR lit1); negated means the complement. */
+    struct Clause {
+        std::uint32_t var0;
+        bool neg0;
+        std::uint32_t var1;
+        bool neg1;
+    };
+
+    explicit Max2Sat(std::uint32_t num_vars) : _numVars(num_vars) {}
+
+    std::uint32_t numVars() const { return _numVars; }
+    const std::vector<Clause> &clauses() const { return _clauses; }
+    std::size_t numClauses() const { return _clauses.size(); }
+
+    /** Add (v0 [negated] OR v1 [negated]). */
+    void addClause(std::uint32_t v0, bool neg0, std::uint32_t v1,
+                   bool neg1);
+
+    /** Clauses satisfied by assignment bit i = variable i. */
+    std::uint64_t satisfiedCount(std::uint64_t assignment) const;
+
+    /** Exhaustive optimum (small n only). */
+    std::uint64_t bestSatisfiableBruteForce() const;
+
+    /**
+     * The Ising penalty Hamiltonian: minimizing it maximizes the
+     * satisfied-clause count. Each clause contributes
+     * (1 - z_a s_a)(1 - z_b s_b)/4 with s the literal signs, i.e. an
+     * offset, two fields, and one coupling.
+     */
+    Hamiltonian toIsing() const;
+
+    /**
+     * QAOA-style alternating ansatz over the Ising Hamiltonian:
+     * per layer, RZ(2 gamma h_i) fields + RZZ(2 gamma J_ij)
+     * couplings, then the RX mixer. Two symbolic parameters per
+     * layer, measurement appended.
+     */
+    QuantumCircuit ansatz(std::uint32_t layers) const;
+
+    /** A random formula with @p num_clauses distinct clauses. */
+    static Max2Sat random(std::uint32_t num_vars,
+                          std::uint32_t num_clauses, sim::Rng &rng);
+
+  private:
+    std::uint32_t _numVars;
+    std::vector<Clause> _clauses;
+};
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_SAT_HH

@@ -1,0 +1,325 @@
+#include "stabilizer.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum {
+
+StabilizerSimulator::StabilizerSimulator(std::uint32_t num_qubits)
+    : _n(num_qubits)
+{
+    if (num_qubits == 0)
+        sim::fatal("stabilizer simulator needs at least one qubit");
+    reset();
+}
+
+void
+StabilizerSimulator::reset()
+{
+    _rows.assign(2 * _n, Row{});
+    for (auto &row : _rows) {
+        row.x.assign(_n, 0);
+        row.z.assign(_n, 0);
+        row.r = 0;
+    }
+    // Destabilizer i = X_i, stabilizer n+i = Z_i.
+    for (std::uint32_t i = 0; i < _n; ++i) {
+        _rows[i].x[i] = 1;
+        _rows[_n + i].z[i] = 1;
+    }
+}
+
+void
+StabilizerSimulator::h(std::uint32_t q)
+{
+    for (auto &row : _rows) {
+        row.r ^= row.x[q] & row.z[q];
+        std::swap(row.x[q], row.z[q]);
+    }
+}
+
+void
+StabilizerSimulator::s(std::uint32_t q)
+{
+    for (auto &row : _rows) {
+        row.r ^= row.x[q] & row.z[q];
+        row.z[q] ^= row.x[q];
+    }
+}
+
+void
+StabilizerSimulator::sdg(std::uint32_t q)
+{
+    s(q);
+    s(q);
+    s(q);
+}
+
+void
+StabilizerSimulator::x(std::uint32_t q)
+{
+    for (auto &row : _rows)
+        row.r ^= row.z[q];
+}
+
+void
+StabilizerSimulator::z(std::uint32_t q)
+{
+    for (auto &row : _rows)
+        row.r ^= row.x[q];
+}
+
+void
+StabilizerSimulator::y(std::uint32_t q)
+{
+    for (auto &row : _rows)
+        row.r ^= row.x[q] ^ row.z[q];
+}
+
+void
+StabilizerSimulator::cnot(std::uint32_t control, std::uint32_t target)
+{
+    for (auto &row : _rows) {
+        row.r ^= row.x[control] & row.z[target] &
+            (row.x[target] ^ row.z[control] ^ 1);
+        row.x[target] ^= row.x[control];
+        row.z[control] ^= row.z[target];
+    }
+}
+
+void
+StabilizerSimulator::cz(std::uint32_t a, std::uint32_t b)
+{
+    h(b);
+    cnot(a, b);
+    h(b);
+}
+
+namespace {
+
+/** Multiple-of-pi/2 test; returns k in [0, 4) or -1. */
+int
+cliffordQuadrant(double angle)
+{
+    const double quads = angle / (M_PI / 2.0);
+    const double rounded = std::round(quads);
+    if (std::abs(quads - rounded) > 1e-9)
+        return -1;
+    int k = static_cast<int>(std::fmod(rounded, 4.0));
+    if (k < 0)
+        k += 4;
+    return k;
+}
+
+} // namespace
+
+bool
+StabilizerSimulator::isClifford(const Gate &g, double angle)
+{
+    switch (g.type) {
+      case GateType::I:
+      case GateType::X:
+      case GateType::Y:
+      case GateType::Z:
+      case GateType::H:
+      case GateType::S:
+      case GateType::Sdg:
+      case GateType::CZ:
+      case GateType::CNOT:
+      case GateType::Measure:
+        return true;
+      case GateType::T:
+        return false;
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+      case GateType::RZZ:
+        return cliffordQuadrant(angle) >= 0;
+    }
+    return false;
+}
+
+void
+StabilizerSimulator::applyCircuit(const QuantumCircuit &c)
+{
+    if (c.numQubits() != _n) {
+        sim::fatal("circuit register ", c.numQubits(),
+                   " != stabilizer register ", _n);
+    }
+
+    auto apply_rz = [&](std::uint32_t q, int k) {
+        switch (k) {
+          case 0: break;
+          case 1: s(q); break;
+          case 2: z(q); break;
+          case 3: sdg(q); break;
+        }
+    };
+
+    for (const auto &g : c.gates()) {
+        const double angle = c.resolveAngle(g);
+        if (!isClifford(g, angle)) {
+            sim::fatal("non-Clifford gate ", gateName(g.type),
+                       " (angle ", angle,
+                       ") in stabilizer simulation");
+        }
+        const int k = cliffordQuadrant(angle);
+        switch (g.type) {
+          case GateType::I:
+          case GateType::Measure:
+            break;
+          case GateType::X: x(g.qubit0); break;
+          case GateType::Y: y(g.qubit0); break;
+          case GateType::Z: z(g.qubit0); break;
+          case GateType::H: h(g.qubit0); break;
+          case GateType::S: s(g.qubit0); break;
+          case GateType::Sdg: sdg(g.qubit0); break;
+          case GateType::T:
+            break; // unreachable (rejected above)
+          case GateType::RZ:
+            apply_rz(g.qubit0, k);
+            break;
+          case GateType::RX:
+            // RX = H RZ H.
+            h(g.qubit0);
+            apply_rz(g.qubit0, k);
+            h(g.qubit0);
+            break;
+          case GateType::RY:
+            // RY = S RX Sdg.
+            s(g.qubit0);
+            h(g.qubit0);
+            apply_rz(g.qubit0, k);
+            h(g.qubit0);
+            sdg(g.qubit0);
+            break;
+          case GateType::RZZ:
+            // RZZ = CNOT (I x RZ) CNOT.
+            cnot(g.qubit0, g.qubit1);
+            apply_rz(g.qubit1, k);
+            cnot(g.qubit0, g.qubit1);
+            break;
+          case GateType::CZ:
+            cz(g.qubit0, g.qubit1);
+            break;
+          case GateType::CNOT:
+            cnot(g.qubit0, g.qubit1);
+            break;
+        }
+    }
+}
+
+void
+StabilizerSimulator::rowsum(Row &h, const Row &i) const
+{
+    // Phase exponent arithmetic mod 4 (CHP's g function).
+    int phase = 2 * h.r + 2 * i.r;
+    for (std::uint32_t q = 0; q < _n; ++q) {
+        const int x1 = i.x[q], z1 = i.z[q];
+        const int x2 = h.x[q], z2 = h.z[q];
+        int g = 0;
+        if (x1 == 0 && z1 == 0)
+            g = 0;
+        else if (x1 == 1 && z1 == 1)
+            g = z2 - x2;
+        else if (x1 == 1 && z1 == 0)
+            g = z2 * (2 * x2 - 1);
+        else
+            g = x2 * (1 - 2 * z2);
+        phase += g;
+    }
+    phase %= 4;
+    if (phase < 0)
+        phase += 4;
+    if (phase != 0 && phase != 2)
+        sim::panic("rowsum produced an imaginary phase");
+    h.r = (phase == 2) ? 1 : 0;
+    for (std::uint32_t q = 0; q < _n; ++q) {
+        h.x[q] ^= i.x[q];
+        h.z[q] ^= i.z[q];
+    }
+}
+
+std::uint8_t
+StabilizerSimulator::deterministicOutcome(std::uint32_t q) const
+{
+    Row scratch;
+    scratch.x.assign(_n, 0);
+    scratch.z.assign(_n, 0);
+    scratch.r = 0;
+    for (std::uint32_t i = 0; i < _n; ++i) {
+        if (_rows[i].x[q])
+            rowsum(scratch, _rows[_n + i]);
+    }
+    return scratch.r;
+}
+
+bool
+StabilizerSimulator::isDeterministic(std::uint32_t q) const
+{
+    for (std::uint32_t p = _n; p < 2 * _n; ++p) {
+        if (_rows[p].x[q])
+            return false;
+    }
+    return true;
+}
+
+double
+StabilizerSimulator::marginalOne(std::uint32_t q) const
+{
+    if (!isDeterministic(q))
+        return 0.5;
+    return deterministicOutcome(q) ? 1.0 : 0.0;
+}
+
+bool
+StabilizerSimulator::measure(std::uint32_t q, sim::Rng &rng)
+{
+    // Find a stabilizer anti-commuting with Z_q.
+    std::uint32_t p = 2 * _n;
+    for (std::uint32_t i = _n; i < 2 * _n; ++i) {
+        if (_rows[i].x[q]) {
+            p = i;
+            break;
+        }
+    }
+
+    if (p == 2 * _n) {
+        // Deterministic outcome.
+        return deterministicOutcome(q) != 0;
+    }
+
+    // Random outcome: update every other row that anti-commutes.
+    for (std::uint32_t i = 0; i < 2 * _n; ++i) {
+        if (i != p && _rows[i].x[q])
+            rowsum(_rows[i], _rows[p]);
+    }
+    _rows[p - _n] = _rows[p];
+    auto &row = _rows[p];
+    std::fill(row.x.begin(), row.x.end(), 0);
+    std::fill(row.z.begin(), row.z.end(), 0);
+    row.z[q] = 1;
+    row.r = rng.coin(0.5) ? 1 : 0;
+    return row.r != 0;
+}
+
+std::vector<std::uint64_t>
+StabilizerSimulator::sample(std::size_t shots, sim::Rng &rng) const
+{
+    if (_n > 64)
+        sim::fatal("64-bit sample words cap the register at 64 qubits");
+    std::vector<std::uint64_t> out(shots, 0);
+    for (std::size_t s = 0; s < shots; ++s) {
+        StabilizerSimulator copy = *this;
+        std::uint64_t bits = 0;
+        for (std::uint32_t q = 0; q < _n; ++q) {
+            if (copy.measure(q, rng))
+                bits |= std::uint64_t(1) << q;
+        }
+        out[s] = bits;
+    }
+    return out;
+}
+
+} // namespace qtenon::quantum

@@ -1,0 +1,289 @@
+#include "statevector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum {
+
+namespace {
+
+constexpr std::complex<double> iUnit{0.0, 1.0};
+
+} // namespace
+
+StateVector::StateVector(std::uint32_t num_qubits,
+                         std::uint32_t max_qubits)
+    : _numQubits(num_qubits)
+{
+    if (num_qubits == 0)
+        sim::fatal("statevector needs at least one qubit");
+    if (num_qubits > max_qubits) {
+        sim::fatal("statevector for ", num_qubits, " qubits exceeds the ",
+                   max_qubits, "-qubit cap; use the mean-field sampler");
+    }
+    _amps.assign(std::size_t(1) << num_qubits, Amp{0.0, 0.0});
+    _amps[0] = Amp{1.0, 0.0};
+}
+
+void
+StateVector::reset()
+{
+    std::fill(_amps.begin(), _amps.end(), Amp{0.0, 0.0});
+    _amps[0] = Amp{1.0, 0.0};
+}
+
+void
+StateVector::apply1q(std::uint32_t q, const Amp m[2][2])
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    const std::uint64_t dim = _amps.size();
+    for (std::uint64_t i = 0; i < dim; ++i) {
+        if (i & bit)
+            continue;
+        const std::uint64_t j = i | bit;
+        const Amp a0 = _amps[i];
+        const Amp a1 = _amps[j];
+        _amps[i] = m[0][0] * a0 + m[0][1] * a1;
+        _amps[j] = m[1][0] * a0 + m[1][1] * a1;
+    }
+}
+
+void
+StateVector::applyCZ(std::uint32_t a, std::uint32_t b)
+{
+    const std::uint64_t mask =
+        (std::uint64_t(1) << a) | (std::uint64_t(1) << b);
+    const std::uint64_t dim = _amps.size();
+    for (std::uint64_t i = 0; i < dim; ++i) {
+        if ((i & mask) == mask)
+            _amps[i] = -_amps[i];
+    }
+}
+
+void
+StateVector::applyCNOT(std::uint32_t control, std::uint32_t target)
+{
+    const std::uint64_t cbit = std::uint64_t(1) << control;
+    const std::uint64_t tbit = std::uint64_t(1) << target;
+    const std::uint64_t dim = _amps.size();
+    for (std::uint64_t i = 0; i < dim; ++i) {
+        if ((i & cbit) && !(i & tbit))
+            std::swap(_amps[i], _amps[i | tbit]);
+    }
+}
+
+void
+StateVector::applyRZZ(std::uint32_t a, std::uint32_t b, double angle)
+{
+    // exp(-i angle/2 Z_a Z_b): phase -angle/2 on equal parity,
+    // +angle/2 on odd parity.
+    const Amp even = std::exp(-iUnit * (angle / 2.0));
+    const Amp odd = std::exp(iUnit * (angle / 2.0));
+    const std::uint64_t abit = std::uint64_t(1) << a;
+    const std::uint64_t bbit = std::uint64_t(1) << b;
+    const std::uint64_t dim = _amps.size();
+    for (std::uint64_t i = 0; i < dim; ++i) {
+        const bool pa = i & abit;
+        const bool pb = i & bbit;
+        _amps[i] *= (pa == pb) ? even : odd;
+    }
+}
+
+void
+StateVector::apply(const Gate &g, double angle)
+{
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    Amp m[2][2];
+
+    switch (g.type) {
+      case GateType::I:
+        return;
+      case GateType::Measure:
+        return; // sampling handles readout
+      case GateType::X:
+        m[0][0] = 0; m[0][1] = 1; m[1][0] = 1; m[1][1] = 0;
+        apply1q(g.qubit0, m);
+        return;
+      case GateType::Y:
+        m[0][0] = 0; m[0][1] = -iUnit; m[1][0] = iUnit; m[1][1] = 0;
+        apply1q(g.qubit0, m);
+        return;
+      case GateType::Z:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = -1;
+        apply1q(g.qubit0, m);
+        return;
+      case GateType::H:
+        m[0][0] = inv_sqrt2; m[0][1] = inv_sqrt2;
+        m[1][0] = inv_sqrt2; m[1][1] = -inv_sqrt2;
+        apply1q(g.qubit0, m);
+        return;
+      case GateType::S:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = iUnit;
+        apply1q(g.qubit0, m);
+        return;
+      case GateType::Sdg:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = -iUnit;
+        apply1q(g.qubit0, m);
+        return;
+      case GateType::T:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0;
+        m[1][1] = std::exp(iUnit * (M_PI / 4.0));
+        apply1q(g.qubit0, m);
+        return;
+      case GateType::RX: {
+        const double c = std::cos(angle / 2.0);
+        const double s = std::sin(angle / 2.0);
+        m[0][0] = c; m[0][1] = -iUnit * s;
+        m[1][0] = -iUnit * s; m[1][1] = c;
+        apply1q(g.qubit0, m);
+        return;
+      }
+      case GateType::RY: {
+        const double c = std::cos(angle / 2.0);
+        const double s = std::sin(angle / 2.0);
+        m[0][0] = c; m[0][1] = -s; m[1][0] = s; m[1][1] = c;
+        apply1q(g.qubit0, m);
+        return;
+      }
+      case GateType::RZ:
+        m[0][0] = std::exp(-iUnit * (angle / 2.0));
+        m[0][1] = 0; m[1][0] = 0;
+        m[1][1] = std::exp(iUnit * (angle / 2.0));
+        apply1q(g.qubit0, m);
+        return;
+      case GateType::RZZ:
+        applyRZZ(g.qubit0, g.qubit1, angle);
+        return;
+      case GateType::CZ:
+        applyCZ(g.qubit0, g.qubit1);
+        return;
+      case GateType::CNOT:
+        applyCNOT(g.qubit0, g.qubit1);
+        return;
+    }
+    sim::panic("unhandled gate in statevector");
+}
+
+void
+StateVector::applyCircuit(const QuantumCircuit &c)
+{
+    if (c.numQubits() != _numQubits) {
+        sim::panic("circuit qubit count ", c.numQubits(),
+                   " != statevector ", _numQubits);
+    }
+    for (const auto &g : c.gates())
+        apply(g, c.resolveAngle(g));
+}
+
+double
+StateVector::probability(std::uint64_t basis) const
+{
+    return std::norm(_amps[basis]);
+}
+
+double
+StateVector::marginalOne(std::uint32_t q) const
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    double p = 0.0;
+    for (std::uint64_t i = 0; i < _amps.size(); ++i) {
+        if (i & bit)
+            p += std::norm(_amps[i]);
+    }
+    return p;
+}
+
+std::vector<std::uint64_t>
+StateVector::sample(std::size_t shots, sim::Rng &rng) const
+{
+    // Draw all uniforms, sort, and walk the CDF once: O(2^n + S logS).
+    std::vector<std::pair<double, std::size_t>> draws(shots);
+    for (std::size_t s = 0; s < shots; ++s)
+        draws[s] = {rng.uniform(), s};
+    std::sort(draws.begin(), draws.end());
+
+    std::vector<std::uint64_t> outcomes(shots, 0);
+    double cum = 0.0;
+    std::size_t next = 0;
+    for (std::uint64_t basis = 0;
+         basis < _amps.size() && next < shots; ++basis) {
+        cum += std::norm(_amps[basis]);
+        while (next < shots && draws[next].first < cum) {
+            outcomes[draws[next].second] = basis;
+            ++next;
+        }
+    }
+    // Rounding can leave a tail; assign it the last basis state.
+    for (; next < shots; ++next)
+        outcomes[draws[next].second] = _amps.size() - 1;
+    return outcomes;
+}
+
+bool
+StateVector::measureAndCollapse(std::uint32_t q, sim::Rng &rng)
+{
+    const double p1 = marginalOne(q);
+    const bool outcome = rng.coin(p1);
+    const double keep_prob = outcome ? p1 : 1.0 - p1;
+    if (keep_prob <= 0.0)
+        sim::panic("collapse onto a zero-probability outcome");
+
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    const double scale = 1.0 / std::sqrt(keep_prob);
+    for (std::uint64_t i = 0; i < _amps.size(); ++i) {
+        const bool is_one = i & bit;
+        if (is_one == outcome)
+            _amps[i] *= scale;
+        else
+            _amps[i] = Amp{0.0, 0.0};
+    }
+    return outcome;
+}
+
+void
+StateVector::resetQubit(std::uint32_t q, sim::Rng &rng)
+{
+    if (measureAndCollapse(q, rng)) {
+        Gate x{GateType::X, q, q, ParamRef{}};
+        apply(x, 0.0);
+    }
+}
+
+double
+StateVector::expectationZ(std::uint32_t q) const
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    double e = 0.0;
+    for (std::uint64_t i = 0; i < _amps.size(); ++i) {
+        const double p = std::norm(_amps[i]);
+        e += (i & bit) ? -p : p;
+    }
+    return e;
+}
+
+double
+StateVector::expectationZZ(std::uint32_t a, std::uint32_t b) const
+{
+    const std::uint64_t abit = std::uint64_t(1) << a;
+    const std::uint64_t bbit = std::uint64_t(1) << b;
+    double e = 0.0;
+    for (std::uint64_t i = 0; i < _amps.size(); ++i) {
+        const double p = std::norm(_amps[i]);
+        const bool odd = bool(i & abit) != bool(i & bbit);
+        e += odd ? -p : p;
+    }
+    return e;
+}
+
+double
+StateVector::normSquared() const
+{
+    double n = 0.0;
+    for (const auto &a : _amps)
+        n += std::norm(a);
+    return n;
+}
+
+} // namespace qtenon::quantum

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Plays the role Qiskit plays in the paper's methodology: it provides
+ * the quantum chip's functional input/output. Exact up to a
+ * configurable qubit cap (memory is 16 bytes x 2^n); larger circuits
+ * must use the mean-field sampler (see sampler.hh).
+ */
+
+#ifndef QTENON_QUANTUM_STATEVECTOR_HH
+#define QTENON_QUANTUM_STATEVECTOR_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit.hh"
+#include "sim/random.hh"
+
+namespace qtenon::quantum {
+
+/** Dense 2^n-amplitude state vector with gate application. */
+class StateVector
+{
+  public:
+    using Amp = std::complex<double>;
+
+    /** Maximum qubit count accepted by default (memory bound). */
+    static constexpr std::uint32_t defaultMaxQubits = 24;
+
+    explicit StateVector(std::uint32_t num_qubits,
+                         std::uint32_t max_qubits = defaultMaxQubits);
+
+    std::uint32_t numQubits() const { return _numQubits; }
+    std::size_t dim() const { return _amps.size(); }
+
+    const Amp &amplitude(std::uint64_t basis) const
+    {
+        return _amps[basis];
+    }
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    /** Apply a single gate (measurements are ignored here). */
+    void apply(const Gate &g, double angle);
+
+    /** Apply every gate of @p c, resolving parameters. */
+    void applyCircuit(const QuantumCircuit &c);
+
+    /** Probability of measuring basis state @p basis. */
+    double probability(std::uint64_t basis) const;
+
+    /** Probability that qubit @p q reads 1. */
+    double marginalOne(std::uint32_t q) const;
+
+    /**
+     * Sample @p shots measurement outcomes of all qubits in the
+     * computational basis (state is not collapsed). Outcome bit i is
+     * qubit i's readout.
+     */
+    std::vector<std::uint64_t> sample(std::size_t shots,
+                                      sim::Rng &rng) const;
+
+    /**
+     * Mid-circuit measurement: project qubit @p q onto a sampled
+     * outcome and renormalize (the primitive behind feed-forward
+     * control, cf. QubiC 2.0's mid-circuit measurement support).
+     *
+     * @return the measured bit.
+     */
+    bool measureAndCollapse(std::uint32_t q, sim::Rng &rng);
+
+    /** Active reset: measure @p q and flip it to |0> if it read 1. */
+    void resetQubit(std::uint32_t q, sim::Rng &rng);
+
+    /** <psi| Z_q |psi>. */
+    double expectationZ(std::uint32_t q) const;
+
+    /** <psi| Z_a Z_b |psi>. */
+    double expectationZZ(std::uint32_t a, std::uint32_t b) const;
+
+    /** Squared L2 norm (should stay 1 within rounding). */
+    double normSquared() const;
+
+  private:
+    void apply1q(std::uint32_t q, const Amp m[2][2]);
+    void applyCZ(std::uint32_t a, std::uint32_t b);
+    void applyCNOT(std::uint32_t control, std::uint32_t target);
+    void applyRZZ(std::uint32_t a, std::uint32_t b, double angle);
+
+    std::uint32_t _numQubits;
+    std::vector<Amp> _amps;
+};
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_STATEVECTOR_HH

@@ -1,0 +1,48 @@
+#include "timing.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace qtenon::quantum {
+
+CircuitSchedule
+QuantumTimingModel::schedule(const QuantumCircuit &c) const
+{
+    std::vector<sim::Tick> avail(c.numQubits(), 0);
+    sim::Tick last_gate_end = 0;
+    sim::Tick last_measure_end = 0;
+
+    for (const auto &g : c.gates()) {
+        if (g.type == GateType::Measure) {
+            const sim::Tick start = avail[g.qubit0];
+            const sim::Tick end = start + _timing.measurePulse +
+                _timing.readoutProcessing;
+            avail[g.qubit0] = end;
+            last_measure_end = std::max(last_measure_end, end);
+            continue;
+        }
+        if (g.type == GateType::I)
+            continue;
+
+        sim::Tick start;
+        sim::Tick dur;
+        if (isTwoQubit(g.type)) {
+            start = std::max(avail[g.qubit0], avail[g.qubit1]);
+            dur = _timing.twoQubitGate;
+            avail[g.qubit0] = avail[g.qubit1] = start + dur;
+        } else {
+            start = avail[g.qubit0];
+            dur = _timing.oneQubitGate;
+            avail[g.qubit0] = start + dur;
+        }
+        last_gate_end = std::max(last_gate_end, start + dur);
+    }
+
+    CircuitSchedule s;
+    s.gateTime = last_gate_end;
+    s.duration = *std::max_element(avail.begin(), avail.end());
+    s.measureTime = s.duration > s.gateTime ? s.duration - s.gateTime : 0;
+    return s;
+}
+
+} // namespace qtenon::quantum

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quantum chip timing model.
+ *
+ * Uses the paper's published constants (Sec. 7.1): 20 ns single-qubit
+ * gates, 40 ns two-qubit gates, a 600 ns measurement pulse followed
+ * by an equal readout-processing duration. Circuit duration is
+ * computed by ASAP scheduling on per-qubit availability times, so
+ * gates on disjoint qubits execute in parallel, as on real hardware.
+ */
+
+#ifndef QTENON_QUANTUM_TIMING_HH
+#define QTENON_QUANTUM_TIMING_HH
+
+#include "circuit.hh"
+#include "sim/types.hh"
+
+namespace qtenon::quantum {
+
+/** Physical gate durations. */
+struct GateTiming {
+    sim::Tick oneQubitGate = 20 * sim::nsTicks;
+    sim::Tick twoQubitGate = 40 * sim::nsTicks;
+    sim::Tick measurePulse = 600 * sim::nsTicks;
+    /** Post-measurement readout processing ("equivalent duration"). */
+    sim::Tick readoutProcessing = 600 * sim::nsTicks;
+};
+
+/** Result of scheduling one circuit. */
+struct CircuitSchedule {
+    /** Wall time for one execution (shot) of the circuit. */
+    sim::Tick duration = 0;
+    /** Time spent before the first measurement starts (critical path). */
+    sim::Tick gateTime = 0;
+    /** Measurement + readout processing portion. */
+    sim::Tick measureTime = 0;
+};
+
+/** ASAP-schedules circuits against a GateTiming. */
+class QuantumTimingModel
+{
+  public:
+    explicit QuantumTimingModel(GateTiming timing = GateTiming{})
+        : _timing(timing)
+    {}
+
+    const GateTiming &timing() const { return _timing; }
+
+    /** Schedule @p c and report its duration components. */
+    CircuitSchedule schedule(const QuantumCircuit &c) const;
+
+    /** Total chip time for @p shots repetitions of @p c. */
+    sim::Tick
+    shotsDuration(const QuantumCircuit &c, std::uint64_t shots) const
+    {
+        return schedule(c).duration * shots;
+    }
+
+  private:
+    GateTiming _timing;
+};
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_TIMING_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The four-way end-to-end time breakdown the paper reports in every
+ * figure: quantum execution, pulse generation, quantum-host
+ * communication, and host computation.
+ */
+
+#ifndef QTENON_RUNTIME_BREAKDOWN_HH
+#define QTENON_RUNTIME_BREAKDOWN_HH
+
+#include "sim/types.hh"
+
+namespace qtenon::runtime {
+
+/**
+ * Accumulated busy time per category plus the wall-clock span. Under
+ * Qtenon's fine-grained overlap the categories can sum to more than
+ * the wall time; percentages are reported against wall.
+ */
+struct TimeBreakdown {
+    sim::Tick quantum = 0;
+    sim::Tick pulseGen = 0;
+    sim::Tick comm = 0;
+    /** Host time visible on the critical path (what the paper's
+     *  percentage partitions report). */
+    sim::Tick host = 0;
+    /** Total host busy time including work hidden behind quantum
+     *  execution by fine-grained overlap. */
+    sim::Tick hostBusy = 0;
+    sim::Tick wall = 0;
+
+    /** Communication split by instruction (Fig. 14b/d). */
+    sim::Tick commSet = 0;
+    sim::Tick commUpdate = 0;
+    sim::Tick commAcquire = 0;
+
+    sim::Tick
+    classical() const
+    {
+        return pulseGen + comm + host;
+    }
+
+    TimeBreakdown &
+    operator+=(const TimeBreakdown &o)
+    {
+        quantum += o.quantum;
+        pulseGen += o.pulseGen;
+        comm += o.comm;
+        host += o.host;
+        hostBusy += o.hostBusy;
+        wall += o.wall;
+        commSet += o.commSet;
+        commUpdate += o.commUpdate;
+        commAcquire += o.commAcquire;
+        return *this;
+    }
+
+    double
+    percent(sim::Tick part) const
+    {
+        return wall ? 100.0 * static_cast<double>(part) /
+                static_cast<double>(wall)
+                    : 0.0;
+    }
+};
+
+} // namespace qtenon::runtime
+
+#endif // QTENON_RUNTIME_BREAKDOWN_HH

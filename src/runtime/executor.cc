@@ -1,0 +1,295 @@
+#include "executor.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace qtenon::runtime {
+
+QtenonExecutor::QtenonExecutor(sim::EventQueue &eq,
+                               controller::QuantumController &ctrl,
+                               isa::QtenonCompiler compiler,
+                               ExecutorConfig cfg)
+    : _eq(eq), _ctrl(ctrl), _compiler(std::move(compiler)),
+      _cfg(std::move(cfg))
+{}
+
+void
+QtenonExecutor::advanceTo(sim::Tick t)
+{
+    if (t > _eq.curTick())
+        _eq.run(t);
+}
+
+void
+QtenonExecutor::drain()
+{
+    _eq.run();
+}
+
+TimeBreakdown
+QtenonExecutor::installProgram(const isa::ProgramImage &image)
+{
+    TimeBreakdown bd;
+    const sim::Tick start = _eq.curTick();
+    const auto &layout = _ctrl.config().layout;
+
+    // Host-side compile of the whole image.
+    const sim::Tick compile_t =
+        _cfg.host.timeFor(_compiler.initialCompileCycles(image));
+    bd.host += compile_t;
+    bd.hostBusy += compile_t;
+    advanceTo(start + compile_t);
+
+    // Register regfile dependencies with the controller.
+    _ctrl.clearRegfileLinks();
+    for (const auto &l : image.links) {
+        _ctrl.linkRegfile(l.reg, layout.programAddr(l.qubit, l.entry));
+    }
+
+    // Initialize the regfile over RoCC (one q_update per slot).
+    const sim::Tick reg_t0 = _eq.curTick();
+    for (std::size_t r = 0; r < image.regfileInit.size(); ++r) {
+        const sim::Tick done = _ctrl.roccWrite(
+            layout.regfileAddr(static_cast<std::uint32_t>(r)),
+            image.regfileInit[r]);
+        advanceTo(done);
+    }
+    bd.commUpdate += _eq.curTick() - reg_t0;
+
+    // q_set every qubit's program chunk; the transfers pipeline on
+    // the system bus.
+    const sim::Tick set_t0 = _eq.curTick();
+    auto remaining =
+        std::make_shared<std::uint32_t>(image.numQubits);
+    std::uint64_t host_off = 0;
+    for (std::uint32_t q = 0; q < image.numQubits; ++q) {
+        _ctrl.dmaSetProgram(
+            _cfg.hostProgramBase + host_off, q, image.perQubit[q],
+            [remaining](sim::Tick) { --(*remaining); });
+        host_off += image.perQubit[q].size() *
+            _ctrl.config().programEntryHostBytes;
+    }
+    drain();
+    if (*remaining != 0)
+        sim::panic("q_set transfers did not drain");
+    bd.commSet += _eq.curTick() - set_t0;
+
+    // Initial full q_gen.
+    const sim::Tick gen_t0 = _eq.curTick();
+    controller::PipelineResult pres;
+    _ctrl.generateAll(
+        [&pres](const controller::PipelineResult &r, sim::Tick) {
+            pres = r;
+        });
+    drain();
+    bd.pulseGen += _eq.curTick() - gen_t0;
+
+    bd.comm = bd.commSet + bd.commUpdate;
+    bd.wall = _eq.curTick() - start;
+    _programInstalled = true;
+    return bd;
+}
+
+TimeBreakdown
+QtenonExecutor::executeRound(const RoundRecord &round,
+                             const isa::ProgramImage &image,
+                             sim::Tick shot_duration)
+{
+    if (!_programInstalled)
+        sim::panic("executeRound before installProgram");
+
+    TimeBreakdown bd;
+    const auto &layout = _ctrl.config().layout;
+    const auto &sw = _cfg.software;
+    const sim::Tick start = _eq.curTick();
+
+    // ---- Parameter delivery.
+    if (sw.compile == CompileMode::Incremental) {
+        const sim::Tick prep = _cfg.host.timeFor(
+            _compiler.incrementalCycles(round.updates.size()));
+        bd.host += prep;
+        bd.hostBusy += prep;
+        advanceTo(start + prep);
+
+        const sim::Tick upd_t0 = _eq.curTick();
+        for (const auto &[reg, val] : round.updates) {
+            const sim::Tick done =
+                _ctrl.roccWrite(layout.regfileAddr(reg), val);
+            advanceTo(done);
+        }
+        bd.commUpdate += _eq.curTick() - upd_t0;
+    } else {
+        // Full recompile + full q_set each round, as a system without
+        // communication instructions would be forced to do.
+        const sim::Tick compile_t =
+            _cfg.host.timeFor(_compiler.initialCompileCycles(image));
+        bd.host += compile_t;
+        bd.hostBusy += compile_t;
+        advanceTo(start + compile_t);
+
+        // Apply the updates functionally so SLT contents stay honest.
+        for (const auto &[reg, val] : round.updates)
+            _ctrl.roccWrite(layout.regfileAddr(reg), val);
+
+        const sim::Tick set_t0 = _eq.curTick();
+        auto remaining =
+            std::make_shared<std::uint32_t>(image.numQubits);
+        std::uint64_t host_off = 0;
+        for (std::uint32_t q = 0; q < image.numQubits; ++q) {
+            _ctrl.dmaSetProgram(
+                _cfg.hostProgramBase + host_off, q, image.perQubit[q],
+                [remaining](sim::Tick) { --(*remaining); });
+            host_off += image.perQubit[q].size() *
+                _ctrl.config().programEntryHostBytes;
+        }
+        drain();
+        bd.commSet += _eq.curTick() - set_t0;
+    }
+
+    // ---- q_gen of whatever is stale.
+    const sim::Tick gen_t0 = _eq.curTick();
+    auto work = (sw.compile == CompileMode::Incremental)
+        ? _ctrl.staleProgramEntries()
+        : std::vector<std::uint64_t>{};
+    controller::PipelineResult pres;
+    auto on_gen = [&pres](const controller::PipelineResult &r,
+                          sim::Tick) { pres = r; };
+    if (sw.compile == CompileMode::Incremental)
+        _ctrl.generate(std::move(work), on_gen);
+    else
+        _ctrl.generateAll(on_gen);
+    drain();
+    bd.pulseGen += _eq.curTick() - gen_t0;
+
+    // ---- q_run: shots with scheduled transmission (Algorithm 1).
+    const sim::Tick run_start = _eq.curTick();
+    const std::uint32_t n = layout.numQubits;
+    const std::uint64_t shots = round.shots;
+    const std::uint32_t words_per_shot = (n + 63) / 64;
+    const std::uint64_t bus_width =
+        8ull * _ctrl.config().dmaChunkBytes; // bits per chunk
+    const std::uint64_t K = _cfg.batchIntervalOverride
+        ? _cfg.batchIntervalOverride
+        : ((sw.transmission == TransmissionPolicy::Batched)
+               ? batchInterval(bus_width, n)
+               : 1);
+    const sim::Tick adi_in = _ctrl.adi().inputLatency();
+    const sim::Tick barrier_cycle = _ctrl.clockPeriod();
+
+    auto last_put_done = std::make_shared<sim::Tick>(run_start);
+    auto put_latency_sum = std::make_shared<sim::Tick>(0);
+
+    sim::Tick host_free = _eq.curTick();
+    std::uint64_t batch_shots = 0;
+    std::uint32_t entry = 0;
+    std::uint64_t batch_first_entry = 0;
+    std::uint64_t host_addr = _cfg.hostMeasureBase;
+
+    for (std::uint64_t s = 0; s < shots; ++s) {
+        const sim::Tick t_shot = run_start + (s + 1) * shot_duration;
+        // Functional readout into .measure.
+        const std::uint64_t bits =
+            s < round.shotData.size() ? round.shotData[s] : 0;
+        for (std::uint32_t w = 0; w < words_per_shot; ++w) {
+            _ctrl.recordMeasurement(
+                entry % layout.measureEntries, w == 0 ? bits : 0);
+            ++entry;
+        }
+        ++batch_shots;
+
+        if (batch_shots == K || s + 1 == shots) {
+            const sim::Tick put_time = t_shot + adi_in;
+            const auto first = static_cast<std::uint32_t>(
+                batch_first_entry % layout.measureEntries);
+            const auto count = static_cast<std::uint32_t>(
+                batch_shots * words_per_shot);
+            const auto addr = host_addr;
+            _eq.scheduleLambda(put_time,
+                [this, addr, first, count, last_put_done,
+                 put_latency_sum, put_time] {
+                    _ctrl.dmaAcquire(addr, first, count,
+                        [last_put_done, put_latency_sum,
+                         put_time](sim::Tick done) {
+                            *last_put_done =
+                                std::max(*last_put_done, done);
+                            *put_latency_sum += done - put_time;
+                        });
+                },
+                "q_run batch PUT");
+
+            if (sw.sync == SyncPolicy::FineGrained) {
+                // The host polls the barrier (1 cycle) and processes
+                // the batch as soon as the PUT has left on the bus,
+                // overlapping the remaining quantum shots.
+                const sim::Tick ready =
+                    std::max(host_free, put_time + barrier_cycle);
+                host_free = ready + _cfg.host.timeFor(
+                    static_cast<double>(batch_shots) *
+                    round.postOpsPerShot);
+            }
+
+            host_addr += std::uint64_t(count) * 8;
+            batch_first_entry += count;
+            batch_shots = 0;
+        }
+    }
+
+    const sim::Tick quantum_end = run_start + shots * shot_duration;
+    bd.quantum += shots * shot_duration;
+
+    drain();
+    const sim::Tick post_ops_all = _cfg.host.timeFor(
+        static_cast<double>(shots) * round.postOpsPerShot);
+
+    sim::Tick round_end;
+    if (sw.sync == SyncPolicy::Fence) {
+        // FENCE #1: host stalls until the quantum program and every
+        // transmission retire, then post-processes everything.
+        const sim::Tick fence1 = std::max(quantum_end, *last_put_done);
+        bd.commAcquire += *put_latency_sum;
+        bd.host += post_ops_all;
+        bd.hostBusy += post_ops_all;
+        round_end = fence1 + post_ops_all;
+    } else {
+        // Fine-grained: only the non-overlapped transmission tail is
+        // exposed on the critical path.
+        bd.commAcquire += *last_put_done > quantum_end
+            ? *last_put_done - quantum_end : 0;
+        bd.commAcquire += barrier_cycle;
+        bd.hostBusy += post_ops_all;
+        // Visible host time: post-processing overflow past the end of
+        // quantum execution (the rest hides behind the shots).
+        if (host_free > quantum_end)
+            bd.host += host_free - quantum_end;
+        round_end = std::max({quantum_end, host_free, *last_put_done});
+    }
+
+    // ---- Optimizer step.
+    const sim::Tick opt_t = _cfg.host.timeFor(round.optimizerOps);
+    bd.host += opt_t;
+    bd.hostBusy += opt_t;
+    round_end += opt_t;
+    advanceTo(round_end);
+
+    bd.comm = bd.commSet + bd.commUpdate + bd.commAcquire;
+    bd.wall = _eq.curTick() - start;
+    return bd;
+}
+
+ExecutionResult
+QtenonExecutor::execute(const VqaTrace &trace, sim::Tick shot_duration)
+{
+    ExecutionResult res;
+    res.setup = installProgram(trace.image);
+    res.perRound.reserve(trace.rounds.size());
+    for (const auto &r : trace.rounds) {
+        res.perRound.push_back(
+            executeRound(r, trace.image, shot_duration));
+        res.rounds += res.perRound.back();
+    }
+    return res;
+}
+
+} // namespace qtenon::runtime

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Qtenon host runtime: executes a VQA trace against the modeled
+ * tightly-coupled system, round by round, issuing the five ISA
+ * operations to the controller and accounting the four-way time
+ * breakdown. The software policies (sync method, transmission
+ * schedule, compile mode) are pluggable so Fig. 13 and Fig. 16 can
+ * ablate them.
+ */
+
+#ifndef QTENON_RUNTIME_EXECUTOR_HH
+#define QTENON_RUNTIME_EXECUTOR_HH
+
+#include <cstdint>
+
+#include "breakdown.hh"
+#include "controller/controller.hh"
+#include "host_core.hh"
+#include "isa/compiler.hh"
+#include "policies.hh"
+#include "quantum/timing.hh"
+#include "trace.hh"
+
+namespace qtenon::runtime {
+
+/** Executor knobs. */
+struct ExecutorConfig {
+    SoftwareConfig software;
+    HostCoreModel host = HostCoreModel::rocket();
+    quantum::GateTiming gateTiming;
+    /**
+     * Ablation override for the transmission interval K: 0 follows
+     * the configured policy (Algorithm 1 or per-shot), any other
+     * value forces that many shots per TileLink PUT.
+     */
+    std::uint64_t batchIntervalOverride = 0;
+    /** Host-memory base where measurement batches land. */
+    std::uint64_t hostMeasureBase = 0x1000'0000ull;
+    /** Host-memory base the program image is staged at for q_set. */
+    std::uint64_t hostProgramBase = 0x2000'0000ull;
+};
+
+/** Per-round + aggregate results of a trace replay. */
+struct ExecutionResult {
+    TimeBreakdown setup;
+    TimeBreakdown rounds;
+    /** One breakdown per executed round (CSV-able, report.hh). */
+    std::vector<TimeBreakdown> perRound;
+
+    TimeBreakdown
+    total() const
+    {
+        TimeBreakdown t = setup;
+        t += rounds;
+        return t;
+    }
+};
+
+/** The runtime. */
+class QtenonExecutor
+{
+  public:
+    QtenonExecutor(sim::EventQueue &eq,
+                   controller::QuantumController &ctrl,
+                   isa::QtenonCompiler compiler, ExecutorConfig cfg);
+
+    const ExecutorConfig &config() const { return _cfg; }
+
+    /**
+     * Install @p image: host compile + q_set of every qubit chunk +
+     * regfile initialization + the initial full q_gen.
+     */
+    TimeBreakdown installProgram(const isa::ProgramImage &image);
+
+    /**
+     * Execute one evaluation round of @p trace: updates, q_gen,
+     * q_run with the configured transmission schedule, host
+     * post-processing under the configured sync policy, optimizer
+     * step.
+     *
+     * @param shot_duration one shot's wall time on the quantum chip.
+     */
+    TimeBreakdown executeRound(const RoundRecord &round,
+                               const isa::ProgramImage &image,
+                               sim::Tick shot_duration);
+
+    /** Replay an entire trace (install + all rounds). */
+    ExecutionResult execute(const VqaTrace &trace,
+                            sim::Tick shot_duration);
+
+  private:
+    /** Advance simulated time to @p t, draining due events. */
+    void advanceTo(sim::Tick t);
+
+    /** Drain every pending event. */
+    void drain();
+
+    sim::EventQueue &_eq;
+    controller::QuantumController &_ctrl;
+    isa::QtenonCompiler _compiler;
+    ExecutorConfig _cfg;
+    bool _programInstalled = false;
+};
+
+} // namespace qtenon::runtime
+
+#endif // QTENON_RUNTIME_EXECUTOR_HH

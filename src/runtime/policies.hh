@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The two software policies the paper ablates (Sec. 6.2/6.3,
+ * Fig. 16): the synchronization method and the measurement
+ * transmission schedule, plus the compilation mode.
+ */
+
+#ifndef QTENON_RUNTIME_POLICIES_HH
+#define QTENON_RUNTIME_POLICIES_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace qtenon::runtime {
+
+/** How host reads are ordered against controller writes. */
+enum class SyncPolicy {
+    /**
+     * RISC-V default: FENCE serializes the host against all pending
+     * quantum operations (Fig. 9a).
+     */
+    Fence,
+    /**
+     * Qtenon: soft memory barrier queried non-blockingly over RoCC,
+     * letting post-processing overlap q_run (Fig. 9b).
+     */
+    FineGrained,
+};
+
+/** How measurement results cross the system bus. */
+enum class TransmissionPolicy {
+    /** One TileLink PUT per shot. */
+    Immediate,
+    /** Algorithm 1: batch K = floor(B/N) shots per PUT. */
+    Batched,
+};
+
+/** How the quantum program reaches the controller each round. */
+enum class CompileMode {
+    /** Recompile + q_set the full program every round. */
+    FullRecompile,
+    /** Dynamic incremental compilation: q_update changed params. */
+    Incremental,
+};
+
+/** Algorithm 1, line 1: the batched-transmission interval. */
+constexpr std::uint64_t
+batchInterval(std::uint64_t bus_width_bits, std::uint64_t num_qubits)
+{
+    return std::max<std::uint64_t>(1, bus_width_bits / num_qubits);
+}
+
+/** The full software configuration of a Qtenon run. */
+struct SoftwareConfig {
+    SyncPolicy sync = SyncPolicy::FineGrained;
+    TransmissionPolicy transmission = TransmissionPolicy::Batched;
+    CompileMode compile = CompileMode::Incremental;
+
+    /** The paper's "Qtenon w/o software" hardware-only configuration. */
+    static SoftwareConfig
+    hardwareOnly()
+    {
+        return SoftwareConfig{SyncPolicy::Fence,
+                              TransmissionPolicy::Immediate,
+                              CompileMode::FullRecompile};
+    }
+
+    /** The full Qtenon software stack. */
+    static SoftwareConfig
+    full()
+    {
+        return SoftwareConfig{};
+    }
+};
+
+} // namespace qtenon::runtime
+
+#endif // QTENON_RUNTIME_POLICIES_HH

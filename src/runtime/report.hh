@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Machine-readable reporting: CSV emission of per-round time
+ * breakdowns so external tooling (plots, regressions) can consume
+ * experiment results without scraping bench stdout.
+ */
+
+#ifndef QTENON_RUNTIME_REPORT_HH
+#define QTENON_RUNTIME_REPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "breakdown.hh"
+
+namespace qtenon::runtime {
+
+/** Write a header + one CSV row per breakdown (times in ns). */
+inline void
+writeBreakdownCsv(std::ostream &os,
+                  const std::vector<TimeBreakdown> &rows)
+{
+    os << "round,wall_ns,quantum_ns,pulse_ns,comm_ns,host_ns,"
+          "host_busy_ns,comm_set_ns,comm_update_ns,comm_acquire_ns\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &b = rows[i];
+        os << i << ',' << sim::ticksToNs(b.wall) << ','
+           << sim::ticksToNs(b.quantum) << ','
+           << sim::ticksToNs(b.pulseGen) << ','
+           << sim::ticksToNs(b.comm) << ',' << sim::ticksToNs(b.host)
+           << ',' << sim::ticksToNs(b.hostBusy) << ','
+           << sim::ticksToNs(b.commSet) << ','
+           << sim::ticksToNs(b.commUpdate) << ','
+           << sim::ticksToNs(b.commAcquire) << '\n';
+    }
+}
+
+} // namespace qtenon::runtime
+
+#endif // QTENON_RUNTIME_REPORT_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The workload trace exchanged between the VQA layer and the two
+ * timing models. The functional optimization loop runs once and
+ * records, per evaluation round, everything either system needs to
+ * account time: the incremental update plan, shot count and sampled
+ * readouts, and the host post-processing/optimizer op counts.
+ */
+
+#ifndef QTENON_RUNTIME_TRACE_HH
+#define QTENON_RUNTIME_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/compiler.hh"
+#include "isa/program.hh"
+
+namespace qtenon::runtime {
+
+/** One quantum-classical evaluation round. */
+struct RoundRecord {
+    /** q_updates (regfile slot, encoded angle) vs the prior round. */
+    isa::UpdatePlan updates;
+    /** Shots executed this round. */
+    std::uint64_t shots = 0;
+    /** Sampled readout words (one per shot when n <= 64); may be
+     *  empty when only timing is replayed. */
+    std::vector<std::uint64_t> shotData;
+    /** Host ops per shot for cost-function post-processing. */
+    double postOpsPerShot = 0.0;
+    /** Host ops for the optimizer work attributed to this round. */
+    double optimizerOps = 0.0;
+};
+
+/** A complete VQA run, ready for timing replay. */
+struct VqaTrace {
+    std::uint32_t numQubits = 0;
+    /** Compiled Qtenon image of the (structurally fixed) circuit. */
+    isa::ProgramImage image;
+    std::vector<RoundRecord> rounds;
+    /** Cost after each optimizer iteration (functional result). */
+    std::vector<double> costHistory;
+
+    std::uint64_t
+    totalShots() const
+    {
+        std::uint64_t s = 0;
+        for (const auto &r : rounds)
+            s += r.shots;
+        return s;
+    }
+
+    std::uint64_t
+    totalUpdates() const
+    {
+        std::uint64_t u = 0;
+        for (const auto &r : rounds)
+            u += r.updates.size();
+        return u;
+    }
+};
+
+} // namespace qtenon::runtime
+
+#endif // QTENON_RUNTIME_TRACE_HH

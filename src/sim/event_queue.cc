@@ -1,0 +1,136 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace qtenon::sim {
+
+Event::~Event()
+{
+    if (_scheduled && _queue)
+        _queue->deschedule(this);
+}
+
+EventQueue::~EventQueue()
+{
+    // Drain the heap, releasing auto-delete events that never fired.
+    while (!_heap.empty()) {
+        Entry e = _heap.top();
+        _heap.pop();
+        if (e.event->_scheduled && e.event->_sequence == e.sequence) {
+            e.event->_scheduled = false;
+            e.event->_queue = nullptr;
+            if (e.event->flaggedAutoDelete())
+                delete e.event;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    if (ev->_scheduled)
+        panic("event '", ev->description(), "' scheduled twice");
+    if (when < _curTick) {
+        panic("event '", ev->description(), "' scheduled in the past (",
+              when, " < ", _curTick, ")");
+    }
+
+    ev->_when = when;
+    ev->_sequence = _nextSequence++;
+    ev->_scheduled = true;
+    ev->_queue = this;
+    _heap.push(Entry{when, ev->priority(), ev->_sequence, ev});
+    ++_live;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->_scheduled)
+        panic("descheduling unscheduled event '", ev->description(), "'");
+    // Lazy deletion: mark the event unscheduled; the heap entry is
+    // discarded when it surfaces.
+    ev->_scheduled = false;
+    ev->_queue = nullptr;
+    --_live;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->_scheduled)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
+                           std::string desc, int priority)
+{
+    auto *ev = new LambdaEvent(std::move(fn), std::move(desc), priority);
+    ev->setAutoDelete(true);
+    schedule(ev, when);
+}
+
+void
+EventQueue::prune()
+{
+    while (!_heap.empty()) {
+        const Entry &e = _heap.top();
+        if (e.event->_scheduled && e.event->_sequence == e.sequence)
+            return;
+        _heap.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->prune();
+    return _heap.empty() ? maxTick : _heap.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    prune();
+    if (_heap.empty())
+        return false;
+
+    Entry e = _heap.top();
+    _heap.pop();
+    --_live;
+
+    Event *ev = e.event;
+    ev->_scheduled = false;
+    ev->_queue = nullptr;
+    _curTick = e.when;
+    ++_processed;
+    ev->process();
+    if (!ev->_scheduled && ev->flaggedAutoDelete())
+        delete ev;
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t fired = 0;
+    while (true) {
+        prune();
+        if (_heap.empty())
+            break;
+        if (_heap.top().when > limit) {
+            _curTick = limit;
+            break;
+        }
+        step();
+        ++fired;
+    }
+    if (_heap.empty() && limit != maxTick && _curTick < limit)
+        _curTick = limit;
+    return fired;
+}
+
+} // namespace qtenon::sim

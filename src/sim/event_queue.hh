@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Discrete-event simulation core: Event and EventQueue.
+ *
+ * The queue orders events by tick; events scheduled for the same tick
+ * fire in priority order, then in scheduling order (FIFO). This
+ * mirrors the determinism guarantees of gem5's event queue, which the
+ * cycle-level controller models rely on.
+ */
+
+#ifndef QTENON_SIM_EVENT_QUEUE_HH
+#define QTENON_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace qtenon::sim {
+
+class EventQueue;
+
+/**
+ * A schedulable event. Subclass and override process(), or use
+ * LambdaEvent for ad-hoc callbacks.
+ */
+class Event
+{
+  public:
+    /** Default priority bands, lower value fires first. */
+    enum Priority : int {
+        clockPrio = -10,
+        defaultPrio = 0,
+        statsPrio = 10,
+    };
+
+    explicit Event(int priority = defaultPrio) : _priority(priority) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called by the queue when the event fires. */
+    virtual void process() = 0;
+
+    /** Human-readable event description for tracing. */
+    virtual std::string description() const { return "generic event"; }
+
+    bool scheduled() const { return _scheduled; }
+    Tick when() const { return _when; }
+    int priority() const { return _priority; }
+
+    /**
+     * Whether the queue should delete the event after it fires or is
+     * descheduled. Defaults to false (owner-managed lifetime).
+     */
+    bool flaggedAutoDelete() const { return _autoDelete; }
+    void setAutoDelete(bool v) { _autoDelete = v; }
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    std::uint64_t _sequence = 0;
+    int _priority;
+    bool _scheduled = false;
+    bool _autoDelete = false;
+    EventQueue *_queue = nullptr;
+};
+
+/** An event that invokes a stored callable. */
+class LambdaEvent : public Event
+{
+  public:
+    LambdaEvent(std::function<void()> fn, std::string desc = "lambda",
+                int priority = defaultPrio)
+        : Event(priority), _fn(std::move(fn)), _desc(std::move(desc))
+    {}
+
+    void process() override { _fn(); }
+    std::string description() const override { return _desc; }
+
+  private:
+    std::function<void()> _fn;
+    std::string _desc;
+};
+
+/**
+ * The global event queue for one simulation. Owns current time;
+ * everything that happens in the simulation happens because an event
+ * on this queue fired.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Schedule @p ev to fire at absolute tick @p when. */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a pending event from the queue. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if needed) and reschedule at a new time. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * Convenience: schedule a one-shot callback that deletes itself
+     * after firing.
+     */
+    void scheduleLambda(Tick when, std::function<void()> fn,
+                        std::string desc = "lambda",
+                        int priority = Event::defaultPrio);
+
+    /** Whether any events are pending. */
+    bool empty() const { return _live == 0; }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _live; }
+
+    /** Tick of the next pending event (maxTick if empty). */
+    Tick nextTick() const;
+
+    /**
+     * Run until the queue drains or @p limit is reached, whichever is
+     * first. Returns the number of events processed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /** Fire exactly one event. Returns false if the queue is empty. */
+    bool step();
+
+    /** Total number of events processed so far. */
+    std::uint64_t eventsProcessed() const { return _processed; }
+
+  private:
+    struct Entry {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        Event *event;
+    };
+
+    struct EntryCompare {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    /** Pop stale (descheduled/rescheduled) heap entries. */
+    void prune();
+
+    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> _heap;
+    Tick _curTick = 0;
+    std::uint64_t _nextSequence = 0;
+    std::uint64_t _processed = 0;
+    std::size_t _live = 0;
+};
+
+} // namespace qtenon::sim
+
+#endif // QTENON_SIM_EVENT_QUEUE_HH

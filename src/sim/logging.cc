@@ -1,0 +1,31 @@
+#include "logging.hh"
+
+namespace qtenon::sim {
+
+namespace detail {
+
+void
+emit(const char *label, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", label, msg.c_str());
+    std::fflush(stderr);
+}
+
+bool &
+warningsEnabled()
+{
+    static bool enabled = true;
+    return enabled;
+}
+
+} // namespace detail
+
+bool
+setWarningsEnabled(bool enabled)
+{
+    bool prev = detail::warningsEnabled();
+    detail::warningsEnabled() = enabled;
+    return prev;
+}
+
+} // namespace qtenon::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 tradition.
+ *
+ * panic() aborts on conditions that indicate a bug in the simulator
+ * itself; fatal() exits on user-caused configuration errors; warn()
+ * and inform() report non-fatal conditions.
+ */
+
+#ifndef QTENON_SIM_LOGGING_HH
+#define QTENON_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace qtenon::sim {
+
+namespace detail {
+
+/** Concatenate a mixed argument pack into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/** Emit a labelled message to stderr. */
+void emit(const char *label, const std::string &msg);
+
+/** Whether warnings are printed (tests may silence them). */
+bool &warningsEnabled();
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Use when a condition
+ * can only arise from broken simulator logic, never from user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit("panic", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/**
+ * Report a user-caused error (bad configuration, invalid arguments)
+ * and exit with a failure status.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit("fatal", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Warn about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (detail::warningsEnabled())
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Enable or disable warn() output (returns the previous setting). */
+bool setWarningsEnabled(bool enabled);
+
+} // namespace qtenon::sim
+
+#endif // QTENON_SIM_LOGGING_HH

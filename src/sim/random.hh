@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible runs.
+ *
+ * All stochastic behaviour in the simulator (measurement sampling,
+ * SPSA perturbations, workload generation) draws from a Rng seeded
+ * explicitly, so identical configurations give identical results.
+ */
+
+#ifndef QTENON_SIM_RANDOM_HH
+#define QTENON_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+
+namespace qtenon::sim {
+
+/** A seedable wrapper around a 64-bit Mersenne Twister. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x51a3b5u) : _engine(seed) {}
+
+    /** Uniform in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(_engine);
+    }
+
+    /** Uniform in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(_engine);
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint64_t
+    index(std::uint64_t n)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(
+            0, n - 1)(_engine);
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool coin(double p) { return uniform() < p; }
+
+    /** Standard normal sample. */
+    double
+    normal()
+    {
+        return std::normal_distribution<double>(0.0, 1.0)(_engine);
+    }
+
+    /** Rademacher (+1/-1) sample, used by SPSA. */
+    double rademacher() { return coin(0.5) ? 1.0 : -1.0; }
+
+    /** Raw 64-bit draw. */
+    std::uint64_t raw() { return _engine(); }
+
+    std::mt19937_64 &engine() { return _engine; }
+
+  private:
+    std::mt19937_64 _engine;
+};
+
+} // namespace qtenon::sim
+
+#endif // QTENON_SIM_RANDOM_HH

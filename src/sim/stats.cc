@@ -1,0 +1,95 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace qtenon::sim {
+
+void
+Histogram::configure(double lo, double hi, std::size_t buckets)
+{
+    if (hi <= lo || buckets == 0)
+        panic("bad histogram configuration [", lo, ", ", hi, ")");
+    _lo = lo;
+    _hi = hi;
+    _buckets.assign(buckets, 0);
+    _underflow = _overflow = _samples = 0;
+}
+
+void
+Histogram::sample(double v)
+{
+    ++_samples;
+    if (v < _lo) {
+        ++_underflow;
+        return;
+    }
+    if (v >= _hi) {
+        ++_overflow;
+        return;
+    }
+    double width = (_hi - _lo) / static_cast<double>(_buckets.size());
+    auto idx = static_cast<std::size_t>((v - _lo) / width);
+    if (idx >= _buckets.size())
+        idx = _buckets.size() - 1;
+    ++_buckets[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = _overflow = _samples = 0;
+}
+
+void
+StatGroup::registerScalar(Scalar *s, std::string name, std::string desc)
+{
+    _scalars.push_back({s, std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::registerAverage(Average *a, std::string name, std::string desc)
+{
+    _averages.push_back({a, std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::registerHistogram(Histogram *h, std::string name,
+                             std::string desc)
+{
+    _histograms.push_back({h, std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &s : _scalars) {
+        os << _name << "." << s.name << " " << s.stat->value()
+           << " # " << s.desc << "\n";
+    }
+    for (const auto &a : _averages) {
+        os << _name << "." << a.name << "::mean " << a.stat->mean()
+           << " # " << a.desc << "\n";
+        os << _name << "." << a.name << "::count " << a.stat->count()
+           << " # samples\n";
+    }
+    for (const auto &h : _histograms) {
+        os << _name << "." << h.name << "::samples "
+           << h.stat->samples() << " # " << h.desc << "\n";
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &s : _scalars)
+        s.stat->reset();
+    for (auto &a : _averages)
+        a.stat->reset();
+    for (auto &h : _histograms)
+        h.stat->reset();
+}
+
+} // namespace qtenon::sim

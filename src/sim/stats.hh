@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A small statistics package: named scalar counters, averages, and
+ * histograms grouped per simulation object, dumpable as text.
+ */
+
+#ifndef QTENON_SIM_STATS_HH
+#define QTENON_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qtenon::sim {
+
+/** A monotonically accumulated scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator++() { _value += 1.0; return *this; }
+    void operator++(int) { _value += 1.0; }
+
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+    void reset() { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** A running mean with min/max tracking. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    std::uint64_t count() const { return _count; }
+
+    void
+    reset()
+    {
+        _sum = 0.0;
+        _count = 0;
+        _min = 1e308;
+        _max = -1e308;
+    }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+    double _min = 1e308;
+    double _max = -1e308;
+};
+
+/** A fixed-bucket linear histogram. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 10) {}
+
+    Histogram(double lo, double hi, std::size_t buckets)
+        : _lo(lo), _hi(hi), _buckets(buckets, 0)
+    {}
+
+    void configure(double lo, double hi, std::size_t buckets);
+    void sample(double v);
+
+    std::uint64_t bucket(std::size_t i) const { return _buckets[i]; }
+    std::size_t numBuckets() const { return _buckets.size(); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t samples() const { return _samples; }
+    double lo() const { return _lo; }
+    double hi() const { return _hi; }
+
+    void reset();
+
+  private:
+    double _lo;
+    double _hi;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _samples = 0;
+};
+
+/**
+ * A named collection of statistics. SimObjects own one group each;
+ * members register themselves with name + description.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    void registerScalar(Scalar *s, std::string name, std::string desc);
+    void registerAverage(Average *a, std::string name, std::string desc);
+    void registerHistogram(Histogram *h, std::string name,
+                           std::string desc);
+
+    /** Print all registered statistics, one per line. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+    const std::string &name() const { return _name; }
+
+  private:
+    template <typename T>
+    struct Named {
+        T *stat;
+        std::string name;
+        std::string desc;
+    };
+
+    std::string _name;
+    std::vector<Named<Scalar>> _scalars;
+    std::vector<Named<Average>> _averages;
+    std::vector<Named<Histogram>> _histograms;
+};
+
+} // namespace qtenon::sim
+
+#endif // QTENON_SIM_STATS_HH

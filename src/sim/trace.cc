@@ -1,0 +1,102 @@
+#include "trace.hh"
+
+#include <array>
+#include <cstdlib>
+#include <iostream>
+
+namespace qtenon::sim::trace {
+
+namespace {
+
+constexpr auto numFlags = static_cast<std::size_t>(Flag::NumFlags);
+
+struct State {
+    std::array<bool, numFlags> flags{};
+    std::ostream *stream = &std::cerr;
+
+    State()
+    {
+        if (const char *env = std::getenv("QTENON_TRACE"))
+            initFromSpec(env);
+    }
+
+    void
+    initFromSpec(const std::string &spec)
+    {
+        std::size_t start = 0;
+        while (start <= spec.size()) {
+            auto end = spec.find(',', start);
+            if (end == std::string::npos)
+                end = spec.size();
+            const auto token = spec.substr(start, end - start);
+            if (token == "all") {
+                flags.fill(true);
+            } else {
+                for (std::size_t f = 0; f < numFlags; ++f) {
+                    if (token == flagName(static_cast<Flag>(f)))
+                        flags[f] = true;
+                }
+            }
+            start = end + 1;
+        }
+    }
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+} // namespace
+
+const char *
+flagName(Flag f)
+{
+    switch (f) {
+      case Flag::EventQueue: return "EventQueue";
+      case Flag::Memory: return "Memory";
+      case Flag::Bus: return "Bus";
+      case Flag::Controller: return "Controller";
+      case Flag::Pipeline: return "Pipeline";
+      case Flag::Slt: return "Slt";
+      case Flag::Executor: return "Executor";
+      case Flag::NumFlags: break;
+    }
+    return "?";
+}
+
+void
+setFlag(Flag f, bool on)
+{
+    state().flags[static_cast<std::size_t>(f)] = on;
+}
+
+bool
+enabled(Flag f)
+{
+    return state().flags[static_cast<std::size_t>(f)];
+}
+
+void
+enableFromString(const std::string &spec)
+{
+    state().initFromSpec(spec);
+}
+
+void
+setStream(std::ostream *os)
+{
+    state().stream = os ? os : &std::cerr;
+}
+
+void
+emit(Flag f, Tick when, const std::string &source,
+     const std::string &message)
+{
+    (*state().stream) << when << ": " << source << ": ["
+                      << flagName(f) << "] " << message << "\n";
+}
+
+} // namespace qtenon::sim::trace

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Debug tracing in the gem5 DPRINTF tradition: named flags, enabled
+ * programmatically or through the QTENON_TRACE environment variable
+ * (comma-separated flag names, or "all"), timestamped output to a
+ * configurable stream.
+ *
+ * Usage:
+ *   QTRACE(Controller, "q_update reg=", reg, " value=", value);
+ * emits "1234567: qc: q_update reg=3 value=17" when the Controller
+ * flag is on.
+ */
+
+#ifndef QTENON_SIM_TRACE_HH
+#define QTENON_SIM_TRACE_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "types.hh"
+
+namespace qtenon::sim::trace {
+
+/** Known trace flags (extend as needed). */
+enum class Flag : std::uint32_t {
+    EventQueue = 0,
+    Memory,
+    Bus,
+    Controller,
+    Pipeline,
+    Slt,
+    Executor,
+    NumFlags,
+};
+
+/** Flag name as spelled in QTENON_TRACE. */
+const char *flagName(Flag f);
+
+/** Enable/disable one flag. */
+void setFlag(Flag f, bool enabled);
+
+/** Whether a flag is on (after lazy env initialization). */
+bool enabled(Flag f);
+
+/** Enable flags from a comma-separated list ("Bus,Slt" or "all"). */
+void enableFromString(const std::string &spec);
+
+/** Redirect trace output (default std::cerr); nullptr restores. */
+void setStream(std::ostream *os);
+
+/** Internal: emit one formatted record. */
+void emit(Flag f, Tick when, const std::string &source,
+          const std::string &message);
+
+/** Build the message lazily and emit if the flag is on. */
+template <typename... Args>
+void
+log(Flag f, Tick when, const std::string &source, Args &&...args)
+{
+    if (!enabled(f))
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    emit(f, when, source, os.str());
+}
+
+} // namespace qtenon::sim::trace
+
+/** Convenience macro for SimObject members (has name()/curTick()). */
+#define QTRACE(flag, ...)                                             \
+    ::qtenon::sim::trace::log(::qtenon::sim::trace::Flag::flag,       \
+                              curTick(), name(), __VA_ARGS__)
+
+#endif // QTENON_SIM_TRACE_HH

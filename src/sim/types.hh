@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental simulation types and time constants.
+ *
+ * The simulation kernel measures time in ticks, where one tick is one
+ * picosecond. This gives integer-exact representations for all clock
+ * domains used by Qtenon (1 GHz host, 200 MHz controller SRAM, 2 GHz
+ * DAC) as well as the nanosecond-scale physical constants quoted by
+ * the paper (gate times, link latencies).
+ */
+
+#ifndef QTENON_SIM_TYPES_HH
+#define QTENON_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace qtenon::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** The maximum representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** One picosecond, in ticks. */
+constexpr Tick psTicks = 1;
+/** One nanosecond, in ticks. */
+constexpr Tick nsTicks = 1000 * psTicks;
+/** One microsecond, in ticks. */
+constexpr Tick usTicks = 1000 * nsTicks;
+/** One millisecond, in ticks. */
+constexpr Tick msTicks = 1000 * usTicks;
+/** One second, in ticks. */
+constexpr Tick sTicks = 1000 * msTicks;
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(nsTicks);
+}
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(usTicks);
+}
+
+/** Convert ticks to (fractional) milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(msTicks);
+}
+
+/** Convert ticks to (fractional) seconds. */
+constexpr double
+ticksToS(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(sTicks);
+}
+
+/** Convert a frequency in hertz to a clock period in ticks. */
+constexpr Tick
+periodFromHz(std::uint64_t hz)
+{
+    return sTicks / hz;
+}
+
+} // namespace qtenon::sim
+
+#endif // QTENON_SIM_TYPES_HH

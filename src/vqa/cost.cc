@@ -1,0 +1,140 @@
+#include "cost.hh"
+
+#include "quantum/statevector.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::vqa {
+
+double
+MaxCutCost::fromShots(const std::vector<std::uint64_t> &shots) const
+{
+    if (shots.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (auto s : shots)
+        sum += static_cast<double>(_graph.cutValue(s));
+    return -sum / static_cast<double>(shots.size());
+}
+
+double
+MaxCutCost::fromMarginals(const std::vector<double> &p1) const
+{
+    double expected = 0.0;
+    for (const auto &e : _graph.edges()) {
+        const double pu = p1[e.u];
+        const double pv = p1[e.v];
+        expected += pu * (1.0 - pv) + pv * (1.0 - pu);
+    }
+    return -expected;
+}
+
+double
+MaxCutCost::exactFromCircuit(const quantum::QuantumCircuit &c) const
+{
+    quantum::StateVector sv(c.numQubits());
+    sv.applyCircuit(c);
+    double expected = 0.0;
+    for (const auto &e : _graph.edges())
+        expected += (1.0 - sv.expectationZZ(e.u, e.v)) / 2.0;
+    return -expected;
+}
+
+double
+MaxCutCost::opsPerShot() const
+{
+    // Bit-sliced evaluation: edges are tested with XOR + popcount
+    // over packed words, amortizing to less than two ops per edge.
+    return 1.5 * static_cast<double>(_graph.numEdges()) + 8.0;
+}
+
+double
+HamiltonianCost::fromShots(
+    const std::vector<std::uint64_t> &shots) const
+{
+    return _hamiltonian.diagonalExpectationFromShots(shots);
+}
+
+double
+HamiltonianCost::fromMarginals(const std::vector<double> &p1) const
+{
+    using quantum::Pauli;
+    double e = _hamiltonian.identityOffset();
+    for (const auto &t : _hamiltonian.terms()) {
+        if (!t.string.isDiagonal())
+            continue;
+        // Mean-field: <prod Z> ~= prod <Z>.
+        double prod = 1.0;
+        for (const auto &f : t.string.factors) {
+            if (f.op == Pauli::Z)
+                prod *= 1.0 - 2.0 * p1[f.qubit];
+        }
+        e += t.coefficient * prod;
+    }
+    return e;
+}
+
+double
+HamiltonianCost::exactFromCircuit(
+    const quantum::QuantumCircuit &c) const
+{
+    quantum::StateVector sv(c.numQubits());
+    sv.applyCircuit(c);
+    return _hamiltonian.expectation(sv);
+}
+
+double
+HamiltonianCost::opsPerShot() const
+{
+    // Diagonal terms evaluate via XOR-parity + popcount on packed
+    // shot words: under one op per factor per shot amortized.
+    double ops = 8.0;
+    for (const auto &t : _hamiltonian.terms()) {
+        if (t.string.isDiagonal())
+            ops += 0.75 * static_cast<double>(t.string.factors.size());
+    }
+    return ops;
+}
+
+double
+QnnLoss::fromShots(const std::vector<std::uint64_t> &shots) const
+{
+    if (shots.empty())
+        return 0.0;
+    double ones = 0.0;
+    for (auto s : shots)
+        ones += (s & 1) ? 1.0 : 0.0;
+    const double p1 = ones / static_cast<double>(shots.size());
+    const double d = p1 - _target;
+    return d * d;
+}
+
+double
+QnnLoss::fromMarginals(const std::vector<double> &p1) const
+{
+    if (p1.empty())
+        sim::panic("QNN loss needs at least one marginal");
+    const double d = p1[0] - _target;
+    return d * d;
+}
+
+double
+QnnLoss::exactFromCircuit(const quantum::QuantumCircuit &c) const
+{
+    quantum::StateVector sv(c.numQubits());
+    sv.applyCircuit(c);
+    const double d = sv.marginalOne(0) - _target;
+    return d * d;
+}
+
+double
+QnnLoss::opsPerShot() const
+{
+    // The loss itself is cheap per shot, but training evaluates the
+    // prediction against every dataset sample (forward bookkeeping,
+    // gradients of the loss head), multiplying the per-shot work.
+    return 2.0 * static_cast<double>(_datasetSize) +
+        0.5 * static_cast<double>(_numQubits);
+}
+
+} // namespace qtenon::vqa

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Cost functions for the three benchmark VQAs. Each cost can be
+ * evaluated from sampled readout words (n <= 64) or from per-qubit
+ * marginals (the large-n path used by the scalability sweeps), and
+ * reports how many host operations one shot of post-processing
+ * costs, which feeds the host-time models.
+ */
+
+#ifndef QTENON_VQA_COST_HH
+#define QTENON_VQA_COST_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "quantum/circuit.hh"
+#include "quantum/graph.hh"
+#include "quantum/pauli.hh"
+
+namespace qtenon::vqa {
+
+/** A minimized scalar objective over measurement statistics. */
+class CostFunction
+{
+  public:
+    virtual ~CostFunction() = default;
+
+    /** Cost from full readout words (bit q = qubit q). */
+    virtual double fromShots(
+        const std::vector<std::uint64_t> &shots) const = 0;
+
+    /** Cost from per-qubit P(read 1) marginals. */
+    virtual double fromMarginals(
+        const std::vector<double> &p1) const = 0;
+
+    /**
+     * Exact (noise-free) cost of the circuit's output state via the
+     * dense statevector; only valid within the statevector qubit
+     * cap. Models an experiment that measures every required basis,
+     * including non-diagonal Hamiltonian terms.
+     */
+    virtual double exactFromCircuit(
+        const quantum::QuantumCircuit &c) const = 0;
+
+    /** Host operations per shot of classical post-processing. */
+    virtual double opsPerShot() const = 0;
+};
+
+/** Negated MAX-CUT value (minimization form) for QAOA. */
+class MaxCutCost : public CostFunction
+{
+  public:
+    explicit MaxCutCost(const quantum::Graph &g) : _graph(g) {}
+
+    double fromShots(
+        const std::vector<std::uint64_t> &shots) const override;
+    double fromMarginals(const std::vector<double> &p1) const override;
+    double exactFromCircuit(
+        const quantum::QuantumCircuit &c) const override;
+    double opsPerShot() const override;
+
+    const quantum::Graph &graph() const { return _graph; }
+
+  private:
+    quantum::Graph _graph;
+};
+
+/** Hamiltonian energy estimate for VQE. */
+class HamiltonianCost : public CostFunction
+{
+  public:
+    explicit HamiltonianCost(quantum::Hamiltonian h)
+        : _hamiltonian(std::move(h))
+    {}
+
+    double fromShots(
+        const std::vector<std::uint64_t> &shots) const override;
+    double fromMarginals(const std::vector<double> &p1) const override;
+    double exactFromCircuit(
+        const quantum::QuantumCircuit &c) const override;
+    double opsPerShot() const override;
+
+    const quantum::Hamiltonian &hamiltonian() const
+    {
+        return _hamiltonian;
+    }
+
+  private:
+    quantum::Hamiltonian _hamiltonian;
+};
+
+/**
+ * QNN training loss: squared error between the readout qubit's
+ * excitation probability and a target, summed over a (modelled)
+ * dataset. The dataset multiplies host post-processing work, which
+ * is what makes QNN the host-heaviest workload in the paper.
+ */
+class QnnLoss : public CostFunction
+{
+  public:
+    QnnLoss(std::uint32_t num_qubits, double target = 0.25,
+            std::uint32_t dataset_size = 64)
+        : _numQubits(num_qubits), _target(target),
+          _datasetSize(dataset_size)
+    {}
+
+    double fromShots(
+        const std::vector<std::uint64_t> &shots) const override;
+    double fromMarginals(const std::vector<double> &p1) const override;
+    double exactFromCircuit(
+        const quantum::QuantumCircuit &c) const override;
+    double opsPerShot() const override;
+
+  private:
+    std::uint32_t _numQubits;
+    double _target;
+    std::uint32_t _datasetSize;
+};
+
+} // namespace qtenon::vqa
+
+#endif // QTENON_VQA_COST_HH

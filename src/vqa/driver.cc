@@ -1,0 +1,89 @@
+#include "driver.hh"
+
+#include <memory>
+
+#include "quantum/sampler.hh"
+#include "sim/logging.hh"
+
+namespace qtenon::vqa {
+
+runtime::VqaTrace
+VqaDriver::run(Workload &w)
+{
+    const auto n = w.circuit.numQubits();
+    runtime::VqaTrace trace;
+    trace.numQubits = n;
+
+    isa::QtenonCompiler compiler;
+    trace.image = compiler.compile(w.circuit);
+
+    auto sampler = quantum::makeDefaultSampler(n, _cfg.exactCap,
+                                               _cfg.readoutError);
+    sim::Rng rng(_cfg.seed);
+
+    std::unique_ptr<Optimizer> opt;
+    if (_cfg.optimizer == OptimizerKind::GradientDescent)
+        opt = std::make_unique<GradientDescent>();
+    else
+        opt = std::make_unique<Spsa>(0.2, 0.2, _cfg.seed ^ 0xABCDu);
+
+    const auto num_params = w.circuit.numParameters();
+    const double opt_ops_per_round =
+        opt->optimizerOps(num_params) /
+        static_cast<double>(opt->evalsPerIteration(num_params));
+    const bool record_shots = _cfg.recordShotData && n <= 64;
+
+    std::vector<double> prev_params = w.circuit.parameters();
+
+    EvalOracle oracle = [&](const std::vector<double> &params) {
+        runtime::RoundRecord round;
+        round.updates =
+            compiler.planUpdates(trace.image, prev_params, params);
+        prev_params = params;
+        round.shots = _cfg.shots;
+        round.postOpsPerShot = w.cost->opsPerShot();
+        round.optimizerOps = opt_ops_per_round;
+
+        w.circuit.setParameters(params);
+        double cost;
+        const bool exact_cost =
+            _cfg.useExactCost && n <= _cfg.exactCap;
+        if (record_shots) {
+            round.shotData =
+                sampler->sample(w.circuit, _cfg.shots, rng);
+            cost = exact_cost
+                ? w.cost->exactFromCircuit(w.circuit)
+                : w.cost->fromShots(round.shotData);
+        } else if (exact_cost) {
+            cost = w.cost->exactFromCircuit(w.circuit);
+        } else if (n <= 64) {
+            auto shots = sampler->sample(w.circuit, _cfg.shots, rng);
+            cost = w.cost->fromShots(shots);
+        } else {
+            // Large registers: evaluate from mean-field marginals.
+            auto *mf = dynamic_cast<quantum::MeanFieldSampler *>(
+                sampler.get());
+            if (!mf)
+                sim::panic("large register without mean-field sampler");
+            const auto bloch = mf->evolve(w.circuit);
+            std::vector<double> p1(n);
+            for (std::uint32_t q = 0; q < n; ++q)
+                p1[q] = (1.0 - bloch[q][2]) / 2.0;
+            cost = w.cost->fromMarginals(p1);
+        }
+
+        trace.rounds.push_back(std::move(round));
+        return cost;
+    };
+
+    std::vector<double> params = w.circuit.parameters();
+    for (std::uint32_t it = 0; it < _cfg.iterations; ++it) {
+        const double cost = opt->iterate(params, oracle);
+        trace.costHistory.push_back(cost);
+    }
+    w.circuit.setParameters(params);
+
+    return trace;
+}
+
+} // namespace qtenon::vqa

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The VQA driver: runs the functional optimization loop once and
+ * records a runtime::VqaTrace both timing models replay. This is the
+ * highest-level entry point beneath the core/ facade.
+ */
+
+#ifndef QTENON_VQA_DRIVER_HH
+#define QTENON_VQA_DRIVER_HH
+
+#include <cstdint>
+
+#include "optimizer.hh"
+#include "runtime/trace.hh"
+#include "workload.hh"
+
+namespace qtenon::vqa {
+
+/** Driver parameters (paper defaults: 500 shots, 10 iterations). */
+struct DriverConfig {
+    std::uint64_t shots = 500;
+    std::uint32_t iterations = 10;
+    OptimizerKind optimizer = OptimizerKind::GradientDescent;
+    std::uint64_t seed = 7;
+    /** Statevector cap; beyond it the mean-field sampler is used. */
+    std::uint32_t exactCap = 20;
+    /** Store per-shot readout words in the trace (n <= 64 only). */
+    bool recordShotData = true;
+    /**
+     * Evaluate the cost exactly from the statevector (all bases,
+     * including non-diagonal Hamiltonian terms) instead of from the
+     * sampled diagonal readout. Requires n <= exactCap. Shots are
+     * still drawn for the timing trace.
+     */
+    bool useExactCost = false;
+    /** Per-qubit readout bit-flip probability (0 = ideal). */
+    double readoutError = 0.0;
+};
+
+/** Runs workloads functionally and produces timing traces. */
+class VqaDriver
+{
+  public:
+    explicit VqaDriver(DriverConfig cfg = DriverConfig{}) : _cfg(cfg) {}
+
+    const DriverConfig &config() const { return _cfg; }
+
+    /**
+     * Optimize @p w for the configured iterations, recording one
+     * RoundRecord per cost evaluation. The workload's circuit
+     * parameters are updated in place.
+     */
+    runtime::VqaTrace run(Workload &w);
+
+  private:
+    DriverConfig _cfg;
+};
+
+} // namespace qtenon::vqa
+
+#endif // QTENON_VQA_DRIVER_HH

@@ -1,0 +1,75 @@
+#include "mitigation.hh"
+
+#include "quantum/circuit.hh"
+#include "sim/logging.hh"
+
+namespace qtenon::vqa {
+
+std::vector<ConfusionMatrix>
+ReadoutMitigator::calibrate(quantum::MeasurementSampler &sampler,
+                            std::uint32_t num_qubits,
+                            std::size_t shots, sim::Rng &rng)
+{
+    if (num_qubits > 64)
+        sim::fatal("calibration capped at 64 qubits (shot words)");
+
+    // Prepare |0...0>: every observed 1 is a 0->1 misread.
+    quantum::QuantumCircuit zeros(num_qubits);
+    auto zero_shots = sampler.sample(zeros, shots, rng);
+
+    // Prepare |1...1>: every observed 0 is a 1->0 misread.
+    quantum::QuantumCircuit ones(num_qubits);
+    for (std::uint32_t q = 0; q < num_qubits; ++q)
+        ones.x(q);
+    auto one_shots = sampler.sample(ones, shots, rng);
+
+    std::vector<ConfusionMatrix> out(num_qubits);
+    for (std::uint32_t q = 0; q < num_qubits; ++q) {
+        const std::uint64_t bit = std::uint64_t(1) << q;
+        double mis0 = 0.0;
+        for (auto s : zero_shots)
+            mis0 += (s & bit) ? 1.0 : 0.0;
+        double mis1 = 0.0;
+        for (auto s : one_shots)
+            mis1 += (s & bit) ? 0.0 : 1.0;
+        out[q].p01 = mis0 / static_cast<double>(shots);
+        out[q].p10 = mis1 / static_cast<double>(shots);
+    }
+    return out;
+}
+
+std::vector<double>
+ReadoutMitigator::correctedMarginals(
+    const std::vector<std::uint64_t> &shots) const
+{
+    std::vector<double> p1(_confusion.size(), 0.0);
+    if (shots.empty())
+        return p1;
+    for (auto s : shots) {
+        for (std::size_t q = 0; q < _confusion.size(); ++q) {
+            if (s & (std::uint64_t(1) << q))
+                p1[q] += 1.0;
+        }
+    }
+    for (std::size_t q = 0; q < _confusion.size(); ++q) {
+        p1[q] /= static_cast<double>(shots.size());
+        p1[q] = _confusion[q].correct(p1[q]);
+    }
+    return p1;
+}
+
+double
+ReadoutMitigator::correctedExpectationZ(
+    const std::vector<std::uint64_t> &shots, std::uint32_t q) const
+{
+    if (q >= _confusion.size())
+        sim::panic("qubit ", q, " outside calibration");
+    double ones = 0.0;
+    for (auto s : shots)
+        ones += (s & (std::uint64_t(1) << q)) ? 1.0 : 0.0;
+    const double measured =
+        shots.empty() ? 0.0 : ones / static_cast<double>(shots.size());
+    return 1.0 - 2.0 * _confusion[q].correct(measured);
+}
+
+} // namespace qtenon::vqa

@@ -1,0 +1,57 @@
+#include "optimizer.hh"
+
+#include <cmath>
+
+namespace qtenon::vqa {
+
+double
+GradientDescent::iterate(std::vector<double> &params,
+                         const EvalOracle &oracle)
+{
+    const double shift = M_PI / 2.0;
+    std::vector<double> grad(params.size(), 0.0);
+
+    for (std::size_t p = 0; p < params.size(); ++p) {
+        auto probe = params;
+        probe[p] = params[p] + shift;
+        const double plus = oracle(probe);
+        probe[p] = params[p] - shift;
+        const double minus = oracle(probe);
+        grad[p] = (plus - minus) / 2.0;
+    }
+
+    for (std::size_t p = 0; p < params.size(); ++p)
+        params[p] -= _lr * grad[p];
+
+    return oracle(params);
+}
+
+double
+Spsa::iterate(std::vector<double> &params, const EvalOracle &oracle)
+{
+    ++_k;
+    // Standard decaying gain sequences.
+    const double ak = _a / std::pow(static_cast<double>(_k), 0.602);
+    const double ck = _c / std::pow(static_cast<double>(_k), 0.101);
+
+    std::vector<double> delta(params.size());
+    for (auto &d : delta)
+        d = _rng.rademacher();
+
+    auto plus = params;
+    auto minus = params;
+    for (std::size_t p = 0; p < params.size(); ++p) {
+        plus[p] += ck * delta[p];
+        minus[p] -= ck * delta[p];
+    }
+    const double c_plus = oracle(plus);
+    const double c_minus = oracle(minus);
+
+    const double diff = (c_plus - c_minus) / (2.0 * ck);
+    for (std::size_t p = 0; p < params.size(); ++p)
+        params[p] -= ak * diff / delta[p];
+
+    return (c_plus + c_minus) / 2.0;
+}
+
+} // namespace qtenon::vqa

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The two parameter optimizers of the paper's evaluation (Sec. 7.1):
+ * gradient descent via the parameter-shift rule (one parameter probed
+ * at a time, many communication rounds) and SPSA (all parameters
+ * perturbed at once, two evaluations per iteration).
+ *
+ * Optimizers are driven through an evaluation oracle so the caller
+ * (the VQA driver) can record every evaluation as a trace round.
+ */
+
+#ifndef QTENON_VQA_OPTIMIZER_HH
+#define QTENON_VQA_OPTIMIZER_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace qtenon::vqa {
+
+/** Which optimizer a run uses. */
+enum class OptimizerKind {
+    GradientDescent,
+    Spsa,
+};
+
+/** Evaluate the cost at a parameter vector (one quantum round). */
+using EvalOracle =
+    std::function<double(const std::vector<double> &params)>;
+
+/** Base optimizer interface: one iteration mutates the parameters. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /**
+     * Run one optimizer iteration in place. Every call to the oracle
+     * corresponds to one quantum-classical round.
+     *
+     * @return the cost estimate at the updated parameters.
+     */
+    virtual double iterate(std::vector<double> &params,
+                           const EvalOracle &oracle) = 0;
+
+    /** Oracle calls one iterate() performs for @p num_params. */
+    virtual std::uint64_t evalsPerIteration(
+        std::size_t num_params) const = 0;
+
+    /** Host ops of pure optimizer arithmetic per iteration. */
+    virtual double optimizerOps(std::size_t num_params) const = 0;
+};
+
+/** Parameter-shift gradient descent. */
+class GradientDescent : public Optimizer
+{
+  public:
+    explicit GradientDescent(double learning_rate = 0.1)
+        : _lr(learning_rate)
+    {}
+
+    double iterate(std::vector<double> &params,
+                   const EvalOracle &oracle) override;
+
+    std::uint64_t
+    evalsPerIteration(std::size_t num_params) const override
+    {
+        // Two shifted evaluations per parameter + one at the update.
+        return 2 * num_params + 1;
+    }
+
+    double
+    optimizerOps(std::size_t num_params) const override
+    {
+        return 24.0 * static_cast<double>(num_params);
+    }
+
+  private:
+    double _lr;
+};
+
+/** Simultaneous Perturbation Stochastic Approximation. */
+class Spsa : public Optimizer
+{
+  public:
+    Spsa(double a = 0.2, double c = 0.2,
+         std::uint64_t seed = 0xD1CEu)
+        : _a(a), _c(c), _rng(seed)
+    {}
+
+    double iterate(std::vector<double> &params,
+                   const EvalOracle &oracle) override;
+
+    std::uint64_t
+    evalsPerIteration(std::size_t) const override
+    {
+        return 2;
+    }
+
+    double
+    optimizerOps(std::size_t num_params) const override
+    {
+        return 30.0 * static_cast<double>(num_params);
+    }
+
+  private:
+    double _a;
+    double _c;
+    sim::Rng _rng;
+    std::uint64_t _k = 0;
+};
+
+} // namespace qtenon::vqa
+
+#endif // QTENON_VQA_OPTIMIZER_HH

@@ -1,0 +1,61 @@
+#include "workload.hh"
+
+#include <cmath>
+
+#include "quantum/ansatz.hh"
+#include "quantum/graph.hh"
+#include "quantum/molecule.hh"
+#include "sim/logging.hh"
+
+namespace qtenon::vqa {
+
+std::string
+algorithmName(Algorithm a)
+{
+    switch (a) {
+      case Algorithm::Qaoa: return "QAOA";
+      case Algorithm::Vqe: return "VQE";
+      case Algorithm::Qnn: return "QNN";
+    }
+    sim::panic("unknown algorithm");
+}
+
+Workload
+Workload::build(const WorkloadConfig &cfg)
+{
+    Workload w;
+    const auto n = cfg.numQubits;
+
+    switch (cfg.algorithm) {
+      case Algorithm::Qaoa: {
+        auto graph = quantum::Graph::threeRegular(n);
+        w.circuit =
+            quantum::ansatz::qaoaMaxCut(graph, cfg.qaoaLayers);
+        w.cost = std::make_unique<MaxCutCost>(graph);
+        break;
+      }
+      case Algorithm::Vqe: {
+        w.circuit =
+            quantum::ansatz::hardwareEfficient(n, cfg.vqeLayers);
+        auto h = (n == 2) ? quantum::h2()
+                          : quantum::syntheticMolecule(n);
+        w.cost = std::make_unique<HamiltonianCost>(std::move(h));
+        break;
+      }
+      case Algorithm::Qnn: {
+        // Deterministic pseudo-features standing in for one encoded
+        // training sample.
+        std::vector<double> features(n);
+        for (std::uint32_t q = 0; q < n; ++q)
+            features[q] = 0.3 + 0.5 * std::sin(0.9 * (q + 1));
+        w.circuit =
+            quantum::ansatz::qnn(n, features, cfg.qnnLayers);
+        w.cost = std::make_unique<QnnLoss>(n);
+        break;
+      }
+    }
+    w.name = algorithmName(cfg.algorithm) + "-" + std::to_string(n);
+    return w;
+}
+
+} // namespace qtenon::vqa

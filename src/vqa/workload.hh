@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Benchmark workload construction: the three VQAs at a given qubit
+ * count, with the paper's default shapes (QAOA: 5-layer MAX-CUT on a
+ * 3-regular graph; VQE: hardware-efficient ansatz over the molecular
+ * spin-orbitals; QNN: 2 layers of Ry+CZ).
+ */
+
+#ifndef QTENON_VQA_WORKLOAD_HH
+#define QTENON_VQA_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "cost.hh"
+#include "quantum/circuit.hh"
+
+namespace qtenon::vqa {
+
+/** The three benchmark algorithms. */
+enum class Algorithm {
+    Qaoa,
+    Vqe,
+    Qnn,
+};
+
+std::string algorithmName(Algorithm a);
+
+/** Workload shape parameters. */
+struct WorkloadConfig {
+    Algorithm algorithm = Algorithm::Qaoa;
+    std::uint32_t numQubits = 8;
+    std::uint32_t qaoaLayers = 5;
+    std::uint32_t vqeLayers = 3;
+    std::uint32_t qnnLayers = 2;
+};
+
+/** A ready-to-run workload: circuit + cost function. */
+struct Workload {
+    std::string name;
+    quantum::QuantumCircuit circuit{1};
+    std::unique_ptr<CostFunction> cost;
+
+    /** Build the paper's benchmark workload for @p cfg. */
+    static Workload build(const WorkloadConfig &cfg);
+};
+
+} // namespace qtenon::vqa
+
+#endif // QTENON_VQA_WORKLOAD_HH

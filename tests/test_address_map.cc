@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests of the QCC address layout against the paper's published
+ * constants (Fig. 4 / Table 2), including the 5.66 MB total and the
+ * per-qubit chunk arithmetic, plus scaling beyond 64 qubits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/address_map.hh"
+
+using namespace qtenon::memory;
+
+TEST(AddressMap, PaperConstantsAt64Qubits)
+{
+    QccLayout l;
+    ASSERT_EQ(l.numQubits, 64u);
+    // Fig. 4 published bases.
+    EXPECT_EQ(l.programBase(), 0x0u);
+    EXPECT_EQ(l.regfileBase(), 0x70000u);
+    EXPECT_EQ(l.measureBase(), 0x71000u);
+    EXPECT_EQ(l.pulseBase(), 0x80000u);
+    // Qubit chunk ranges: qubit 1 program at 0x400-0x7ff.
+    EXPECT_EQ(l.programAddr(1, 0), 0x400u);
+    EXPECT_EQ(l.programAddr(1, 1023), 0x7FFu);
+    EXPECT_EQ(l.programAddr(63, 1023), 0xFFFFu);
+    EXPECT_EQ(l.pulseAddr(1, 0), 0x80400u);
+}
+
+TEST(AddressMap, Table2SegmentSizes)
+{
+    QccLayout l;
+    EXPECT_EQ(l.programBytes(), 520u * 1024u);  // 520 KB
+    EXPECT_EQ(l.pulseBytes(), 5u * 1024u * 1024u); // 5 MB
+    EXPECT_EQ(l.measureBytes(), 40u * 1024u);   // 40 KB
+    EXPECT_EQ(l.sltBytes(), 112u * 1024u);      // 112 KB
+    EXPECT_EQ(l.regfileBytes(), 4u * 1024u);    // 4 KB
+    // Total 5.66 MB (Table 2).
+    EXPECT_EQ(l.totalBytes(), (520u + 5120u + 40u + 112u + 4u) * 1024u);
+    EXPECT_NEAR(static_cast<double>(l.totalBytes()) / (1024.0 * 1024.0),
+                5.66, 0.01);
+}
+
+TEST(AddressMap, SegmentClassification)
+{
+    QccLayout l;
+    EXPECT_EQ(l.segmentOf(0x0), QccSegment::Program);
+    EXPECT_EQ(l.segmentOf(0xFFFF), QccSegment::Program);
+    EXPECT_EQ(l.segmentOf(0x70000), QccSegment::Regfile);
+    EXPECT_EQ(l.segmentOf(0x703FF), QccSegment::Regfile);
+    EXPECT_EQ(l.segmentOf(0x71000), QccSegment::Measure);
+    EXPECT_EQ(l.segmentOf(0x80000), QccSegment::Pulse);
+    EXPECT_EQ(l.segmentOf(0x10000), QccSegment::Invalid);
+    EXPECT_EQ(l.segmentOf(0xFFFFFFF), QccSegment::Invalid);
+}
+
+TEST(AddressMap, PublicPrivateSplit)
+{
+    EXPECT_TRUE(isPublicSegment(QccSegment::Program));
+    EXPECT_TRUE(isPublicSegment(QccSegment::Measure));
+    EXPECT_TRUE(isPublicSegment(QccSegment::Regfile));
+    EXPECT_FALSE(isPublicSegment(QccSegment::Pulse));
+    EXPECT_FALSE(isPublicSegment(QccSegment::Slt));
+    EXPECT_FALSE(isPublicSegment(QccSegment::Invalid));
+}
+
+TEST(AddressMap, QubitOfAddress)
+{
+    QccLayout l;
+    EXPECT_EQ(l.qubitOf(l.programAddr(17, 5)), 17u);
+    EXPECT_EQ(l.qubitOf(l.pulseAddr(42, 1000)), 42u);
+}
+
+class LayoutScaling : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(LayoutScaling, SegmentsNeverOverlap)
+{
+    QccLayout l;
+    l.numQubits = GetParam();
+    EXPECT_LE(l.programEnd(), l.regfileBase());
+    EXPECT_LE(l.regfileBase() + l.regfileEntries, l.measureBase());
+    EXPECT_LE(l.measureBase() + l.measureEntries, l.pulseBase());
+    // Round-trip through segmentOf for each segment's bounds.
+    EXPECT_EQ(l.segmentOf(l.programAddr(l.numQubits - 1, 1023)),
+              QccSegment::Program);
+    EXPECT_EQ(l.segmentOf(l.pulseAddr(l.numQubits - 1, 1023)),
+              QccSegment::Pulse);
+}
+
+TEST_P(LayoutScaling, CacheGrowsLinearlyWithQubits)
+{
+    QccLayout base;
+    base.numQubits = 64;
+    QccLayout l;
+    l.numQubits = GetParam();
+    // .program/.pulse/.slt scale with qubits; .measure/.regfile fixed.
+    const double per_qubit =
+        static_cast<double>(base.programBytes() + base.pulseBytes() +
+                            base.sltBytes()) / 64.0;
+    const double expect = per_qubit * l.numQubits +
+        static_cast<double>(base.measureBytes() + base.regfileBytes());
+    EXPECT_DOUBLE_EQ(static_cast<double>(l.totalBytes()), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LayoutScaling,
+                         ::testing::Values(8u, 16u, 64u, 128u, 256u,
+                                           320u));
+
+TEST(AddressMap, Sec75CacheSizeFor256Qubits)
+{
+    // Sec. 7.5: "controlling 256 qubits requires a cache size of
+    // 22.63 MB". Our layout gives 22.51 MB (the fixed .measure and
+    // .regfile segments do not scale), within rounding of the paper.
+    QccLayout l;
+    l.numQubits = 256;
+    EXPECT_NEAR(static_cast<double>(l.totalBytes()) / (1024.0 * 1024.0),
+                22.63, 0.15);
+}
+
+TEST(AddressMap, QSpaceArithmetic)
+{
+    QccLayout l;
+    // 4 MB per qubit (2^20 tags x 4 bytes).
+    EXPECT_EQ(QccLayout::qspacePerQubitBytes, 4u * 1024u * 1024u);
+    EXPECT_EQ(l.qspaceAddr(0, 0), QccLayout::qspaceBase);
+    EXPECT_EQ(l.qspaceAddr(1, 0) - l.qspaceAddr(0, 0),
+              QccLayout::qspacePerQubitBytes);
+    EXPECT_EQ(l.qspaceAddr(0, 5) - l.qspaceAddr(0, 4), 4u);
+}

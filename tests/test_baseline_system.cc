@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests of the decoupled baseline: Ethernet link arithmetic, FPGA
+ * controller timing, and the sequential round composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/decoupled_system.hh"
+#include "quantum/ansatz.hh"
+#include "quantum/graph.hh"
+
+using namespace qtenon;
+using namespace qtenon::baseline;
+using qtenon::sim::Tick;
+using qtenon::sim::msTicks;
+using qtenon::sim::nsTicks;
+using qtenon::sim::usTicks;
+
+TEST(Ethernet, PacketArithmetic)
+{
+    EthernetLink link;
+    EXPECT_EQ(link.packetsFor(0), 1u);
+    EXPECT_EQ(link.packetsFor(1472), 1u);
+    EXPECT_EQ(link.packetsFor(1473), 2u);
+    EXPECT_EQ(link.packetsFor(14720), 10u);
+}
+
+TEST(Ethernet, LatencyGrowsWithSize)
+{
+    EthernetLink link;
+    EXPECT_LT(link.messageLatency(64), link.messageLatency(64 * 1024));
+    EXPECT_EQ(link.roundTrip(100, 100),
+              2 * link.messageLatency(100));
+}
+
+TEST(Ethernet, MillisecondClassRounds)
+{
+    // Table 1: decoupled Ethernet comm latency is in the 1-10 ms
+    // band.
+    EthernetLink link;
+    const Tick rt = link.roundTrip(8 * 1024, 4 * 1024);
+    EXPECT_GE(rt, 1 * msTicks);
+    EXPECT_LE(rt, 20 * msTicks);
+}
+
+TEST(Ethernet, SerializationVisibleForLargeMessages)
+{
+    EthernetConfig cfg;
+    cfg.stackLatency = 0;
+    cfg.perPacket = 0;
+    cfg.propagation = 0;
+    EthernetLink link(cfg);
+    // 100 Gb/s: 125 MB takes ~10 ms to serialize.
+    const Tick t = link.messageLatency(125'000'000ull);
+    EXPECT_NEAR(sim::ticksToMs(t), 10.0, 0.5);
+}
+
+TEST(Fpga, PulseGenerationSequential)
+{
+    FpgaController fpga;
+    const Tick t = fpga.pulseGenerationTime(100, 50);
+    // 100 instructions x 10 ns + 50 pulses x 1000 ns.
+    EXPECT_EQ(t, 100 * 10 * nsTicks + 50 * 1000 * nsTicks);
+    EXPECT_EQ(fpga.adiRoundTrip(), 200 * nsTicks);
+}
+
+TEST(Decoupled, RoundComposition)
+{
+    auto g = quantum::Graph::threeRegular(8);
+    auto c = quantum::ansatz::qaoaMaxCut(g, 2);
+    DecoupledSystem sys;
+
+    runtime::RoundRecord round;
+    round.shots = 500;
+    round.postOpsPerShot = 50;
+    round.optimizerOps = 100;
+
+    auto bd = sys.executeRound(c, round);
+    EXPECT_GT(bd.quantum, 0u);
+    EXPECT_GT(bd.pulseGen, 0u);
+    EXPECT_GT(bd.comm, 0u);
+    EXPECT_GT(bd.host, 0u);
+    // Strictly sequential: wall is the sum of the parts.
+    EXPECT_EQ(bd.wall, bd.quantum + bd.pulseGen + bd.comm + bd.host);
+    EXPECT_EQ(bd.comm, bd.commSet + bd.commAcquire);
+}
+
+TEST(Decoupled, EveryRoundPaysFullRecompile)
+{
+    auto g = quantum::Graph::threeRegular(8);
+    auto c = quantum::ansatz::qaoaMaxCut(g, 2);
+    DecoupledSystem sys;
+
+    runtime::VqaTrace trace;
+    trace.numQubits = 8;
+    runtime::RoundRecord r;
+    r.shots = 100;
+    trace.rounds.assign(5, r);
+
+    auto total = sys.execute(c, trace);
+    auto one = sys.executeRound(c, trace.rounds[0]);
+    EXPECT_EQ(total.wall, 5 * one.wall);
+    EXPECT_EQ(total.host, 5 * one.host);
+}
+
+TEST(Decoupled, QuantumFractionIsSmall)
+{
+    // The motivating observation (Fig. 1): quantum execution is a
+    // minor fraction of a decoupled round.
+    auto g = quantum::Graph::threeRegular(48);
+    auto c = quantum::ansatz::qaoaMaxCut(g, 5);
+    DecoupledSystem sys;
+    runtime::RoundRecord r;
+    r.shots = 500;
+    r.postOpsPerShot = 200;
+    auto bd = sys.executeRound(c, r);
+    EXPECT_LT(bd.percent(bd.quantum), 40.0);
+}
+
+TEST(Decoupled, MoreShotsMoreQuantumTime)
+{
+    auto g = quantum::Graph::threeRegular(8);
+    auto c = quantum::ansatz::qaoaMaxCut(g, 2);
+    DecoupledSystem sys;
+    runtime::RoundRecord a, b;
+    a.shots = 100;
+    b.shots = 1000;
+    EXPECT_LT(sys.executeRound(c, a).quantum,
+              sys.executeRound(c, b).quantum);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: gate classification, parameter
+ * table, shape statistics, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quantum/circuit.hh"
+#include "quantum/gate.hh"
+
+using namespace qtenon::quantum;
+
+TEST(Gate, Classification)
+{
+    EXPECT_TRUE(isParameterized(GateType::RX));
+    EXPECT_TRUE(isParameterized(GateType::RZZ));
+    EXPECT_FALSE(isParameterized(GateType::H));
+    EXPECT_FALSE(isParameterized(GateType::Measure));
+    EXPECT_TRUE(isTwoQubit(GateType::CZ));
+    EXPECT_TRUE(isTwoQubit(GateType::CNOT));
+    EXPECT_TRUE(isTwoQubit(GateType::RZZ));
+    EXPECT_FALSE(isTwoQubit(GateType::RY));
+}
+
+TEST(Gate, Names)
+{
+    EXPECT_EQ(gateName(GateType::RY), "RY");
+    EXPECT_EQ(gateName(GateType::Measure), "M");
+}
+
+TEST(ParamRef, LiteralVsSymbolic)
+{
+    auto lit = ParamRef::literal(1.5);
+    EXPECT_FALSE(lit.isSymbolic());
+    EXPECT_DOUBLE_EQ(lit.value, 1.5);
+    auto sym = ParamRef::symbol(3);
+    EXPECT_TRUE(sym.isSymbolic());
+    EXPECT_EQ(sym.index, 3u);
+}
+
+TEST(Circuit, ParameterTable)
+{
+    QuantumCircuit c(2);
+    auto p0 = c.addParameter(0.5, "alpha");
+    auto p1 = c.addParameter(1.5);
+    EXPECT_EQ(c.numParameters(), 2u);
+    EXPECT_DOUBLE_EQ(c.parameter(p0), 0.5);
+    EXPECT_EQ(c.parameterName(p0), "alpha");
+    EXPECT_EQ(c.parameterName(p1), "theta1");
+    c.setParameter(p1, 2.5);
+    EXPECT_DOUBLE_EQ(c.parameter(p1), 2.5);
+    c.setParameters({0.1, 0.2});
+    EXPECT_DOUBLE_EQ(c.parameter(p0), 0.1);
+}
+
+TEST(Circuit, ResolveAngle)
+{
+    QuantumCircuit c(1);
+    auto p = c.addParameter(0.7);
+    c.ry(0, ParamRef::symbol(p));
+    c.rx(0, ParamRef::literal(0.3));
+    EXPECT_DOUBLE_EQ(c.resolveAngle(c.gates()[0]), 0.7);
+    EXPECT_DOUBLE_EQ(c.resolveAngle(c.gates()[1]), 0.3);
+    c.setParameter(p, 1.1);
+    EXPECT_DOUBLE_EQ(c.resolveAngle(c.gates()[0]), 1.1);
+}
+
+TEST(Circuit, StatsCountAndDepth)
+{
+    QuantumCircuit c(3);
+    auto p = c.addParameter(0.2);
+    c.h(0);              // depth q0: 1
+    c.h(1);              // depth q1: 1
+    c.cz(0, 1);          // depth q0,q1: 2
+    c.ry(2, ParamRef::symbol(p)); // q2: 1
+    c.measureAll();      // +1 each
+
+    auto s = c.stats();
+    EXPECT_EQ(s.oneQubitGates, 3u);
+    EXPECT_EQ(s.twoQubitGates, 1u);
+    EXPECT_EQ(s.measurements, 3u);
+    EXPECT_EQ(s.parameterizedGates, 1u);
+    EXPECT_EQ(s.totalGates(), 7u);
+    EXPECT_EQ(s.depth, 3u); // q0/q1: H, CZ, M
+}
+
+TEST(Circuit, GatesUsingParameter)
+{
+    QuantumCircuit c(2);
+    auto p0 = c.addParameter(0.1);
+    auto p1 = c.addParameter(0.2);
+    c.ry(0, ParamRef::symbol(p0));
+    c.ry(1, ParamRef::symbol(p1));
+    c.rz(0, ParamRef::symbol(p0));
+    auto uses = c.gatesUsingParameter(p0);
+    EXPECT_EQ(uses, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(CircuitDeath, RejectsBadConstruction)
+{
+    QuantumCircuit c(2);
+    EXPECT_DEATH(c.h(5), "out of range");
+    EXPECT_DEATH(c.cz(1, 1), "identical");
+    EXPECT_DEATH(c.gate(GateType::RX, 0), "requires an angle");
+    EXPECT_DEATH(c.gate(GateType::CZ, 0), "requires two qubits");
+    EXPECT_DEATH(c.ry(0, ParamRef::symbol(9)), "undeclared");
+    EXPECT_DEATH(c.setParameters({1.0}), "size");
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Integration tests of the assembled quantum controller: RoCC writes
+ * with dependency invalidation, q_set DMA through the bus/RBQ/WBQ,
+ * q_acquire with barrier synchronization, and q_gen.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "controller/controller.hh"
+#include "memory/dram.hh"
+
+using namespace qtenon::controller;
+using namespace qtenon::memory;
+using namespace qtenon::sim;
+
+namespace {
+
+struct ControllerFixture : public ::testing::Test {
+    ControllerFixture()
+    {
+        dram = std::make_unique<Dram>(eq, "dram", DramConfig{});
+        bus = std::make_unique<TileLinkBus>(
+            eq, "bus", ClockDomain::fromHz(1'000'000'000),
+            TileLinkConfig{}, dram.get());
+        ControllerConfig cfg;
+        cfg.layout.numQubits = 8;
+        ctrl = std::make_unique<QuantumController>(eq, "qc", cfg,
+                                                   bus.get());
+    }
+
+    std::vector<ProgramEntry>
+    makeEntries(std::uint32_t count, bool reg_flag = false)
+    {
+        std::vector<ProgramEntry> es;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            ProgramEntry e;
+            e.type = 0x8;
+            e.regFlag = reg_flag;
+            e.data = reg_flag ? i % 4 : (i << 14);
+            e.status = EntryStatus::Invalid;
+            es.push_back(e);
+        }
+        return es;
+    }
+
+    EventQueue eq;
+    std::unique_ptr<Dram> dram;
+    std::unique_ptr<TileLinkBus> bus;
+    std::unique_ptr<QuantumController> ctrl;
+};
+
+} // namespace
+
+TEST_F(ControllerFixture, RoccWriteToRegfileTakesOneCycle)
+{
+    const auto &layout = ctrl->config().layout;
+    const Tick done = ctrl->roccWrite(layout.regfileAddr(3), 0x42);
+    EXPECT_LE(done, 2u * ctrl->clockPeriod());
+    EXPECT_EQ(ctrl->qcc().readRegfile(3), 0x42u);
+    EXPECT_EQ(ctrl->roccTransfers.value(), 1.0);
+}
+
+TEST_F(ControllerFixture, RegfileWriteInvalidatesDependents)
+{
+    const auto &layout = ctrl->config().layout;
+    // Entry on qubit 2 depends on regfile slot 7.
+    ProgramEntry e;
+    e.type = 0x9;
+    e.regFlag = true;
+    e.data = 7;
+    e.status = EntryStatus::Valid;
+    const auto pq = layout.programAddr(2, 0);
+    ctrl->qcc().writeProgram(pq, e);
+    ctrl->linkRegfile(7, pq);
+
+    ctrl->roccWrite(layout.regfileAddr(7), 0x1111);
+    EXPECT_EQ(ctrl->qcc().readProgram(pq).status,
+              EntryStatus::Invalid);
+    auto stale = ctrl->staleProgramEntries();
+    ASSERT_EQ(stale.size(), 1u);
+    EXPECT_EQ(stale[0], pq);
+}
+
+TEST_F(ControllerFixture, RoccReadBack)
+{
+    const auto &layout = ctrl->config().layout;
+    ctrl->recordMeasurement(5, 0xDEAD);
+    std::uint64_t v = 0;
+    ctrl->roccRead(layout.measureAddr(5), v);
+    EXPECT_EQ(v, 0xDEADu);
+}
+
+TEST_F(ControllerFixture, DmaSetInstallsProgram)
+{
+    auto entries = makeEntries(100);
+    Tick done = 0;
+    ctrl->dmaSetProgram(0x10000, 3, entries,
+                        [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(ctrl->qcc().programLength(3), 100u);
+    const auto &layout = ctrl->config().layout;
+    EXPECT_EQ(ctrl->qcc().readProgram(layout.programAddr(3, 42)),
+              entries[42]);
+    // 100 entries x 12 bytes = 1200 bytes moved.
+    EXPECT_EQ(ctrl->setBytes.value(), 1200.0);
+    EXPECT_GE(bus->transactions.value(), 19.0); // 64-byte chunks
+}
+
+TEST_F(ControllerFixture, DmaSetLargerProgramsTakeLonger)
+{
+    auto small = makeEntries(10);
+    Tick t_small = 0;
+    ctrl->dmaSetProgram(0x10000, 0, small,
+                        [&](Tick t) { t_small = t; });
+    eq.run();
+    const Tick start = eq.curTick();
+    auto big = makeEntries(500);
+    Tick t_big = 0;
+    ctrl->dmaSetProgram(0x40000, 1, big, [&](Tick t) { t_big = t; });
+    eq.run();
+    EXPECT_GT(t_big - start, t_small);
+}
+
+TEST_F(ControllerFixture, DmaAcquireSyncsBarrier)
+{
+    EXPECT_FALSE(ctrl->barrierQuery(0x20000, 8));
+    Tick done = 0;
+    ctrl->dmaAcquire(0x20000, 0, 16, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_GT(done, 0u);
+    // All 16 x 8 bytes marked synced once PUTs left on the bus.
+    EXPECT_TRUE(ctrl->barrierQuery(0x20000, 128));
+    EXPECT_FALSE(ctrl->barrierQuery(0x20000 + 128, 8));
+    EXPECT_EQ(ctrl->acquireBytes.value(), 128.0);
+}
+
+TEST_F(ControllerFixture, GenerateProducesPulses)
+{
+    const auto &layout = ctrl->config().layout;
+    auto entries = makeEntries(20);
+    ctrl->dmaSetProgram(0x10000, 0, entries, [](Tick) {});
+    eq.run();
+
+    PipelineResult res;
+    Tick done = 0;
+    ctrl->generateAll([&](const PipelineResult &r, Tick t) {
+        res = r;
+        done = t;
+    });
+    eq.run();
+    EXPECT_EQ(res.pulsesGenerated, 20u);
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(ctrl->pulsesGenerated.value(), 20.0);
+    // Program entries now carry valid pulse QAddresses.
+    const auto e = ctrl->qcc().readProgram(layout.programAddr(0, 0));
+    EXPECT_EQ(e.status, EntryStatus::Valid);
+    EXPECT_TRUE(ctrl->qcc().pulseValid(e.qaddr));
+}
+
+TEST_F(ControllerFixture, GenerateOnlyStaleAfterUpdate)
+{
+    const auto &layout = ctrl->config().layout;
+    auto entries = makeEntries(10, /*reg_flag=*/true);
+    ctrl->dmaSetProgram(0x10000, 0, entries, [](Tick) {});
+    eq.run();
+    for (std::uint32_t i = 0; i < 10; ++i)
+        ctrl->linkRegfile(i % 4, layout.programAddr(0, i));
+    for (std::uint32_t r = 0; r < 4; ++r)
+        ctrl->roccWrite(layout.regfileAddr(r), 100 + r);
+
+    // Initial full generation.
+    ctrl->generateAll([](const PipelineResult &, Tick) {});
+    eq.run();
+
+    // One register update -> only its dependents regenerate.
+    ctrl->roccWrite(layout.regfileAddr(2), 0xBEEF);
+    auto stale = ctrl->staleProgramEntries();
+    EXPECT_EQ(stale.size(), 2u); // entries 2 and 6 (i % 4 == 2)
+    PipelineResult res;
+    ctrl->generate(stale, [&](const PipelineResult &r, Tick) {
+        res = r;
+    });
+    eq.run();
+    EXPECT_EQ(res.entriesProcessed, stale.size());
+    // Same new value on the same qubit: one fresh pulse, rest SLT.
+    EXPECT_EQ(res.pulsesGenerated, 1u);
+}
+
+TEST_F(ControllerFixture, UserCannotTouchPrivateSegments)
+{
+    const auto &layout = ctrl->config().layout;
+    EXPECT_DEATH(ctrl->roccWrite(layout.pulseAddr(0, 0), 1),
+                 "non-public");
+    std::uint64_t v;
+    EXPECT_DEATH(ctrl->roccRead(layout.pulseAddr(0, 0), v),
+                 "non-public");
+}
+
+TEST_F(ControllerFixture, MeasurementRoundTrip)
+{
+    ctrl->recordMeasurement(0, 0xAB);
+    ctrl->recordMeasurement(1, 0xCD);
+    EXPECT_EQ(ctrl->qcc().readMeasure(0), 0xABu);
+    EXPECT_EQ(ctrl->qcc().readMeasure(1), 0xCDu);
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests of the ASCII circuit renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quantum/draw.hh"
+
+using namespace qtenon::quantum;
+
+TEST(Draw, RendersOneWirePerQubit)
+{
+    QuantumCircuit c(3);
+    c.h(0);
+    auto art = draw(c);
+    EXPECT_NE(art.find("q0"), std::string::npos);
+    EXPECT_NE(art.find("q1"), std::string::npos);
+    EXPECT_NE(art.find("q2"), std::string::npos);
+    EXPECT_NE(art.find("H"), std::string::npos);
+}
+
+TEST(Draw, ShowsAnglesAndSymbols)
+{
+    QuantumCircuit c(1);
+    auto p = c.addParameter(0.1);
+    c.ry(0, ParamRef::symbol(p));
+    c.rx(0, ParamRef::literal(0.5));
+    auto art = draw(c);
+    EXPECT_NE(art.find("RY(p0)"), std::string::npos);
+    EXPECT_NE(art.find("RX(0.50)"), std::string::npos);
+}
+
+TEST(Draw, TwoQubitGatesConnectWires)
+{
+    QuantumCircuit c(2);
+    c.cz(0, 1);
+    auto art = draw(c);
+    EXPECT_NE(art.find("CZ"), std::string::npos);
+    EXPECT_NE(art.find("*"), std::string::npos);
+    EXPECT_NE(art.find("|"), std::string::npos);
+}
+
+TEST(Draw, ParallelGatesShareAColumn)
+{
+    QuantumCircuit c(2);
+    c.h(0);
+    c.h(1);
+    auto art = draw(c);
+    // Both H's in the same column means both lines have equal
+    // length and each contains exactly one H.
+    const auto q0_line = art.substr(0, art.find('\n'));
+    EXPECT_EQ(q0_line.find('H'), art.find('H'));
+}
+
+TEST(Draw, TruncatesHugeCircuits)
+{
+    QuantumCircuit c(1);
+    for (int i = 0; i < 200; ++i)
+        c.h(0);
+    auto art = draw(c, 10);
+    EXPECT_NE(art.find("..."), std::string::npos);
+}
+
+TEST(Draw, MeasurementShown)
+{
+    QuantumCircuit c(1);
+    c.measure(0);
+    EXPECT_NE(draw(c).find("M"), std::string::npos);
+}

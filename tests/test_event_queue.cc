@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, same-tick
+ * determinism, deschedule/reschedule, bounded runs, and lambda
+ * convenience events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace qtenon::sim;
+
+namespace {
+
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::vector<int> &log, int id,
+                   int priority = Event::defaultPrio)
+        : Event(priority), _log(log), _id(id)
+    {}
+
+    void process() override { _log.push_back(_id); }
+
+  private:
+    std::vector<int> &_log;
+    int _id;
+};
+
+} // namespace
+
+TEST(EventQueue, FiresInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&c, 300);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 200);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    eq.schedule(&c, 50);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent low(log, 1, Event::statsPrio);
+    RecordingEvent high(log, 2, Event::clockPrio);
+    eq.schedule(&low, 10);
+    eq.schedule(&high, 10);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RunWithLimitStopsAndAdvancesTime)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 500);
+    eq.run(250);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(eq.curTick(), 250u);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RunWithLimitAdvancesEmptyQueue)
+{
+    EventQueue eq;
+    eq.run(1000);
+    EXPECT_EQ(eq.curTick(), 1000u);
+}
+
+TEST(EventQueue, LambdaEventsSelfDelete)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.scheduleLambda(10, [&] { ++count; });
+    eq.scheduleLambda(20, [&] { ++count; });
+    eq.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    eq.scheduleLambda(10, [&] {
+        fired.push_back(eq.curTick());
+        eq.scheduleLambda(eq.curTick() + 5,
+                          [&] { fired.push_back(eq.curTick()); });
+    });
+    eq.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 15}));
+}
+
+TEST(EventQueue, NextTickReportsEarliestPending)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    EXPECT_EQ(eq.nextTick(), maxTick);
+    eq.schedule(&a, 42);
+    EXPECT_EQ(eq.nextTick(), 42u);
+}
+
+TEST(EventQueue, StepFiresExactlyOne)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ProcessedCountAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleLambda(10 * (i + 1), [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsProcessed(), 5u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.scheduleLambda(100, [] {});
+    eq.run();
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    EXPECT_DEATH(eq.schedule(&a, 50), "in the past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    eq.schedule(&a, 10);
+    EXPECT_DEATH(eq.schedule(&a, 20), "scheduled twice");
+    eq.deschedule(&a);
+}

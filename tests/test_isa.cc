@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests of the Qtenon ISA: RoCC encode/decode, rs2 data formats, the
+ * compiler's program images and incremental update plans, and the
+ * baseline static compiler models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/baseline_isa.hh"
+#include "isa/compiler.hh"
+#include "isa/encoding.hh"
+#include "quantum/ansatz.hh"
+#include "quantum/graph.hh"
+
+using namespace qtenon::isa;
+using namespace qtenon::quantum;
+
+TEST(Encoding, RoccRoundTrip)
+{
+    RoccInstruction i;
+    i.funct7 = Opcode::QAcquire;
+    i.rs1 = 11;
+    i.rs2 = 22;
+    i.rd = 5;
+    i.xd = true;
+    i.xs1 = true;
+    i.xs2 = false;
+    const auto word = i.encode();
+    EXPECT_EQ((word & 0x7F), roccCustom0);
+    EXPECT_EQ(RoccInstruction::decode(word), i);
+}
+
+TEST(Encoding, AllOpcodesRoundTrip)
+{
+    for (auto op : {Opcode::QUpdate, Opcode::QSet, Opcode::QAcquire,
+                    Opcode::QGen, Opcode::QRun}) {
+        RoccInstruction i;
+        i.funct7 = op;
+        EXPECT_EQ(RoccInstruction::decode(i.encode()).funct7, op);
+        EXPECT_FALSE(opcodeName(op).empty());
+    }
+}
+
+TEST(Encoding, LengthQaddrPacking)
+{
+    // Fig. 8b: length in [63:39], QAddress in [38:0].
+    const auto rs2 = packLengthQaddr(100, 0x80400);
+    EXPECT_EQ(lengthOf(rs2), 100u);
+    EXPECT_EQ(qaddrOf(rs2), 0x80400u);
+    // QAddress wider than 39 bits is masked.
+    const auto clipped = packLengthQaddr(1, 1ull << 40);
+    EXPECT_EQ(qaddrOf(clipped), 0u);
+}
+
+TEST(Compiler, TwoQubitGatesEmitOnBothQubits)
+{
+    QuantumCircuit c(2);
+    auto p = c.addParameter(0.5);
+    c.rzz(0, 1, ParamRef::symbol(p));
+    QtenonCompiler comp;
+    auto img = comp.compile(c);
+    EXPECT_EQ(img.perQubit[0].size(), 1u);
+    EXPECT_EQ(img.perQubit[1].size(), 1u);
+    EXPECT_EQ(img.totalEntries(), 2u);
+}
+
+TEST(Compiler, SymbolicParamsGetRegfileSlots)
+{
+    QuantumCircuit c(2);
+    auto p0 = c.addParameter(0.25);
+    c.ry(0, ParamRef::symbol(p0));
+    c.ry(1, ParamRef::symbol(p0));
+    c.rx(0, ParamRef::literal(1.0));
+
+    QtenonCompiler comp;
+    auto img = comp.compile(c);
+    ASSERT_EQ(img.paramToReg.size(), 1u);
+    EXPECT_EQ(img.paramToReg[0], 0u);
+    ASSERT_EQ(img.regfileInit.size(), 1u);
+    // Both RY entries link to the slot; the literal RX does not.
+    EXPECT_EQ(img.links.size(), 2u);
+    EXPECT_TRUE(img.perQubit[0][0].regFlag);
+    EXPECT_FALSE(img.perQubit[0][1].regFlag);
+}
+
+TEST(Compiler, UpdatePlanOnlyChangedParams)
+{
+    QuantumCircuit c(2);
+    auto p0 = c.addParameter(0.1);
+    auto p1 = c.addParameter(0.2);
+    c.ry(0, ParamRef::symbol(p0));
+    c.ry(1, ParamRef::symbol(p1));
+    QtenonCompiler comp;
+    auto img = comp.compile(c);
+
+    auto plan = comp.planUpdates(img, {0.1, 0.2}, {0.1, 0.9});
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].first, img.paramToReg[1]);
+
+    auto none = comp.planUpdates(img, {0.1, 0.2}, {0.1, 0.2});
+    EXPECT_TRUE(none.empty());
+
+    auto both = comp.planUpdates(img, {0.1, 0.2}, {0.5, 0.6});
+    EXPECT_EQ(both.size(), 2u);
+}
+
+TEST(Compiler, CostsScaleWithWork)
+{
+    auto g = Graph::threeRegular(8);
+    auto small = ansatz::qaoaMaxCut(g, 1);
+    auto big = ansatz::qaoaMaxCut(g, 5);
+    QtenonCompiler comp;
+    auto img_small = comp.compile(small);
+    auto img_big = comp.compile(big);
+    EXPECT_GT(comp.initialCompileCycles(img_big),
+              comp.initialCompileCycles(img_small));
+    EXPECT_GT(comp.incrementalCycles(10), comp.incrementalCycles(1));
+    // The incremental path must be orders cheaper than recompiling.
+    EXPECT_LT(comp.incrementalCycles(2) * 100,
+              comp.initialCompileCycles(img_big));
+}
+
+TEST(Compiler, InstructionCountsMatchRoundStructure)
+{
+    auto g = Graph::threeRegular(64);
+    auto c = ansatz::qaoaMaxCut(g, 5);
+    QtenonCompiler comp;
+    auto img = comp.compile(c);
+    // 10 rounds, 2 updates per round, 1 acquire per round.
+    auto n = QtenonCompiler::countInstructions(img, 10, 2, 1);
+    EXPECT_EQ(n.qSet, 64u);
+    EXPECT_EQ(n.qUpdate, 20u);
+    EXPECT_EQ(n.qGen, 10u);
+    EXPECT_EQ(n.qRun, 10u);
+    EXPECT_EQ(n.qAcquire, 10u);
+    EXPECT_EQ(n.total(), 114u);
+    // Qtenon's count stays in the hundreds (Table 1: ~285 vs ~3e4).
+    EXPECT_LT(n.total(), 1000u);
+}
+
+TEST(BaselineIsa, NativeDecomposition)
+{
+    QuantumCircuit c(2);
+    c.h(0);                              // 1
+    c.rzz(0, 1, ParamRef::literal(0.5)); // 7
+    c.cnot(0, 1);                        // 3
+    c.cz(0, 1);                          // 1
+    c.measure(0);                        // 1
+    BaselineCompiler comp;
+    EXPECT_EQ(comp.nativeGateCount(c), 13u);
+}
+
+TEST(BaselineIsa, FlavorsDifferInDensity)
+{
+    auto g = Graph::threeRegular(16);
+    auto c = ansatz::qaoaMaxCut(g, 3);
+    BaselineCompiler eqasm(BaselineFlavor::EQasm);
+    BaselineCompiler hisep(BaselineFlavor::HisepQ);
+    EXPECT_GT(eqasm.instructionCount(c), hisep.instructionCount(c));
+    EXPECT_EQ(eqasm.binaryBytes(c), eqasm.instructionCount(c) * 4);
+}
+
+TEST(BaselineIsa, Table1InstructionCountScale)
+{
+    // Table 1: 64-qubit QAOA, five layers, ten iterations with a GD
+    // optimizer is ~3e4 instructions for the static ISAs (the count
+    // covers only quantum instructions, recompiled each iteration).
+    auto g = Graph::threeRegular(64);
+    auto c = ansatz::qaoaMaxCut(g, 5);
+    BaselineCompiler hisep(BaselineFlavor::HisepQ);
+    const auto per_compile = hisep.instructionCount(c);
+    const auto ten_iterations = per_compile * 10;
+    EXPECT_GT(ten_iterations, 30000u);
+    EXPECT_LT(ten_iterations, 200000u);
+}
+
+TEST(BaselineIsa, JitTimeDominatedByGateCount)
+{
+    auto g = Graph::threeRegular(32);
+    auto small = ansatz::qaoaMaxCut(g, 1);
+    auto big = ansatz::qaoaMaxCut(g, 5);
+    BaselineCompiler comp;
+    EXPECT_GT(comp.jitCompileTime(big), comp.jitCompileTime(small));
+    // Both in the paper's 1 ms - 100 ms recompile band (Table 1).
+    EXPECT_GE(comp.jitCompileTime(small), 1 * qtenon::sim::msTicks / 2);
+    EXPECT_LE(comp.jitCompileTime(big), 100 * qtenon::sim::msTicks);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the readout-noise decorator and the SLT-disable ablation
+ * path, plus the system-level stats dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "controller/pipeline.hh"
+#include "core/qtenon_system.hh"
+#include "quantum/sampler.hh"
+#include "vqa/driver.hh"
+
+using namespace qtenon;
+using namespace qtenon::quantum;
+using qtenon::sim::Rng;
+
+TEST(NoisyReadout, FlipsAtConfiguredRate)
+{
+    // Deterministic |0...0> state: every observed 1 is a flip.
+    QuantumCircuit c(4);
+    auto sampler = std::make_unique<StatevectorSampler>();
+    NoisyReadoutSampler noisy(std::move(sampler), 0.1);
+    Rng rng(7);
+    auto shots = noisy.sample(c, 20000, rng);
+    double ones = 0;
+    for (auto s : shots)
+        ones += __builtin_popcountll(s);
+    EXPECT_NEAR(ones / (20000.0 * 4.0), 0.1, 0.01);
+}
+
+TEST(NoisyReadout, MarginalAdjustedAnalytically)
+{
+    QuantumCircuit c(1);
+    c.x(0); // P(1) = 1 exactly
+    NoisyReadoutSampler noisy(std::make_unique<StatevectorSampler>(),
+                              0.05);
+    EXPECT_NEAR(noisy.marginalOne(c, 0), 0.95, 1e-12);
+}
+
+TEST(NoisyReadout, ZeroErrorIsTransparent)
+{
+    QuantumCircuit c(2);
+    c.h(0);
+    NoisyReadoutSampler noisy(std::make_unique<StatevectorSampler>(),
+                              0.0);
+    StatevectorSampler clean;
+    Rng r1(3), r2(3);
+    EXPECT_EQ(noisy.sample(c, 100, r1), clean.sample(c, 100, r2));
+}
+
+TEST(NoisyReadout, FactoryWrapsWhenRequested)
+{
+    auto ideal = makeDefaultSampler(4, 20, 0.0);
+    EXPECT_EQ(dynamic_cast<NoisyReadoutSampler *>(ideal.get()),
+              nullptr);
+    auto noisy = makeDefaultSampler(4, 20, 0.02);
+    EXPECT_NE(dynamic_cast<NoisyReadoutSampler *>(noisy.get()),
+              nullptr);
+}
+
+TEST(NoisyReadout, RejectsBadProbability)
+{
+    EXPECT_EXIT(NoisyReadoutSampler(
+                    std::make_unique<StatevectorSampler>(), 0.7),
+                ::testing::ExitedWithCode(1), "flip probability");
+}
+
+TEST(NoisyReadout, DegradesVqeEnergyEstimate)
+{
+    // With readout noise the sampled diagonal energy estimate is
+    // pulled toward zero relative to the ideal estimate.
+    vqa::WorkloadConfig wcfg;
+    wcfg.algorithm = vqa::Algorithm::Vqe;
+    wcfg.numQubits = 6;
+    auto ideal_w = vqa::Workload::build(wcfg);
+    auto noisy_w = vqa::Workload::build(wcfg);
+
+    vqa::DriverConfig dcfg;
+    dcfg.iterations = 2;
+    dcfg.shots = 2000;
+    dcfg.optimizer = vqa::OptimizerKind::Spsa;
+    auto ideal = vqa::VqaDriver(dcfg).run(ideal_w);
+    dcfg.readoutError = 0.15;
+    auto noisy = vqa::VqaDriver(dcfg).run(noisy_w);
+
+    EXPECT_LT(std::abs(noisy.costHistory.back()),
+              std::abs(ideal.costHistory.back()) + 1.0);
+    EXPECT_NE(noisy.costHistory.back(), ideal.costHistory.back());
+}
+
+TEST(SltAblation, DisabledSltRegeneratesEverything)
+{
+    sim::EventQueue eq;
+    memory::QccLayout layout;
+    controller::QuantumControllerCache qcc(
+        eq, "qcc", sim::ClockDomain::fromHz(200'000'000), layout);
+    controller::SkipLookupTable slt(layout.numQubits);
+
+    // 16 entries with the identical parameter on one qubit.
+    std::vector<std::uint64_t> work;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        controller::ProgramEntry e;
+        e.type = 0x8;
+        e.data = 42;
+        const auto qaddr = layout.programAddr(0, i);
+        qcc.writeProgram(qaddr, e);
+        work.push_back(qaddr);
+    }
+
+    controller::PipelineConfig off;
+    off.sltEnabled = false;
+    controller::PulsePipeline pipe_off(qcc, slt, off);
+    auto r_off = pipe_off.run(work);
+    EXPECT_EQ(r_off.pulsesGenerated, 16u);
+    EXPECT_EQ(r_off.sltHits, 0u);
+
+    // Same work with the SLT on: one pulse.
+    for (auto qaddr : work) {
+        auto e = qcc.readProgram(qaddr);
+        e.status = controller::EntryStatus::Invalid;
+        qcc.writeProgram(qaddr, e);
+    }
+    controller::PulsePipeline pipe_on(qcc, slt);
+    auto r_on = pipe_on.run(work);
+    EXPECT_EQ(r_on.pulsesGenerated, 1u);
+    EXPECT_LT(r_on.cycles, r_off.cycles);
+}
+
+TEST(StatsDump, SystemDumpNamesEveryComponent)
+{
+    core::QtenonConfig cfg;
+    cfg.numQubits = 8;
+    core::QtenonSystem sys(cfg);
+
+    auto wcfg = vqa::WorkloadConfig{};
+    wcfg.numQubits = 8;
+    auto w = vqa::Workload::build(wcfg);
+    vqa::DriverConfig dcfg;
+    dcfg.iterations = 1;
+    dcfg.shots = 20;
+    sys.runVqa(w, dcfg);
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    const auto text = os.str();
+    for (const char *key :
+         {"dram.reads", "l2.hits", "bus.transactions",
+          "qc.pulses_generated", "qc.qcc.program_writes",
+          "qc.slt.hits"}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Cycle-level tests of the four-stage pulse pipeline: PGU latency,
+ * parallelism across the 8 PGUs, stalls when all PGUs are busy, SLT
+ * skip behaviour, regfile indirection, and already-valid fast paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "controller/pipeline.hh"
+#include "controller/qcc.hh"
+#include "controller/slt.hh"
+#include "memory/address_map.hh"
+#include "sim/event_queue.hh"
+
+using namespace qtenon::controller;
+using namespace qtenon::sim;
+using qtenon::memory::QccLayout;
+
+namespace {
+
+struct PipelineFixture : public ::testing::Test {
+    PipelineFixture()
+        : qcc(eq, "qcc", ClockDomain::fromHz(200'000'000), QccLayout{}),
+          slt(64)
+    {}
+
+    /** Install @p count entries with distinct data on @p qubit. */
+    std::vector<std::uint64_t>
+    install(std::uint32_t qubit, std::uint32_t count,
+            std::uint32_t data_base = 0, bool distinct = true)
+    {
+        std::vector<std::uint64_t> work;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            ProgramEntry e;
+            e.type = 0x8; // RX
+            e.data = distinct ? data_base + (i << 14) : data_base;
+            e.status = EntryStatus::Invalid;
+            const auto qaddr = qcc.layout().programAddr(qubit, i);
+            qcc.writeProgram(qaddr, e);
+            work.push_back(qaddr);
+        }
+        qcc.setProgramLength(qubit, count);
+        return work;
+    }
+
+    EventQueue eq;
+    QuantumControllerCache qcc;
+    SkipLookupTable slt;
+};
+
+} // namespace
+
+TEST_F(PipelineFixture, SingleEntryTakesPguLatencyPlusOverhead)
+{
+    PulsePipeline pipe(qcc, slt);
+    auto work = install(0, 1);
+    auto r = pipe.run(work);
+    EXPECT_EQ(r.entriesProcessed, 1u);
+    EXPECT_EQ(r.pulsesGenerated, 1u);
+    EXPECT_EQ(r.sltMisses, 1u);
+    // fetch + decode/SLT (+QSpace) + dispatch + 1000 PGU + writeback.
+    EXPECT_GE(r.cycles, 1000u);
+    EXPECT_LE(r.cycles, 1100u);
+}
+
+TEST_F(PipelineFixture, EightEntriesRunOnEightPgusInParallel)
+{
+    PulsePipeline pipe(qcc, slt);
+    auto work = install(0, 8);
+    auto r = pipe.run(work);
+    EXPECT_EQ(r.pulsesGenerated, 8u);
+    // All eight fit in the PGU pool: far less than 8 x 1000 cycles.
+    EXPECT_LT(r.cycles, 2500u);
+}
+
+TEST_F(PipelineFixture, NinthEntryStallsOnBusyPgus)
+{
+    PulsePipeline pipe(qcc, slt);
+    auto work = install(0, 9);
+    auto r = pipe.run(work);
+    EXPECT_EQ(r.pulsesGenerated, 9u);
+    // The ninth must wait for a PGU: roughly two PGU rounds.
+    EXPECT_GE(r.cycles, 2000u);
+    EXPECT_GT(r.pguStallCycles, 0u);
+}
+
+TEST_F(PipelineFixture, ThroughputScalesWithPguCount)
+{
+    auto work = install(0, 64);
+    PipelineConfig one;
+    one.numPgus = 1;
+    PulsePipeline pipe1(qcc, slt, one);
+    auto r1 = pipe1.run(work);
+
+    // Fresh state for the second run.
+    slt.reset();
+    install(0, 64);
+    PipelineConfig eight;
+    eight.numPgus = 8;
+    PulsePipeline pipe8(qcc, slt, eight);
+    auto r8 = pipe8.run(work);
+
+    EXPECT_EQ(r1.pulsesGenerated, 64u);
+    EXPECT_EQ(r8.pulsesGenerated, 64u);
+    EXPECT_GT(r1.cycles, 6 * r8.cycles);
+}
+
+TEST_F(PipelineFixture, RepeatedParameterSkipsViaSlt)
+{
+    PulsePipeline pipe(qcc, slt);
+    // 32 entries, all the same parameter: one pulse suffices.
+    auto work = install(0, 32, /*data_base=*/123, /*distinct=*/false);
+    auto r = pipe.run(work);
+    EXPECT_EQ(r.entriesProcessed, 32u);
+    EXPECT_EQ(r.pulsesGenerated, 1u);
+    EXPECT_EQ(r.sltHits, 31u);
+    EXPECT_GT(r.skipRate(), 0.9);
+    // And the skipped entries all point at the same valid pulse.
+    const auto &layout = qcc.layout();
+    const auto first = qcc.readProgram(layout.programAddr(0, 0));
+    for (std::uint32_t i = 1; i < 32; ++i) {
+        const auto e = qcc.readProgram(layout.programAddr(0, i));
+        EXPECT_EQ(e.qaddr, first.qaddr);
+        EXPECT_EQ(e.status, EntryStatus::Valid);
+    }
+}
+
+TEST_F(PipelineFixture, SecondRunSkipsValidEntries)
+{
+    PulsePipeline pipe(qcc, slt);
+    auto work = install(0, 16);
+    auto first = pipe.run(work);
+    EXPECT_EQ(first.pulsesGenerated, 16u);
+    auto second = pipe.run(work);
+    EXPECT_EQ(second.pulsesGenerated, 0u);
+    EXPECT_EQ(second.skippedValid, 16u);
+    // Without PGU work the walk is a few cycles per entry.
+    EXPECT_LT(second.cycles, 100u);
+}
+
+TEST_F(PipelineFixture, RegfileIndirectionFetchesLiveValue)
+{
+    PulsePipeline pipe(qcc, slt);
+    qcc.writeRegfile(5, 0xABCD);
+    ProgramEntry e;
+    e.type = 0x9; // RY
+    e.regFlag = true;
+    e.data = 5; // regfile slot
+    e.status = EntryStatus::Invalid;
+    const auto qaddr = qcc.layout().programAddr(0, 0);
+    qcc.writeProgram(qaddr, e);
+    qcc.setProgramLength(0, 1);
+
+    auto r1 = pipe.run({qaddr});
+    EXPECT_EQ(r1.pulsesGenerated, 1u);
+
+    // Same regfile value again: SLT hit, no new pulse.
+    auto e2 = qcc.readProgram(qaddr);
+    e2.status = EntryStatus::Invalid;
+    qcc.writeProgram(qaddr, e2);
+    auto r2 = pipe.run({qaddr});
+    EXPECT_EQ(r2.pulsesGenerated, 0u);
+    EXPECT_EQ(r2.sltHits, 1u);
+
+    // New regfile value: regenerate.
+    qcc.writeRegfile(5, 0x1234);
+    auto e3 = qcc.readProgram(qaddr);
+    e3.status = EntryStatus::Invalid;
+    qcc.writeProgram(qaddr, e3);
+    auto r3 = pipe.run({qaddr});
+    EXPECT_EQ(r3.pulsesGenerated, 1u);
+}
+
+TEST_F(PipelineFixture, MultiQubitWorkUsesPerQubitSlts)
+{
+    PulsePipeline pipe(qcc, slt);
+    std::vector<std::uint64_t> work;
+    for (std::uint32_t q = 0; q < 8; ++q) {
+        auto w = install(q, 4, /*data_base=*/77, /*distinct=*/false);
+        work.insert(work.end(), w.begin(), w.end());
+    }
+    auto r = pipe.run(work);
+    // One pulse per qubit (same parameter within a qubit).
+    EXPECT_EQ(r.pulsesGenerated, 8u);
+    EXPECT_EQ(r.sltHits, 24u);
+}
+
+TEST_F(PipelineFixture, RunAllWalksInstalledPrograms)
+{
+    PulsePipeline pipe(qcc, slt);
+    install(0, 4);
+    install(3, 2, 0x100000);
+    auto r = pipe.runAll();
+    EXPECT_EQ(r.entriesProcessed, 6u);
+    EXPECT_EQ(r.pulsesGenerated, 6u);
+}
+
+TEST_F(PipelineFixture, EmptyWorkCompletesInstantly)
+{
+    PulsePipeline pipe(qcc, slt);
+    auto r = pipe.run({});
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.entriesProcessed, 0u);
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests of the packed 65-bit .program entry: field round-trips, the
+ * fixed-point angle codec, and gate-type encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "controller/program_entry.hh"
+#include "sim/random.hh"
+
+using namespace qtenon::controller;
+using qtenon::quantum::GateType;
+using qtenon::sim::Rng;
+
+TEST(ProgramEntry, FieldWidthsMatchTable2)
+{
+    EXPECT_EQ(ProgramEntry::typeBits, 4u);
+    EXPECT_EQ(ProgramEntry::dataBits, 27u);
+    EXPECT_EQ(ProgramEntry::statusBits, 3u);
+    EXPECT_EQ(ProgramEntry::qaddrBits, 30u);
+    EXPECT_EQ(ProgramEntry::totalBits, 65u);
+}
+
+TEST(ProgramEntry, PackUnpackRoundTrip)
+{
+    ProgramEntry e;
+    e.type = 0xB;
+    e.regFlag = true;
+    e.data = 0x5A5A5A5 & ((1u << 27) - 1);
+    e.status = EntryStatus::Valid;
+    e.qaddr = 0x2FaceF & ((1u << 30) - 1);
+
+    std::uint64_t lo, hi;
+    e.pack(lo, hi);
+    const auto back = ProgramEntry::unpack(lo, hi);
+    EXPECT_EQ(back, e);
+}
+
+TEST(ProgramEntry, PackUnpackPropertySweep)
+{
+    Rng rng(2024);
+    for (int i = 0; i < 500; ++i) {
+        ProgramEntry e;
+        e.type = static_cast<std::uint8_t>(rng.index(15));
+        e.regFlag = rng.coin(0.5);
+        e.data = static_cast<std::uint32_t>(rng.index(1u << 27));
+        e.status = static_cast<EntryStatus>(rng.index(3));
+        e.qaddr = static_cast<std::uint32_t>(rng.index(1u << 30));
+        std::uint64_t lo, hi;
+        e.pack(lo, hi);
+        EXPECT_EQ(ProgramEntry::unpack(lo, hi), e);
+        EXPECT_LE(hi, 1u); // exactly one bit beyond 64
+    }
+}
+
+TEST(ProgramEntry, AngleCodecRoundTrip)
+{
+    for (double a : {0.0, 0.1, M_PI / 2, M_PI, -M_PI, 3.9, -2.7}) {
+        const auto code = ProgramEntry::encodeAngle(a);
+        EXPECT_LT(code, 1u << 27);
+        const double back = ProgramEntry::decodeAngle(code);
+        // 27-bit quantization of [-4pi, 4pi) gives ~1e-7 steps.
+        EXPECT_NEAR(back, a, 1e-6) << "angle " << a;
+    }
+}
+
+TEST(ProgramEntry, AngleCodecWrapsPeriodically)
+{
+    // Angles equal mod 8*pi encode identically.
+    const auto a = ProgramEntry::encodeAngle(0.5);
+    const auto b = ProgramEntry::encodeAngle(0.5 + 8.0 * M_PI);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ProgramEntry, DistinctAnglesGetDistinctCodes)
+{
+    EXPECT_NE(ProgramEntry::encodeAngle(0.5),
+              ProgramEntry::encodeAngle(0.5 + 1e-4));
+}
+
+TEST(ProgramEntry, GateTypeCodec)
+{
+    for (int t = 0; t <= static_cast<int>(GateType::Measure); ++t) {
+        const auto gt = static_cast<GateType>(t);
+        EXPECT_EQ(ProgramEntry::decodeType(ProgramEntry::encodeType(gt)),
+                  gt);
+    }
+}

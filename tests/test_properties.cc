@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Randomized property tests across modules: invariants that must
+ * hold for arbitrary inputs, exercised with seeded random sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "controller/barrier.hh"
+#include "controller/pipeline.hh"
+#include "controller/program_entry.hh"
+#include "controller/rbq.hh"
+#include "controller/wbq.hh"
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "quantum/ansatz.hh"
+#include "quantum/sampler.hh"
+#include "sim/random.hh"
+
+using namespace qtenon;
+using namespace qtenon::sim;
+
+// ---------------------------------------------------------------
+// Angle codec: quantization is monotone and bounded-error.
+
+TEST(Property, AngleCodecMonotoneAndBounded)
+{
+    Rng rng(41);
+    for (int i = 0; i < 2000; ++i) {
+        const double a = rng.uniform(-4 * M_PI, 4 * M_PI - 1e-9);
+        const double b = a + rng.uniform(1e-6, 0.1);
+        if (b >= 4 * M_PI)
+            continue;
+        const auto ca = controller::ProgramEntry::encodeAngle(a);
+        const auto cb = controller::ProgramEntry::encodeAngle(b);
+        EXPECT_LE(ca, cb) << a << " vs " << b;
+        EXPECT_NEAR(controller::ProgramEntry::decodeAngle(ca), a,
+                    8.0 * M_PI / (1 << 27) + 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------
+// RBQ: any arrival permutation is released in issue order.
+
+TEST(Property, RbqReleasesInIssueOrderForAnyPermutation)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        controller::ReorderBufferQueue<int> rbq;
+        const int n = 1 + static_cast<int>(rng.index(30));
+        std::vector<std::uint8_t> tags(n);
+        for (int i = 0; i < n; ++i)
+            tags[i] = static_cast<std::uint8_t>(i % 32);
+        for (auto t : tags)
+            rbq.expect(t);
+
+        // Arrivals in a random order of distinct issue slots.
+        std::vector<int> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        std::shuffle(order.begin(), order.end(), rng.engine());
+
+        // Payload = issue index; arrivals must not release a later
+        // issue before an earlier one. Careful: the same tag may be
+        // reused; arrivals for one tag must come in that tag's issue
+        // order, so sort each tag's arrival positions.
+        std::map<std::uint8_t, std::vector<int>> per_tag;
+        for (int idx : order)
+            per_tag[tags[idx]].push_back(idx);
+        for (auto &[t, v] : per_tag)
+            std::sort(v.begin(), v.end());
+        std::map<std::uint8_t, std::size_t> cursor;
+
+        std::vector<int> released;
+        auto deliver = [&](std::uint8_t, const int &v) {
+            released.push_back(v);
+        };
+        for (int idx : order) {
+            const auto tag = tags[idx];
+            const int payload = per_tag[tag][cursor[tag]++];
+            rbq.arrive(tag, payload, deliver);
+        }
+        ASSERT_EQ(released.size(), static_cast<std::size_t>(n));
+        EXPECT_TRUE(std::is_sorted(released.begin(), released.end()));
+        EXPECT_EQ(rbq.pending(), 0u);
+    }
+}
+
+// ---------------------------------------------------------------
+// WBQ: words in == words out (conservation).
+
+TEST(Property, WbqConservesWords)
+{
+    Rng rng(43);
+    for (int trial = 0; trial < 30; ++trial) {
+        controller::WriteBufferQueue wbq(8, 64);
+        std::uint64_t in = 0;
+        std::uint64_t out = 0;
+        for (int step = 0; step < 200; ++step) {
+            const auto words =
+                static_cast<std::uint32_t>(1 + rng.index(8));
+            if (wbq.enqueue(words))
+                in += words;
+            out += wbq.drain(static_cast<std::uint32_t>(rng.index(4)));
+        }
+        out += wbq.drain(10000);
+        EXPECT_EQ(in, out);
+        EXPECT_EQ(wbq.occupancy(), 0u);
+        EXPECT_EQ(wbq.enqueuedWords(), in);
+        EXPECT_EQ(wbq.drainedWords(), out);
+    }
+}
+
+// ---------------------------------------------------------------
+// Barrier: a random mark set answers queries like a reference model.
+
+TEST(Property, BarrierMatchesReferenceBitset)
+{
+    Rng rng(44);
+    for (int trial = 0; trial < 20; ++trial) {
+        controller::MemoryBarrier barrier;
+        std::vector<bool> ref(4096, false);
+        for (int m = 0; m < 40; ++m) {
+            const auto addr = rng.index(4000);
+            const auto size = 1 + rng.index(96);
+            barrier.markSynced(addr, size);
+            for (std::uint64_t b = addr;
+                 b < addr + size && b < ref.size(); ++b) {
+                ref[b] = true;
+            }
+        }
+        for (int q = 0; q < 200; ++q) {
+            const auto addr = rng.index(4000);
+            const auto size = 1 + rng.index(64);
+            bool expect = true;
+            for (std::uint64_t b = addr; b < addr + size; ++b) {
+                if (b >= ref.size() || !ref[b]) {
+                    expect = false;
+                    break;
+                }
+            }
+            EXPECT_EQ(barrier.query(addr, size), expect)
+                << "addr " << addr << " size " << size;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Cache: hits + misses equals accesses; contents match a reference
+// set simulation on the same trace.
+
+TEST(Property, CacheCountsAreConsistent)
+{
+    EventQueue eq;
+    memory::Dram dram(eq, "dram");
+    memory::CacheConfig cfg;
+    cfg.sizeBytes = 1024; // 16 lines, tiny on purpose
+    cfg.associativity = 2;
+    memory::Cache cache(eq, "c", ClockDomain(1000), cfg, &dram);
+
+    Rng rng(45);
+    const int accesses = 500;
+    for (int i = 0; i < accesses; ++i) {
+        memory::MemPacket p;
+        p.addr = rng.index(64) * 64; // 64 distinct lines
+        p.cmd = rng.coin(0.3) ? memory::MemCmd::Write
+                              : memory::MemCmd::Read;
+        cache.access(p, [](Tick) {});
+        eq.run();
+    }
+    EXPECT_EQ(cache.hits.value() + cache.misses.value(),
+              static_cast<double>(accesses));
+    EXPECT_GT(cache.hits.value(), 0.0);
+    EXPECT_GT(cache.misses.value(), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Pipeline: conservation invariants over random programs.
+
+TEST(Property, PipelineConservesEntries)
+{
+    Rng rng(46);
+    for (int trial = 0; trial < 10; ++trial) {
+        EventQueue eq;
+        memory::QccLayout layout;
+        controller::QuantumControllerCache qcc(
+            eq, "qcc", ClockDomain::fromHz(200'000'000), layout);
+        controller::SkipLookupTable slt(layout.numQubits);
+        controller::PulsePipeline pipe(qcc, slt);
+
+        std::vector<std::uint64_t> work;
+        const auto n_entries = 1 + rng.index(200);
+        for (std::uint64_t i = 0; i < n_entries; ++i) {
+            controller::ProgramEntry e;
+            e.type = static_cast<std::uint8_t>(8 + rng.index(3));
+            e.data = static_cast<std::uint32_t>(rng.index(1u << 20));
+            const auto q = static_cast<std::uint32_t>(rng.index(8));
+            const auto idx = static_cast<std::uint32_t>(i % 1024);
+            const auto qaddr = layout.programAddr(q, idx);
+            qcc.writeProgram(qaddr, e);
+            work.push_back(qaddr);
+        }
+
+        auto r = pipe.run(work);
+        // Every entry is processed exactly once.
+        EXPECT_EQ(r.entriesProcessed, work.size());
+        // Pulses never exceed entries; hits+misses = SLT consults.
+        EXPECT_LE(r.pulsesGenerated, r.entriesProcessed);
+        EXPECT_EQ(r.sltHits + r.sltMisses + r.skippedValid,
+                  r.entriesProcessed);
+        // Afterwards every entry is Valid with a valid pulse.
+        for (auto qaddr : work) {
+            const auto e = qcc.readProgram(qaddr);
+            EXPECT_EQ(e.status, controller::EntryStatus::Valid);
+            EXPECT_TRUE(qcc.pulseValid(e.qaddr));
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// QAOA edge waves: the transpiled RZZ schedule touches each qubit at
+// most once per wave (checked through circuit depth).
+
+TEST(Property, QaoaWavesBoundDepth)
+{
+    Rng rng(47);
+    for (std::uint32_t n : {8u, 16u, 32u}) {
+        auto g = quantum::Graph::erdosRenyi(n, 0.2, rng);
+        if (g.numEdges() == 0)
+            continue;
+        auto c = quantum::ansatz::qaoaMaxCut(g, 1, false);
+        // Greedy matching of E edges on max-degree-d graphs needs at
+        // most 2d-1 waves; depth = H + waves + RX.
+        std::vector<std::uint32_t> degree(n, 0);
+        for (const auto &e : g.edges()) {
+            ++degree[e.u];
+            ++degree[e.v];
+        }
+        const auto d = *std::max_element(degree.begin(), degree.end());
+        EXPECT_LE(c.stats().depth, 1u + (2u * d - 1u) + 1u);
+    }
+}
+
+// ---------------------------------------------------------------
+// Mean-field vs statevector: exact agreement on random circuits
+// where each qubit participates in at most one entangler.
+
+TEST(Property, MeanFieldExactForSingleEntanglerCircuits)
+{
+    Rng rng(48);
+    for (int trial = 0; trial < 20; ++trial) {
+        quantum::QuantumCircuit c(6);
+        // Random local pre-rotation layer.
+        for (std::uint32_t q = 0; q < 6; ++q) {
+            c.ry(q, quantum::ParamRef::literal(rng.uniform(-2, 2)));
+            c.rz(q, quantum::ParamRef::literal(rng.uniform(-2, 2)));
+        }
+        // One entangler per disjoint pair.
+        for (std::uint32_t q = 0; q < 6; q += 2) {
+            if (rng.coin(0.5)) {
+                c.rzz(q, q + 1,
+                      quantum::ParamRef::literal(rng.uniform(-2, 2)));
+            } else {
+                c.cz(q, q + 1);
+            }
+        }
+        // Random local post-rotation layer.
+        for (std::uint32_t q = 0; q < 6; ++q)
+            c.rx(q, quantum::ParamRef::literal(rng.uniform(-2, 2)));
+
+        quantum::StatevectorSampler exact;
+        quantum::MeanFieldSampler mf;
+        for (std::uint32_t q = 0; q < 6; ++q) {
+            EXPECT_NEAR(mf.marginalOne(c, q), exact.marginalOne(c, q),
+                        1e-9)
+                << "trial " << trial << " qubit " << q;
+        }
+    }
+}

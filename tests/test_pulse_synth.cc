@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests of the pulse synthesizer: envelope shape, angle scaling,
+ * DRAG quadrature, durations, DAC quantization, and entry packing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "controller/pulse_synth.hh"
+
+using namespace qtenon::controller;
+using qtenon::quantum::GateType;
+
+TEST(PulseSynth, DurationsFollowGateClass)
+{
+    PulseSynthesizer synth;
+    EXPECT_DOUBLE_EQ(synth.durationNs(GateType::RX), 20.0);
+    EXPECT_DOUBLE_EQ(synth.durationNs(GateType::H), 20.0);
+    EXPECT_DOUBLE_EQ(synth.durationNs(GateType::RZZ), 40.0);
+    EXPECT_DOUBLE_EQ(synth.durationNs(GateType::CZ), 40.0);
+    EXPECT_DOUBLE_EQ(synth.durationNs(GateType::Measure), 600.0);
+}
+
+TEST(PulseSynth, SampleCountMatchesRate)
+{
+    PulseSynthesizer synth;
+    // 20 ns at 2 GHz = 40 samples.
+    EXPECT_EQ(synth.synthesize(GateType::RX, M_PI).numSamples(), 40u);
+    EXPECT_EQ(synth.synthesize(GateType::RZZ, 1.0).numSamples(), 80u);
+}
+
+TEST(PulseSynth, GaussianEnvelopePeaksInTheMiddle)
+{
+    PulseSynthesizer synth;
+    auto w = synth.synthesize(GateType::RX, M_PI);
+    const auto n = w.numSamples();
+    // Peak near the center, small at the edges.
+    EXPECT_GT(std::abs(w.i[n / 2]), std::abs(w.i[0]) * 5);
+    EXPECT_GT(std::abs(w.i[n / 2]), std::abs(w.i[n - 1]) * 5);
+    // Symmetric-ish envelope.
+    EXPECT_NEAR(w.i[2], w.i[n - 3], 64);
+}
+
+TEST(PulseSynth, AmplitudeScalesWithAngle)
+{
+    PulseSynthesizer synth;
+    auto full = synth.synthesize(GateType::RX, M_PI);
+    auto half = synth.synthesize(GateType::RX, M_PI / 2.0);
+    const auto mid = full.numSamples() / 2;
+    EXPECT_NEAR(static_cast<double>(half.i[mid]) / full.i[mid], 0.5,
+                0.01);
+    // Negative angles invert the drive.
+    auto neg = synth.synthesize(GateType::RX, -M_PI / 2.0);
+    EXPECT_EQ(neg.i[mid], static_cast<std::int16_t>(-half.i[mid]));
+}
+
+TEST(PulseSynth, DragQuadratureIsOddSymmetric)
+{
+    PulseSynthesizer synth;
+    auto w = synth.synthesize(GateType::RX, M_PI);
+    const auto n = w.numSamples();
+    // Q is the (negated) derivative: antisymmetric around center,
+    // ~zero at the peak.
+    EXPECT_NEAR(w.q[n / 2 - 1] + w.q[n / 2], 0.0, 600);
+    EXPECT_NEAR(w.q[2] + w.q[n - 3], 0.0, 64);
+    // And genuinely nonzero off-center.
+    EXPECT_GT(std::abs(w.q[n / 4]), 100);
+}
+
+TEST(PulseSynth, ZeroAngleIsSilent)
+{
+    PulseSynthesizer synth;
+    auto w = synth.synthesize(GateType::RZ, 0.0);
+    for (auto v : w.i)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(PulseSynth, EntryPacksTwentyIqSamples)
+{
+    PulseSynthesizer synth;
+    auto w = synth.synthesize(GateType::RX, M_PI);
+    auto entry = synth.packEntry(w);
+    // Unpack sample s: word s/2, half s%2.
+    for (std::uint32_t s = 0; s < PulseSynthesizer::samplesPerEntry;
+         ++s) {
+        const auto pair =
+            (entry[s / 2] >> ((s % 2) * 32)) & 0xFFFFFFFFull;
+        const auto iv = static_cast<std::int16_t>(pair & 0xFFFF);
+        const auto qv = static_cast<std::int16_t>(pair >> 16);
+        EXPECT_EQ(iv, w.i[s]) << "sample " << s;
+        EXPECT_EQ(qv, w.q[s]) << "sample " << s;
+    }
+}
+
+TEST(PulseSynth, DistinctAnglesDistinctEntries)
+{
+    PulseSynthesizer synth;
+    auto a = synth.entryFor(GateType::RY, 0.5);
+    auto b = synth.entryFor(GateType::RY, 0.6);
+    EXPECT_NE(a, b);
+    // Deterministic per angle.
+    EXPECT_EQ(a, synth.entryFor(GateType::RY, 0.5));
+}

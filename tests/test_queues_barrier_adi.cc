@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the RBQ (in-order release of out-of-order responses),
+ * the WBQ (width bridging), the soft memory barrier, and the ADI
+ * bandwidth arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "controller/adi.hh"
+#include "controller/barrier.hh"
+#include "controller/rbq.hh"
+#include "controller/wbq.hh"
+
+using namespace qtenon::controller;
+using qtenon::sim::nsTicks;
+
+TEST(Rbq, DeliversInIssueOrder)
+{
+    ReorderBufferQueue<std::string> rbq;
+    std::vector<std::string> delivered;
+    auto deliver = [&](std::uint8_t, const std::string &p) {
+        delivered.push_back(p);
+    };
+
+    rbq.expect(3);
+    rbq.expect(7);
+    rbq.expect(1);
+
+    // Responses arrive out of order.
+    rbq.arrive(7, "b", deliver);
+    EXPECT_TRUE(delivered.empty()); // blocked behind tag 3
+    rbq.arrive(1, "c", deliver);
+    EXPECT_TRUE(delivered.empty());
+    rbq.arrive(3, "a", deliver);
+    EXPECT_EQ(delivered,
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(rbq.pending(), 0u);
+    EXPECT_EQ(rbq.reorderedArrivals(), 2u);
+}
+
+TEST(Rbq, InOrderArrivalsFlowThrough)
+{
+    ReorderBufferQueue<int> rbq;
+    std::vector<int> out;
+    auto deliver = [&](std::uint8_t, const int &v) {
+        out.push_back(v);
+    };
+    for (std::uint8_t t = 0; t < 5; ++t) {
+        rbq.expect(t);
+        rbq.arrive(t, t * 10, deliver);
+    }
+    EXPECT_EQ(out, (std::vector<int>{0, 10, 20, 30, 40}));
+    EXPECT_EQ(rbq.reorderedArrivals(), 0u);
+}
+
+TEST(Rbq, TagsCanBeReused)
+{
+    ReorderBufferQueue<int> rbq;
+    std::vector<int> out;
+    auto deliver = [&](std::uint8_t, const int &v) {
+        out.push_back(v);
+    };
+    rbq.expect(2);
+    rbq.arrive(2, 1, deliver);
+    rbq.expect(2);
+    rbq.arrive(2, 2, deliver);
+    EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(Rbq, TracksMaxOccupancy)
+{
+    ReorderBufferQueue<int> rbq;
+    for (std::uint8_t t = 0; t < 12; ++t)
+        rbq.expect(t);
+    EXPECT_EQ(rbq.maxOccupancy(), 12u);
+}
+
+TEST(Wbq, EnqueueSpreadsAcrossLanes)
+{
+    WriteBufferQueue wbq(8, 16);
+    EXPECT_TRUE(wbq.enqueue(8)); // one full beat = 8 words
+    EXPECT_EQ(wbq.occupancy(), 8u);
+    for (std::uint32_t l = 0; l < 8; ++l)
+        EXPECT_EQ(wbq.laneOccupancy(l), 1u);
+}
+
+TEST(Wbq, DrainsRequestedWords)
+{
+    WriteBufferQueue wbq;
+    wbq.enqueue(8);
+    EXPECT_EQ(wbq.drain(3), 3u);
+    EXPECT_EQ(wbq.occupancy(), 5u);
+    EXPECT_EQ(wbq.drain(10), 5u); // only what remains
+    EXPECT_EQ(wbq.occupancy(), 0u);
+    EXPECT_EQ(wbq.drainedWords(), 8u);
+}
+
+TEST(Wbq, RejectsWhenLaneFull)
+{
+    WriteBufferQueue wbq(8, 2); // shallow lanes
+    EXPECT_TRUE(wbq.enqueue(8));
+    EXPECT_TRUE(wbq.enqueue(8));
+    EXPECT_FALSE(wbq.enqueue(8)); // every lane at depth 2
+    EXPECT_EQ(wbq.fullRejects(), 1u);
+    wbq.drain(8);
+    EXPECT_TRUE(wbq.enqueue(8));
+}
+
+TEST(Wbq, PartialBeatsRotateLanes)
+{
+    WriteBufferQueue wbq(8, 16);
+    wbq.enqueue(3); // lanes 0..2
+    wbq.enqueue(3); // lanes 3..5
+    EXPECT_EQ(wbq.laneOccupancy(0), 1u);
+    EXPECT_EQ(wbq.laneOccupancy(3), 1u);
+    EXPECT_EQ(wbq.laneOccupancy(6), 0u);
+    EXPECT_EQ(wbq.enqueuedWords(), 6u);
+}
+
+TEST(Barrier, UnsyncedUntilMarked)
+{
+    MemoryBarrier b;
+    b.declare(0x1000, 64);
+    EXPECT_FALSE(b.query(0x1000, 8));
+    b.markSynced(0x1000, 64);
+    EXPECT_TRUE(b.query(0x1000, 8));
+    EXPECT_TRUE(b.query(0x1038, 8));
+    EXPECT_FALSE(b.query(0x1040, 8)); // one past the end
+}
+
+TEST(Barrier, MergesAdjacentIntervals)
+{
+    MemoryBarrier b;
+    b.markSynced(0x100, 0x10);
+    b.markSynced(0x110, 0x10); // adjacent
+    b.markSynced(0x200, 0x10); // separate
+    EXPECT_EQ(b.syncedIntervals(), 2u);
+    EXPECT_TRUE(b.query(0x100, 0x20)); // spans the merged pair
+    EXPECT_FALSE(b.query(0x100, 0x110));
+}
+
+TEST(Barrier, MergesOverlappingIntervals)
+{
+    MemoryBarrier b;
+    b.markSynced(0x100, 0x20);
+    b.markSynced(0x110, 0x30); // overlaps the first
+    EXPECT_EQ(b.syncedIntervals(), 1u);
+    EXPECT_TRUE(b.query(0x100, 0x40));
+}
+
+TEST(Barrier, CountsMissQueries)
+{
+    MemoryBarrier b;
+    b.query(0x0);
+    b.markSynced(0x0, 8);
+    b.query(0x0);
+    EXPECT_EQ(b.queries(), 2u);
+    EXPECT_EQ(b.missQueries(), 1u);
+}
+
+TEST(Adi, PaperBandwidthNumbers)
+{
+    AdiModel adi;
+    // 16 bits x 2 DACs x 2 GHz = 64 bits/ns = 8 GB/s per qubit.
+    EXPECT_DOUBLE_EQ(adi.requiredBitsPerNs(), 64.0);
+    // 640-bit entries at 200 MHz = 128 bits/ns supplied.
+    EXPECT_DOUBLE_EQ(adi.suppliedBitsPerNs(), 128.0);
+    EXPECT_TRUE(adi.bandwidthSufficient());
+    // One 640-bit entry plays for 10 ns.
+    EXPECT_EQ(adi.entryPlayTime(), 10 * nsTicks);
+}
+
+TEST(Adi, LatencyComposition)
+{
+    AdiModel adi;
+    EXPECT_EQ(adi.inputLatency(), 100 * nsTicks);
+    EXPECT_EQ(adi.outputLatency(0), 100 * nsTicks);
+    EXPECT_EQ(adi.outputLatency(5), (100 + 50) * nsTicks);
+}
+
+TEST(Adi, UndersizedSramFlagsInsufficientBandwidth)
+{
+    AdiConfig cfg;
+    cfg.sramFreqHz = 50'000'000; // 50 MHz x 640 b = 32 bits/ns < 64
+    AdiModel adi(cfg);
+    EXPECT_FALSE(adi.bandwidthSufficient());
+}

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the measurement samplers (exact vs mean-field) and
+ * the quantum timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/ansatz.hh"
+#include "quantum/sampler.hh"
+#include "quantum/timing.hh"
+#include "sim/random.hh"
+
+using namespace qtenon::quantum;
+using qtenon::sim::Rng;
+using qtenon::sim::nsTicks;
+
+TEST(StatevectorSampler, MatchesMarginals)
+{
+    QuantumCircuit c(2);
+    c.ry(0, ParamRef::literal(2.0 * std::asin(std::sqrt(0.25))));
+    StatevectorSampler s;
+    EXPECT_NEAR(s.marginalOne(c, 0), 0.25, 1e-10);
+    EXPECT_NEAR(s.marginalOne(c, 1), 0.0, 1e-10);
+}
+
+TEST(MeanFieldSampler, ExactForProductCircuits)
+{
+    // No entanglers: mean-field must agree with the exact sampler.
+    QuantumCircuit c(3);
+    c.rx(0, ParamRef::literal(0.8));
+    c.ry(1, ParamRef::literal(1.3));
+    c.h(2);
+    StatevectorSampler exact;
+    MeanFieldSampler mf;
+    for (std::uint32_t q = 0; q < 3; ++q) {
+        EXPECT_NEAR(mf.marginalOne(c, q), exact.marginalOne(c, q),
+                    1e-9)
+            << "qubit " << q;
+    }
+}
+
+TEST(MeanFieldSampler, HandlesLargeRegisters)
+{
+    auto g = Graph::threeRegular(128);
+    auto c = ansatz::qaoaMaxCut(g, 2, false);
+    MeanFieldSampler mf;
+    const double p = mf.marginalOne(c, 64);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+}
+
+TEST(MeanFieldSampler, SamplesFollowMarginals)
+{
+    QuantumCircuit c(2);
+    c.ry(0, ParamRef::literal(2.0 * std::asin(std::sqrt(0.7))));
+    MeanFieldSampler mf;
+    Rng rng(3);
+    auto shots = mf.sample(c, 20000, rng);
+    double ones = 0;
+    for (auto s : shots)
+        if (s & 1)
+            ++ones;
+    EXPECT_NEAR(ones / 20000.0, 0.7, 0.02);
+}
+
+TEST(MeanFieldSampler, SingleRzzReducedStateIsExact)
+{
+    // One entangler between product states: the per-qubit reduced
+    // density matrix (and thus any later local rotation's marginal)
+    // is exact in the mean-field model.
+    for (double theta : {0.3, 1.0, 2.2}) {
+        for (double beta : {0.4, 1.5}) {
+            QuantumCircuit c(2);
+            c.h(0);
+            c.h(1);
+            c.rzz(0, 1, ParamRef::literal(theta));
+            c.rx(0, ParamRef::literal(beta));
+            StatevectorSampler exact;
+            MeanFieldSampler mf;
+            EXPECT_NEAR(mf.marginalOne(c, 0), exact.marginalOne(c, 0),
+                        1e-9)
+                << "theta=" << theta << " beta=" << beta;
+        }
+    }
+}
+
+TEST(MeanFieldSampler, SingleCzReducedStateIsExact)
+{
+    QuantumCircuit c(2);
+    c.ry(0, ParamRef::literal(0.9));
+    c.ry(1, ParamRef::literal(1.7));
+    c.cz(0, 1);
+    c.ry(0, ParamRef::literal(0.6));
+    StatevectorSampler exact;
+    MeanFieldSampler mf;
+    EXPECT_NEAR(mf.marginalOne(c, 0), exact.marginalOne(c, 0), 1e-9);
+    EXPECT_NEAR(mf.marginalOne(c, 1), exact.marginalOne(c, 1), 1e-9);
+}
+
+TEST(MeanFieldSampler, SingleCnotIsExact)
+{
+    QuantumCircuit c(2);
+    c.ry(0, ParamRef::literal(1.1));
+    c.cnot(0, 1);
+    StatevectorSampler exact;
+    MeanFieldSampler mf;
+    // P(target = 1) = P(control = 1) after CNOT from |0>.
+    EXPECT_NEAR(mf.marginalOne(c, 1), exact.marginalOne(c, 1), 1e-9);
+}
+
+TEST(MeanFieldSampler, ParameterSensitivityOnVqeAnsatz)
+{
+    // The optimizer needs cost movement under parameter change even
+    // through the mean-field approximation. (QAOA marginals are
+    // exactly 0.5 by the Z2 bit-flip symmetry, so the hardware-
+    // efficient ansatz is the right probe here.)
+    auto c = ansatz::hardwareEfficient(16, 2, false);
+    MeanFieldSampler mf;
+    std::vector<double> p(c.numParameters(), 0.1);
+    c.setParameters(p);
+    const double a = mf.marginalOne(c, 3);
+    std::fill(p.begin(), p.end(), 0.9);
+    c.setParameters(p);
+    const double b = mf.marginalOne(c, 3);
+    EXPECT_GT(std::abs(a - b), 1e-4);
+}
+
+TEST(MeanFieldSampler, QaoaMarginalsRespectBitFlipSymmetry)
+{
+    // MAX-CUT QAOA states are invariant under flipping every qubit,
+    // so every per-qubit marginal must be exactly one half - which
+    // the product-state model reproduces.
+    auto g = Graph::threeRegular(8);
+    auto c = ansatz::qaoaMaxCut(g, 2, false);
+    c.setParameters({0.4, 0.7, 1.1, 0.2});
+    MeanFieldSampler mf;
+    for (std::uint32_t q = 0; q < 8; ++q)
+        EXPECT_NEAR(mf.marginalOne(c, q), 0.5, 1e-9);
+}
+
+TEST(DefaultSampler, PicksBackendBySize)
+{
+    auto small = makeDefaultSampler(8, 20);
+    EXPECT_NE(dynamic_cast<StatevectorSampler *>(small.get()), nullptr);
+    auto large = makeDefaultSampler(64, 20);
+    EXPECT_NE(dynamic_cast<MeanFieldSampler *>(large.get()), nullptr);
+}
+
+TEST(Timing, SingleGateDurations)
+{
+    GateTiming t;
+    QuantumTimingModel model(t);
+
+    QuantumCircuit one(1);
+    one.h(0);
+    EXPECT_EQ(model.schedule(one).duration, 20 * nsTicks);
+
+    QuantumCircuit two(2);
+    two.cz(0, 1);
+    EXPECT_EQ(model.schedule(two).duration, 40 * nsTicks);
+
+    QuantumCircuit meas(1);
+    meas.measure(0);
+    EXPECT_EQ(model.schedule(meas).duration, 1200 * nsTicks);
+}
+
+TEST(Timing, ParallelGatesShareTime)
+{
+    QuantumTimingModel model;
+    QuantumCircuit c(4);
+    for (std::uint32_t q = 0; q < 4; ++q)
+        c.h(q);
+    // All four H run in parallel on distinct qubits.
+    EXPECT_EQ(model.schedule(c).duration, 20 * nsTicks);
+}
+
+TEST(Timing, SerialChainAccumulates)
+{
+    QuantumTimingModel model;
+    QuantumCircuit c(2);
+    c.h(0);          // 20
+    c.cz(0, 1);      // +40
+    c.h(1);          // +20 on q1
+    auto s = model.schedule(c);
+    EXPECT_EQ(s.duration, 80 * nsTicks);
+    EXPECT_EQ(s.gateTime, 80 * nsTicks);
+}
+
+TEST(Timing, MeasureTimeSeparated)
+{
+    QuantumTimingModel model;
+    QuantumCircuit c(2);
+    c.h(0);
+    c.measureAll();
+    auto s = model.schedule(c);
+    EXPECT_EQ(s.duration, (20 + 1200) * nsTicks);
+    EXPECT_EQ(s.measureTime, s.duration - s.gateTime);
+}
+
+TEST(Timing, ShotsScaleLinearly)
+{
+    QuantumTimingModel model;
+    QuantumCircuit c(1);
+    c.h(0);
+    c.measure(0);
+    EXPECT_EQ(model.shotsDuration(c, 500),
+              500u * (20 + 1200) * nsTicks);
+}
+
+class QaoaLayerSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(QaoaLayerSweep, DurationGrowsWithLayers)
+{
+    const auto layers = GetParam();
+    QuantumTimingModel model;
+    auto g = Graph::threeRegular(8);
+    auto c1 = ansatz::qaoaMaxCut(g, layers);
+    auto c2 = ansatz::qaoaMaxCut(g, layers + 1);
+    EXPECT_LT(model.schedule(c1).duration, model.schedule(c2).duration);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, QaoaLayerSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));

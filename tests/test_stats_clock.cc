@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the statistics package and clock-domain arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace qtenon::sim;
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Scalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(1.0);
+    a.sample(3.0);
+    a.sample(5.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0);
+    h.sample(0.0);
+    h.sample(5.5);
+    h.sample(9.999);
+    h.sample(10.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(StatGroup, DumpsRegisteredStats)
+{
+    StatGroup g("unit");
+    Scalar s;
+    s += 7;
+    g.registerScalar(&s, "counter", "a counter");
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("unit.counter 7"), std::string::npos);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(ClockDomain, PeriodFromHz)
+{
+    auto d = ClockDomain::fromHz(1'000'000'000ull); // 1 GHz
+    EXPECT_EQ(d.period(), 1000u);                   // 1 ns in ps
+    auto d2 = ClockDomain::fromHz(200'000'000ull);  // 200 MHz
+    EXPECT_EQ(d2.period(), 5000u);                  // 5 ns
+}
+
+TEST(ClockDomain, ClockEdgeRoundsUp)
+{
+    ClockDomain d(1000);
+    EXPECT_EQ(d.clockEdgeAt(0), 0u);
+    EXPECT_EQ(d.clockEdgeAt(1), 1000u);
+    EXPECT_EQ(d.clockEdgeAt(999), 1000u);
+    EXPECT_EQ(d.clockEdgeAt(1000), 1000u);
+    EXPECT_EQ(d.clockEdgeAt(1001, 2), 4000u);
+}
+
+TEST(ClockDomain, CycleConversions)
+{
+    ClockDomain d(5000); // 200 MHz
+    EXPECT_EQ(d.cyclesToTicks(3), 15000u);
+    EXPECT_EQ(d.ticksToCycles(15000), 3u);
+    EXPECT_EQ(d.ticksToCycles(15001), 4u);
+    EXPECT_EQ(d.cyclesAt(14999), 2u);
+}
+
+TEST(Clocked, TracksItsDomain)
+{
+    EventQueue eq;
+    Clocked c(eq, "clk", ClockDomain(2000));
+    EXPECT_EQ(c.clockPeriod(), 2000u);
+    EXPECT_EQ(c.curCycle(), 0u);
+    eq.run(5000);
+    EXPECT_EQ(c.curCycle(), 2u);
+    EXPECT_EQ(c.clockEdge(1), 8000u);
+}
+
+TEST(Types, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ(ticksToNs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToUs(2'500'000), 2.5);
+    EXPECT_DOUBLE_EQ(ticksToMs(3 * msTicks), 3.0);
+    EXPECT_DOUBLE_EQ(ticksToS(sTicks / 2), 0.5);
+    EXPECT_EQ(periodFromHz(2'000'000'000ull), 500u);
+}

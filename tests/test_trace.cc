@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests of the debug-trace facility: flag parsing, output routing,
+ * and integration with controller trace points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "controller/controller.hh"
+#include "memory/dram.hh"
+#include "sim/trace.hh"
+
+using namespace qtenon;
+using namespace qtenon::sim;
+
+namespace {
+
+/** RAII: capture trace output and restore state afterwards. */
+struct TraceCapture {
+    TraceCapture() { trace::setStream(&os); }
+    ~TraceCapture()
+    {
+        trace::setStream(nullptr);
+        for (std::uint32_t f = 0;
+             f < static_cast<std::uint32_t>(trace::Flag::NumFlags);
+             ++f) {
+            trace::setFlag(static_cast<trace::Flag>(f), false);
+        }
+    }
+    std::ostringstream os;
+};
+
+} // namespace
+
+TEST(Trace, DisabledFlagsEmitNothing)
+{
+    TraceCapture cap;
+    trace::log(trace::Flag::Bus, 100, "unit", "hello");
+    EXPECT_TRUE(cap.os.str().empty());
+}
+
+TEST(Trace, EnabledFlagEmitsFormattedRecord)
+{
+    TraceCapture cap;
+    trace::setFlag(trace::Flag::Bus, true);
+    trace::log(trace::Flag::Bus, 1234, "bus0", "beat ", 7);
+    const auto text = cap.os.str();
+    EXPECT_NE(text.find("1234: bus0: [Bus] beat 7"),
+              std::string::npos);
+}
+
+TEST(Trace, EnableFromStringList)
+{
+    TraceCapture cap;
+    trace::enableFromString("Slt,Pipeline");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Slt));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Pipeline));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Bus));
+}
+
+TEST(Trace, EnableAll)
+{
+    TraceCapture cap;
+    trace::enableFromString("all");
+    EXPECT_TRUE(trace::enabled(trace::Flag::EventQueue));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Executor));
+}
+
+TEST(Trace, ControllerTracePointsFire)
+{
+    TraceCapture cap;
+    trace::setFlag(trace::Flag::Controller, true);
+
+    EventQueue eq;
+    memory::Dram dram(eq, "dram");
+    memory::TileLinkBus bus(eq, "bus",
+                            ClockDomain::fromHz(1'000'000'000),
+                            memory::TileLinkConfig{}, &dram);
+    controller::ControllerConfig cfg;
+    cfg.layout.numQubits = 4;
+    controller::QuantumController ctrl(eq, "qc", cfg, &bus);
+
+    ctrl.roccWrite(cfg.layout.regfileAddr(2), 0x55);
+    const auto text = cap.os.str();
+    EXPECT_NE(text.find("q_update regfile[2]"), std::string::npos);
+    EXPECT_NE(text.find("qc"), std::string::npos);
+}
