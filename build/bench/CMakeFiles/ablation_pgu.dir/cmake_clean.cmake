@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pgu.dir/ablation_pgu.cc.o"
+  "CMakeFiles/ablation_pgu.dir/ablation_pgu.cc.o.d"
+  "ablation_pgu"
+  "ablation_pgu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pgu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

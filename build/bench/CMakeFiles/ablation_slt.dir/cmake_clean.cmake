@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slt.dir/ablation_slt.cc.o"
+  "CMakeFiles/ablation_slt.dir/ablation_slt.cc.o.d"
+  "ablation_slt"
+  "ablation_slt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

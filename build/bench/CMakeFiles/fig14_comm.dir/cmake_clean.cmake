@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_comm.dir/fig14_comm.cc.o"
+  "CMakeFiles/fig14_comm.dir/fig14_comm.cc.o.d"
+  "fig14_comm"
+  "fig14_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

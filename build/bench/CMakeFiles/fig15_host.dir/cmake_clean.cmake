@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_host.dir/fig15_host.cc.o"
+  "CMakeFiles/fig15_host.dir/fig15_host.cc.o.d"
+  "fig15_host"
+  "fig15_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

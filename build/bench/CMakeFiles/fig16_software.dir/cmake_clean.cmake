@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_software.dir/fig16_software.cc.o"
+  "CMakeFiles/fig16_software.dir/fig16_software.cc.o.d"
+  "fig16_software"
+  "fig16_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

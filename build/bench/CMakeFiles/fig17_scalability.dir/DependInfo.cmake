@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_scalability.cc" "bench/CMakeFiles/fig17_scalability.dir/fig17_scalability.cc.o" "gcc" "bench/CMakeFiles/fig17_scalability.dir/fig17_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qtenon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/qtenon_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vqa/CMakeFiles/qtenon_vqa.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/qtenon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/qtenon_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/qtenon_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qtenon_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/qtenon_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qtenon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_qcc_config.dir/table2_qcc_config.cc.o"
+  "CMakeFiles/table2_qcc_config.dir/table2_qcc_config.cc.o.d"
+  "table2_qcc_config"
+  "table2_qcc_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_qcc_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

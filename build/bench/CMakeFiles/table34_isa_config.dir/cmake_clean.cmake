@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table34_isa_config.dir/table34_isa_config.cc.o"
+  "CMakeFiles/table34_isa_config.dir/table34_isa_config.cc.o.d"
+  "table34_isa_config"
+  "table34_isa_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table34_isa_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

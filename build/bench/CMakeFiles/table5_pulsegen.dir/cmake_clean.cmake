@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pulsegen.dir/table5_pulsegen.cc.o"
+  "CMakeFiles/table5_pulsegen.dir/table5_pulsegen.cc.o.d"
+  "table5_pulsegen"
+  "table5_pulsegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pulsegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

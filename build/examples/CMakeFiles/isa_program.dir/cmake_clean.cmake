@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_program.dir/isa_program.cpp.o"
+  "CMakeFiles/isa_program.dir/isa_program.cpp.o.d"
+  "isa_program"
+  "isa_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max2sat.dir/max2sat.cpp.o"
+  "CMakeFiles/max2sat.dir/max2sat.cpp.o.d"
+  "max2sat"
+  "max2sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max2sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

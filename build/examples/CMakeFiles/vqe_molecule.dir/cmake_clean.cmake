@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_molecule.dir/vqe_molecule.cpp.o"
+  "CMakeFiles/vqe_molecule.dir/vqe_molecule.cpp.o.d"
+  "vqe_molecule"
+  "vqe_molecule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_molecule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

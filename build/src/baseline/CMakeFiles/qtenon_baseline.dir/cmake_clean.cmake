@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtenon_baseline.dir/decoupled_system.cc.o"
+  "CMakeFiles/qtenon_baseline.dir/decoupled_system.cc.o.d"
+  "libqtenon_baseline.a"
+  "libqtenon_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtenon_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

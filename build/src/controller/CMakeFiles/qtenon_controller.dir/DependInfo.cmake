@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/controller.cc" "src/controller/CMakeFiles/qtenon_controller.dir/controller.cc.o" "gcc" "src/controller/CMakeFiles/qtenon_controller.dir/controller.cc.o.d"
+  "/root/repo/src/controller/pipeline.cc" "src/controller/CMakeFiles/qtenon_controller.dir/pipeline.cc.o" "gcc" "src/controller/CMakeFiles/qtenon_controller.dir/pipeline.cc.o.d"
+  "/root/repo/src/controller/program_entry.cc" "src/controller/CMakeFiles/qtenon_controller.dir/program_entry.cc.o" "gcc" "src/controller/CMakeFiles/qtenon_controller.dir/program_entry.cc.o.d"
+  "/root/repo/src/controller/pulse_synth.cc" "src/controller/CMakeFiles/qtenon_controller.dir/pulse_synth.cc.o" "gcc" "src/controller/CMakeFiles/qtenon_controller.dir/pulse_synth.cc.o.d"
+  "/root/repo/src/controller/qcc.cc" "src/controller/CMakeFiles/qtenon_controller.dir/qcc.cc.o" "gcc" "src/controller/CMakeFiles/qtenon_controller.dir/qcc.cc.o.d"
+  "/root/repo/src/controller/slt.cc" "src/controller/CMakeFiles/qtenon_controller.dir/slt.cc.o" "gcc" "src/controller/CMakeFiles/qtenon_controller.dir/slt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/qtenon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/qtenon_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qtenon_quantum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

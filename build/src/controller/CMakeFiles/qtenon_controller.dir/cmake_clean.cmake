@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtenon_controller.dir/controller.cc.o"
+  "CMakeFiles/qtenon_controller.dir/controller.cc.o.d"
+  "CMakeFiles/qtenon_controller.dir/pipeline.cc.o"
+  "CMakeFiles/qtenon_controller.dir/pipeline.cc.o.d"
+  "CMakeFiles/qtenon_controller.dir/program_entry.cc.o"
+  "CMakeFiles/qtenon_controller.dir/program_entry.cc.o.d"
+  "CMakeFiles/qtenon_controller.dir/pulse_synth.cc.o"
+  "CMakeFiles/qtenon_controller.dir/pulse_synth.cc.o.d"
+  "CMakeFiles/qtenon_controller.dir/qcc.cc.o"
+  "CMakeFiles/qtenon_controller.dir/qcc.cc.o.d"
+  "CMakeFiles/qtenon_controller.dir/slt.cc.o"
+  "CMakeFiles/qtenon_controller.dir/slt.cc.o.d"
+  "libqtenon_controller.a"
+  "libqtenon_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtenon_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtenon_core.dir/experiment.cc.o"
+  "CMakeFiles/qtenon_core.dir/experiment.cc.o.d"
+  "CMakeFiles/qtenon_core.dir/qtenon_system.cc.o"
+  "CMakeFiles/qtenon_core.dir/qtenon_system.cc.o.d"
+  "libqtenon_core.a"
+  "libqtenon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtenon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

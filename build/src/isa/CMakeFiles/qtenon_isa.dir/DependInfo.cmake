@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/qtenon_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/qtenon_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/baseline_isa.cc" "src/isa/CMakeFiles/qtenon_isa.dir/baseline_isa.cc.o" "gcc" "src/isa/CMakeFiles/qtenon_isa.dir/baseline_isa.cc.o.d"
+  "/root/repo/src/isa/compiler.cc" "src/isa/CMakeFiles/qtenon_isa.dir/compiler.cc.o" "gcc" "src/isa/CMakeFiles/qtenon_isa.dir/compiler.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/qtenon_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/qtenon_isa.dir/encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/qtenon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qtenon_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/qtenon_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/qtenon_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

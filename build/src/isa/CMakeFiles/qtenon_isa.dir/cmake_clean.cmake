@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtenon_isa.dir/assembler.cc.o"
+  "CMakeFiles/qtenon_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/qtenon_isa.dir/baseline_isa.cc.o"
+  "CMakeFiles/qtenon_isa.dir/baseline_isa.cc.o.d"
+  "CMakeFiles/qtenon_isa.dir/compiler.cc.o"
+  "CMakeFiles/qtenon_isa.dir/compiler.cc.o.d"
+  "CMakeFiles/qtenon_isa.dir/encoding.cc.o"
+  "CMakeFiles/qtenon_isa.dir/encoding.cc.o.d"
+  "libqtenon_isa.a"
+  "libqtenon_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtenon_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

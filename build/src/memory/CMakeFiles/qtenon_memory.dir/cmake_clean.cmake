@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtenon_memory.dir/cache.cc.o"
+  "CMakeFiles/qtenon_memory.dir/cache.cc.o.d"
+  "CMakeFiles/qtenon_memory.dir/dram.cc.o"
+  "CMakeFiles/qtenon_memory.dir/dram.cc.o.d"
+  "CMakeFiles/qtenon_memory.dir/tilelink.cc.o"
+  "CMakeFiles/qtenon_memory.dir/tilelink.cc.o.d"
+  "libqtenon_memory.a"
+  "libqtenon_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtenon_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quantum/ansatz.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/ansatz.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/ansatz.cc.o.d"
+  "/root/repo/src/quantum/circuit.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/circuit.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/circuit.cc.o.d"
+  "/root/repo/src/quantum/density_matrix.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/density_matrix.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/density_matrix.cc.o.d"
+  "/root/repo/src/quantum/draw.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/draw.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/draw.cc.o.d"
+  "/root/repo/src/quantum/dynamic.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/dynamic.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/dynamic.cc.o.d"
+  "/root/repo/src/quantum/gate.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/gate.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/gate.cc.o.d"
+  "/root/repo/src/quantum/graph.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/graph.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/graph.cc.o.d"
+  "/root/repo/src/quantum/mapping.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/mapping.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/mapping.cc.o.d"
+  "/root/repo/src/quantum/molecule.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/molecule.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/molecule.cc.o.d"
+  "/root/repo/src/quantum/pauli.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/pauli.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/pauli.cc.o.d"
+  "/root/repo/src/quantum/qasm.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/qasm.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/qasm.cc.o.d"
+  "/root/repo/src/quantum/sampler.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/sampler.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/sampler.cc.o.d"
+  "/root/repo/src/quantum/sat.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/sat.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/sat.cc.o.d"
+  "/root/repo/src/quantum/stabilizer.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/stabilizer.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/stabilizer.cc.o.d"
+  "/root/repo/src/quantum/statevector.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/statevector.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/statevector.cc.o.d"
+  "/root/repo/src/quantum/timing.cc" "src/quantum/CMakeFiles/qtenon_quantum.dir/timing.cc.o" "gcc" "src/quantum/CMakeFiles/qtenon_quantum.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/qtenon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtenon_runtime.dir/executor.cc.o"
+  "CMakeFiles/qtenon_runtime.dir/executor.cc.o.d"
+  "libqtenon_runtime.a"
+  "libqtenon_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtenon_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

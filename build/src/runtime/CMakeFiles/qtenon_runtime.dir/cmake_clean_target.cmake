@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqtenon_runtime.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtenon_sim.dir/event_queue.cc.o"
+  "CMakeFiles/qtenon_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/qtenon_sim.dir/logging.cc.o"
+  "CMakeFiles/qtenon_sim.dir/logging.cc.o.d"
+  "CMakeFiles/qtenon_sim.dir/stats.cc.o"
+  "CMakeFiles/qtenon_sim.dir/stats.cc.o.d"
+  "CMakeFiles/qtenon_sim.dir/trace.cc.o"
+  "CMakeFiles/qtenon_sim.dir/trace.cc.o.d"
+  "libqtenon_sim.a"
+  "libqtenon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtenon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vqa/cost.cc" "src/vqa/CMakeFiles/qtenon_vqa.dir/cost.cc.o" "gcc" "src/vqa/CMakeFiles/qtenon_vqa.dir/cost.cc.o.d"
+  "/root/repo/src/vqa/driver.cc" "src/vqa/CMakeFiles/qtenon_vqa.dir/driver.cc.o" "gcc" "src/vqa/CMakeFiles/qtenon_vqa.dir/driver.cc.o.d"
+  "/root/repo/src/vqa/measurement.cc" "src/vqa/CMakeFiles/qtenon_vqa.dir/measurement.cc.o" "gcc" "src/vqa/CMakeFiles/qtenon_vqa.dir/measurement.cc.o.d"
+  "/root/repo/src/vqa/mitigation.cc" "src/vqa/CMakeFiles/qtenon_vqa.dir/mitigation.cc.o" "gcc" "src/vqa/CMakeFiles/qtenon_vqa.dir/mitigation.cc.o.d"
+  "/root/repo/src/vqa/optimizer.cc" "src/vqa/CMakeFiles/qtenon_vqa.dir/optimizer.cc.o" "gcc" "src/vqa/CMakeFiles/qtenon_vqa.dir/optimizer.cc.o.d"
+  "/root/repo/src/vqa/workload.cc" "src/vqa/CMakeFiles/qtenon_vqa.dir/workload.cc.o" "gcc" "src/vqa/CMakeFiles/qtenon_vqa.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/qtenon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/qtenon_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/qtenon_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/qtenon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/qtenon_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/qtenon_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtenon_vqa.dir/cost.cc.o"
+  "CMakeFiles/qtenon_vqa.dir/cost.cc.o.d"
+  "CMakeFiles/qtenon_vqa.dir/driver.cc.o"
+  "CMakeFiles/qtenon_vqa.dir/driver.cc.o.d"
+  "CMakeFiles/qtenon_vqa.dir/measurement.cc.o"
+  "CMakeFiles/qtenon_vqa.dir/measurement.cc.o.d"
+  "CMakeFiles/qtenon_vqa.dir/mitigation.cc.o"
+  "CMakeFiles/qtenon_vqa.dir/mitigation.cc.o.d"
+  "CMakeFiles/qtenon_vqa.dir/optimizer.cc.o"
+  "CMakeFiles/qtenon_vqa.dir/optimizer.cc.o.d"
+  "CMakeFiles/qtenon_vqa.dir/workload.cc.o"
+  "CMakeFiles/qtenon_vqa.dir/workload.cc.o.d"
+  "libqtenon_vqa.a"
+  "libqtenon_vqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtenon_vqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

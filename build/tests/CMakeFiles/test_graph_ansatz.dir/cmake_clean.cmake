@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_ansatz.dir/test_graph_ansatz.cc.o"
+  "CMakeFiles/test_graph_ansatz.dir/test_graph_ansatz.cc.o.d"
+  "test_graph_ansatz"
+  "test_graph_ansatz.pdb"
+  "test_graph_ansatz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_ansatz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_ablation.dir/test_noise_ablation.cc.o"
+  "CMakeFiles/test_noise_ablation.dir/test_noise_ablation.cc.o.d"
+  "test_noise_ablation"
+  "test_noise_ablation.pdb"
+  "test_noise_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pauli_molecule.dir/test_pauli_molecule.cc.o"
+  "CMakeFiles/test_pauli_molecule.dir/test_pauli_molecule.cc.o.d"
+  "test_pauli_molecule"
+  "test_pauli_molecule.pdb"
+  "test_pauli_molecule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pauli_molecule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

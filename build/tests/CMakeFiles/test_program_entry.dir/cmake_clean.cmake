@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program_entry.dir/test_program_entry.cc.o"
+  "CMakeFiles/test_program_entry.dir/test_program_entry.cc.o.d"
+  "test_program_entry"
+  "test_program_entry.pdb"
+  "test_program_entry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pulse_synth.dir/test_pulse_synth.cc.o"
+  "CMakeFiles/test_pulse_synth.dir/test_pulse_synth.cc.o.d"
+  "test_pulse_synth"
+  "test_pulse_synth.pdb"
+  "test_pulse_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pulse_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qcc.dir/test_qcc.cc.o"
+  "CMakeFiles/test_qcc.dir/test_qcc.cc.o.d"
+  "test_qcc"
+  "test_qcc.pdb"
+  "test_qcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queues_barrier_adi.dir/test_queues_barrier_adi.cc.o"
+  "CMakeFiles/test_queues_barrier_adi.dir/test_queues_barrier_adi.cc.o.d"
+  "test_queues_barrier_adi"
+  "test_queues_barrier_adi.pdb"
+  "test_queues_barrier_adi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queues_barrier_adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampler_timing.dir/test_sampler_timing.cc.o"
+  "CMakeFiles/test_sampler_timing.dir/test_sampler_timing.cc.o.d"
+  "test_sampler_timing"
+  "test_sampler_timing.pdb"
+  "test_sampler_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampler_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

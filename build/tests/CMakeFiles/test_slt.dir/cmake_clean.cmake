@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slt.dir/test_slt.cc.o"
+  "CMakeFiles/test_slt.dir/test_slt.cc.o.d"
+  "test_slt"
+  "test_slt.pdb"
+  "test_slt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_clock.dir/test_stats_clock.cc.o"
+  "CMakeFiles/test_stats_clock.dir/test_stats_clock.cc.o.d"
+  "test_stats_clock"
+  "test_stats_clock.pdb"
+  "test_stats_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
