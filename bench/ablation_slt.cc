@@ -4,64 +4,98 @@
  * and sweeps its geometry (ways x entries) on a 64-qubit QAOA GD
  * run, reporting pulses computed, SLT hit rate, and pulse-generation
  * time - isolating how much of Table 5's reduction the SLT itself
- * contributes.
+ * contributes. One job per geometry on the batch experiment
+ * service.
  */
 
 #include "bench_util.hh"
+#include "service/batch_scheduler.hh"
+#include "service/sweep.hh"
+#include "sweep_cli.hh"
 
 using namespace qtenon;
 using namespace qtenon::bench;
 
 namespace {
 
-void
-run(const char *label, bool slt_enabled, std::uint32_t ways,
-    std::uint32_t entries, const runtime::VqaTrace &trace,
-    const vqa::Workload &workload,
-    const core::ComparisonConfig &cfg)
-{
-    auto qcfg = cfg.qtenon;
-    qcfg.numQubits = 64;
-    qcfg.pipeline.sltEnabled = slt_enabled;
-    qcfg.slt.ways = ways;
-    qcfg.slt.entriesPerWay = entries;
-    core::QtenonSystem sys(qcfg);
-    auto exec = sys.execute(trace, workload.circuit);
-
-    const auto &slt = sys.controller().slt();
-    const double lookups = static_cast<double>(slt.hits + slt.misses);
-    std::printf("%-22s %10.0f %9.1f%% %12s %12s\n", label,
-                sys.controller().pulsesGenerated.value(),
-                lookups > 0 ? 100.0 * slt.hits / lookups : 0.0,
-                core::formatTime(exec.setup.pulseGen +
-                                 exec.rounds.pulseGen).c_str(),
-                core::formatTime(exec.rounds.wall).c_str());
-}
+struct Geometry {
+    const char *label;
+    bool enabled;
+    std::uint32_t ways;
+    std::uint32_t entries;
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cli = parseSweepCli(argc, argv);
+    const auto n = cli.qubitsOr({64}).front();
+
     banner("Ablation: Skip Lookup Table, 64-qubit QAOA + GD");
 
+    const Geometry geometries[] = {
+        {"SLT disabled", false, 2, 128},
+        {"1 way x 32", true, 1, 32},
+        {"1 way x 128", true, 1, 128},
+        {"2 ways x 128 (paper)", true, 2, 128},
+        {"4 ways x 256", true, 4, 256},
+    };
+
+    service::JobSpec proto;
     auto cfg = paperConfig(vqa::Algorithm::Qaoa,
-                           vqa::OptimizerKind::GradientDescent, 64);
-    auto workload = vqa::Workload::build(cfg.workload);
-    vqa::VqaDriver driver(cfg.driver);
-    auto trace = driver.run(workload);
+                           vqa::OptimizerKind::GradientDescent, n);
+    proto.workload = cfg.workload;
+    proto.driver = cfg.driver;
+    proto.driver.seed = cli.seed;
+    proto.deriveSeedFromJobId = false; // figure parity
+    proto.qtenon = cfg.qtenon;
+
+    std::vector<service::SweepVariant> slt_axis;
+    for (const auto &g : geometries) {
+        slt_axis.push_back(
+            {g.label, [g](service::JobSpec &s) {
+                 s.qtenon.pipeline.sltEnabled = g.enabled;
+                 s.qtenon.slt.ways = g.ways;
+                 s.qtenon.slt.entriesPerWay = g.entries;
+             }});
+    }
+
+    service::BatchScheduler sched(cli.schedulerConfig());
+    auto handles = sched.submitAll(service::Sweep("ablation-slt")
+                                       .base(std::move(proto))
+                                       .qubits({n})
+                                       .axis(std::move(slt_axis))
+                                       .build());
+    auto &store = sched.wait();
 
     std::printf("%-22s %10s %10s %12s %12s\n", "configuration",
                 "pulses", "hit rate", "pulse time", "rounds wall");
-    run("SLT disabled", false, 2, 128, trace, workload, cfg);
-    run("1 way x 32", true, 1, 32, trace, workload, cfg);
-    run("1 way x 128", true, 1, 128, trace, workload, cfg);
-    run("2 ways x 128 (paper)", true, 2, 128, trace, workload, cfg);
-    run("4 ways x 256", true, 4, 256, trace, workload, cfg);
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        const auto r = store.get(handles[i].id);
+        if (r.status != service::JobStatus::Ok)
+            sim::fatal("job '", r.name, "' ",
+                       service::jobStatusName(r.status), ": ",
+                       r.error);
+        const auto &sys = r.systems.at(0);
+        const double lookups =
+            static_cast<double>(sys.sltHits + sys.sltMisses);
+        std::printf("%-22s %10.0f %9.1f%% %12s %12s\n",
+                    geometries[i].label, sys.pulsesGenerated,
+                    lookups > 0
+                        ? 100.0 * static_cast<double>(sys.sltHits) /
+                            lookups
+                        : 0.0,
+                    core::formatTime(sys.setup.pulseGen +
+                                     sys.rounds.pulseGen).c_str(),
+                    core::formatTime(sys.rounds.wall).c_str());
+    }
 
     std::printf("\nexpectation: disabling the SLT multiplies computed "
                 "pulses by the per-qubit parameter reuse factor; the "
                 "paper's 2x128 geometry already captures nearly all "
                 "reuse\n");
+    cli.finish(sched);
     return 0;
 }

@@ -3,7 +3,9 @@
  * Figure 11 reproduction: classical-execution and end-to-end speedup
  * of Qtenon (Rocket and BOOM-L hosts) over the decoupled baseline,
  * running QAOA/VQE/QNN with the gradient-descent (parameter-shift)
- * optimizer across 8..64 qubits.
+ * optimizer across 8..64 qubits. The 24 sweep points run as jobs on
+ * the batch experiment service (see --help for --jobs/--qubits/
+ * --seed/--json).
  *
  * Paper reference: average classical speedups of 354.0x (QAOA),
  * 375.8x (VQE), 221.7x (QNN); end-to-end speedups at 64 qubits of
@@ -13,10 +15,11 @@
 #include "speedup_sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cli = qtenon::bench::parseSweepCli(argc, argv);
     qtenon::bench::printSpeedupFigure(
-        qtenon::vqa::OptimizerKind::GradientDescent);
+        qtenon::vqa::OptimizerKind::GradientDescent, cli);
     std::printf("\npaper: avg classical 354.0x/375.8x/221.7x; "
                 "64q end-to-end 14.7x/11.7x/6.9x\n");
     return 0;

@@ -1,7 +1,9 @@
 /**
  * @file
  * Figure 12 reproduction: classical-execution and end-to-end speedup
- * under the SPSA optimizer across 8..64 qubits.
+ * under the SPSA optimizer across 8..64 qubits, fanned out on the
+ * batch experiment service (see --help for --jobs/--qubits/--seed/
+ * --json).
  *
  * Paper reference: average classical speedups of 167.1x (QAOA),
  * 131.8x (VQE), 124.6x (QNN); end-to-end speedups at 64 qubits of
@@ -11,9 +13,11 @@
 #include "speedup_sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    qtenon::bench::printSpeedupFigure(qtenon::vqa::OptimizerKind::Spsa);
+    const auto cli = qtenon::bench::parseSweepCli(argc, argv);
+    qtenon::bench::printSpeedupFigure(
+        qtenon::vqa::OptimizerKind::Spsa, cli);
     std::printf("\npaper: avg classical 167.1x/131.8x/124.6x; "
                 "64q end-to-end 14.9x/11.5x/6.9x\n");
     return 0;

@@ -3,7 +3,9 @@
  * Figure 17 reproduction: scalability of Qtenon from 64 to 320
  * qubits running QAOA and VQE under SPSA - communication time, host
  * time (both with their growth relative to 64 qubits), and the
- * 256-qubit end-to-end breakdown.
+ * 256-qubit end-to-end breakdown. All 14 points (10 scaling jobs +
+ * 4 host-core jobs) run concurrently on the batch experiment
+ * service (see --help for --jobs/--qubits/--seed/--json).
  *
  * Paper reference: at 320 qubits VQE needs 34.4 us of communication
  * and QAOA 12.5 us; host time reaches 11.8 ms (QAOA) / 6.4 ms (VQE);
@@ -11,96 +13,116 @@
  */
 
 #include "bench_util.hh"
+#include "service/batch_scheduler.hh"
+#include "service/sweep.hh"
+#include "sweep_cli.hh"
 
 using namespace qtenon;
 using namespace qtenon::bench;
 
-namespace {
-
-struct ScalePoint {
-    std::uint32_t qubits;
-    runtime::TimeBreakdown bd;
-};
-
-ScalePoint
-runPoint(vqa::Algorithm alg, std::uint32_t n)
-{
-    auto cfg = paperConfig(alg, vqa::OptimizerKind::Spsa, n);
-    auto workload = vqa::Workload::build(cfg.workload);
-    vqa::VqaDriver driver(cfg.driver);
-    auto trace = driver.run(workload);
-
-    auto qcfg = cfg.qtenon;
-    qcfg.numQubits = n;
-    core::QtenonSystem sys(qcfg);
-    auto exec = sys.execute(trace, workload.circuit);
-    return {n, exec.total()};
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint32_t sizes[] = {64, 128, 192, 256, 320};
+    const auto cli = parseSweepCli(argc, argv);
+    const auto sizes = cli.qubitsOr({64, 128, 192, 256, 320});
 
+    service::JobSpec proto;
+    proto.driver = paperConfig(vqa::Algorithm::Qaoa,
+                               vqa::OptimizerKind::Spsa, 64)
+                       .driver;
+    proto.driver.seed = cli.seed;
+    proto.deriveSeedFromJobId = false; // figure parity, see fig11
+
+    auto scaling_jobs =
+        service::Sweep("fig17")
+            .base(proto)
+            .algorithms({vqa::Algorithm::Qaoa, vqa::Algorithm::Vqe})
+            .qubits(sizes)
+            .build();
+
+    // Sec. 7.5's closing note: host computation can be reduced
+    // further with more RISC-V cores (and pulse generation with more
+    // PGUs, see ablation_pgu).
+    std::vector<service::SweepVariant> core_axis;
+    for (std::uint32_t cores : {1u, 2u, 4u, 8u}) {
+        core_axis.push_back(
+            {"cores" + std::to_string(cores),
+             [cores](service::JobSpec &s) {
+                 s.qtenon.host.cores = cores;
+             }});
+    }
+    auto core_jobs = service::Sweep("fig17-hostcores")
+                         .base(proto)
+                         .algorithms({vqa::Algorithm::Vqe})
+                         .qubits({256})
+                         .axis(std::move(core_axis))
+                         .build();
+
+    service::BatchScheduler sched(cli.schedulerConfig());
+    auto scaling = sched.submitAll(std::move(scaling_jobs));
+    auto core_scan = sched.submitAll(std::move(core_jobs));
+    auto &store = sched.wait();
+
+    auto checked = [&](std::uint64_t id) {
+        auto r = store.get(id);
+        if (r.status != service::JobStatus::Ok)
+            sim::fatal("job '", r.name, "' ",
+                       service::jobStatusName(r.status), ": ",
+                       r.error);
+        return r;
+    };
+
+    std::size_t next = 0;
     for (auto alg : {vqa::Algorithm::Qaoa, vqa::Algorithm::Vqe}) {
         banner(std::string("Figure 17: ") + vqa::algorithmName(alg) +
                " + SPSA scalability");
         std::printf("%8s %14s %10s %14s %10s %12s\n", "#qubits",
                     "comm", "rel64", "host", "rel64", "wall");
         runtime::TimeBreakdown base64;
-        ScalePoint breakdown256{0, {}};
+        runtime::TimeBreakdown breakdown256;
+        bool have256 = false;
         for (auto n : sizes) {
-            auto p = runPoint(alg, n);
-            if (n == 64)
-                base64 = p.bd;
-            if (n == 256)
-                breakdown256 = p;
+            const auto r = checked(scaling[next++].id);
+            const auto bd = r.systems.at(0).total;
+            if (n == sizes.front())
+                base64 = bd;
+            if (n == 256) {
+                breakdown256 = bd;
+                have256 = true;
+            }
             const double rel_comm = base64.comm
-                ? static_cast<double>(p.bd.comm) /
+                ? static_cast<double>(bd.comm) /
                     static_cast<double>(base64.comm)
                 : 0.0;
             const double rel_host = base64.hostBusy
-                ? static_cast<double>(p.bd.hostBusy) /
+                ? static_cast<double>(bd.hostBusy) /
                     static_cast<double>(base64.hostBusy)
                 : 0.0;
             std::printf("%8u %14s %9.2fx %14s %9.2fx %12s\n", n,
-                        core::formatTime(p.bd.comm).c_str(), rel_comm,
-                        core::formatTime(p.bd.hostBusy).c_str(),
+                        core::formatTime(bd.comm).c_str(), rel_comm,
+                        core::formatTime(bd.hostBusy).c_str(),
                         rel_host,
-                        core::formatTime(p.bd.wall).c_str());
+                        core::formatTime(bd.wall).c_str());
         }
-        std::printf("256-qubit breakdown: ");
-        printBreakdown("", breakdown256.bd);
+        if (have256) {
+            std::printf("256-qubit breakdown: ");
+            printBreakdown("", breakdown256);
+        }
     }
 
-    // Sec. 7.5's closing note: host computation can be reduced
-    // further with more RISC-V cores (and pulse generation with more
-    // PGUs, see ablation_pgu).
     banner("Sec. 7.5: more host cores at 256 qubits (VQE + SPSA)");
-    {
-        auto cfg = paperConfig(vqa::Algorithm::Vqe,
-                               vqa::OptimizerKind::Spsa, 256);
-        auto workload = vqa::Workload::build(cfg.workload);
-        vqa::VqaDriver driver(cfg.driver);
-        auto trace = driver.run(workload);
-        std::printf("%8s %14s %12s\n", "#cores", "host busy", "wall");
-        for (std::uint32_t cores : {1u, 2u, 4u, 8u}) {
-            auto qcfg = cfg.qtenon;
-            qcfg.numQubits = 256;
-            qcfg.host.cores = cores;
-            core::QtenonSystem sys(qcfg);
-            auto exec = sys.execute(trace, workload.circuit);
-            std::printf("%8u %14s %12s\n", cores,
-                        core::formatTime(
-                            exec.total().hostBusy).c_str(),
-                        core::formatTime(exec.total().wall).c_str());
-        }
+    std::printf("%8s %14s %12s\n", "#cores", "host busy", "wall");
+    for (std::size_t i = 0; i < core_scan.size(); ++i) {
+        const auto r = checked(core_scan[i].id);
+        const auto bd = r.systems.at(0).total;
+        std::printf("%8u %14s %12s\n", 1u << i,
+                    core::formatTime(bd.hostBusy).c_str(),
+                    core::formatTime(bd.wall).c_str());
     }
 
     std::printf("\npaper: 320q comm 12.5 us (QAOA) / 34.4 us (VQE); "
                 "host 11.8 ms / 6.4 ms;\n256q quantum share 77.5%% / "
                 "76%%, comm below 0.1%%\n");
+    cli.finish(sched);
     return 0;
 }

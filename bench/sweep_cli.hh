@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Shared command-line parsing for the service-backed sweep binaries:
+ *
+ *   --jobs N         worker threads (default: QTENON_JOBS env, then
+ *                    hardware concurrency)
+ *   --qubits a,b,c   override the qubit sizes swept
+ *   --seed S         base RNG seed (each job derives its own)
+ *   --json PATH      export the batch's ResultsStore as JSON
+ *   --timeout-ms N   per-job cooperative deadline
+ *
+ * so sweeps are reconfigurable without recompiling.
+ */
+
+#ifndef QTENON_BENCH_SWEEP_CLI_HH
+#define QTENON_BENCH_SWEEP_CLI_HH
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "service/batch_scheduler.hh"
+#include "sim/logging.hh"
+
+namespace qtenon::bench {
+
+/** Parsed sweep options. */
+struct SweepCli {
+    unsigned jobs = 0; // 0 = QTENON_JOBS env / hardware
+    std::vector<std::uint32_t> qubits; // empty = binary default
+    std::uint64_t seed = 7;
+    std::string jsonPath;
+    std::chrono::milliseconds timeout{0};
+
+    /** Scheduler config honouring --jobs and --timeout-ms. */
+    service::SchedulerConfig
+    schedulerConfig() const
+    {
+        service::SchedulerConfig cfg;
+        cfg.workers = jobs;
+        cfg.defaultTimeout = timeout;
+        return cfg;
+    }
+
+    /** The swept sizes, or @p fallback when --qubits was not given. */
+    std::vector<std::uint32_t>
+    qubitsOr(std::vector<std::uint32_t> fallback) const
+    {
+        return qubits.empty() ? std::move(fallback) : qubits;
+    }
+
+    /** Write the store to --json (if given) and report metrics. */
+    void
+    finish(const service::BatchScheduler &sched) const
+    {
+        const auto m = sched.metrics();
+        std::printf("\nscheduler: %zu jobs on %u workers in %.2f s "
+                    "(serial-equivalent %.2f s, speedup %.2fx); "
+                    "%zu ok, %zu failed, %zu timed out, %zu "
+                    "cancelled\n",
+                    m.completed, m.workers,
+                    static_cast<double>(m.batchWallNs) / 1e9,
+                    static_cast<double>(m.totalJobWallNs) / 1e9,
+                    m.speedup(), m.ok, m.failed, m.timedOut,
+                    m.cancelled);
+        if (jsonPath.empty())
+            return;
+        std::ofstream os(jsonPath);
+        if (!os)
+            sim::fatal("cannot open --json path '", jsonPath, "'");
+        sched.results().toJson(os);
+        std::printf("results exported to %s\n", jsonPath.c_str());
+    }
+};
+
+namespace detail {
+
+inline std::vector<std::uint32_t>
+parseQubitList(const char *arg)
+{
+    std::vector<std::uint32_t> out;
+    std::string tok;
+    for (const char *p = arg;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!tok.empty()) {
+                const long n = std::strtol(tok.c_str(), nullptr, 10);
+                if (n <= 0)
+                    sim::fatal("--qubits: bad size '", tok, "'");
+                out.push_back(static_cast<std::uint32_t>(n));
+            }
+            tok.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            tok.push_back(*p);
+        }
+    }
+    if (out.empty())
+        sim::fatal("--qubits: empty list");
+    return out;
+}
+
+} // namespace detail
+
+/**
+ * Parse the shared sweep arguments; exits on --help or bad input.
+ */
+inline SweepCli
+parseSweepCli(int argc, char **argv)
+{
+    SweepCli cli;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                sim::fatal(arg, " requires a value");
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            std::printf(
+                "usage: %s [--jobs N] [--qubits a,b,c] [--seed S] "
+                "[--json PATH] [--timeout-ms N]\n",
+                argv[0]);
+            std::exit(0);
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            const long n = std::strtol(value(), nullptr, 10);
+            if (n <= 0)
+                sim::fatal("--jobs must be a positive integer");
+            cli.jobs = static_cast<unsigned>(n);
+        } else if (std::strcmp(arg, "--qubits") == 0) {
+            cli.qubits = detail::parseQubitList(value());
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            cli.seed = std::strtoull(value(), nullptr, 10);
+        } else if (std::strcmp(arg, "--json") == 0) {
+            cli.jsonPath = value();
+        } else if (std::strcmp(arg, "--timeout-ms") == 0) {
+            const long n = std::strtol(value(), nullptr, 10);
+            if (n <= 0)
+                sim::fatal("--timeout-ms must be positive");
+            cli.timeout = std::chrono::milliseconds(n);
+        } else {
+            sim::fatal("unknown argument '", arg,
+                       "' (try --help)");
+        }
+    }
+    return cli;
+}
+
+} // namespace qtenon::bench
+
+#endif // QTENON_BENCH_SWEEP_CLI_HH

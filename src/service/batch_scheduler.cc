@@ -1,0 +1,397 @@
+#include "batch_scheduler.hh"
+
+#include <cstdlib>
+#include <exception>
+
+#include "sim/logging.hh"
+
+namespace qtenon::service {
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Pending: return "pending";
+      case JobStatus::Running: return "running";
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::TimedOut: return "timed_out";
+      case JobStatus::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+JobStatus
+jobStatusFromName(const std::string &name)
+{
+    for (JobStatus s : {JobStatus::Pending, JobStatus::Running,
+                        JobStatus::Ok, JobStatus::Failed,
+                        JobStatus::TimedOut, JobStatus::Cancelled}) {
+        if (name == jobStatusName(s))
+            return s;
+    }
+    throw std::runtime_error("unknown job status '" + name + "'");
+}
+
+const SystemRun *
+JobResult::system(const std::string &label) const
+{
+    for (const auto &s : systems) {
+        if (s.label == label)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+deriveJobSeed(std::uint64_t base, std::uint64_t job_id)
+{
+    // splitmix64 on base ^ golden-ratio-spread job id.
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (job_id + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+const CancelToken &
+CancelToken::none()
+{
+    static const CancelToken token(nullptr, {});
+    return token;
+}
+
+unsigned
+resolveWorkerCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("QTENON_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+        sim::warn("QTENON_JOBS='", env, "' is not a positive ",
+                  "integer; falling back to hardware concurrency");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+/** Replay @p trace on one already-built system, round by round so
+ *  the token can stop between rounds. */
+SystemRun
+replayOnQtenon(core::QtenonSystem &sys, const vqa::Workload &workload,
+               const runtime::VqaTrace &trace, std::string label,
+               const CancelToken &token)
+{
+    SystemRun run;
+    run.label = std::move(label);
+    const sim::Tick shot = sys.shotDuration(workload.circuit);
+    run.setup = sys.executor().installProgram(trace.image);
+    for (const auto &round : trace.rounds) {
+        token.checkpoint();
+        run.rounds +=
+            sys.executor().executeRound(round, trace.image, shot);
+    }
+    run.total = run.setup;
+    run.total += run.rounds;
+    run.busTransactions = sys.bus().transactions.value();
+    run.pulsesGenerated = sys.controller().pulsesGenerated.value();
+    run.sltHits = sys.controller().slt().hits;
+    run.sltMisses = sys.controller().slt().misses;
+    run.simTicks = sys.eventQueue().curTick();
+    return run;
+}
+
+} // namespace
+
+JobResult
+runJobSpec(const JobSpec &spec, std::uint64_t job_id,
+           const CancelToken &token)
+{
+    JobResult r;
+    r.jobId = job_id;
+    r.name = spec.name;
+
+    auto driver_cfg = spec.driver;
+    if (spec.deriveSeedFromJobId)
+        driver_cfg.seed = deriveJobSeed(driver_cfg.seed, job_id);
+    r.seed = driver_cfg.seed;
+    r.numQubits = spec.workload.numQubits;
+    r.algorithm = vqa::algorithmName(spec.workload.algorithm);
+    r.optimizer =
+        driver_cfg.optimizer == vqa::OptimizerKind::GradientDescent
+        ? "GD" : "SPSA";
+
+    if (spec.custom) {
+        JobContext ctx{job_id, r.seed, token, r};
+        spec.custom(ctx);
+        return r;
+    }
+
+    token.checkpoint();
+    auto workload = vqa::Workload::build(spec.workload);
+
+    // The functional optimization runs once; every replay target
+    // reuses the one recorded trace.
+    vqa::VqaDriver driver(driver_cfg);
+    auto trace = driver.run(workload);
+    r.costHistory = trace.costHistory;
+    r.finalCost =
+        trace.costHistory.empty() ? 0.0 : trace.costHistory.back();
+    r.rounds = trace.rounds.size();
+    token.checkpoint();
+
+    std::vector<runtime::HostCoreModel> hosts = spec.hosts;
+    if (hosts.empty())
+        hosts.push_back(spec.qtenon.host);
+
+    for (const auto &host : hosts) {
+        auto qcfg = spec.qtenon;
+        qcfg.numQubits = spec.workload.numQubits;
+        qcfg.host = host;
+        core::QtenonSystem sys(qcfg);
+        r.shotDuration = sys.shotDuration(workload.circuit);
+        r.systems.push_back(replayOnQtenon(
+            sys, workload, trace, host.name, token));
+        r.simTicks += r.systems.back().simTicks;
+    }
+
+    if (spec.runBaseline) {
+        token.checkpoint();
+        baseline::DecoupledSystem base(spec.baselineCfg);
+        SystemRun run;
+        run.label = "baseline";
+        for (const auto &round : trace.rounds) {
+            token.checkpoint();
+            run.rounds += base.executeRound(workload.circuit, round);
+        }
+        run.total = run.rounds;
+        r.systems.push_back(std::move(run));
+    }
+
+    return r;
+}
+
+BatchScheduler::BatchScheduler(SchedulerConfig cfg)
+    : _cfg(cfg), _workers(resolveWorkerCount(cfg.workers))
+{
+    _metrics.workers = _workers;
+    _threads.reserve(_workers);
+    for (unsigned i = 0; i < _workers; ++i)
+        _threads.emplace_back([this] { workerLoop(); });
+}
+
+BatchScheduler::~BatchScheduler()
+{
+    cancelAll();
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        _stopping = true;
+    }
+    _workAvailable.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+JobHandle
+BatchScheduler::submit(JobSpec spec)
+{
+    auto job = std::make_shared<Job>();
+    job->spec = std::move(spec);
+    job->future = job->promise.get_future().share();
+
+    JobHandle handle;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        job->id = _nextJobId++;
+        if (!_batchStarted) {
+            _batchStarted = true;
+            _batchStart = std::chrono::steady_clock::now();
+        }
+        _jobs.push_back(job);
+        _queue.push_back(job);
+        ++_metrics.submitted;
+        ++_inFlight;
+        handle.id = job->id;
+        handle.result = job->future;
+    }
+    _workAvailable.notify_one();
+    return handle;
+}
+
+std::vector<JobHandle>
+BatchScheduler::submitAll(std::vector<JobSpec> specs)
+{
+    std::vector<JobHandle> handles;
+    handles.reserve(specs.size());
+    for (auto &s : specs)
+        handles.push_back(submit(std::move(s)));
+    return handles;
+}
+
+bool
+BatchScheduler::cancel(std::uint64_t job_id)
+{
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        for (const auto &j : _jobs) {
+            if (j->id == job_id) {
+                job = j;
+                break;
+            }
+        }
+    }
+    if (!job || job->done.load())
+        return false;
+    job->cancelRequested.store(true);
+    return true;
+}
+
+void
+BatchScheduler::cancelAll()
+{
+    std::vector<std::shared_ptr<Job>> jobs;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        jobs = _jobs;
+    }
+    for (const auto &j : jobs) {
+        if (!j->done.load())
+            j->cancelRequested.store(true);
+    }
+}
+
+ResultsStore &
+BatchScheduler::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _batchDone.wait(lock, [this] { return _inFlight == 0; });
+    return _store;
+}
+
+BatchMetrics
+BatchScheduler::metrics() const
+{
+    std::lock_guard<std::mutex> guard(_mutex);
+    BatchMetrics m = _metrics;
+    if (_batchStarted) {
+        const auto end = _inFlight == 0
+            ? _batchEnd : std::chrono::steady_clock::now();
+        m.batchWallNs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - _batchStart)
+                .count());
+    }
+    return m;
+}
+
+void
+BatchScheduler::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _workAvailable.wait(lock, [this] {
+                return _stopping || !_queue.empty();
+            });
+            if (_queue.empty()) {
+                if (_stopping)
+                    return;
+                continue;
+            }
+            job = _queue.front();
+            _queue.pop_front();
+        }
+        executeJob(*job);
+    }
+}
+
+void
+BatchScheduler::executeJob(Job &job)
+{
+    const auto started = std::chrono::steady_clock::now();
+
+    if (job.cancelRequested.load()) {
+        JobResult r;
+        r.jobId = job.id;
+        r.name = job.spec.name;
+        r.status = JobStatus::Cancelled;
+        finishJob(job, std::move(r), started);
+        return;
+    }
+
+    const auto timeout = job.spec.timeout.count() > 0
+        ? job.spec.timeout : _cfg.defaultTimeout;
+    const auto deadline = timeout.count() > 0
+        ? started + timeout
+        : std::chrono::steady_clock::time_point{};
+    CancelToken token(&job.cancelRequested, deadline);
+
+    JobResult r;
+    try {
+        r = runJobSpec(job.spec, job.id, token);
+        r.status = JobStatus::Ok;
+    } catch (const JobCancelledError &) {
+        r = JobResult{};
+        r.status = JobStatus::Cancelled;
+    } catch (const JobTimedOutError &) {
+        r = JobResult{};
+        r.status = JobStatus::TimedOut;
+        r.error = "exceeded " + std::to_string(timeout.count()) +
+                  " ms deadline";
+    } catch (const std::exception &e) {
+        r = JobResult{};
+        r.status = JobStatus::Failed;
+        r.error = e.what();
+    } catch (...) {
+        r = JobResult{};
+        r.status = JobStatus::Failed;
+        r.error = "unknown exception";
+    }
+    r.jobId = job.id;
+    r.name = job.spec.name;
+    finishJob(job, std::move(r), started);
+}
+
+void
+BatchScheduler::finishJob(Job &job, JobResult r,
+                          std::chrono::steady_clock::time_point started)
+{
+    const auto ended = std::chrono::steady_clock::now();
+    r.wallNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            ended - started)
+            .count());
+
+    _store.add(r);
+    job.done.store(true);
+
+    bool batch_finished = false;
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        ++_metrics.completed;
+        switch (r.status) {
+          case JobStatus::Ok: ++_metrics.ok; break;
+          case JobStatus::Failed: ++_metrics.failed; break;
+          case JobStatus::TimedOut: ++_metrics.timedOut; break;
+          case JobStatus::Cancelled: ++_metrics.cancelled; break;
+          default: break;
+        }
+        _metrics.totalJobWallNs += r.wallNs;
+        _metrics.totalSimTicks += r.simTicks;
+        if (--_inFlight == 0) {
+            _batchEnd = ended;
+            batch_finished = true;
+        }
+    }
+
+    job.promise.set_value(std::move(r));
+    if (batch_finished)
+        _batchDone.notify_all();
+}
+
+} // namespace qtenon::service

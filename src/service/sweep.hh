@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Sweep builder: declaratively describes a cartesian product of
+ * experiment axes (algorithm x optimizer x qubit count x arbitrary
+ * ablation knobs) and expands it into the flat, deterministically
+ * ordered JobSpec list a BatchScheduler consumes.
+ *
+ *   auto jobs = Sweep("fig11")
+ *                   .algorithms({Algorithm::Qaoa, Algorithm::Vqe})
+ *                   .optimizers({OptimizerKind::GradientDescent})
+ *                   .qubits({8, 16, 24, 32})
+ *                   .hosts({HostCoreModel::rocket(),
+ *                           HostCoreModel::boomLarge()})
+ *                   .withBaseline(true)
+ *                   .seed(7)
+ *                   .build();
+ *
+ * Expansion order is fixed (algorithms, then optimizers, then
+ * qubits, then each variant axis in registration order), so job ids
+ * — and with them the derived per-job seeds — are stable across
+ * runs and worker counts.
+ */
+
+#ifndef QTENON_SERVICE_SWEEP_HH
+#define QTENON_SERVICE_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "job.hh"
+
+namespace qtenon::service {
+
+/** One point of an ablation axis: a label plus a spec mutation. */
+struct SweepVariant {
+    std::string label;
+    std::function<void(JobSpec &)> apply;
+};
+
+/** Builder for cartesian-product job batches. */
+class Sweep
+{
+  public:
+    explicit Sweep(std::string name = "sweep")
+        : _name(std::move(name))
+    {}
+
+    /** Replace the prototype every job starts from. */
+    Sweep &base(JobSpec proto);
+    /** Mutate the prototype in place. */
+    Sweep &configure(const std::function<void(JobSpec &)> &fn);
+
+    Sweep &algorithms(std::vector<vqa::Algorithm> algos);
+    Sweep &optimizers(std::vector<vqa::OptimizerKind> opts);
+    Sweep &qubits(std::vector<std::uint32_t> sizes);
+
+    /** Replay hosts per job (one SystemRun each). */
+    Sweep &hosts(std::vector<runtime::HostCoreModel> hosts);
+    Sweep &withBaseline(bool on = true);
+
+    Sweep &shots(std::uint64_t shots);
+    Sweep &iterations(std::uint32_t iters);
+    /** Base seed; each job further derives its own via its job id. */
+    Sweep &seed(std::uint64_t seed);
+
+    /** Add one ablation axis; repeated calls multiply the product. */
+    Sweep &axis(std::vector<SweepVariant> variants);
+
+    /** Number of jobs build() will produce. */
+    std::size_t count() const;
+
+    /** Expand the product into named JobSpecs. */
+    std::vector<JobSpec> build() const;
+
+  private:
+    std::string _name;
+    JobSpec _proto;
+    std::vector<vqa::Algorithm> _algorithms;
+    std::vector<vqa::OptimizerKind> _optimizers;
+    std::vector<std::uint32_t> _qubits;
+    std::vector<std::vector<SweepVariant>> _axes;
+};
+
+} // namespace qtenon::service
+
+#endif // QTENON_SERVICE_SWEEP_HH

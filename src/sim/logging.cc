@@ -1,21 +1,47 @@
 #include "logging.hh"
 
+#include <atomic>
+#include <mutex>
+
 namespace qtenon::sim {
 
 namespace detail {
 
+namespace {
+
+/**
+ * Serializes stderr output across threads. Concurrent QtenonSystem
+ * instances (service::BatchScheduler workers) all report through this
+ * sink; without the lock their lines interleave mid-record.
+ */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::atomic<bool> &
+warningsFlag()
+{
+    static std::atomic<bool> enabled{true};
+    return enabled;
+}
+
+} // namespace
+
 void
 emit(const char *label, const std::string &msg)
 {
+    std::lock_guard<std::mutex> guard(emitMutex());
     std::fprintf(stderr, "%s: %s\n", label, msg.c_str());
     std::fflush(stderr);
 }
 
-bool &
+bool
 warningsEnabled()
 {
-    static bool enabled = true;
-    return enabled;
+    return warningsFlag().load(std::memory_order_relaxed);
 }
 
 } // namespace detail
@@ -23,9 +49,8 @@ warningsEnabled()
 bool
 setWarningsEnabled(bool enabled)
 {
-    bool prev = detail::warningsEnabled();
-    detail::warningsEnabled() = enabled;
-    return prev;
+    return detail::warningsFlag().exchange(enabled,
+                                           std::memory_order_relaxed);
 }
 
 } // namespace qtenon::sim

@@ -29,11 +29,11 @@ concat(Args &&...args)
     return os.str();
 }
 
-/** Emit a labelled message to stderr. */
+/** Emit a labelled message to stderr (serialized across threads). */
 void emit(const char *label, const std::string &msg);
 
 /** Whether warnings are printed (tests may silence them). */
-bool &warningsEnabled();
+bool warningsEnabled();
 
 } // namespace detail
 

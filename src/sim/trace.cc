@@ -1,8 +1,10 @@
 #include "trace.hh"
 
 #include <array>
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace qtenon::sim::trace {
 
@@ -10,8 +12,16 @@ namespace {
 
 constexpr auto numFlags = static_cast<std::size_t>(Flag::NumFlags);
 
+/**
+ * Process-wide trace state. Flag reads sit on simulation hot paths
+ * and stay lock-free (relaxed atomics); the output stream pointer and
+ * the actual record emission are serialized so concurrent
+ * QtenonSystem instances never interleave mid-record or race a
+ * setStream() call.
+ */
 struct State {
-    std::array<bool, numFlags> flags{};
+    std::array<std::atomic<bool>, numFlags> flags{};
+    std::mutex streamMutex;
     std::ostream *stream = &std::cerr;
 
     State()
@@ -30,11 +40,13 @@ struct State {
                 end = spec.size();
             const auto token = spec.substr(start, end - start);
             if (token == "all") {
-                flags.fill(true);
+                for (auto &f : flags)
+                    f.store(true, std::memory_order_relaxed);
             } else {
                 for (std::size_t f = 0; f < numFlags; ++f) {
                     if (token == flagName(static_cast<Flag>(f)))
-                        flags[f] = true;
+                        flags[f].store(true,
+                                       std::memory_order_relaxed);
                 }
             }
             start = end + 1;
@@ -70,13 +82,15 @@ flagName(Flag f)
 void
 setFlag(Flag f, bool on)
 {
-    state().flags[static_cast<std::size_t>(f)] = on;
+    state().flags[static_cast<std::size_t>(f)].store(
+        on, std::memory_order_relaxed);
 }
 
 bool
 enabled(Flag f)
 {
-    return state().flags[static_cast<std::size_t>(f)];
+    return state().flags[static_cast<std::size_t>(f)].load(
+        std::memory_order_relaxed);
 }
 
 void
@@ -88,15 +102,19 @@ enableFromString(const std::string &spec)
 void
 setStream(std::ostream *os)
 {
-    state().stream = os ? os : &std::cerr;
+    auto &s = state();
+    std::lock_guard<std::mutex> guard(s.streamMutex);
+    s.stream = os ? os : &std::cerr;
 }
 
 void
 emit(Flag f, Tick when, const std::string &source,
      const std::string &message)
 {
-    (*state().stream) << when << ": " << source << ": ["
-                      << flagName(f) << "] " << message << "\n";
+    auto &s = state();
+    std::lock_guard<std::mutex> guard(s.streamMutex);
+    (*s.stream) << when << ": " << source << ": [" << flagName(f)
+                << "] " << message << "\n";
 }
 
 } // namespace qtenon::sim::trace

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Batch experiment service tests: worker-count-independent
+ * determinism, failure isolation, timeout and cancellation paths,
+ * JSON round-trips of the results store, the Sweep builder's
+ * cartesian expansion, and worker-count resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "service/batch_scheduler.hh"
+#include "service/json.hh"
+#include "service/sweep.hh"
+
+using namespace qtenon;
+using namespace qtenon::service;
+
+namespace {
+
+/** A fast six-job sweep: every algorithm, both optimizers, tiny
+ *  shapes so the full batch stays in the millisecond range. */
+std::vector<JobSpec>
+smallSweep()
+{
+    return Sweep("t")
+        .algorithms({vqa::Algorithm::Qaoa, vqa::Algorithm::Vqe,
+                     vqa::Algorithm::Qnn})
+        .optimizers({vqa::OptimizerKind::Spsa,
+                     vqa::OptimizerKind::GradientDescent})
+        .qubits({4})
+        .shots(20)
+        .iterations(2)
+        .seed(99)
+        .configure([](JobSpec &s) {
+            s.workload.qaoaLayers = 2;
+            s.workload.vqeLayers = 1;
+            s.workload.qnnLayers = 1;
+        })
+        .build();
+}
+
+ResultsStore
+runSweepWith(unsigned workers)
+{
+    SchedulerConfig cfg;
+    cfg.workers = workers;
+    BatchScheduler sched(cfg);
+    sched.submitAll(smallSweep());
+    // Copy the store so it outlives the scheduler.
+    return sched.wait();
+}
+
+} // namespace
+
+TEST(Sweep, CartesianExpansionAndNames)
+{
+    auto jobs = smallSweep();
+    ASSERT_EQ(jobs.size(), 6u);
+    // Fixed nesting: algorithms outer, optimizers, then qubits.
+    EXPECT_EQ(jobs[0].name, "t/QAOA/SPSA/q4");
+    EXPECT_EQ(jobs[1].name, "t/QAOA/GD/q4");
+    EXPECT_EQ(jobs[5].name, "t/QNN/GD/q4");
+    EXPECT_EQ(jobs[3].driver.optimizer,
+              vqa::OptimizerKind::GradientDescent);
+    for (const auto &j : jobs) {
+        EXPECT_EQ(j.driver.seed, 99u);
+        EXPECT_EQ(j.driver.shots, 20u);
+        EXPECT_EQ(j.workload.numQubits, 4u);
+    }
+}
+
+TEST(Sweep, VariantAxesMultiplyTheProduct)
+{
+    std::vector<SweepVariant> slt = {
+        {"slt-on", [](JobSpec &s) {
+             s.qtenon.pipeline.sltEnabled = true;
+         }},
+        {"slt-off", [](JobSpec &s) {
+             s.qtenon.pipeline.sltEnabled = false;
+         }},
+    };
+    auto sweep = Sweep("ab")
+                     .qubits({4, 8, 16})
+                     .axis(std::move(slt));
+    EXPECT_EQ(sweep.count(), 6u);
+    auto jobs = sweep.build();
+    ASSERT_EQ(jobs.size(), 6u);
+    EXPECT_EQ(jobs[0].name, "ab/q4/slt-on");
+    EXPECT_EQ(jobs[1].name, "ab/q4/slt-off");
+    EXPECT_TRUE(jobs[0].qtenon.pipeline.sltEnabled);
+    EXPECT_FALSE(jobs[1].qtenon.pipeline.sltEnabled);
+}
+
+TEST(Seed, JobIdDerivationIsStableAndSpread)
+{
+    EXPECT_EQ(deriveJobSeed(7, 0), deriveJobSeed(7, 0));
+    EXPECT_NE(deriveJobSeed(7, 0), deriveJobSeed(7, 1));
+    EXPECT_NE(deriveJobSeed(7, 0), deriveJobSeed(8, 0));
+}
+
+TEST(Scheduler, ResolvesWorkerCount)
+{
+    EXPECT_EQ(resolveWorkerCount(3), 3u);
+    ASSERT_EQ(setenv("QTENON_JOBS", "5", 1), 0);
+    EXPECT_EQ(resolveWorkerCount(0), 5u);
+    EXPECT_EQ(resolveWorkerCount(2), 2u); // explicit beats env
+    ASSERT_EQ(unsetenv("QTENON_JOBS"), 0);
+    EXPECT_GE(resolveWorkerCount(0), 1u);
+}
+
+TEST(Scheduler, ResultsAreBitIdenticalAcrossWorkerCounts)
+{
+    const auto one = runSweepWith(1);
+    const auto two = runSweepWith(2);
+    const auto eight = runSweepWith(8);
+
+    ASSERT_EQ(one.size(), 6u);
+    ASSERT_EQ(two.size(), 6u);
+    ASSERT_EQ(eight.size(), 6u);
+
+    // Same jobs, same job-id-derived seeds, same isolated event
+    // queues: the deterministic export (everything except host
+    // wall-clock) must match byte for byte.
+    const auto ref = one.toJsonString(/*deterministic_only=*/true);
+    EXPECT_EQ(ref, two.toJsonString(true));
+    EXPECT_EQ(ref, eight.toJsonString(true));
+    EXPECT_EQ(one.deterministicDigest(), eight.deterministicDigest());
+
+    // Sanity: the batch really simulated something.
+    for (const auto &r : one.sorted()) {
+        EXPECT_EQ(r.status, JobStatus::Ok) << r.name;
+        EXPECT_GT(r.simTicks, 0u) << r.name;
+        EXPECT_EQ(r.systems.size(), 1u);
+        EXPECT_GT(r.systems[0].total.wall, 0u);
+    }
+}
+
+TEST(Scheduler, SchedulerSeedingMatchesStandaloneRun)
+{
+    auto jobs = smallSweep();
+    SchedulerConfig cfg;
+    cfg.workers = 2;
+    BatchScheduler sched(cfg);
+    auto handles = sched.submitAll(jobs);
+    sched.wait();
+
+    // Job 3 run inline, outside any scheduler, with its batch id.
+    const auto inline_r = runJobSpec(jobs[3], handles[3].id);
+    const auto pooled_r = sched.results().get(handles[3].id);
+    EXPECT_EQ(inline_r.seed, pooled_r.seed);
+    EXPECT_EQ(inline_r.costHistory, pooled_r.costHistory);
+    EXPECT_EQ(inline_r.simTicks, pooled_r.simTicks);
+}
+
+TEST(Scheduler, FailingJobIsIsolated)
+{
+    SchedulerConfig cfg;
+    cfg.workers = 2;
+    BatchScheduler sched(cfg);
+
+    auto jobs = smallSweep();
+    jobs.resize(2);
+    JobSpec bomb;
+    bomb.name = "bomb";
+    bomb.custom = [](JobContext &) {
+        throw std::runtime_error("deliberate test failure");
+    };
+    auto ok0 = sched.submit(jobs[0]);
+    auto boom = sched.submit(bomb);
+    auto ok1 = sched.submit(jobs[1]);
+    auto &store = sched.wait();
+
+    EXPECT_EQ(store.get(ok0.id).status, JobStatus::Ok);
+    EXPECT_EQ(store.get(ok1.id).status, JobStatus::Ok);
+    const auto failed = store.get(boom.id);
+    EXPECT_EQ(failed.status, JobStatus::Failed);
+    EXPECT_EQ(failed.error, "deliberate test failure");
+    EXPECT_EQ(failed.name, "bomb");
+
+    const auto m = sched.metrics();
+    EXPECT_EQ(m.completed, 3u);
+    EXPECT_EQ(m.ok, 2u);
+    EXPECT_EQ(m.failed, 1u);
+}
+
+TEST(Scheduler, TimeoutStopsAtNextCheckpoint)
+{
+    SchedulerConfig cfg;
+    cfg.workers = 1;
+    BatchScheduler sched(cfg);
+
+    JobSpec slow;
+    slow.name = "slow";
+    slow.timeout = std::chrono::milliseconds(30);
+    slow.custom = [](JobContext &ctx) {
+        for (;;) {
+            ctx.token.checkpoint();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    };
+    auto handle = sched.submit(slow);
+    const auto r = handle.result.get();
+    EXPECT_EQ(r.status, JobStatus::TimedOut);
+    EXPECT_NE(r.error.find("30 ms"), std::string::npos) << r.error;
+    EXPECT_EQ(sched.metrics().timedOut, 1u);
+}
+
+TEST(Scheduler, CancelPendingAndRunningJobs)
+{
+    SchedulerConfig cfg;
+    cfg.workers = 1; // serialize: job 2 stays queued behind job 1
+    BatchScheduler sched(cfg);
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<bool> started{false};
+
+    JobSpec blocker;
+    blocker.name = "blocker";
+    blocker.custom = [&](JobContext &ctx) {
+        started.store(true);
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return release; });
+        ctx.token.checkpoint(); // observes the cancel request
+    };
+    JobSpec queued = smallSweep()[0];
+    queued.name = "queued";
+
+    auto h_blocker = sched.submit(blocker);
+    auto h_queued = sched.submit(queued);
+
+    while (!started.load())
+        std::this_thread::yield();
+
+    // Cancel both: one mid-run, one still pending.
+    EXPECT_TRUE(sched.cancel(h_blocker.id));
+    EXPECT_TRUE(sched.cancel(h_queued.id));
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+
+    auto &store = sched.wait();
+    EXPECT_EQ(store.get(h_blocker.id).status, JobStatus::Cancelled);
+    EXPECT_EQ(store.get(h_queued.id).status, JobStatus::Cancelled);
+    EXPECT_EQ(sched.metrics().cancelled, 2u);
+
+    // Cancelling a finished job reports false.
+    EXPECT_FALSE(sched.cancel(h_blocker.id));
+}
+
+TEST(ResultsStore, JsonRoundTripIsLossless)
+{
+    const auto store = runSweepWith(2);
+    const auto text = store.toJsonString();
+
+    const auto reread = ResultsStore::fromJsonString(text);
+    ASSERT_EQ(reread.size(), store.size());
+    // Byte-identical re-export, including wall-clock fields.
+    EXPECT_EQ(reread.toJsonString(), text);
+    EXPECT_EQ(reread.deterministicDigest(),
+              store.deterministicDigest());
+
+    // Spot-check a deep field survived.
+    const auto a = store.sorted().front();
+    const auto b = reread.get(a.jobId);
+    EXPECT_EQ(a.costHistory, b.costHistory);
+    EXPECT_EQ(a.systems.at(0).total.comm, b.systems.at(0).total.comm);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.wallNs, b.wallNs);
+}
+
+TEST(ResultsStore, RejectsForeignDocuments)
+{
+    EXPECT_THROW(ResultsStore::fromJsonString("{\"results\": []}"),
+                 std::runtime_error);
+    EXPECT_THROW(ResultsStore::fromJsonString("not json"),
+                 std::runtime_error);
+}
+
+TEST(ResultsStore, MergeIsLastWriterWins)
+{
+    ResultsStore a;
+    ResultsStore b;
+    JobResult r1;
+    r1.jobId = 1;
+    r1.name = "one";
+    JobResult r1b = r1;
+    r1b.name = "one-updated";
+    JobResult r2;
+    r2.jobId = 2;
+    r2.name = "two";
+
+    a.add(r1);
+    b.add(r1b);
+    b.add(r2);
+    a.merge(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.get(1).name, "one-updated");
+    EXPECT_EQ(a.get(2).name, "two");
+}
+
+TEST(Json, ValuesSurviveRoundTrip)
+{
+    json::Value doc = json::Value::object();
+    doc.set("u64", std::uint64_t(18446744073709551615ull));
+    doc.set("i64", std::int64_t(-42));
+    doc.set("pi", 3.141592653589793);
+    doc.set("tiny", 5e-324);
+    doc.set("text", "line\n\"quoted\"\t\\");
+    doc.set("flag", true);
+    doc.set("nothing", nullptr);
+    json::Value arr = json::Value::array();
+    arr.asArray().emplace_back(1);
+    arr.asArray().emplace_back(2.5);
+    doc.set("arr", std::move(arr));
+
+    const auto text = doc.dump(2);
+    const auto back = json::Value::parse(text);
+    EXPECT_EQ(back.dump(2), text);
+    EXPECT_EQ(back.at("u64").asUint(), 18446744073709551615ull);
+    EXPECT_EQ(back.at("i64").asInt(), -42);
+    EXPECT_EQ(back.at("pi").asDouble(), 3.141592653589793);
+    EXPECT_EQ(back.at("tiny").asDouble(), 5e-324);
+    EXPECT_EQ(back.at("text").asString(), "line\n\"quoted\"\t\\");
+    EXPECT_TRUE(back.at("flag").asBool());
+    EXPECT_TRUE(back.at("nothing").isNull());
+    EXPECT_EQ(back.at("arr").asArray().at(1).asDouble(), 2.5);
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(json::Value::parse("{\"a\": }"),
+                 std::runtime_error);
+    EXPECT_THROW(json::Value::parse("[1, 2"), std::runtime_error);
+    EXPECT_THROW(json::Value::parse("{} trailing"),
+                 std::runtime_error);
+    EXPECT_THROW(json::Value::parse("\"unterminated"),
+                 std::runtime_error);
+}
+
+TEST(Scheduler, MetricsAccountEveryJob)
+{
+    SchedulerConfig cfg;
+    cfg.workers = 4;
+    BatchScheduler sched(cfg);
+    auto handles = sched.submitAll(smallSweep());
+    sched.wait();
+
+    const auto m = sched.metrics();
+    EXPECT_EQ(m.workers, 4u);
+    EXPECT_EQ(m.submitted, handles.size());
+    EXPECT_EQ(m.completed, handles.size());
+    EXPECT_EQ(m.ok, handles.size());
+    EXPECT_GT(m.batchWallNs, 0u);
+    EXPECT_GT(m.totalJobWallNs, 0u);
+    EXPECT_GT(m.totalSimTicks, 0u);
+    EXPECT_GT(m.speedup(), 0.0);
+}
