@@ -64,6 +64,7 @@ main(int argc, char **argv)
         proto.workload = cfg.workload;
         proto.driver = cfg.driver;
         proto.driver.seed = cli.seed;
+        cli.applyDriver(proto.driver);
         proto.deriveSeedFromJobId = false; // figure parity
         proto.qtenon = cfg.qtenon;
         proto.qtenon.software.sync = runtime::SyncPolicy::Fence;

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Per-kernel statevector benchmarks: the optimized pair-loop /
+ * diagonal / fused kernels (quantum/statevector.cc) timed against the
+ * seed's frozen scalar kernels (tests/reference_statevector.hh), plus
+ * the threaded kernels at 1/2/4 workers. Emits a JSON summary
+ * (default BENCH_statevector.json) recording ns-per-gate and the
+ * speedup of each optimized variant over the reference, including the
+ * headline 20-qubit apply1q pair-loop + fusion ratio.
+ *
+ *   bench_statevector [--qubits N] [--reps R] [--out PATH]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "quantum/circuit.hh"
+#include "quantum/statevector.hh"
+#include "service/json.hh"
+#include "sim/logging.hh"
+#include "tests/reference_statevector.hh"
+
+using namespace qtenon;
+using quantum::GateType;
+using quantum::ParamRef;
+using quantum::QuantumCircuit;
+
+namespace {
+
+/** Euler-rotation layers: runs of 3 same-qubit 1q gates, the shape
+ *  the fusion pass collapses 3:1. */
+QuantumCircuit
+eulerCircuit(std::uint32_t n, unsigned layers)
+{
+    QuantumCircuit c(n);
+    // Hadamard preamble so the kernels chew on dense amplitudes
+    // rather than the trivial |0...0> state.
+    for (std::uint32_t q = 0; q < n; ++q)
+        c.h(q);
+    double a = 0.1;
+    for (unsigned l = 0; l < layers; ++l) {
+        for (std::uint32_t q = 0; q < n; ++q) {
+            c.rx(q, ParamRef::literal(a));
+            c.ry(q, ParamRef::literal(a * 0.7));
+            c.rz(q, ParamRef::literal(a * 1.3));
+            a += 0.05;
+        }
+    }
+    return c;
+}
+
+/** Diagonal-only layers (Z/S/T/RZ/CZ/RZZ): pure phase passes in the
+ *  optimized kernels, full 2x2 scans in the reference. */
+QuantumCircuit
+diagonalCircuit(std::uint32_t n, unsigned layers)
+{
+    QuantumCircuit c(n);
+    for (std::uint32_t q = 0; q < n; ++q)
+        c.h(q);
+    double a = 0.2;
+    for (unsigned l = 0; l < layers; ++l) {
+        for (std::uint32_t q = 0; q < n; ++q) {
+            switch (q % 3) {
+              case 0: c.gate(GateType::S, q); break;
+              case 1: c.gate(GateType::T, q); break;
+              default: c.rz(q, ParamRef::literal(a)); break;
+            }
+            a += 0.03;
+        }
+        for (std::uint32_t q = 0; q + 1 < n; q += 2)
+            c.cz(q, q + 1);
+        for (std::uint32_t q = 0; q + 1 < n; q += 2)
+            c.rzz(q, q + 1, ParamRef::literal(a));
+    }
+    return c;
+}
+
+/** Best-of-@p reps wall seconds of @p run, resetting via @p reset
+ *  outside the timed region. */
+double
+bestSeconds(unsigned reps, const std::function<void()> &reset,
+            const std::function<void()> &run)
+{
+    double best = 1e300;
+    for (unsigned r = 0; r < reps; ++r) {
+        reset();
+        const auto t0 = std::chrono::steady_clock::now();
+        run();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+struct Row {
+    std::string name;
+    std::size_t gates = 0;
+    double nsPerGate = 0.0;
+    double speedup = 0.0; // vs the paired reference row; 0 = n/a
+};
+
+double
+nsPerGate(double seconds, std::size_t gates)
+{
+    return seconds * 1e9 / static_cast<double>(gates);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t n = 20;
+    unsigned reps = 3;
+    std::string out = "BENCH_statevector.json";
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                sim::fatal(argv[i], " requires a value");
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--qubits") == 0)
+            n = static_cast<std::uint32_t>(
+                std::strtoul(value(), nullptr, 10));
+        else if (std::strcmp(argv[i], "--reps") == 0)
+            reps = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        else if (std::strcmp(argv[i], "--out") == 0)
+            out = value();
+        else
+            sim::fatal("usage: bench_statevector [--qubits N] "
+                       "[--reps R] [--out PATH]");
+    }
+
+    const auto euler = eulerCircuit(n, 2);
+    const auto diag = diagonalCircuit(n, 2);
+    std::vector<Row> rows;
+
+    auto timeReference = [&](const QuantumCircuit &c) {
+        tests::ReferenceStateVector rsv(n);
+        return bestSeconds(reps, [&] { rsv.reset(); },
+                           [&] { rsv.applyCircuit(c); });
+    };
+    auto timeOptimized = [&](const QuantumCircuit &c,
+                             quantum::KernelConfig k) {
+        quantum::StateVector sv(n, std::max(n, 24u), k);
+        return bestSeconds(reps, [&] { sv.reset(); },
+                           [&] { sv.applyCircuit(c); });
+    };
+
+    std::printf("statevector kernel bench: %u qubits, best of %u\n\n",
+                n, reps);
+
+    // -- apply1q: reference scalar vs pair-loop vs pair-loop+fusion.
+    const double ref_1q = timeReference(euler);
+    rows.push_back({"apply1q_reference", euler.numGates(),
+                    nsPerGate(ref_1q, euler.numGates()), 0.0});
+
+    const double pair_1q = timeOptimized(euler, {});
+    rows.push_back({"apply1q_pairloop", euler.numGates(),
+                    nsPerGate(pair_1q, euler.numGates()),
+                    ref_1q / pair_1q});
+
+    quantum::KernelConfig fused;
+    fused.fuse1q = true;
+    const double fused_1q = timeOptimized(euler, fused);
+    rows.push_back({"apply1q_pairloop_fused", euler.numGates(),
+                    nsPerGate(fused_1q, euler.numGates()),
+                    ref_1q / fused_1q});
+
+    // -- diagonal gates: full 2x2 scan vs specialized phase pass.
+    const double ref_diag = timeReference(diag);
+    rows.push_back({"diagonal_reference", diag.numGates(),
+                    nsPerGate(ref_diag, diag.numGates()), 0.0});
+    const double opt_diag = timeOptimized(diag, {});
+    rows.push_back({"diagonal_phase_pass", diag.numGates(),
+                    nsPerGate(opt_diag, diag.numGates()),
+                    ref_diag / opt_diag});
+
+    // -- threading: 1/2/4 kernel workers on the euler circuit.
+    double serial = 0.0;
+    for (unsigned t : {1u, 2u, 4u}) {
+        quantum::KernelConfig k;
+        k.threads = t;
+        k.parallelMinQubits = std::min<std::uint32_t>(n, 20);
+        const double s = timeOptimized(euler, k);
+        if (t == 1)
+            serial = s;
+        rows.push_back({"threads_" + std::to_string(t),
+                        euler.numGates(),
+                        nsPerGate(s, euler.numGates()),
+                        t == 1 ? ref_1q / s : serial / s});
+    }
+
+    std::printf("%-26s %8s %12s %10s\n", "kernel", "gates",
+                "ns/gate", "speedup");
+    for (const auto &r : rows) {
+        if (r.speedup > 0.0)
+            std::printf("%-26s %8zu %12.1f %9.2fx\n", r.name.c_str(),
+                        r.gates, r.nsPerGate, r.speedup);
+        else
+            std::printf("%-26s %8zu %12.1f %10s\n", r.name.c_str(),
+                        r.gates, r.nsPerGate, "-");
+    }
+
+    const double headline = ref_1q / fused_1q;
+    std::printf("\n%u-qubit apply1q pair-loop + fusion vs reference "
+                "scalar: %.2fx %s\n",
+                n, headline, headline >= 2.0 ? "(>= 2x)" : "(< 2x)");
+
+    service::json::Value doc = service::json::Value::object();
+    doc.set("schema", "qtenon.bench-statevector.v1");
+    doc.set("qubits", n);
+    doc.set("reps", reps);
+    service::json::Value results = service::json::Value::array();
+    for (const auto &r : rows) {
+        service::json::Value row = service::json::Value::object();
+        row.set("name", r.name);
+        row.set("gates", static_cast<std::uint64_t>(r.gates));
+        row.set("ns_per_gate", r.nsPerGate);
+        if (r.speedup > 0.0)
+            row.set("speedup", r.speedup);
+        results.asArray().push_back(std::move(row));
+    }
+    doc.set("results", std::move(results));
+    service::json::Value crit = service::json::Value::object();
+    crit.set("apply1q_fused_speedup", headline);
+    crit.set("meets_2x_target", headline >= 2.0);
+    doc.set("criteria", std::move(crit));
+
+    std::ofstream os(out);
+    if (!os)
+        sim::fatal("cannot open --out path '", out, "'");
+    doc.write(os, 2);
+    os << "\n";
+    std::printf("written to %s\n", out.c_str());
+    return 0;
+}

@@ -31,6 +31,7 @@ main(int argc, char **argv)
                                vqa::OptimizerKind::Spsa, 64)
                        .driver;
     proto.driver.seed = cli.seed;
+    cli.applyDriver(proto.driver);
     proto.deriveSeedFromJobId = false; // figure parity, see fig11
 
     auto scaling_jobs =

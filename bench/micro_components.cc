@@ -19,6 +19,7 @@
 #include "quantum/sampler.hh"
 #include "quantum/statevector.hh"
 #include "sim/random.hh"
+#include "tests/reference_statevector.hh"
 
 using namespace qtenon;
 
@@ -38,6 +39,95 @@ BM_StatevectorHadamardLayer(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_StatevectorHadamardLayer)->Arg(10)->Arg(16)->Arg(20);
+
+static void
+BM_StatevectorReferenceHadamardLayer(benchmark::State &state)
+{
+    // The seed's scalar kernel, for comparison with the pair-loop
+    // version above (see also bench_statevector for the full sweep).
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    tests::ReferenceStateVector sv(n);
+    quantum::Gate h{quantum::GateType::H, 0, 0, {}};
+    for (auto _ : state) {
+        for (std::uint32_t q = 0; q < n; ++q) {
+            h.qubit0 = q;
+            sv.apply(h, 0.0);
+        }
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StatevectorReferenceHadamardLayer)
+    ->Arg(10)->Arg(16)->Arg(20);
+
+static void
+BM_StatevectorDiagonalLayer(benchmark::State &state)
+{
+    // RZ across the register: a pure phase pass in the optimized
+    // kernels instead of a generic 2x2 scan.
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    quantum::StateVector sv(n);
+    quantum::Gate rz{quantum::GateType::RZ, 0, 0,
+                     quantum::ParamRef::literal(0.3)};
+    for (auto _ : state) {
+        for (std::uint32_t q = 0; q < n; ++q) {
+            rz.qubit0 = q;
+            sv.apply(rz, 0.3);
+        }
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StatevectorDiagonalLayer)->Arg(16)->Arg(20);
+
+static void
+BM_StatevectorEulerCircuit(benchmark::State &state)
+{
+    // rx/ry/rz runs per qubit; range(1) toggles 1q-gate fusion.
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    quantum::KernelConfig k;
+    k.fuse1q = state.range(1) != 0;
+    quantum::QuantumCircuit c(n);
+    for (std::uint32_t q = 0; q < n; ++q) {
+        c.rx(q, quantum::ParamRef::literal(0.3));
+        c.ry(q, quantum::ParamRef::literal(0.5));
+        c.rz(q, quantum::ParamRef::literal(0.7));
+    }
+    quantum::StateVector sv(n, 24, k);
+    for (auto _ : state) {
+        sv.reset();
+        sv.applyCircuit(c);
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+    state.SetItemsProcessed(state.iterations() * c.numGates());
+}
+BENCHMARK(BM_StatevectorEulerCircuit)
+    ->Args({16, 0})->Args({16, 1})->Args({20, 0})->Args({20, 1});
+
+static void
+BM_StatevectorThreadedCircuit(benchmark::State &state)
+{
+    // range(1) kernel threads; parallelMinQubits lowered so the
+    // 16-qubit case exercises the threaded path too.
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    quantum::KernelConfig k;
+    k.threads = static_cast<unsigned>(state.range(1));
+    k.parallelMinQubits = 16;
+    quantum::QuantumCircuit c(n);
+    for (std::uint32_t q = 0; q < n; ++q)
+        c.h(q);
+    for (std::uint32_t q = 0; q < n; ++q)
+        c.rx(q, quantum::ParamRef::literal(0.4));
+    quantum::StateVector sv(n, 24, k);
+    for (auto _ : state) {
+        sv.reset();
+        sv.applyCircuit(c);
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+    state.SetItemsProcessed(state.iterations() * c.numGates());
+}
+BENCHMARK(BM_StatevectorThreadedCircuit)
+    ->Args({20, 1})->Args({20, 2})->Args({20, 4});
 
 static void
 BM_StatevectorSample(benchmark::State &state)

@@ -57,11 +57,12 @@ speedupRow(const service::JobResult &r)
 inline std::vector<service::JobSpec>
 speedupJobs(vqa::OptimizerKind opt,
             const std::vector<std::uint32_t> &sizes,
-            std::uint64_t seed)
+            const SweepCli &cli)
 {
     service::JobSpec proto;
     proto.driver = paperConfig(vqa::Algorithm::Qaoa, opt, 8).driver;
-    proto.driver.seed = seed;
+    proto.driver.seed = cli.seed;
+    cli.applyDriver(proto.driver);
     // The paper's tables use one fixed seed per point; the job id
     // already isolates RNG streams because every job runs its own
     // driver, so keep the legacy seeding for figure parity.
@@ -86,7 +87,7 @@ printSpeedupFigure(vqa::OptimizerKind opt, const SweepCli &cli)
         cli.qubitsOr({8, 16, 24, 32, 40, 48, 56, 64});
 
     service::BatchScheduler sched(cli.schedulerConfig());
-    auto handles = sched.submitAll(speedupJobs(opt, sizes, cli.seed));
+    auto handles = sched.submitAll(speedupJobs(opt, sizes, cli));
     auto &store = sched.wait();
 
     const vqa::Algorithm algos[] = {vqa::Algorithm::Qaoa,

@@ -8,8 +8,17 @@
  *   --seed S         base RNG seed (each job derives its own)
  *   --json PATH      export the batch's ResultsStore as JSON
  *   --timeout-ms N   per-job cooperative deadline
+ *   --backend NAME   force the functional engine (auto, statevector,
+ *                    meanfield, stabilizer, densitymatrix)
+ *   --sv-fusion      enable single-qubit gate fusion in the
+ *                    statevector kernels
+ *   --sv-threads N   statevector kernel threads (1 = serial,
+ *                    0 = auto up to the batch budget)
  *
- * so sweeps are reconfigurable without recompiling.
+ * so sweeps are reconfigurable without recompiling. The three
+ * statevector knobs default to the bit-identical configuration
+ * (auto backend, no fusion, serial kernels), so figure outputs only
+ * change when a knob is passed explicitly.
  */
 
 #ifndef QTENON_BENCH_SWEEP_CLI_HH
@@ -24,8 +33,10 @@
 #include <string>
 #include <vector>
 
+#include "quantum/backend.hh"
 #include "service/batch_scheduler.hh"
 #include "sim/logging.hh"
+#include "vqa/driver.hh"
 
 namespace qtenon::bench {
 
@@ -36,6 +47,18 @@ struct SweepCli {
     std::uint64_t seed = 7;
     std::string jsonPath;
     std::chrono::milliseconds timeout{0};
+    quantum::BackendKind backend = quantum::BackendKind::Auto;
+    bool svFusion = false;
+    unsigned svThreads = 1; // 1 = serial, 0 = auto (budgeted)
+
+    /** Apply the backend/kernel knobs to one job's driver config. */
+    void
+    applyDriver(vqa::DriverConfig &cfg) const
+    {
+        cfg.backend = backend;
+        cfg.kernel.fuse1q = svFusion;
+        cfg.kernel.threads = svThreads;
+    }
 
     /** Scheduler config honouring --jobs and --timeout-ms. */
     service::SchedulerConfig
@@ -125,7 +148,8 @@ parseSweepCli(int argc, char **argv)
             std::strcmp(arg, "-h") == 0) {
             std::printf(
                 "usage: %s [--jobs N] [--qubits a,b,c] [--seed S] "
-                "[--json PATH] [--timeout-ms N]\n",
+                "[--json PATH] [--timeout-ms N] [--backend NAME] "
+                "[--sv-fusion] [--sv-threads N]\n",
                 argv[0]);
             std::exit(0);
         } else if (std::strcmp(arg, "--jobs") == 0) {
@@ -144,6 +168,15 @@ parseSweepCli(int argc, char **argv)
             if (n <= 0)
                 sim::fatal("--timeout-ms must be positive");
             cli.timeout = std::chrono::milliseconds(n);
+        } else if (std::strcmp(arg, "--backend") == 0) {
+            cli.backend = quantum::backendKindFromName(value());
+        } else if (std::strcmp(arg, "--sv-fusion") == 0) {
+            cli.svFusion = true;
+        } else if (std::strcmp(arg, "--sv-threads") == 0) {
+            const long n = std::strtol(value(), nullptr, 10);
+            if (n < 0)
+                sim::fatal("--sv-threads must be >= 0");
+            cli.svThreads = static_cast<unsigned>(n);
         } else {
             sim::fatal("unknown argument '", arg,
                        "' (try --help)");

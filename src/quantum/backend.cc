@@ -1,0 +1,411 @@
+#include "backend.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "density_matrix.hh"
+#include "sampler.hh"
+#include "sim/logging.hh"
+#include "stabilizer.hh"
+
+namespace qtenon::quantum {
+
+const char *
+backendKindName(BackendKind k)
+{
+    switch (k) {
+      case BackendKind::Auto: return "auto";
+      case BackendKind::Statevector: return "statevector";
+      case BackendKind::MeanField: return "meanfield";
+      case BackendKind::Stabilizer: return "stabilizer";
+      case BackendKind::DensityMatrix: return "densitymatrix";
+    }
+    return "?";
+}
+
+BackendKind
+backendKindFromName(const std::string &name)
+{
+    if (name == "auto")
+        return BackendKind::Auto;
+    if (name == "statevector" || name == "sv")
+        return BackendKind::Statevector;
+    if (name == "meanfield" || name == "mean-field" || name == "mf")
+        return BackendKind::MeanField;
+    if (name == "stabilizer" || name == "stab")
+        return BackendKind::Stabilizer;
+    if (name == "densitymatrix" || name == "density-matrix" ||
+        name == "dm")
+        return BackendKind::DensityMatrix;
+    sim::fatal("unknown backend '", name, "' (expected auto, "
+               "statevector, meanfield, stabilizer, or densitymatrix)");
+}
+
+std::vector<double>
+Backend::marginals()
+{
+    std::vector<double> p1(numQubits());
+    for (std::uint32_t q = 0; q < numQubits(); ++q)
+        p1[q] = marginalOne(q);
+    return p1;
+}
+
+namespace {
+
+/** Dense statevector engine: exact, reuses one 2^n buffer. */
+class StatevectorBackend : public Backend
+{
+  public:
+    StatevectorBackend(std::uint32_t n, std::uint32_t max_qubits,
+                       KernelConfig kernel)
+        : _sv(n, max_qubits, kernel), _maxQubits(max_qubits)
+    {}
+
+    BackendKind kind() const override
+    {
+        return BackendKind::Statevector;
+    }
+    std::uint32_t numQubits() const override
+    {
+        return _sv.numQubits();
+    }
+    bool exact() const override { return true; }
+    std::uint32_t maxQubits() const override { return _maxQubits; }
+
+    void
+    run(const QuantumCircuit &c) override
+    {
+        _sv.reset();
+        _sv.applyCircuit(c);
+    }
+
+    std::vector<std::uint64_t>
+    sample(std::size_t shots, sim::Rng &rng) override
+    {
+        if (_sv.numQubits() > 64)
+            sim::fatal("64-bit sample words cap the register at 64 "
+                       "qubits");
+        return _sv.sample(shots, rng);
+    }
+
+    double marginalOne(std::uint32_t q) override
+    {
+        return _sv.marginalOne(q);
+    }
+    double expectationZ(std::uint32_t q) override
+    {
+        return _sv.expectationZ(q);
+    }
+    double expectationZZ(std::uint32_t a, std::uint32_t b) override
+    {
+        return _sv.expectationZZ(a, b);
+    }
+    double expectation(const Hamiltonian &h) override
+    {
+        return h.expectation(_sv);
+    }
+    const StateVector *stateVector() const override { return &_sv; }
+
+  private:
+    StateVector _sv;
+    std::uint32_t _maxQubits;
+};
+
+/** Product-state engine: per-qubit Bloch vectors, any size. */
+class MeanFieldBackend : public Backend
+{
+  public:
+    explicit MeanFieldBackend(std::uint32_t n)
+        : _n(n),
+          _bloch(n, std::array<double, 3>{0.0, 0.0, 1.0})
+    {}
+
+    BackendKind kind() const override { return BackendKind::MeanField; }
+    std::uint32_t numQubits() const override { return _n; }
+    bool exact() const override { return false; }
+    std::uint32_t maxQubits() const override { return 4096; }
+
+    void
+    run(const QuantumCircuit &c) override
+    {
+        _bloch = _evolver.evolve(c);
+    }
+
+    std::vector<std::uint64_t>
+    sample(std::size_t shots, sim::Rng &rng) override
+    {
+        if (_n > 64)
+            sim::fatal("64-bit sample words cap the register at 64 "
+                       "qubits");
+        // Identical draw order to MeanFieldSampler::sample, so the
+        // two paths consume the same RNG stream.
+        std::vector<double> p1(_n);
+        for (std::uint32_t q = 0; q < _n; ++q)
+            p1[q] = (1.0 - _bloch[q][2]) / 2.0;
+        std::vector<std::uint64_t> out(shots, 0);
+        for (std::size_t s = 0; s < shots; ++s) {
+            std::uint64_t bits = 0;
+            for (std::uint32_t q = 0; q < _n; ++q) {
+                if (rng.coin(p1[q]))
+                    bits |= std::uint64_t(1) << q;
+            }
+            out[s] = bits;
+        }
+        return out;
+    }
+
+    double
+    marginalOne(std::uint32_t q) override
+    {
+        checkQubit(q);
+        return (1.0 - _bloch[q][2]) / 2.0;
+    }
+
+    double
+    expectationZ(std::uint32_t q) override
+    {
+        checkQubit(q);
+        return _bloch[q][2];
+    }
+
+    double
+    expectationZZ(std::uint32_t a, std::uint32_t b) override
+    {
+        checkQubit(a);
+        checkQubit(b);
+        // Product state: <Z_a Z_b> factorizes.
+        return _bloch[a][2] * _bloch[b][2];
+    }
+
+    double
+    expectation(const Hamiltonian &h) override
+    {
+        // <prod P_q> ~= prod <P_q>, each factor read off the Bloch
+        // vector (<X> = x, <Y> = y, <Z> = z).
+        double e = h.identityOffset();
+        for (const auto &t : h.terms()) {
+            double prod = 1.0;
+            for (const auto &f : t.string.factors) {
+                checkQubit(f.qubit);
+                switch (f.op) {
+                  case Pauli::I:
+                    break;
+                  case Pauli::X:
+                    prod *= _bloch[f.qubit][0];
+                    break;
+                  case Pauli::Y:
+                    prod *= _bloch[f.qubit][1];
+                    break;
+                  case Pauli::Z:
+                    prod *= _bloch[f.qubit][2];
+                    break;
+                }
+            }
+            e += t.coefficient * prod;
+        }
+        return e;
+    }
+
+  private:
+    void
+    checkQubit(std::uint32_t q) const
+    {
+        if (q >= _n)
+            sim::panic("qubit ", q, " out of range");
+    }
+
+    std::uint32_t _n;
+    MeanFieldSampler _evolver;
+    std::vector<std::array<double, 3>> _bloch;
+};
+
+/** CHP tableau engine: Clifford circuits only, exact. */
+class StabilizerBackend : public Backend
+{
+  public:
+    explicit StabilizerBackend(std::uint32_t n) : _tableau(n) {}
+
+    BackendKind kind() const override
+    {
+        return BackendKind::Stabilizer;
+    }
+    std::uint32_t numQubits() const override
+    {
+        return _tableau.numQubits();
+    }
+    bool exact() const override { return true; }
+    std::uint32_t maxQubits() const override { return 1024; }
+
+    void
+    run(const QuantumCircuit &c) override
+    {
+        _tableau.reset();
+        _tableau.applyCircuit(c); // fatal on non-Clifford content
+    }
+
+    std::vector<std::uint64_t>
+    sample(std::size_t shots, sim::Rng &rng) override
+    {
+        return _tableau.sample(shots, rng);
+    }
+
+    double marginalOne(std::uint32_t q) override
+    {
+        return _tableau.marginalOne(q);
+    }
+    double expectationZ(std::uint32_t q) override
+    {
+        return _tableau.expectationZ(q);
+    }
+    double expectationZZ(std::uint32_t a, std::uint32_t b) override
+    {
+        return _tableau.expectationZZ(a, b);
+    }
+
+    double
+    expectation(const Hamiltonian &h) override
+    {
+        double e = h.identityOffset();
+        for (const auto &t : h.terms())
+            e += t.coefficient * _tableau.pauliExpectation(t.string);
+        return e;
+    }
+
+  private:
+    StabilizerSimulator _tableau;
+};
+
+/** Open-system engine: 4^n density operator with noise channels. */
+class DensityMatrixBackend : public Backend
+{
+  public:
+    explicit DensityMatrixBackend(std::uint32_t n)
+        : _dm(n, DensityMatrix::defaultMaxQubits)
+    {}
+
+    BackendKind kind() const override
+    {
+        return BackendKind::DensityMatrix;
+    }
+    std::uint32_t numQubits() const override
+    {
+        return _dm.numQubits();
+    }
+    bool exact() const override { return true; }
+    std::uint32_t maxQubits() const override
+    {
+        return DensityMatrix::defaultMaxQubits;
+    }
+
+    void
+    run(const QuantumCircuit &c) override
+    {
+        _dm.reset();
+        _dm.applyCircuit(c);
+    }
+
+    std::vector<std::uint64_t>
+    sample(std::size_t shots, sim::Rng &rng) override
+    {
+        // Same sorted-draws CDF walk (and zero-weight tail rule) as
+        // StateVector::sampleFromUniforms, over the diagonal.
+        std::vector<std::pair<double, std::size_t>> draws(shots);
+        for (std::size_t s = 0; s < shots; ++s)
+            draws[s] = {rng.uniform(), s};
+        std::sort(draws.begin(), draws.end());
+
+        const std::uint64_t dim = _dm.dim();
+        std::vector<std::uint64_t> outcomes(shots, 0);
+        double cum = 0.0;
+        std::size_t next = 0;
+        for (std::uint64_t basis = 0;
+             basis < dim && next < shots; ++basis) {
+            cum += _dm.probability(basis);
+            while (next < shots && draws[next].first < cum) {
+                outcomes[draws[next].second] = basis;
+                ++next;
+            }
+        }
+        if (next < shots) {
+            std::uint64_t last = dim - 1;
+            while (last > 0 && _dm.probability(last) <= 0.0)
+                --last;
+            for (; next < shots; ++next)
+                outcomes[draws[next].second] = last;
+        }
+        return outcomes;
+    }
+
+    double marginalOne(std::uint32_t q) override
+    {
+        return _dm.marginalOne(q);
+    }
+    double expectationZ(std::uint32_t q) override
+    {
+        return _dm.expectationZ(q);
+    }
+    double expectationZZ(std::uint32_t a, std::uint32_t b) override
+    {
+        return _dm.expectationZZ(a, b);
+    }
+    double expectation(const Hamiltonian &h) override
+    {
+        return _dm.expectation(h);
+    }
+
+    /** Noise channels and purity remain engine-specific; expose the
+     *  operator for callers that ask for this kind explicitly. */
+    DensityMatrix &densityMatrix() { return _dm; }
+
+  private:
+    DensityMatrix _dm;
+};
+
+} // namespace
+
+BackendKind
+resolveBackendKind(BackendKind requested, std::uint32_t num_qubits,
+                   std::uint32_t exact_cap)
+{
+    if (requested == BackendKind::Auto) {
+        return num_qubits <= exact_cap ? BackendKind::Statevector
+                                       : BackendKind::MeanField;
+    }
+    if (requested == BackendKind::Statevector &&
+        num_qubits > std::max(exact_cap, StateVector::defaultMaxQubits))
+        sim::fatal("statevector backend forced for ", num_qubits,
+                   " qubits (cap ",
+                   std::max(exact_cap, StateVector::defaultMaxQubits),
+                   "); use meanfield or stabilizer");
+    if (requested == BackendKind::DensityMatrix &&
+        num_qubits > DensityMatrix::defaultMaxQubits)
+        sim::fatal("density-matrix backend forced for ", num_qubits,
+                   " qubits (cap ", DensityMatrix::defaultMaxQubits,
+                   ")");
+    return requested;
+}
+
+std::unique_ptr<Backend>
+makeBackend(std::uint32_t num_qubits, const BackendConfig &cfg)
+{
+    const BackendKind kind =
+        resolveBackendKind(cfg.kind, num_qubits, cfg.exactCap);
+    switch (kind) {
+      case BackendKind::Statevector:
+        return std::make_unique<StatevectorBackend>(
+            num_qubits,
+            std::max(cfg.exactCap, StateVector::defaultMaxQubits),
+            cfg.kernel);
+      case BackendKind::MeanField:
+        return std::make_unique<MeanFieldBackend>(num_qubits);
+      case BackendKind::Stabilizer:
+        return std::make_unique<StabilizerBackend>(num_qubits);
+      case BackendKind::DensityMatrix:
+        return std::make_unique<DensityMatrixBackend>(num_qubits);
+      case BackendKind::Auto:
+        break; // resolved above
+    }
+    sim::panic("unresolved backend kind");
+}
+
+} // namespace qtenon::quantum

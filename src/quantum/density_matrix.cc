@@ -298,6 +298,20 @@ DensityMatrix::expectationZ(std::uint32_t q) const
 }
 
 double
+DensityMatrix::expectationZZ(std::uint32_t a, std::uint32_t b) const
+{
+    const std::uint64_t abit = std::uint64_t(1) << a;
+    const std::uint64_t bbit = std::uint64_t(1) << b;
+    double e = 0.0;
+    for (std::uint64_t i = 0; i < _dim; ++i) {
+        const double p = _rho[i * _dim + i].real();
+        const bool odd = bool(i & abit) != bool(i & bbit);
+        e += odd ? -p : p;
+    }
+    return e;
+}
+
+double
 DensityMatrix::expectation(const Hamiltonian &h) const
 {
     if (h.numQubits() != _numQubits)

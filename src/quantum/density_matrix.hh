@@ -83,6 +83,8 @@ class DensityMatrix
     double probability(std::uint64_t basis) const;
     double marginalOne(std::uint32_t q) const;
     double expectationZ(std::uint32_t q) const;
+    /** Tr(rho Z_a Z_b). */
+    double expectationZZ(std::uint32_t a, std::uint32_t b) const;
     /** Tr(rho H) for a Pauli-sum Hamiltonian. */
     double expectation(const Hamiltonian &h) const;
     /// @}

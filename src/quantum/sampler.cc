@@ -6,23 +6,31 @@
 
 namespace qtenon::quantum {
 
+StateVector &
+StatevectorSampler::prepare(const QuantumCircuit &c)
+{
+    if (!_sv || _sv->numQubits() != c.numQubits())
+        _sv = std::make_unique<StateVector>(c.numQubits(), _maxQubits,
+                                            _kernel);
+    else
+        _sv->reset();
+    _sv->applyCircuit(c);
+    return *_sv;
+}
+
 std::vector<std::uint64_t>
 StatevectorSampler::sample(const QuantumCircuit &c, std::size_t shots,
                            sim::Rng &rng)
 {
     if (c.numQubits() > 64)
         sim::fatal("64-bit sample words cap the register at 64 qubits");
-    StateVector sv(c.numQubits(), _maxQubits);
-    sv.applyCircuit(c);
-    return sv.sample(shots, rng);
+    return prepare(c).sample(shots, rng);
 }
 
 double
 StatevectorSampler::marginalOne(const QuantumCircuit &c, std::uint32_t q)
 {
-    StateVector sv(c.numQubits(), _maxQubits);
-    sv.applyCircuit(c);
-    return sv.marginalOne(q);
+    return prepare(c).marginalOne(q);
 }
 
 namespace {
@@ -207,6 +215,39 @@ MeanFieldSampler::marginalOne(const QuantumCircuit &c, std::uint32_t q)
     return (1.0 - bloch[q][2]) / 2.0;
 }
 
+Backend &
+BackendSampler::prepare(const QuantumCircuit &c)
+{
+    if (!_backend || _backend->numQubits() != c.numQubits())
+        _backend = makeBackend(c.numQubits(), _cfg);
+    _backend->run(c);
+    return *_backend;
+}
+
+std::vector<std::uint64_t>
+BackendSampler::sample(const QuantumCircuit &c, std::size_t shots,
+                       sim::Rng &rng)
+{
+    if (c.numQubits() > 64)
+        sim::fatal("64-bit sample words cap the register at 64 qubits");
+    return prepare(c).sample(shots, rng);
+}
+
+double
+BackendSampler::marginalOne(const QuantumCircuit &c, std::uint32_t q)
+{
+    return prepare(c).marginalOne(q);
+}
+
+std::uint32_t
+BackendSampler::maxQubits() const
+{
+    if (_backend)
+        return _backend->maxQubits();
+    // Auto falls back to the mean-field engine above the exact cap.
+    return _cfg.kind == BackendKind::Auto ? 4096 : _cfg.exactCap;
+}
+
 NoisyReadoutSampler::NoisyReadoutSampler(
     std::unique_ptr<MeasurementSampler> inner, double flip_probability)
     : _inner(std::move(inner)), _flip(flip_probability)
@@ -243,19 +284,28 @@ NoisyReadoutSampler::marginalOne(const QuantumCircuit &c,
 }
 
 std::unique_ptr<MeasurementSampler>
-makeDefaultSampler(std::uint32_t num_qubits, std::uint32_t exact_cap,
+makeBackendSampler(std::uint32_t num_qubits, const BackendConfig &cfg,
                    double readout_error)
 {
-    std::unique_ptr<MeasurementSampler> s;
-    if (num_qubits <= exact_cap)
-        s = std::make_unique<StatevectorSampler>(exact_cap);
-    else
-        s = std::make_unique<MeanFieldSampler>();
+    // Resolve eagerly so a forced kind that cannot hold the register
+    // fails at construction, not at first sample.
+    resolveBackendKind(cfg.kind, num_qubits, cfg.exactCap);
+    std::unique_ptr<MeasurementSampler> s =
+        std::make_unique<BackendSampler>(cfg);
     if (readout_error > 0.0) {
         s = std::make_unique<NoisyReadoutSampler>(std::move(s),
                                                   readout_error);
     }
     return s;
+}
+
+std::unique_ptr<MeasurementSampler>
+makeDefaultSampler(std::uint32_t num_qubits, std::uint32_t exact_cap,
+                   double readout_error)
+{
+    BackendConfig cfg;
+    cfg.exactCap = exact_cap;
+    return makeBackendSampler(num_qubits, cfg, readout_error);
 }
 
 } // namespace qtenon::quantum

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "backend.hh"
 #include "circuit.hh"
 #include "sim/random.hh"
 #include "statevector.hh"
@@ -51,13 +52,18 @@ class MeasurementSampler
     virtual std::uint32_t maxQubits() const = 0;
 };
 
-/** Exact sampler backed by the dense statevector. */
+/**
+ * Exact sampler backed by the dense statevector. The 2^n amplitude
+ * buffer is allocated on first use and reused across calls (reset in
+ * place); it only reallocates when the register width changes.
+ */
 class StatevectorSampler : public MeasurementSampler
 {
   public:
     explicit StatevectorSampler(
-        std::uint32_t max_qubits = StateVector::defaultMaxQubits)
-        : _maxQubits(max_qubits)
+        std::uint32_t max_qubits = StateVector::defaultMaxQubits,
+        KernelConfig kernel = KernelConfig{})
+        : _maxQubits(max_qubits), _kernel(kernel)
     {}
 
     std::vector<std::uint64_t> sample(const QuantumCircuit &c,
@@ -67,7 +73,12 @@ class StatevectorSampler : public MeasurementSampler
     std::uint32_t maxQubits() const override { return _maxQubits; }
 
   private:
+    /** The reusable state, prepared for @p c. */
+    StateVector &prepare(const QuantumCircuit &c);
+
     std::uint32_t _maxQubits;
+    KernelConfig _kernel;
+    std::unique_ptr<StateVector> _sv;
 };
 
 /**
@@ -102,6 +113,36 @@ class MeanFieldSampler : public MeasurementSampler
 };
 
 /**
+ * Adapter exposing any quantum::Backend through the sampler
+ * interface. The backend is built lazily from the stored config on
+ * first use and rebuilt only when the register width changes, so
+ * repeated circuits reuse one state buffer.
+ */
+class BackendSampler : public MeasurementSampler
+{
+  public:
+    explicit BackendSampler(BackendConfig cfg = {}) : _cfg(cfg) {}
+
+    std::vector<std::uint64_t> sample(const QuantumCircuit &c,
+                                      std::size_t shots,
+                                      sim::Rng &rng) override;
+    double marginalOne(const QuantumCircuit &c, std::uint32_t q) override;
+    std::uint32_t maxQubits() const override;
+
+    const BackendConfig &config() const { return _cfg; }
+
+    /** The engine behind the last circuit; nullptr before first use. */
+    Backend *backend() { return _backend.get(); }
+
+  private:
+    /** The backend for @p c's register, with the circuit applied. */
+    Backend &prepare(const QuantumCircuit &c);
+
+    BackendConfig _cfg;
+    std::unique_ptr<Backend> _backend;
+};
+
+/**
  * Readout-error decorator: wraps any sampler and flips each measured
  * bit independently with the given probability, modelling the
  * assignment errors of superconducting dispersive readout. Marginals
@@ -130,9 +171,20 @@ class NoisyReadoutSampler : public MeasurementSampler
 };
 
 /**
+ * Build a sampler through the backend selection policy (see
+ * resolveBackendKind): exact statevector when the register fits under
+ * cfg.exactCap, mean-field above it, or whatever cfg.kind forces. A
+ * nonzero @p readout_error wraps the result in a NoisyReadoutSampler.
+ */
+std::unique_ptr<MeasurementSampler> makeBackendSampler(
+    std::uint32_t num_qubits, const BackendConfig &cfg = {},
+    double readout_error = 0.0);
+
+/**
  * Pick an exact sampler when the register fits, otherwise fall back
  * to the mean-field approximation. A nonzero @p readout_error wraps
- * the result in a NoisyReadoutSampler.
+ * the result in a NoisyReadoutSampler. Equivalent to
+ * makeBackendSampler with the Auto policy.
  */
 std::unique_ptr<MeasurementSampler> makeDefaultSampler(
     std::uint32_t num_qubits,

@@ -304,6 +304,83 @@ StabilizerSimulator::measure(std::uint32_t q, sim::Rng &rng)
     return row.r != 0;
 }
 
+double
+StabilizerSimulator::pauliExpectation(const PauliString &p) const
+{
+    // Bit-vector form of P (Y = X and Z set, matching the tableau's
+    // x=z=1 convention).
+    std::vector<std::uint8_t> px(_n, 0), pz(_n, 0);
+    for (const auto &f : p.factors) {
+        if (f.qubit >= _n)
+            sim::panic("Pauli factor on qubit ", f.qubit,
+                       " outside the ", _n, "-qubit register");
+        switch (f.op) {
+          case Pauli::I:
+            break;
+          case Pauli::X:
+            px[f.qubit] ^= 1;
+            break;
+          case Pauli::Z:
+            pz[f.qubit] ^= 1;
+            break;
+          case Pauli::Y:
+            px[f.qubit] ^= 1;
+            pz[f.qubit] ^= 1;
+            break;
+        }
+    }
+
+    auto anticommutes = [&](const Row &r) {
+        int s = 0;
+        for (std::uint32_t q = 0; q < _n; ++q)
+            s ^= (px[q] & r.z[q]) ^ (pz[q] & r.x[q]);
+        return s != 0;
+    };
+
+    // <P> = 0 unless P commutes with every stabilizer generator.
+    for (std::uint32_t i = _n; i < 2 * _n; ++i) {
+        if (anticommutes(_rows[i]))
+            return 0.0;
+    }
+
+    // P then lies in +-S: generator S_i participates exactly when P
+    // anti-commutes with its destabilizer partner D_i (D_i commutes
+    // with every generator but S_i). Accumulating those generators
+    // with rowsum recovers the sign.
+    Row acc;
+    acc.x.assign(_n, 0);
+    acc.z.assign(_n, 0);
+    acc.r = 0;
+    for (std::uint32_t i = 0; i < _n; ++i) {
+        if (anticommutes(_rows[i]))
+            rowsum(acc, _rows[_n + i]);
+    }
+    for (std::uint32_t q = 0; q < _n; ++q) {
+        if (acc.x[q] != px[q] || acc.z[q] != pz[q])
+            sim::panic("stabilizer expectation: commuting Pauli is "
+                       "not in the stabilizer group");
+    }
+    return acc.r ? -1.0 : 1.0;
+}
+
+double
+StabilizerSimulator::expectationZ(std::uint32_t q) const
+{
+    PauliString p;
+    p.factors.push_back({q, Pauli::Z});
+    return pauliExpectation(p);
+}
+
+double
+StabilizerSimulator::expectationZZ(std::uint32_t a,
+                                   std::uint32_t b) const
+{
+    PauliString p;
+    p.factors.push_back({a, Pauli::Z});
+    p.factors.push_back({b, Pauli::Z});
+    return pauliExpectation(p);
+}
+
 std::vector<std::uint64_t>
 StabilizerSimulator::sample(std::size_t shots, sim::Rng &rng) const
 {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "circuit.hh"
+#include "pauli.hh"
 #include "sim/random.hh"
 
 namespace qtenon::quantum {
@@ -68,6 +69,22 @@ class StabilizerSimulator
 
     /** Whether qubit @p q's readout is deterministic. */
     bool isDeterministic(std::uint32_t q) const;
+
+    /**
+     * Exact expectation <psi| P |psi> of a Pauli string on the
+     * stabilizer state: always -1, 0, or +1. Zero when P
+     * anti-commutes with any stabilizer generator; otherwise P is a
+     * (signed) product of generators, recovered via the
+     * destabilizer pairing and accumulated with rowsum to get the
+     * sign. Powers the stabilizer engine of quantum::Backend.
+     */
+    double pauliExpectation(const PauliString &p) const;
+
+    /** <psi| Z_q |psi> (special case of pauliExpectation). */
+    double expectationZ(std::uint32_t q) const;
+
+    /** <psi| Z_a Z_b |psi> — exact, including correlations. */
+    double expectationZZ(std::uint32_t a, std::uint32_t b) const;
 
     /**
      * Draw @p shots full-register samples (each from a fresh copy of

@@ -1,7 +1,9 @@
 #include "statevector.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "sim/logging.hh"
 
@@ -11,11 +13,129 @@ namespace {
 
 constexpr std::complex<double> iUnit{0.0, 1.0};
 
+std::atomic<unsigned> gKernelThreadCap{0};
+
+/** Insert a zero bit at position @p b of @p x (bits at and above @p b
+ *  shift up by one). The workhorse of the pair-index decomposition:
+ *  mapping p in [0, 2^(n-1)) through insertBit(p, q) enumerates, in
+ *  increasing order, exactly the indices whose qubit-q bit is clear. */
+inline std::uint64_t
+insertBit(std::uint64_t x, std::uint32_t b)
+{
+    const std::uint64_t low = (std::uint64_t(1) << b) - 1;
+    return ((x & ~low) << 1) | (x & low);
+}
+
+bool
+isSingleQubitUnitary(GateType t)
+{
+    switch (t) {
+      case GateType::X:
+      case GateType::Y:
+      case GateType::Z:
+      case GateType::H:
+      case GateType::S:
+      case GateType::Sdg:
+      case GateType::T:
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** The 2x2 unitary of a single-qubit gate. */
+void
+gateMatrix1q(GateType t, double angle, std::complex<double> m[2][2])
+{
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    switch (t) {
+      case GateType::X:
+        m[0][0] = 0; m[0][1] = 1; m[1][0] = 1; m[1][1] = 0;
+        return;
+      case GateType::Y:
+        m[0][0] = 0; m[0][1] = -iUnit; m[1][0] = iUnit; m[1][1] = 0;
+        return;
+      case GateType::Z:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = -1;
+        return;
+      case GateType::H:
+        m[0][0] = inv_sqrt2; m[0][1] = inv_sqrt2;
+        m[1][0] = inv_sqrt2; m[1][1] = -inv_sqrt2;
+        return;
+      case GateType::S:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = iUnit;
+        return;
+      case GateType::Sdg:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = -iUnit;
+        return;
+      case GateType::T:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0;
+        m[1][1] = std::exp(iUnit * (M_PI / 4.0));
+        return;
+      case GateType::RX: {
+        const double c = std::cos(angle / 2.0);
+        const double s = std::sin(angle / 2.0);
+        m[0][0] = c; m[0][1] = -iUnit * s;
+        m[1][0] = -iUnit * s; m[1][1] = c;
+        return;
+      }
+      case GateType::RY: {
+        const double c = std::cos(angle / 2.0);
+        const double s = std::sin(angle / 2.0);
+        m[0][0] = c; m[0][1] = -s; m[1][0] = s; m[1][1] = c;
+        return;
+      }
+      case GateType::RZ:
+        m[0][0] = std::exp(-iUnit * (angle / 2.0));
+        m[0][1] = 0; m[1][0] = 0;
+        m[1][1] = std::exp(iUnit * (angle / 2.0));
+        return;
+      default:
+        sim::panic("gateMatrix1q on non-1q gate ", gateName(t));
+    }
+}
+
+/** Whether a fused 2x2 matrix degenerated to a diagonal. */
+inline bool
+isDiagonal2x2(const std::complex<double> m[2][2])
+{
+    return m[0][1] == std::complex<double>{0.0, 0.0} &&
+           m[1][0] == std::complex<double>{0.0, 0.0};
+}
+
 } // namespace
 
+void
+setKernelThreadCap(unsigned cap)
+{
+    gKernelThreadCap.store(cap, std::memory_order_relaxed);
+}
+
+unsigned
+kernelThreadCap()
+{
+    return gKernelThreadCap.load(std::memory_order_relaxed);
+}
+
+unsigned
+resolveKernelThreads(unsigned requested)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    unsigned n = requested == 0 ? hw : requested;
+    const unsigned cap = kernelThreadCap();
+    if (cap != 0)
+        n = std::min(n, cap);
+    return std::max(1u, n);
+}
+
 StateVector::StateVector(std::uint32_t num_qubits,
-                         std::uint32_t max_qubits)
-    : _numQubits(num_qubits)
+                         std::uint32_t max_qubits, KernelConfig kernel)
+    : _numQubits(num_qubits), _kernel(kernel)
 {
     if (num_qubits == 0)
         sim::fatal("statevector needs at least one qubit");
@@ -34,67 +154,151 @@ StateVector::reset()
     _amps[0] = Amp{1.0, 0.0};
 }
 
+unsigned
+StateVector::kernelThreads() const
+{
+    if (_kernel.threads == 1 ||
+        _numQubits < _kernel.parallelMinQubits)
+        return 1;
+    return resolveKernelThreads(_kernel.threads);
+}
+
+template <typename Fn>
+void
+StateVector::parallelFor(std::uint64_t total, Fn &&fn) const
+{
+    const unsigned nt = kernelThreads();
+    if (nt <= 1 || total < 2 * nt) {
+        fn(std::uint64_t(0), total);
+        return;
+    }
+    // Contiguous per-thread blocks: each index is computed by exactly
+    // one thread with the same arithmetic as the serial loop, so the
+    // amplitudes are identical for every thread count.
+    const std::uint64_t chunk = (total + nt - 1) / nt;
+    std::vector<std::thread> team;
+    team.reserve(nt - 1);
+    for (unsigned t = 1; t < nt; ++t) {
+        const std::uint64_t begin = std::min<std::uint64_t>(
+            std::uint64_t(t) * chunk, total);
+        const std::uint64_t end =
+            std::min<std::uint64_t>(begin + chunk, total);
+        if (begin >= end)
+            break;
+        team.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    fn(std::uint64_t(0), std::min<std::uint64_t>(chunk, total));
+    for (auto &t : team)
+        t.join();
+}
+
 void
 StateVector::apply1q(std::uint32_t q, const Amp m[2][2])
 {
+    // Iterate the 2^(n-1) (i, i|bit) pairs directly: p is the pair
+    // index, and splicing a zero bit into position q yields the
+    // bit-clear partner i.
     const std::uint64_t bit = std::uint64_t(1) << q;
-    const std::uint64_t dim = _amps.size();
-    for (std::uint64_t i = 0; i < dim; ++i) {
-        if (i & bit)
-            continue;
-        const std::uint64_t j = i | bit;
-        const Amp a0 = _amps[i];
-        const Amp a1 = _amps[j];
-        _amps[i] = m[0][0] * a0 + m[0][1] * a1;
-        _amps[j] = m[1][0] * a0 + m[1][1] * a1;
+    const std::uint64_t pairs = _amps.size() >> 1;
+    const Amp m00 = m[0][0], m01 = m[0][1];
+    const Amp m10 = m[1][0], m11 = m[1][1];
+    Amp *amps = _amps.data();
+    parallelFor(pairs, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t p = begin; p < end; ++p) {
+            const std::uint64_t i = insertBit(p, q);
+            const std::uint64_t j = i | bit;
+            const Amp a0 = amps[i];
+            const Amp a1 = amps[j];
+            amps[i] = m00 * a0 + m01 * a1;
+            amps[j] = m10 * a0 + m11 * a1;
+        }
+    });
+}
+
+void
+StateVector::applyPhase1q(std::uint32_t q, Amp p0, Amp p1)
+{
+    Amp *amps = _amps.data();
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    if (p0 == Amp{1.0, 0.0}) {
+        // Z/S/Sdg/T: only the bit-set half picks up a phase.
+        const std::uint64_t half = _amps.size() >> 1;
+        parallelFor(half, [=](std::uint64_t begin, std::uint64_t end) {
+            for (std::uint64_t p = begin; p < end; ++p)
+                amps[insertBit(p, q) | bit] *= p1;
+        });
+        return;
     }
+    // RZ and fused diagonals: one linear phase pass, no pair gather.
+    parallelFor(_amps.size(),
+                [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i)
+            amps[i] *= (i & bit) ? p1 : p0;
+    });
 }
 
 void
 StateVector::applyCZ(std::uint32_t a, std::uint32_t b)
 {
+    // Enumerate only the quarter subspace with both bits set.
+    const std::uint32_t lo = std::min(a, b);
+    const std::uint32_t hi = std::max(a, b);
     const std::uint64_t mask =
         (std::uint64_t(1) << a) | (std::uint64_t(1) << b);
-    const std::uint64_t dim = _amps.size();
-    for (std::uint64_t i = 0; i < dim; ++i) {
-        if ((i & mask) == mask)
-            _amps[i] = -_amps[i];
-    }
+    const std::uint64_t quarter = _amps.size() >> 2;
+    Amp *amps = _amps.data();
+    parallelFor(quarter, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t p = begin; p < end; ++p) {
+            const std::uint64_t i =
+                insertBit(insertBit(p, lo), hi) | mask;
+            amps[i] = -amps[i];
+        }
+    });
 }
 
 void
 StateVector::applyCNOT(std::uint32_t control, std::uint32_t target)
 {
+    // Enumerate only the quarter subspace with control set and
+    // target clear; each visit swaps one (i, i|tbit) pair.
+    const std::uint32_t lo = std::min(control, target);
+    const std::uint32_t hi = std::max(control, target);
     const std::uint64_t cbit = std::uint64_t(1) << control;
     const std::uint64_t tbit = std::uint64_t(1) << target;
-    const std::uint64_t dim = _amps.size();
-    for (std::uint64_t i = 0; i < dim; ++i) {
-        if ((i & cbit) && !(i & tbit))
-            std::swap(_amps[i], _amps[i | tbit]);
-    }
+    const std::uint64_t quarter = _amps.size() >> 2;
+    Amp *amps = _amps.data();
+    parallelFor(quarter, [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t p = begin; p < end; ++p) {
+            const std::uint64_t i =
+                insertBit(insertBit(p, lo), hi) | cbit;
+            std::swap(amps[i], amps[i | tbit]);
+        }
+    });
 }
 
 void
 StateVector::applyRZZ(std::uint32_t a, std::uint32_t b, double angle)
 {
     // exp(-i angle/2 Z_a Z_b): phase -angle/2 on equal parity,
-    // +angle/2 on odd parity.
+    // +angle/2 on odd parity. Already a pure phase pass.
     const Amp even = std::exp(-iUnit * (angle / 2.0));
     const Amp odd = std::exp(iUnit * (angle / 2.0));
     const std::uint64_t abit = std::uint64_t(1) << a;
     const std::uint64_t bbit = std::uint64_t(1) << b;
-    const std::uint64_t dim = _amps.size();
-    for (std::uint64_t i = 0; i < dim; ++i) {
-        const bool pa = i & abit;
-        const bool pb = i & bbit;
-        _amps[i] *= (pa == pb) ? even : odd;
-    }
+    Amp *amps = _amps.data();
+    parallelFor(_amps.size(),
+                [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+            const bool pa = i & abit;
+            const bool pb = i & bbit;
+            amps[i] *= (pa == pb) ? even : odd;
+        }
+    });
 }
 
 void
 StateVector::apply(const Gate &g, double angle)
 {
-    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
     Amp m[2][2];
 
     switch (g.type) {
@@ -102,55 +306,29 @@ StateVector::apply(const Gate &g, double angle)
         return;
       case GateType::Measure:
         return; // sampling handles readout
-      case GateType::X:
-        m[0][0] = 0; m[0][1] = 1; m[1][0] = 1; m[1][1] = 0;
-        apply1q(g.qubit0, m);
-        return;
-      case GateType::Y:
-        m[0][0] = 0; m[0][1] = -iUnit; m[1][0] = iUnit; m[1][1] = 0;
-        apply1q(g.qubit0, m);
-        return;
       case GateType::Z:
-        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = -1;
-        apply1q(g.qubit0, m);
-        return;
-      case GateType::H:
-        m[0][0] = inv_sqrt2; m[0][1] = inv_sqrt2;
-        m[1][0] = inv_sqrt2; m[1][1] = -inv_sqrt2;
-        apply1q(g.qubit0, m);
+        applyPhase1q(g.qubit0, Amp{1.0, 0.0}, Amp{-1.0, 0.0});
         return;
       case GateType::S:
-        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = iUnit;
-        apply1q(g.qubit0, m);
+        applyPhase1q(g.qubit0, Amp{1.0, 0.0}, iUnit);
         return;
       case GateType::Sdg:
-        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = -iUnit;
-        apply1q(g.qubit0, m);
+        applyPhase1q(g.qubit0, Amp{1.0, 0.0}, -iUnit);
         return;
       case GateType::T:
-        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0;
-        m[1][1] = std::exp(iUnit * (M_PI / 4.0));
-        apply1q(g.qubit0, m);
+        applyPhase1q(g.qubit0, Amp{1.0, 0.0},
+                     std::exp(iUnit * (M_PI / 4.0)));
         return;
-      case GateType::RX: {
-        const double c = std::cos(angle / 2.0);
-        const double s = std::sin(angle / 2.0);
-        m[0][0] = c; m[0][1] = -iUnit * s;
-        m[1][0] = -iUnit * s; m[1][1] = c;
-        apply1q(g.qubit0, m);
-        return;
-      }
-      case GateType::RY: {
-        const double c = std::cos(angle / 2.0);
-        const double s = std::sin(angle / 2.0);
-        m[0][0] = c; m[0][1] = -s; m[1][0] = s; m[1][1] = c;
-        apply1q(g.qubit0, m);
-        return;
-      }
       case GateType::RZ:
-        m[0][0] = std::exp(-iUnit * (angle / 2.0));
-        m[0][1] = 0; m[1][0] = 0;
-        m[1][1] = std::exp(iUnit * (angle / 2.0));
+        applyPhase1q(g.qubit0, std::exp(-iUnit * (angle / 2.0)),
+                     std::exp(iUnit * (angle / 2.0)));
+        return;
+      case GateType::X:
+      case GateType::Y:
+      case GateType::H:
+      case GateType::RX:
+      case GateType::RY:
+        gateMatrix1q(g.type, angle, m);
         apply1q(g.qubit0, m);
         return;
       case GateType::RZZ:
@@ -173,8 +351,68 @@ StateVector::applyCircuit(const QuantumCircuit &c)
         sim::panic("circuit qubit count ", c.numQubits(),
                    " != statevector ", _numQubits);
     }
-    for (const auto &g : c.gates())
-        apply(g, c.resolveAngle(g));
+    if (!_kernel.fuse1q) {
+        for (const auto &g : c.gates())
+            apply(g, c.resolveAngle(g));
+        return;
+    }
+
+    // Gate fusion: accumulate runs of adjacent single-qubit gates on
+    // the same qubit into one 2x2 matrix, flushed lazily when a
+    // two-qubit gate touches the qubit (or at circuit end). Gates on
+    // *different* qubits commute, so each qubit's run survives
+    // interleaving with other qubits' gates.
+    struct Pending {
+        bool active = false;
+        Amp m[2][2];
+    };
+    std::vector<Pending> pending(_numQubits);
+
+    auto flush = [&](std::uint32_t q) {
+        Pending &p = pending[q];
+        if (!p.active)
+            return;
+        if (isDiagonal2x2(p.m))
+            applyPhase1q(q, p.m[0][0], p.m[1][1]);
+        else
+            apply1q(q, p.m);
+        p.active = false;
+    };
+
+    for (const auto &g : c.gates()) {
+        const double angle = c.resolveAngle(g);
+        if (g.type == GateType::I || g.type == GateType::Measure)
+            continue;
+        if (isSingleQubitUnitary(g.type)) {
+            Amp gm[2][2];
+            gateMatrix1q(g.type, angle, gm);
+            Pending &p = pending[g.qubit0];
+            if (!p.active) {
+                p.active = true;
+                p.m[0][0] = gm[0][0]; p.m[0][1] = gm[0][1];
+                p.m[1][0] = gm[1][0]; p.m[1][1] = gm[1][1];
+            } else {
+                // new = gm * old (gm applies after old).
+                const Amp f00 = gm[0][0] * p.m[0][0] +
+                                gm[0][1] * p.m[1][0];
+                const Amp f01 = gm[0][0] * p.m[0][1] +
+                                gm[0][1] * p.m[1][1];
+                const Amp f10 = gm[1][0] * p.m[0][0] +
+                                gm[1][1] * p.m[1][0];
+                const Amp f11 = gm[1][0] * p.m[0][1] +
+                                gm[1][1] * p.m[1][1];
+                p.m[0][0] = f00; p.m[0][1] = f01;
+                p.m[1][0] = f10; p.m[1][1] = f11;
+            }
+            continue;
+        }
+        // Two-qubit gate: flush both operands, then apply.
+        flush(g.qubit0);
+        flush(g.qubit1);
+        apply(g, angle);
+    }
+    for (std::uint32_t q = 0; q < _numQubits; ++q)
+        flush(q);
 }
 
 double
@@ -186,22 +424,35 @@ StateVector::probability(std::uint64_t basis) const
 double
 StateVector::marginalOne(std::uint32_t q) const
 {
+    // Only bit-set indices contribute; enumerate just that half (in
+    // the same increasing order the full scan visited them, so the
+    // floating-point sum is unchanged).
     const std::uint64_t bit = std::uint64_t(1) << q;
+    const std::uint64_t half = _amps.size() >> 1;
     double p = 0.0;
-    for (std::uint64_t i = 0; i < _amps.size(); ++i) {
-        if (i & bit)
-            p += std::norm(_amps[i]);
-    }
+    for (std::uint64_t k = 0; k < half; ++k)
+        p += std::norm(_amps[insertBit(k, q) | bit]);
     return p;
 }
 
 std::vector<std::uint64_t>
 StateVector::sample(std::size_t shots, sim::Rng &rng) const
 {
-    // Draw all uniforms, sort, and walk the CDF once: O(2^n + S logS).
+    std::vector<double> uniforms(shots);
+    for (std::size_t s = 0; s < shots; ++s)
+        uniforms[s] = rng.uniform();
+    return sampleFromUniforms(uniforms);
+}
+
+std::vector<std::uint64_t>
+StateVector::sampleFromUniforms(
+    const std::vector<double> &uniforms) const
+{
+    // Sort the uniforms and walk the CDF once: O(2^n + S logS).
+    const std::size_t shots = uniforms.size();
     std::vector<std::pair<double, std::size_t>> draws(shots);
     for (std::size_t s = 0; s < shots; ++s)
-        draws[s] = {rng.uniform(), s};
+        draws[s] = {uniforms[s], s};
     std::sort(draws.begin(), draws.end());
 
     std::vector<std::uint64_t> outcomes(shots, 0);
@@ -215,9 +466,16 @@ StateVector::sample(std::size_t shots, sim::Rng &rng) const
             ++next;
         }
     }
-    // Rounding can leave a tail; assign it the last basis state.
-    for (; next < shots; ++next)
-        outcomes[draws[next].second] = _amps.size() - 1;
+    if (next < shots) {
+        // Rounding can leave a tail (cum < 1 by an ulp or two);
+        // assign it the last basis state that actually has weight,
+        // never an unreachable zero-amplitude state.
+        std::uint64_t last = _amps.size() - 1;
+        while (last > 0 && std::norm(_amps[last]) == 0.0)
+            --last;
+        for (; next < shots; ++next)
+            outcomes[draws[next].second] = last;
+    }
     return outcomes;
 }
 

@@ -6,6 +6,15 @@
  * the quantum chip's functional input/output. Exact up to a
  * configurable qubit cap (memory is 16 bytes x 2^n); larger circuits
  * must use the mean-field sampler (see sampler.hh).
+ *
+ * The gate kernels iterate the 2^(n-1) amplitude *pairs* directly via
+ * low/high-bit index decomposition (instead of branch-skipping all
+ * 2^n indices), apply diagonal gates (Z/S/Sdg/T/RZ/CZ/RZZ) as pure
+ * phase passes with no pair gather, and can optionally fuse runs of
+ * adjacent single-qubit gates and split kernels across a bounded
+ * thread team (see KernelConfig). With fusion and threading at their
+ * defaults the amplitudes are bit-identical to the original scalar
+ * kernels (kept as tests/reference_statevector.hh).
  */
 
 #ifndef QTENON_QUANTUM_STATEVECTOR_HH
@@ -20,6 +29,46 @@
 
 namespace qtenon::quantum {
 
+/**
+ * Statevector kernel tuning.
+ *
+ * Defaults are chosen so that results are bit-identical to the
+ * reference scalar kernels:
+ *  - fuse1q multiplies runs of adjacent single-qubit gates on the
+ *    same qubit into one 2x2 matrix before touching the amplitudes.
+ *    Off by default because it reassociates floating-point products
+ *    (results differ in the last ulp, not in correctness).
+ *  - threads > 1 splits each kernel's index range into contiguous
+ *    per-thread blocks. Every pair is still computed by the exact
+ *    same arithmetic, so threading never changes amplitudes; it is
+ *    off by default and only engages at parallelMinQubits and above,
+ *    where per-gate work (>= 2^19 pairs) dwarfs thread start-up.
+ *    threads == 0 means "auto": the hardware concurrency, clamped by
+ *    the process-wide cap (setKernelThreadCap) that BatchScheduler
+ *    installs so --jobs x kernel threads never oversubscribes.
+ */
+struct KernelConfig {
+    /** Fuse adjacent same-qubit single-qubit gates (applyCircuit). */
+    bool fuse1q = false;
+    /** Kernel worker threads; 1 = serial, 0 = auto (budgeted). */
+    unsigned threads = 1;
+    /** Register size below which kernels always stay serial. */
+    std::uint32_t parallelMinQubits = 20;
+};
+
+/**
+ * Process-wide upper bound on per-statevector kernel threads
+ * (0 = unbounded). BatchScheduler sets this to
+ * hardware_concurrency / workers on construction and clears it on
+ * destruction, so a batch of --jobs parallel jobs never multiplies
+ * into jobs x threads runnable kernel threads.
+ */
+void setKernelThreadCap(unsigned cap);
+unsigned kernelThreadCap();
+
+/** The KernelConfig.threads / hardware / cap resolution rule. */
+unsigned resolveKernelThreads(unsigned requested);
+
 /** Dense 2^n-amplitude state vector with gate application. */
 class StateVector
 {
@@ -30,7 +79,8 @@ class StateVector
     static constexpr std::uint32_t defaultMaxQubits = 24;
 
     explicit StateVector(std::uint32_t num_qubits,
-                         std::uint32_t max_qubits = defaultMaxQubits);
+                         std::uint32_t max_qubits = defaultMaxQubits,
+                         KernelConfig kernel = KernelConfig{});
 
     std::uint32_t numQubits() const { return _numQubits; }
     std::size_t dim() const { return _amps.size(); }
@@ -40,13 +90,20 @@ class StateVector
         return _amps[basis];
     }
 
+    const KernelConfig &kernelConfig() const { return _kernel; }
+    void setKernelConfig(KernelConfig k) { _kernel = k; }
+
     /** Reset to |0...0>. */
     void reset();
 
     /** Apply a single gate (measurements are ignored here). */
     void apply(const Gate &g, double angle);
 
-    /** Apply every gate of @p c, resolving parameters. */
+    /**
+     * Apply every gate of @p c, resolving parameters. With
+     * KernelConfig::fuse1q set, runs of adjacent single-qubit gates
+     * on the same qubit are multiplied into one 2x2 matrix first.
+     */
     void applyCircuit(const QuantumCircuit &c);
 
     /** Probability of measuring basis state @p basis. */
@@ -62,6 +119,14 @@ class StateVector
      */
     std::vector<std::uint64_t> sample(std::size_t shots,
                                       sim::Rng &rng) const;
+
+    /**
+     * Deterministic sampling entry point: one outcome per caller-
+     * provided uniform in [0, 1). This is sample() with the RNG
+     * draws made explicit (tests and quasi-Monte-Carlo sampling).
+     */
+    std::vector<std::uint64_t> sampleFromUniforms(
+        const std::vector<double> &uniforms) const;
 
     /**
      * Mid-circuit measurement: project qubit @p q onto a sampled
@@ -86,12 +151,22 @@ class StateVector
 
   private:
     void apply1q(std::uint32_t q, const Amp m[2][2]);
+    /** Diagonal 1q gate: amp *= p0 / p1 by the qubit's bit. */
+    void applyPhase1q(std::uint32_t q, Amp p0, Amp p1);
     void applyCZ(std::uint32_t a, std::uint32_t b);
     void applyCNOT(std::uint32_t control, std::uint32_t target);
     void applyRZZ(std::uint32_t a, std::uint32_t b, double angle);
 
+    /** Serial-or-threaded iteration of [0, total) in blocks. */
+    template <typename Fn>
+    void parallelFor(std::uint64_t total, Fn &&fn) const;
+
+    /** Threads to use for one kernel pass (1 = stay serial). */
+    unsigned kernelThreads() const;
+
     std::uint32_t _numQubits;
     std::vector<Amp> _amps;
+    KernelConfig _kernel;
 };
 
 } // namespace qtenon::quantum

@@ -11,6 +11,7 @@
 #define QTENON_RUNTIME_TRACE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "isa/compiler.hh"
@@ -36,6 +37,9 @@ struct RoundRecord {
 /** A complete VQA run, ready for timing replay. */
 struct VqaTrace {
     std::uint32_t numQubits = 0;
+    /** Functional engine that produced the rounds ("statevector",
+     *  "meanfield", ...); empty for hand-built traces. */
+    std::string backend;
     /** Compiled Qtenon image of the (structurally fixed) circuit. */
     isa::ProgramImage image;
     std::vector<RoundRecord> rounds;

@@ -1,8 +1,10 @@
 #include "batch_scheduler.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <exception>
 
+#include "quantum/statevector.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::service {
@@ -137,6 +139,7 @@ runJobSpec(const JobSpec &spec, std::uint64_t job_id,
     // reuses the one recorded trace.
     vqa::VqaDriver driver(driver_cfg);
     auto trace = driver.run(workload);
+    r.backend = trace.backend;
     r.costHistory = trace.costHistory;
     r.finalCost =
         trace.costHistory.empty() ? 0.0 : trace.costHistory.back();
@@ -177,6 +180,13 @@ runJobSpec(const JobSpec &spec, std::uint64_t job_id,
 BatchScheduler::BatchScheduler(SchedulerConfig cfg)
     : _cfg(cfg), _workers(resolveWorkerCount(cfg.workers))
 {
+    // Budget the statevector kernels' worker threads against the
+    // job pool: workers x kernel threads never exceeds the machine,
+    // so enabling threaded kernels cannot oversubscribe a batch.
+    const unsigned hw = std::thread::hardware_concurrency();
+    quantum::setKernelThreadCap(
+        std::max(1u, (hw ? hw : 1u) / std::max(1u, _workers)));
+
     _metrics.workers = _workers;
     _threads.reserve(_workers);
     for (unsigned i = 0; i < _workers; ++i)
@@ -193,6 +203,7 @@ BatchScheduler::~BatchScheduler()
     _workAvailable.notify_all();
     for (auto &t : _threads)
         t.join();
+    quantum::setKernelThreadCap(0);
 }
 
 JobHandle

@@ -126,6 +126,10 @@ struct JobResult {
     std::uint32_t numQubits = 0;
     std::string algorithm;
     std::string optimizer;
+    /** Functional engine the driver resolved ("statevector", ...);
+     *  empty for custom jobs. Not written by the v1 JSON schema (so
+     *  stored batch results stay byte-stable), but accepted on read. */
+    std::string backend;
 
     /** Functional optimization outcome. */
     std::vector<double> costHistory;

@@ -133,6 +133,10 @@ resultFromJson(const json::Value &v)
     for (const auto &[k, mv] : v.at("metrics").asObject())
         r.metrics[k] = mv.asDouble();
     r.simTicks = v.at("sim_ticks").asUint();
+    // Optional (the v1 schema deliberately omits it on write so
+    // stored batch results stay byte-stable across releases).
+    if (const json::Value *b = v.find("backend"))
+        r.backend = b->asString();
     if (const json::Value *w = v.find("wall_ns"))
         r.wallNs = w->asUint();
     return r;

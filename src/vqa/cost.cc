@@ -1,10 +1,20 @@
 #include "cost.hh"
 
-#include "quantum/statevector.hh"
+#include "quantum/backend.hh"
 
 #include "sim/logging.hh"
 
 namespace qtenon::vqa {
+
+double
+CostFunction::exactFromCircuit(const quantum::QuantumCircuit &c) const
+{
+    quantum::BackendConfig cfg;
+    cfg.kind = quantum::BackendKind::Statevector;
+    auto b = quantum::makeBackend(c.numQubits(), cfg);
+    b->run(c);
+    return fromBackend(*b);
+}
 
 double
 MaxCutCost::fromShots(const std::vector<std::uint64_t> &shots) const
@@ -30,13 +40,11 @@ MaxCutCost::fromMarginals(const std::vector<double> &p1) const
 }
 
 double
-MaxCutCost::exactFromCircuit(const quantum::QuantumCircuit &c) const
+MaxCutCost::fromBackend(quantum::Backend &b) const
 {
-    quantum::StateVector sv(c.numQubits());
-    sv.applyCircuit(c);
     double expected = 0.0;
     for (const auto &e : _graph.edges())
-        expected += (1.0 - sv.expectationZZ(e.u, e.v)) / 2.0;
+        expected += (1.0 - b.expectationZZ(e.u, e.v)) / 2.0;
     return -expected;
 }
 
@@ -75,12 +83,9 @@ HamiltonianCost::fromMarginals(const std::vector<double> &p1) const
 }
 
 double
-HamiltonianCost::exactFromCircuit(
-    const quantum::QuantumCircuit &c) const
+HamiltonianCost::fromBackend(quantum::Backend &b) const
 {
-    quantum::StateVector sv(c.numQubits());
-    sv.applyCircuit(c);
-    return _hamiltonian.expectation(sv);
+    return b.expectation(_hamiltonian);
 }
 
 double
@@ -119,11 +124,9 @@ QnnLoss::fromMarginals(const std::vector<double> &p1) const
 }
 
 double
-QnnLoss::exactFromCircuit(const quantum::QuantumCircuit &c) const
+QnnLoss::fromBackend(quantum::Backend &b) const
 {
-    quantum::StateVector sv(c.numQubits());
-    sv.applyCircuit(c);
-    const double d = sv.marginalOne(0) - _target;
+    const double d = b.marginalOne(0) - _target;
     return d * d;
 }
 

@@ -18,6 +18,10 @@
 #include "quantum/graph.hh"
 #include "quantum/pauli.hh"
 
+namespace qtenon::quantum {
+class Backend;
+}
+
 namespace qtenon::vqa {
 
 /** A minimized scalar objective over measurement statistics. */
@@ -35,13 +39,20 @@ class CostFunction
         const std::vector<double> &p1) const = 0;
 
     /**
-     * Exact (noise-free) cost of the circuit's output state via the
-     * dense statevector; only valid within the statevector qubit
-     * cap. Models an experiment that measures every required basis,
-     * including non-diagonal Hamiltonian terms.
+     * Cost from the expectation values of a prepared backend (run()
+     * already called). Exact on the exact engines — every required
+     * basis, including non-diagonal Hamiltonian terms — and the
+     * product-state estimate on the mean-field engine.
      */
-    virtual double exactFromCircuit(
-        const quantum::QuantumCircuit &c) const = 0;
+    virtual double fromBackend(quantum::Backend &b) const = 0;
+
+    /**
+     * Exact (noise-free) cost of the circuit's output state via a
+     * one-shot dense statevector; only valid within the statevector
+     * qubit cap. Convenience over fromBackend for callers without a
+     * prepared backend.
+     */
+    double exactFromCircuit(const quantum::QuantumCircuit &c) const;
 
     /** Host operations per shot of classical post-processing. */
     virtual double opsPerShot() const = 0;
@@ -56,8 +67,7 @@ class MaxCutCost : public CostFunction
     double fromShots(
         const std::vector<std::uint64_t> &shots) const override;
     double fromMarginals(const std::vector<double> &p1) const override;
-    double exactFromCircuit(
-        const quantum::QuantumCircuit &c) const override;
+    double fromBackend(quantum::Backend &b) const override;
     double opsPerShot() const override;
 
     const quantum::Graph &graph() const { return _graph; }
@@ -77,8 +87,7 @@ class HamiltonianCost : public CostFunction
     double fromShots(
         const std::vector<std::uint64_t> &shots) const override;
     double fromMarginals(const std::vector<double> &p1) const override;
-    double exactFromCircuit(
-        const quantum::QuantumCircuit &c) const override;
+    double fromBackend(quantum::Backend &b) const override;
     double opsPerShot() const override;
 
     const quantum::Hamiltonian &hamiltonian() const
@@ -108,8 +117,7 @@ class QnnLoss : public CostFunction
     double fromShots(
         const std::vector<std::uint64_t> &shots) const override;
     double fromMarginals(const std::vector<double> &p1) const override;
-    double exactFromCircuit(
-        const quantum::QuantumCircuit &c) const override;
+    double fromBackend(quantum::Backend &b) const override;
     double opsPerShot() const override;
 
   private:

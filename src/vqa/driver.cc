@@ -2,8 +2,7 @@
 
 #include <memory>
 
-#include "quantum/sampler.hh"
-#include "sim/logging.hh"
+#include "evaluator.hh"
 
 namespace qtenon::vqa {
 
@@ -17,9 +16,15 @@ VqaDriver::run(Workload &w)
     isa::QtenonCompiler compiler;
     trace.image = compiler.compile(w.circuit);
 
-    auto sampler = quantum::makeDefaultSampler(n, _cfg.exactCap,
-                                               _cfg.readoutError);
-    sim::Rng rng(_cfg.seed);
+    EvaluatorConfig ecfg;
+    ecfg.backend.kind = _cfg.backend;
+    ecfg.backend.exactCap = _cfg.exactCap;
+    ecfg.backend.kernel = _cfg.kernel;
+    ecfg.shots = _cfg.shots;
+    ecfg.useExactCost = _cfg.useExactCost;
+    ecfg.readoutError = _cfg.readoutError;
+    CostEvaluator eval(n, ecfg, _cfg.seed);
+    trace.backend = eval.backend().name();
 
     std::unique_ptr<Optimizer> opt;
     if (_cfg.optimizer == OptimizerKind::GradientDescent)
@@ -45,32 +50,9 @@ VqaDriver::run(Workload &w)
         round.optimizerOps = opt_ops_per_round;
 
         w.circuit.setParameters(params);
-        double cost;
-        const bool exact_cost =
-            _cfg.useExactCost && n <= _cfg.exactCap;
-        if (record_shots) {
-            round.shotData =
-                sampler->sample(w.circuit, _cfg.shots, rng);
-            cost = exact_cost
-                ? w.cost->exactFromCircuit(w.circuit)
-                : w.cost->fromShots(round.shotData);
-        } else if (exact_cost) {
-            cost = w.cost->exactFromCircuit(w.circuit);
-        } else if (n <= 64) {
-            auto shots = sampler->sample(w.circuit, _cfg.shots, rng);
-            cost = w.cost->fromShots(shots);
-        } else {
-            // Large registers: evaluate from mean-field marginals.
-            auto *mf = dynamic_cast<quantum::MeanFieldSampler *>(
-                sampler.get());
-            if (!mf)
-                sim::panic("large register without mean-field sampler");
-            const auto bloch = mf->evolve(w.circuit);
-            std::vector<double> p1(n);
-            for (std::uint32_t q = 0; q < n; ++q)
-                p1[q] = (1.0 - bloch[q][2]) / 2.0;
-            cost = w.cost->fromMarginals(p1);
-        }
+        const double cost = eval.evaluate(
+            w.circuit, *w.cost,
+            record_shots ? &round.shotData : nullptr);
 
         trace.rounds.push_back(std::move(round));
         return cost;

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "optimizer.hh"
+#include "quantum/backend.hh"
 #include "runtime/trace.hh"
 #include "workload.hh"
 
@@ -22,8 +23,12 @@ struct DriverConfig {
     std::uint32_t iterations = 10;
     OptimizerKind optimizer = OptimizerKind::GradientDescent;
     std::uint64_t seed = 7;
-    /** Statevector cap; beyond it the mean-field sampler is used. */
+    /** Statevector cap; beyond it the mean-field engine is used. */
     std::uint32_t exactCap = 20;
+    /** Functional engine; Auto applies the exactCap policy. */
+    quantum::BackendKind backend = quantum::BackendKind::Auto;
+    /** Statevector kernel tuning (gate fusion, worker threads). */
+    quantum::KernelConfig kernel;
     /** Store per-shot readout words in the trace (n <= 64 only). */
     bool recordShotData = true;
     /**

@@ -1,0 +1,68 @@
+#include "evaluator.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::vqa {
+
+CostEvaluator::CostEvaluator(std::uint32_t num_qubits,
+                             const EvaluatorConfig &cfg,
+                             std::uint64_t seed)
+    : _cfg(cfg),
+      _backend(quantum::makeBackend(num_qubits, cfg.backend)),
+      _rng(seed)
+{
+    if (cfg.readoutError < 0.0 || cfg.readoutError > 0.5)
+        sim::fatal("readout flip probability must be in [0, 0.5], "
+                   "got ", cfg.readoutError);
+}
+
+std::vector<std::uint64_t>
+CostEvaluator::sampleWithReadout()
+{
+    auto out = _backend->sample(_cfg.shots, _rng);
+    if (_cfg.readoutError == 0.0)
+        return out;
+    // Same flip order as NoisyReadoutSampler: per word, per qubit.
+    const auto n = _backend->numQubits();
+    for (auto &word : out) {
+        for (std::uint32_t q = 0; q < n; ++q) {
+            if (_rng.coin(_cfg.readoutError))
+                word ^= std::uint64_t(1) << q;
+        }
+    }
+    return out;
+}
+
+double
+CostEvaluator::evaluate(const quantum::QuantumCircuit &c,
+                        const CostFunction &cost,
+                        std::vector<std::uint64_t> *shot_data)
+{
+    _backend->run(c);
+    const auto n = _backend->numQubits();
+    const bool exact_cost = _cfg.useExactCost && _backend->exact() &&
+        n <= _cfg.backend.exactCap;
+
+    if (shot_data != nullptr) {
+        *shot_data = sampleWithReadout();
+        return exact_cost ? cost.fromBackend(*_backend)
+                          : cost.fromShots(*shot_data);
+    }
+    if (exact_cost)
+        return cost.fromBackend(*_backend);
+    if (n <= 64) {
+        const auto shots = sampleWithReadout();
+        return cost.fromShots(shots);
+    }
+    // Wide registers: evaluate from per-qubit marginals, with the
+    // analytic readout-error adjustment p' = p(1-e) + (1-p)e.
+    auto p1 = _backend->marginals();
+    if (_cfg.readoutError > 0.0) {
+        const double e = _cfg.readoutError;
+        for (auto &p : p1)
+            p = p * (1.0 - e) + (1.0 - p) * e;
+    }
+    return cost.fromMarginals(p1);
+}
+
+} // namespace qtenon::vqa

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The seed's scalar statevector kernels, frozen verbatim as a
+ * reference implementation. The optimized pair-loop/diagonal/fused
+ * kernels in quantum/statevector.cc are cross-validated against this
+ * class (tests/test_backend.cc) and benchmarked against it
+ * (bench/bench_statevector.cc). Do not optimize this file: its value
+ * is being the unoptimized original.
+ */
+
+#ifndef QTENON_TESTS_REFERENCE_STATEVECTOR_HH
+#define QTENON_TESTS_REFERENCE_STATEVECTOR_HH
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "quantum/circuit.hh"
+#include "sim/logging.hh"
+
+namespace qtenon::tests {
+
+/** Branch-skipping full-dimension scalar kernels (the seed code). */
+class ReferenceStateVector
+{
+  public:
+    using Amp = std::complex<double>;
+
+    explicit ReferenceStateVector(std::uint32_t num_qubits)
+        : _numQubits(num_qubits)
+    {
+        if (num_qubits == 0)
+            sim::fatal("statevector needs at least one qubit");
+        _amps.assign(std::size_t(1) << num_qubits, Amp{0.0, 0.0});
+        _amps[0] = Amp{1.0, 0.0};
+    }
+
+    std::uint32_t numQubits() const { return _numQubits; }
+    std::size_t dim() const { return _amps.size(); }
+    const Amp &amplitude(std::uint64_t basis) const
+    {
+        return _amps[basis];
+    }
+
+    void
+    reset()
+    {
+        std::fill(_amps.begin(), _amps.end(), Amp{0.0, 0.0});
+        _amps[0] = Amp{1.0, 0.0};
+    }
+
+    void
+    apply1q(std::uint32_t q, const Amp m[2][2])
+    {
+        const std::uint64_t bit = std::uint64_t(1) << q;
+        const std::uint64_t dim = _amps.size();
+        for (std::uint64_t i = 0; i < dim; ++i) {
+            if (i & bit)
+                continue;
+            const std::uint64_t j = i | bit;
+            const Amp a0 = _amps[i];
+            const Amp a1 = _amps[j];
+            _amps[i] = m[0][0] * a0 + m[0][1] * a1;
+            _amps[j] = m[1][0] * a0 + m[1][1] * a1;
+        }
+    }
+
+    void
+    applyCZ(std::uint32_t a, std::uint32_t b)
+    {
+        const std::uint64_t mask =
+            (std::uint64_t(1) << a) | (std::uint64_t(1) << b);
+        const std::uint64_t dim = _amps.size();
+        for (std::uint64_t i = 0; i < dim; ++i) {
+            if ((i & mask) == mask)
+                _amps[i] = -_amps[i];
+        }
+    }
+
+    void
+    applyCNOT(std::uint32_t control, std::uint32_t target)
+    {
+        const std::uint64_t cbit = std::uint64_t(1) << control;
+        const std::uint64_t tbit = std::uint64_t(1) << target;
+        const std::uint64_t dim = _amps.size();
+        for (std::uint64_t i = 0; i < dim; ++i) {
+            if ((i & cbit) && !(i & tbit))
+                std::swap(_amps[i], _amps[i | tbit]);
+        }
+    }
+
+    void
+    applyRZZ(std::uint32_t a, std::uint32_t b, double angle)
+    {
+        const Amp i_unit{0.0, 1.0};
+        const Amp even = std::exp(-i_unit * (angle / 2.0));
+        const Amp odd = std::exp(i_unit * (angle / 2.0));
+        const std::uint64_t abit = std::uint64_t(1) << a;
+        const std::uint64_t bbit = std::uint64_t(1) << b;
+        const std::uint64_t dim = _amps.size();
+        for (std::uint64_t i = 0; i < dim; ++i) {
+            const bool pa = i & abit;
+            const bool pb = i & bbit;
+            _amps[i] *= (pa == pb) ? even : odd;
+        }
+    }
+
+    void
+    apply(const quantum::Gate &g, double angle)
+    {
+        using quantum::GateType;
+        const Amp i_unit{0.0, 1.0};
+        const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+        Amp m[2][2];
+
+        switch (g.type) {
+          case GateType::I:
+            return;
+          case GateType::Measure:
+            return;
+          case GateType::X:
+            m[0][0] = 0; m[0][1] = 1; m[1][0] = 1; m[1][1] = 0;
+            apply1q(g.qubit0, m);
+            return;
+          case GateType::Y:
+            m[0][0] = 0; m[0][1] = -i_unit;
+            m[1][0] = i_unit; m[1][1] = 0;
+            apply1q(g.qubit0, m);
+            return;
+          case GateType::Z:
+            m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = -1;
+            apply1q(g.qubit0, m);
+            return;
+          case GateType::H:
+            m[0][0] = inv_sqrt2; m[0][1] = inv_sqrt2;
+            m[1][0] = inv_sqrt2; m[1][1] = -inv_sqrt2;
+            apply1q(g.qubit0, m);
+            return;
+          case GateType::S:
+            m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = i_unit;
+            apply1q(g.qubit0, m);
+            return;
+          case GateType::Sdg:
+            m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = -i_unit;
+            apply1q(g.qubit0, m);
+            return;
+          case GateType::T:
+            m[0][0] = 1; m[0][1] = 0; m[1][0] = 0;
+            m[1][1] = std::exp(i_unit * (M_PI / 4.0));
+            apply1q(g.qubit0, m);
+            return;
+          case GateType::RX: {
+            const double c = std::cos(angle / 2.0);
+            const double s = std::sin(angle / 2.0);
+            m[0][0] = c; m[0][1] = -i_unit * s;
+            m[1][0] = -i_unit * s; m[1][1] = c;
+            apply1q(g.qubit0, m);
+            return;
+          }
+          case GateType::RY: {
+            const double c = std::cos(angle / 2.0);
+            const double s = std::sin(angle / 2.0);
+            m[0][0] = c; m[0][1] = -s; m[1][0] = s; m[1][1] = c;
+            apply1q(g.qubit0, m);
+            return;
+          }
+          case GateType::RZ:
+            m[0][0] = std::exp(-i_unit * (angle / 2.0));
+            m[0][1] = 0; m[1][0] = 0;
+            m[1][1] = std::exp(i_unit * (angle / 2.0));
+            apply1q(g.qubit0, m);
+            return;
+          case GateType::RZZ:
+            applyRZZ(g.qubit0, g.qubit1, angle);
+            return;
+          case GateType::CZ:
+            applyCZ(g.qubit0, g.qubit1);
+            return;
+          case GateType::CNOT:
+            applyCNOT(g.qubit0, g.qubit1);
+            return;
+        }
+        sim::panic("unhandled gate in reference statevector");
+    }
+
+    void
+    applyCircuit(const quantum::QuantumCircuit &c)
+    {
+        if (c.numQubits() != _numQubits) {
+            sim::panic("circuit qubit count ", c.numQubits(),
+                       " != statevector ", _numQubits);
+        }
+        for (const auto &g : c.gates())
+            apply(g, c.resolveAngle(g));
+    }
+
+    double
+    normSquared() const
+    {
+        double n = 0.0;
+        for (const auto &a : _amps)
+            n += std::norm(a);
+        return n;
+    }
+
+  private:
+    std::uint32_t _numQubits;
+    std::vector<Amp> _amps;
+};
+
+} // namespace qtenon::tests
+
+#endif // QTENON_TESTS_REFERENCE_STATEVECTOR_HH

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Backend-layer tests: randomized cross-validation of the optimized
+ * statevector kernels against the frozen reference scalar kernels
+ * (reference_statevector.hh), and interface conformance for all four
+ * engines behind quantum::Backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "quantum/backend.hh"
+#include "quantum/statevector.hh"
+#include "reference_statevector.hh"
+#include "sim/random.hh"
+
+using namespace qtenon::quantum;
+using qtenon::sim::Rng;
+using qtenon::tests::ReferenceStateVector;
+
+namespace {
+
+/** A random circuit exercising every gate type. */
+QuantumCircuit
+randomCircuit(std::uint32_t n, std::size_t num_gates, Rng &rng)
+{
+    QuantumCircuit c(n);
+    auto q = [&] {
+        return static_cast<std::uint32_t>(rng.uniform() * n);
+    };
+    auto q_pair = [&](std::uint32_t &a, std::uint32_t &b) {
+        a = q();
+        do {
+            b = q();
+        } while (b == a);
+    };
+    for (std::size_t i = 0; i < num_gates; ++i) {
+        const int pick = static_cast<int>(rng.uniform() * 13.0);
+        const double angle = rng.uniform(-3.0, 3.0);
+        std::uint32_t a, b;
+        switch (pick) {
+          case 0: c.gate(GateType::X, q()); break;
+          case 1: c.gate(GateType::Y, q()); break;
+          case 2: c.gate(GateType::Z, q()); break;
+          case 3: c.h(q()); break;
+          case 4: c.gate(GateType::S, q()); break;
+          case 5: c.gate(GateType::Sdg, q()); break;
+          case 6: c.gate(GateType::T, q()); break;
+          case 7: c.rx(q(), ParamRef::literal(angle)); break;
+          case 8: c.ry(q(), ParamRef::literal(angle)); break;
+          case 9: c.rz(q(), ParamRef::literal(angle)); break;
+          case 10:
+            if (n < 2)
+                break;
+            q_pair(a, b);
+            c.rzz(a, b, ParamRef::literal(angle));
+            break;
+          case 11:
+            if (n < 2)
+                break;
+            q_pair(a, b);
+            c.cz(a, b);
+            break;
+          default:
+            if (n < 2)
+                break;
+            q_pair(a, b);
+            c.cnot(a, b);
+            break;
+        }
+    }
+    return c;
+}
+
+void
+expectMatchesReference(const StateVector &sv,
+                       const ReferenceStateVector &ref,
+                       double tol)
+{
+    ASSERT_EQ(sv.dim(), ref.dim());
+    for (std::uint64_t i = 0; i < sv.dim(); ++i) {
+        const auto a = sv.amplitude(i);
+        const auto r = ref.amplitude(i);
+        if (tol == 0.0) {
+            EXPECT_EQ(a.real(), r.real()) << "basis " << i;
+            EXPECT_EQ(a.imag(), r.imag()) << "basis " << i;
+        } else {
+            EXPECT_NEAR(a.real(), r.real(), tol) << "basis " << i;
+            EXPECT_NEAR(a.imag(), r.imag(), tol) << "basis " << i;
+        }
+    }
+}
+
+void
+crossValidate(KernelConfig kernel, double tol, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (std::uint32_t n : {1u, 2u, 3u, 5u, 7u}) {
+        const auto c = randomCircuit(n, 80, rng);
+        StateVector sv(n, StateVector::defaultMaxQubits, kernel);
+        sv.applyCircuit(c);
+        ReferenceStateVector ref(n);
+        ref.applyCircuit(c);
+        expectMatchesReference(sv, ref, tol);
+        EXPECT_NEAR(sv.normSquared(), 1.0, 1e-9);
+    }
+}
+
+} // namespace
+
+TEST(KernelCrossValidation, DefaultConfigIsBitIdentical)
+{
+    // Pair-loop + diagonal kernels compute the exact same arithmetic
+    // per amplitude as the reference scalar kernels.
+    crossValidate(KernelConfig{}, 0.0, 11);
+}
+
+TEST(KernelCrossValidation, FusionMatchesToTolerance)
+{
+    // Fusion reassociates 2x2 products: last-ulp differences only.
+    KernelConfig k;
+    k.fuse1q = true;
+    crossValidate(k, 1e-12, 22);
+}
+
+TEST(KernelCrossValidation, ThreadedKernelsAreBitIdentical)
+{
+    // Contiguous disjoint blocks: threading never changes values.
+    for (unsigned threads : {2u, 4u}) {
+        KernelConfig k;
+        k.threads = threads;
+        k.parallelMinQubits = 0;
+        crossValidate(k, 0.0, 33 + threads);
+    }
+}
+
+TEST(KernelCrossValidation, FusionPlusThreadsMatchesToTolerance)
+{
+    KernelConfig k;
+    k.fuse1q = true;
+    k.threads = 4;
+    k.parallelMinQubits = 0;
+    crossValidate(k, 1e-12, 44);
+}
+
+TEST(KernelThreads, CapClampsResolution)
+{
+    setKernelThreadCap(2);
+    EXPECT_EQ(resolveKernelThreads(8), 2u);
+    EXPECT_EQ(resolveKernelThreads(1), 1u);
+    setKernelThreadCap(0);
+    EXPECT_EQ(resolveKernelThreads(3), 3u);
+}
+
+TEST(BackendKindNames, RoundTripAndAliases)
+{
+    for (BackendKind k :
+         {BackendKind::Auto, BackendKind::Statevector,
+          BackendKind::MeanField, BackendKind::Stabilizer,
+          BackendKind::DensityMatrix}) {
+        EXPECT_EQ(backendKindFromName(backendKindName(k)), k);
+    }
+    EXPECT_EQ(backendKindFromName("sv"), BackendKind::Statevector);
+    EXPECT_EQ(backendKindFromName("mf"), BackendKind::MeanField);
+    EXPECT_EQ(backendKindFromName("mean-field"),
+              BackendKind::MeanField);
+    EXPECT_EQ(backendKindFromName("stab"), BackendKind::Stabilizer);
+    EXPECT_EQ(backendKindFromName("dm"), BackendKind::DensityMatrix);
+    EXPECT_EQ(backendKindFromName("density-matrix"),
+              BackendKind::DensityMatrix);
+    EXPECT_EXIT(backendKindFromName("qpu"),
+                ::testing::ExitedWithCode(1), "unknown backend");
+}
+
+TEST(BackendPolicy, AutoSelectsByQubitCount)
+{
+    EXPECT_EQ(resolveBackendKind(BackendKind::Auto, 20, 20),
+              BackendKind::Statevector);
+    EXPECT_EQ(resolveBackendKind(BackendKind::Auto, 21, 20),
+              BackendKind::MeanField);
+    // Explicit kinds pass through.
+    EXPECT_EQ(resolveBackendKind(BackendKind::Stabilizer, 100, 20),
+              BackendKind::Stabilizer);
+    EXPECT_EQ(resolveBackendKind(BackendKind::MeanField, 4, 20),
+              BackendKind::MeanField);
+}
+
+TEST(BackendPolicy, ForcedKindValidatesCapacity)
+{
+    EXPECT_EXIT(
+        resolveBackendKind(BackendKind::DensityMatrix, 16, 20),
+        ::testing::ExitedWithCode(1), "density-matrix");
+}
+
+TEST(BackendFactory, BuildsEveryKind)
+{
+    BackendConfig cfg;
+    for (BackendKind k :
+         {BackendKind::Statevector, BackendKind::MeanField,
+          BackendKind::Stabilizer, BackendKind::DensityMatrix}) {
+        cfg.kind = k;
+        auto b = makeBackend(4, cfg);
+        ASSERT_NE(b, nullptr);
+        EXPECT_EQ(b->kind(), k);
+        EXPECT_STREQ(b->name(), backendKindName(k));
+        EXPECT_EQ(b->numQubits(), 4u);
+        EXPECT_EQ(b->exact(), k != BackendKind::MeanField);
+    }
+}
+
+namespace {
+
+/** Bell pair on qubits 0,1 (identity on the rest). */
+QuantumCircuit
+bellCircuit(std::uint32_t n)
+{
+    QuantumCircuit c(n);
+    c.h(0);
+    c.cnot(0, 1);
+    return c;
+}
+
+} // namespace
+
+TEST(BackendConformance, EveryEngineRunsTheInterface)
+{
+    Hamiltonian h(2);
+    h.addTerm(1.0, PauliString::parse("Z0"));
+    h.addTerm(0.5, PauliString::parse("Z0 Z1"));
+    h.addIdentity(0.25);
+
+    BackendConfig cfg;
+    for (BackendKind k :
+         {BackendKind::Statevector, BackendKind::MeanField,
+          BackendKind::Stabilizer, BackendKind::DensityMatrix}) {
+        cfg.kind = k;
+        auto b = makeBackend(2, cfg);
+        b->run(bellCircuit(2));
+
+        Rng rng(5);
+        const auto shots = b->sample(200, rng);
+        ASSERT_EQ(shots.size(), 200u);
+        for (auto s : shots)
+            EXPECT_LT(s, 4u);
+
+        const auto p1 = b->marginals();
+        ASSERT_EQ(p1.size(), 2u);
+        for (double p : p1) {
+            EXPECT_GE(p, 0.0);
+            EXPECT_LE(p, 1.0);
+        }
+        EXPECT_NEAR(b->expectationZ(0), 1.0 - 2.0 * p1[0], 1e-9);
+        const double zz = b->expectationZZ(0, 1);
+        EXPECT_GE(zz, -1.0 - 1e-12);
+        EXPECT_LE(zz, 1.0 + 1e-12);
+        // Engine-consistent Hamiltonian expectation.
+        EXPECT_NEAR(b->expectation(h),
+                    0.25 + b->expectationZ(0) + 0.5 * zz, 1e-9);
+    }
+}
+
+TEST(BackendConformance, ExactEnginesAgreeOnBellState)
+{
+    BackendConfig cfg;
+    for (BackendKind k :
+         {BackendKind::Statevector, BackendKind::Stabilizer,
+          BackendKind::DensityMatrix}) {
+        cfg.kind = k;
+        auto b = makeBackend(3, cfg);
+        b->run(bellCircuit(3));
+        EXPECT_NEAR(b->marginalOne(0), 0.5, 1e-12) << b->name();
+        EXPECT_NEAR(b->marginalOne(1), 0.5, 1e-12) << b->name();
+        EXPECT_NEAR(b->marginalOne(2), 0.0, 1e-12) << b->name();
+        EXPECT_NEAR(b->expectationZ(0), 0.0, 1e-12) << b->name();
+        EXPECT_NEAR(b->expectationZZ(0, 1), 1.0, 1e-12) << b->name();
+        EXPECT_NEAR(b->expectationZZ(0, 2), 0.0, 1e-12) << b->name();
+    }
+}
+
+TEST(BackendConformance, StabilizerPauliExpectations)
+{
+    // Bell state: <XX> = 1, <YY> = -1, <ZZ> = 1, <Z0> = 0.
+    Hamiltonian xx(2), yy(2);
+    xx.addTerm(1.0, PauliString::parse("X0 X1"));
+    yy.addTerm(1.0, PauliString::parse("Y0 Y1"));
+
+    BackendConfig cfg;
+    cfg.kind = BackendKind::Stabilizer;
+    auto b = makeBackend(2, cfg);
+    b->run(bellCircuit(2));
+    EXPECT_DOUBLE_EQ(b->expectation(xx), 1.0);
+    EXPECT_DOUBLE_EQ(b->expectation(yy), -1.0);
+
+    // Cross-check against the dense statevector.
+    cfg.kind = BackendKind::Statevector;
+    auto sv = makeBackend(2, cfg);
+    sv->run(bellCircuit(2));
+    EXPECT_NEAR(sv->expectation(xx), 1.0, 1e-12);
+    EXPECT_NEAR(sv->expectation(yy), -1.0, 1e-12);
+}
+
+TEST(BackendConformance, RunResetsInPlace)
+{
+    BackendConfig cfg;
+    for (BackendKind k :
+         {BackendKind::Statevector, BackendKind::MeanField,
+          BackendKind::Stabilizer, BackendKind::DensityMatrix}) {
+        cfg.kind = k;
+        auto b = makeBackend(2, cfg);
+
+        QuantumCircuit flip(2);
+        flip.x(0);
+        b->run(flip);
+        EXPECT_NEAR(b->marginalOne(0), 1.0, 1e-12) << b->name();
+
+        // A second run must start from |00>, not the flipped state.
+        QuantumCircuit idle(2);
+        b->run(idle);
+        EXPECT_NEAR(b->marginalOne(0), 0.0, 1e-12) << b->name();
+    }
+}
+
+TEST(BackendConformance, StatevectorAccessor)
+{
+    BackendConfig cfg;
+    cfg.kind = BackendKind::Statevector;
+    auto sv = makeBackend(2, cfg);
+    EXPECT_NE(sv->stateVector(), nullptr);
+    cfg.kind = BackendKind::MeanField;
+    auto mf = makeBackend(2, cfg);
+    EXPECT_EQ(mf->stateVector(), nullptr);
+}
+
+TEST(BackendConformance, MeanFieldProductExpectations)
+{
+    // RY(theta) on each qubit: <Z> = cos(theta), <ZZ> factorizes.
+    const double t0 = 0.7, t1 = -1.3;
+    QuantumCircuit c(2);
+    c.ry(0, ParamRef::literal(t0));
+    c.ry(1, ParamRef::literal(t1));
+
+    BackendConfig cfg;
+    cfg.kind = BackendKind::MeanField;
+    auto b = makeBackend(2, cfg);
+    b->run(c);
+    EXPECT_NEAR(b->expectationZ(0), std::cos(t0), 1e-9);
+    EXPECT_NEAR(b->expectationZ(1), std::cos(t1), 1e-9);
+    EXPECT_NEAR(b->expectationZZ(0, 1),
+                std::cos(t0) * std::cos(t1), 1e-9);
+}

@@ -143,10 +143,21 @@ TEST(MeanFieldSampler, QaoaMarginalsRespectBitFlipSymmetry)
 
 TEST(DefaultSampler, PicksBackendBySize)
 {
+    QuantumCircuit small_c(8);
+    small_c.h(0);
     auto small = makeDefaultSampler(8, 20);
-    EXPECT_NE(dynamic_cast<StatevectorSampler *>(small.get()), nullptr);
+    auto *small_bs = dynamic_cast<BackendSampler *>(small.get());
+    ASSERT_NE(small_bs, nullptr);
+    small->marginalOne(small_c, 0);
+    EXPECT_EQ(small_bs->backend()->kind(), BackendKind::Statevector);
+
+    QuantumCircuit large_c(64);
+    large_c.h(0);
     auto large = makeDefaultSampler(64, 20);
-    EXPECT_NE(dynamic_cast<MeanFieldSampler *>(large.get()), nullptr);
+    auto *large_bs = dynamic_cast<BackendSampler *>(large.get());
+    ASSERT_NE(large_bs, nullptr);
+    large->marginalOne(large_c, 0);
+    EXPECT_EQ(large_bs->backend()->kind(), BackendKind::MeanField);
 }
 
 TEST(Timing, SingleGateDurations)

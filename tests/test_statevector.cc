@@ -228,3 +228,51 @@ TEST(StateVectorDeath, RejectsOversizedRegisters)
 {
     EXPECT_DEATH(StateVector(30, 24), "cap");
 }
+
+TEST(StateVector, SampleFromUniformsMatchesSampleStream)
+{
+    QuantumCircuit c(3);
+    c.h(0);
+    c.h(1);
+    c.h(2);
+    StateVector sv(3);
+    sv.applyCircuit(c);
+    Rng rng(9);
+    std::vector<double> uniforms(64);
+    for (auto &u : uniforms)
+        u = rng.uniform();
+    Rng rng2(9);
+    EXPECT_EQ(sv.sampleFromUniforms(uniforms), sv.sample(64, rng2));
+}
+
+TEST(StateVector, SampleTailLandsOnNonzeroBasis)
+{
+    // Only qubit 0 is touched, so bases 2..7 carry zero amplitude.
+    // Rotate until rounding pushes the total probability mass
+    // strictly below 1, leaving a CDF gap a uniform can land in.
+    StateVector sv(3);
+    for (double theta : {0.3, 0.7, 1.1, 1.9, 2.5, 3.1}) {
+        StateVector trial(3);
+        QuantumCircuit c(3);
+        c.rx(0, ParamRef::literal(theta));
+        c.ry(0, ParamRef::literal(theta * 0.7));
+        c.rz(0, ParamRef::literal(theta * 1.3));
+        for (int i = 0; i < 200 && trial.normSquared() >= 1.0; ++i)
+            trial.applyCircuit(c);
+        if (trial.normSquared() < 1.0) {
+            sv = trial;
+            break;
+        }
+    }
+    ASSERT_LT(sv.normSquared(), 1.0);
+
+    // A uniform past the accumulated mass takes the leftover path,
+    // which must land on the last basis with nonzero probability
+    // (basis 1), never on the zero-amplitude tail (basis 7).
+    const double u = (sv.normSquared() + 1.0) / 2.0;
+    ASSERT_LT(u, 1.0);
+    const auto out = sv.sampleFromUniforms({u});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_GT(sv.probability(out[0]), 0.0);
+    EXPECT_EQ(out[0], 1u);
+}
