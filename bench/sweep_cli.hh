@@ -14,6 +14,10 @@
  *                    statevector kernels
  *   --sv-threads N   statevector kernel threads (1 = serial,
  *                    0 = auto up to the batch budget)
+ *   --metrics-json PATH  enable the obs metrics registry and dump
+ *                    its JSON snapshot at exit
+ *   --trace-out PATH install a Chrome trace-event sink and write
+ *                    the timeline JSON at exit (load in Perfetto)
  *
  * so sweeps are reconfigurable without recompiling. The three
  * statevector knobs default to the bit-identical configuration
@@ -30,9 +34,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "quantum/backend.hh"
 #include "service/batch_scheduler.hh"
 #include "sim/logging.hh"
@@ -50,6 +57,10 @@ struct SweepCli {
     quantum::BackendKind backend = quantum::BackendKind::Auto;
     bool svFusion = false;
     unsigned svThreads = 1; // 1 = serial, 0 = auto (budgeted)
+    std::string metricsJsonPath;
+    std::string traceOutPath;
+    /** The installed trace sink (kept alive until finish()). */
+    std::shared_ptr<obs::TraceEventSink> trace;
 
     /** Apply the backend/kernel knobs to one job's driver config. */
     void
@@ -91,13 +102,46 @@ struct SweepCli {
                     static_cast<double>(m.totalJobWallNs) / 1e9,
                     m.speedup(), m.ok, m.failed, m.timedOut,
                     m.cancelled);
-        if (jsonPath.empty())
-            return;
-        std::ofstream os(jsonPath);
-        if (!os)
-            sim::fatal("cannot open --json path '", jsonPath, "'");
-        sched.results().toJson(os);
-        std::printf("results exported to %s\n", jsonPath.c_str());
+        if (!jsonPath.empty()) {
+            std::ofstream os(jsonPath);
+            if (!os)
+                sim::fatal("cannot open --json path '", jsonPath,
+                           "'");
+            sched.results().toJson(os);
+            std::printf("results exported to %s\n",
+                        jsonPath.c_str());
+        }
+        writeObservability();
+    }
+
+    /**
+     * Dump --metrics-json / --trace-out (when given) and uninstall
+     * the trace sink. Call once, after the batch finished; finish()
+     * does it for scheduler-backed binaries.
+     */
+    void
+    writeObservability() const
+    {
+        if (!metricsJsonPath.empty()) {
+            std::ofstream os(metricsJsonPath);
+            if (!os)
+                sim::fatal("cannot open --metrics-json path '",
+                           metricsJsonPath, "'");
+            obs::registry().writeJson(os);
+            std::printf("metrics exported to %s\n",
+                        metricsJsonPath.c_str());
+        }
+        if (trace) {
+            obs::setTraceSink(nullptr);
+            std::ofstream os(traceOutPath);
+            if (!os)
+                sim::fatal("cannot open --trace-out path '",
+                           traceOutPath, "'");
+            trace->write(os);
+            std::printf("trace timeline exported to %s "
+                        "(load in https://ui.perfetto.dev)\n",
+                        traceOutPath.c_str());
+        }
     }
 };
 
@@ -149,7 +193,8 @@ parseSweepCli(int argc, char **argv)
             std::printf(
                 "usage: %s [--jobs N] [--qubits a,b,c] [--seed S] "
                 "[--json PATH] [--timeout-ms N] [--backend NAME] "
-                "[--sv-fusion] [--sv-threads N]\n",
+                "[--sv-fusion] [--sv-threads N] "
+                "[--metrics-json PATH] [--trace-out PATH]\n",
                 argv[0]);
             std::exit(0);
         } else if (std::strcmp(arg, "--jobs") == 0) {
@@ -177,10 +222,24 @@ parseSweepCli(int argc, char **argv)
             if (n < 0)
                 sim::fatal("--sv-threads must be >= 0");
             cli.svThreads = static_cast<unsigned>(n);
+        } else if (std::strcmp(arg, "--metrics-json") == 0) {
+            cli.metricsJsonPath = value();
+        } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+            cli.metricsJsonPath = arg + 15;
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
+            cli.traceOutPath = value();
+        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            cli.traceOutPath = arg + 12;
         } else {
             sim::fatal("unknown argument '", arg,
                        "' (try --help)");
         }
+    }
+    if (!cli.metricsJsonPath.empty())
+        obs::setMetricsEnabled(true);
+    if (!cli.traceOutPath.empty()) {
+        cli.trace = std::make_shared<obs::TraceEventSink>();
+        obs::setTraceSink(cli.trace.get());
     }
     return cli;
 }

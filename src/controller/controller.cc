@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -44,6 +46,11 @@ QuantumController::roccWrite(std::uint64_t qaddr, std::uint64_t data)
         sim::fatal("q_update to non-public QAddress 0x", std::hex,
                    qaddr);
     ++roccTransfers;
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("controller.rocc.transfers",
+                                      "RoCC register transfers");
+        c.inc();
+    }
 
     const auto seg = _cfg.layout.segmentOf(qaddr);
     if (seg == memory::QccSegment::Regfile) {
@@ -87,6 +94,11 @@ QuantumController::roccRead(std::uint64_t qaddr,
         sim::fatal("RoCC read from non-public QAddress 0x", std::hex,
                    qaddr);
     const_cast<QuantumController *>(this)->roccTransfers++;
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("controller.rocc.transfers",
+                                      "RoCC register transfers");
+        c.inc();
+    }
 
     const auto seg = _cfg.layout.segmentOf(qaddr);
     if (seg == memory::QccSegment::Measure) {
@@ -129,6 +141,11 @@ QuantumController::dmaSetProgram(std::uint64_t host_addr,
     QTRACE(Controller, "q_set qubit ", qubit, ": ", entries.size(),
            " entries (", total_bytes, " bytes)");
     setBytes += static_cast<double>(total_bytes);
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("controller.dma.set_bytes",
+                                      "bytes moved by q_set");
+        c.add(total_bytes);
+    }
 
     const std::uint32_t chunk = _cfg.dmaChunkBytes;
     const std::uint64_t num_chunks =
@@ -163,6 +180,16 @@ QuantumController::dmaSetProgram(std::uint64_t host_addr,
                         _wbqDrainFree = start +
                             _sramClock.cyclesToTicks(words);
                         _wbq.drain(words);
+                        if (obs::metricsEnabled()) {
+                            static auto &wq_words = obs::counter(
+                                "controller.wbq.drained_words",
+                                "32-bit words drained into the SRAM");
+                            static auto &wq_wait = obs::histogram(
+                                "controller.wbq.drain_wait_ticks",
+                                "beat arrival to drain-start backlog");
+                            wq_words.add(words);
+                            wq_wait.record(start - r.completed);
+                        }
                     });
                 if (--(*remaining) == 0) {
                     // Install entries and finish when the WBQ drains.
@@ -184,7 +211,15 @@ QuantumController::dmaSetProgram(std::uint64_t host_addr,
                         [cb, fin] { (*cb)(fin); }, "q_set done");
                 }
             },
-            [this](std::uint8_t tag, sim::Tick) { _rbq.expect(tag); });
+            [this](std::uint8_t tag, sim::Tick) {
+                _rbq.expect(tag);
+                if (obs::metricsEnabled()) {
+                    static auto &rq_occ = obs::histogram(
+                        "controller.rbq.tag_occupancy",
+                        "in-flight RBQ tags after each expect");
+                    rq_occ.record(_rbq.pending());
+                }
+            });
     }
 }
 
@@ -197,6 +232,11 @@ QuantumController::dmaAcquire(std::uint64_t host_addr,
     const std::uint64_t total_bytes = std::uint64_t(num_entries) *
         memory::QccLayout::measureEntryBits / 8;
     acquireBytes += static_cast<double>(total_bytes);
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("controller.dma.acquire_bytes",
+                                      "bytes moved by q_acquire");
+        c.add(total_bytes);
+    }
     _barrier.declare(host_addr, total_bytes);
 
     // Read the .measure SRAM (port-serialized), then PUT to host.
@@ -242,9 +282,102 @@ QuantumController::generate(std::vector<std::uint64_t> work,
     pulsesGenerated += static_cast<double>(result.pulsesGenerated);
     _stale.clear();
     const sim::Tick fin = clockEdge(result.cycles);
+    observeGenerate(result, fin);
     eventq().scheduleLambda(fin,
         [done = std::move(done), result, fin] { done(result, fin); },
         "q_gen done");
+}
+
+void
+QuantumController::observeGenerate(const PipelineResult &result,
+                                   sim::Tick fin)
+{
+    if (obs::metricsEnabled()) {
+        static auto &runs = obs::counter(
+            "controller.pipeline.runs", "q_gen pipeline invocations");
+        static auto &cycles = obs::counter(
+            "controller.pipeline.cycles",
+            "pipeline cycles across all q_gen runs");
+        static auto &entries = obs::counter(
+            "controller.pipeline.entries",
+            "program entries processed");
+        static auto &pulses = obs::counter(
+            "controller.pipeline.pulses_generated",
+            "pulses produced by PGUs");
+        static auto &slt_hits = obs::counter(
+            "controller.slt.hits", "SLT skip-lookup hits");
+        static auto &slt_misses = obs::counter(
+            "controller.slt.misses", "SLT skip-lookup misses");
+        static auto &qspace_hits = obs::counter(
+            "controller.slt.qspace_hits",
+            "SLT lookups served from QSpace");
+        static auto &skipped = obs::counter(
+            "controller.pipeline.skipped_valid",
+            "entries skipped with a valid pulse");
+        static auto &stalls = obs::counter(
+            "controller.pipeline.pgu_stall_cycles",
+            "cycles stage 3 stalled on busy PGUs");
+        static auto &s1 = obs::counter(
+            "controller.pipeline.stage1_busy_cycles",
+            "cycles stage 1 (fetch) did work");
+        static auto &s2 = obs::counter(
+            "controller.pipeline.stage2_busy_cycles",
+            "cycles stage 2 (decode+SLT) did work");
+        static auto &s3 = obs::counter(
+            "controller.pipeline.stage3_busy_cycles",
+            "cycles stage 3 (PGU dispatch) did work");
+        static auto &s4 = obs::counter(
+            "controller.pipeline.stage4_busy_cycles",
+            "cycles stage 4 (arbiter writeback) did work");
+        static auto &run_cycles = obs::histogram(
+            "controller.pipeline.run_cycles",
+            "cycles per q_gen pipeline run");
+        runs.inc();
+        cycles.add(result.cycles);
+        entries.add(result.entriesProcessed);
+        pulses.add(result.pulsesGenerated);
+        slt_hits.add(result.sltHits);
+        slt_misses.add(result.sltMisses);
+        qspace_hits.add(result.qspaceHits);
+        skipped.add(result.skippedValid);
+        stalls.add(result.pguStallCycles);
+        s1.add(result.stage1BusyCycles);
+        s2.add(result.stage2BusyCycles);
+        s3.add(result.stage3BusyCycles);
+        s4.add(result.stage4BusyCycles);
+        run_cycles.record(result.cycles);
+    }
+
+    auto *sink = obs::traceSink();
+    if (!sink)
+        return;
+    if (_tracePid == 0) {
+        _tracePid = sink->allocProcess(name() + " (sim time)");
+        sink->threadName(_tracePid, 0, "q_gen");
+        sink->threadName(_tracePid, 1, "stage1 fetch");
+        sink->threadName(_tracePid, 2, "stage2 decode+SLT");
+        sink->threadName(_tracePid, 3, "stage3 PGU dispatch");
+        sink->threadName(_tracePid, 4, "stage4 arbiter");
+    }
+    const double t0 = sim::ticksToUs(curTick());
+    const auto &cd = clockDomain();
+    sink->complete(
+        _tracePid, 0, "q_gen", "controller", t0,
+        sim::ticksToUs(fin - curTick()),
+        {{"entries", std::to_string(result.entriesProcessed)},
+         {"pulses", std::to_string(result.pulsesGenerated)},
+         {"slt_hits", std::to_string(result.sltHits)},
+         {"slt_misses", std::to_string(result.sltMisses)}});
+    const auto stage = [&](std::uint64_t tid, const char *nm,
+                           sim::Cycles busy) {
+        sink->complete(_tracePid, tid, nm, "controller.stage", t0,
+                       sim::ticksToUs(cd.cyclesToTicks(busy)),
+                       {{"busy_cycles", std::to_string(busy)}});
+    };
+    stage(1, "stage1.fetch", result.stage1BusyCycles);
+    stage(2, "stage2.decode-slt", result.stage2BusyCycles);
+    stage(3, "stage3.pgu-dispatch", result.stage3BusyCycles);
+    stage(4, "stage4.arbiter", result.stage4BusyCycles);
 }
 
 void

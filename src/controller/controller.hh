@@ -142,6 +142,9 @@ class QuantumController : public sim::Clocked
     /// @}
 
   private:
+    /** Flush q_gen obs counters and emit per-stage trace spans. */
+    void observeGenerate(const PipelineResult &result, sim::Tick fin);
+
     ControllerConfig _cfg;
     memory::TileLinkBus *_bus;
     sim::ClockDomain _sramClock;
@@ -159,6 +162,8 @@ class QuantumController : public sim::Clocked
         _regfileLinks;
     /** Program entries invalidated by q_update since the last q_gen. */
     std::vector<std::uint64_t> _stale;
+    /** Lazily allocated trace-sink process id (0 = none yet). */
+    std::uint32_t _tracePid = 0;
 };
 
 } // namespace qtenon::controller

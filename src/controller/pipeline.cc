@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::controller {
@@ -92,6 +93,7 @@ PulsePipeline::run(const std::vector<std::uint64_t> &work)
                                 in_flight.end());
                 done->busy = false;
                 ++res.pulsesGenerated;
+                ++res.stage4BusyCycles;
                 progress = true;
             }
         }
@@ -108,6 +110,17 @@ PulsePipeline::run(const std::vector<std::uint64_t> &work)
                 it->pulseQaddr = stage2out.pulseQaddr;
                 it->programQaddr = stage2out.programQaddr;
                 stage2_valid = false;
+                ++res.stage3BusyCycles;
+                if (obs::metricsEnabled()) {
+                    static auto &occ = obs::histogram(
+                        "controller.pipeline.pgu_occupancy",
+                        "busy PGUs after each dispatch");
+                    occ.record(static_cast<std::uint64_t>(
+                        std::count_if(pgus.begin(), pgus.end(),
+                                      [](const Pgu &p) {
+                                          return p.busy;
+                                      })));
+                }
                 progress = true;
             } else {
                 stall = true;
@@ -124,6 +137,7 @@ PulsePipeline::run(const std::vector<std::uint64_t> &work)
             stage1_valid = false;
             progress = true;
             ++res.entriesProcessed;
+            ++res.stage2BusyCycles;
 
             auto entry = f.entry;
             std::uint32_t data = entry.data;
@@ -188,6 +202,7 @@ PulsePipeline::run(const std::vector<std::uint64_t> &work)
             f.entry = _qcc.readProgram(f.programQaddr);
             stage1 = f;
             stage1_valid = true;
+            ++res.stage1BusyCycles;
             progress = true;
         }
 

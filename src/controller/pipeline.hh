@@ -54,6 +54,15 @@ struct PipelineResult {
     std::uint64_t qspaceHits = 0;
     std::uint64_t skippedValid = 0;
     sim::Cycles pguStallCycles = 0;
+    /**
+     * Cycles each stage did useful work (fetch, decode+SLT, PGU
+     * dispatch, arbiter writeback) — the per-stage decomposition the
+     * observability layer turns into trace spans and histograms.
+     */
+    sim::Cycles stage1BusyCycles = 0;
+    sim::Cycles stage2BusyCycles = 0;
+    sim::Cycles stage3BusyCycles = 0;
+    sim::Cycles stage4BusyCycles = 0;
 
     double
     skipRate() const

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::controller {
@@ -55,6 +56,11 @@ const ProgramEntry &
 QuantumControllerCache::readProgram(std::uint64_t qaddr) const
 {
     const_cast<QuantumControllerCache *>(this)->programReads++;
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("mem.qcc.program_reads",
+                                      ".program entries read");
+        c.inc();
+    }
     return _program[programIndex(qaddr)];
 }
 
@@ -63,6 +69,11 @@ QuantumControllerCache::writeProgram(std::uint64_t qaddr,
                                      const ProgramEntry &e)
 {
     ++programWrites;
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("mem.qcc.program_writes",
+                                      ".program entries written");
+        c.inc();
+    }
     _program[programIndex(qaddr)] = e;
 }
 
@@ -99,6 +110,11 @@ QuantumControllerCache::writePulse(std::uint64_t qaddr,
                                    const PulseEntry &p)
 {
     ++pulseWrites;
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("mem.qcc.pulse_writes",
+                                      ".pulse entries written");
+        c.inc();
+    }
     const auto idx = pulseIndex(qaddr);
     _pulse[idx] = p;
     _pulseValid[idx] = true;
@@ -125,6 +141,11 @@ QuantumControllerCache::writeMeasure(std::uint32_t entry,
     if (entry >= _measure.size())
         sim::panic(".measure entry ", entry, " out of range");
     ++measureWrites;
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("mem.qcc.measure_writes",
+                                      ".measure entries written");
+        c.inc();
+    }
     _measure[entry] = value;
 }
 
@@ -143,6 +164,11 @@ QuantumControllerCache::writeRegfile(std::uint32_t entry,
     if (entry >= _regfile.size())
         sim::panic(".regfile entry ", entry, " out of range");
     ++regfileWrites;
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("mem.qcc.regfile_writes",
+                                      ".regfile entries written");
+        c.inc();
+    }
     _regfile[entry] = value;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::memory {
@@ -81,6 +82,11 @@ Cache::accessLine(std::uint64_t line_addr, bool is_write,
         auto &l = _lines[set * _cfg.associativity + w];
         if (l.valid && l.tag == tag) {
             ++hits;
+            if (obs::metricsEnabled()) {
+                static auto &c = obs::counter("mem.cache.hits",
+                                              "cache hits");
+                c.inc();
+            }
             l.lastUse = ++_useCounter;
             if (is_write)
                 l.dirty = true;
@@ -95,6 +101,11 @@ Cache::accessLine(std::uint64_t line_addr, bool is_write,
 
     // Miss: evict, fetch the line downstream, then respond.
     ++misses;
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("mem.cache.misses",
+                                      "cache misses");
+        c.inc();
+    }
     const auto way = victimWay(set);
     auto &victim = _lines[set * _cfg.associativity + way];
     if (victim.valid && victim.dirty) {

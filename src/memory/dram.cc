@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+
 namespace qtenon::memory {
 
 Dram::Dram(sim::EventQueue &eq, std::string name, DramConfig cfg)
@@ -41,6 +43,19 @@ Dram::access(const MemPacket &pkt, MemCallback on_complete)
 
     const sim::Tick done = start + _cfg.accessLatency +
         busy - _cfg.bankBusy;
+    if (obs::metricsEnabled()) {
+        static auto &accesses = obs::counter(
+            "mem.dram.accesses", "DRAM requests (reads + writes)");
+        static auto &lat = obs::histogram(
+            "mem.dram.latency_ticks",
+            "request-to-completion DRAM latency");
+        static auto &queue = obs::histogram(
+            "mem.dram.queue_wait_ticks",
+            "per-request bank queueing delay");
+        accesses.inc();
+        lat.record(done - now);
+        queue.record(start - now);
+    }
     eventq().scheduleLambda(done,
         [cb = std::move(on_complete), done] { cb(done); },
         "dram completion");

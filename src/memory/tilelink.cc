@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::memory {
@@ -57,11 +59,48 @@ TileLinkBus::accessTagged(const MemPacket &pkt,
                           TaggedCallback on_complete,
                           IssueCallback on_issue)
 {
-    if (_freeTagMask == 0)
+    if (_freeTagMask == 0) {
         ++tagStalls;
+        if (obs::metricsEnabled()) {
+            static auto &c = obs::counter(
+                "mem.bus.tag_stalls",
+                "requests that waited for a free tag");
+            c.inc();
+        }
+    }
     _waiting.push_back(
         Pending{pkt, std::move(on_complete), std::move(on_issue)});
     tryIssue();
+}
+
+void
+TileLinkBus::observeTransaction(const MemPacket &pkt,
+                                std::uint8_t tag, sim::Tick issued,
+                                sim::Tick done)
+{
+    if (obs::metricsEnabled()) {
+        static auto &txns = obs::counter(
+            "mem.bus.transactions", "bus transactions completed");
+        static auto &lat = obs::histogram(
+            "mem.bus.latency_ticks",
+            "issue-to-completion bus transaction latency");
+        txns.inc();
+        lat.record(done - issued);
+    }
+    if (auto *sink = obs::traceSink()) {
+        if (_tracePid == 0) {
+            _tracePid = sink->allocProcess(name() + " (sim time)");
+            for (std::uint32_t t = 0; t < numTags(); ++t)
+                sink->threadName(_tracePid, t,
+                                 "tag " + std::to_string(t));
+        }
+        sink->complete(_tracePid, tag,
+                       pkt.cmd == MemCmd::Write ? "write" : "read",
+                       "mem.bus", sim::ticksToUs(issued),
+                       sim::ticksToUs(done - issued),
+                       {{"addr", std::to_string(pkt.addr)},
+                        {"bytes", std::to_string(pkt.size)}});
+    }
 }
 
 void
@@ -74,11 +113,21 @@ TileLinkBus::tryIssue()
         const std::uint8_t tag = allocateTag();
         tagOccupancy.sample(
             static_cast<double>(numTags() - freeTags()));
+        if (obs::metricsEnabled()) {
+            static auto &occ = obs::histogram(
+                "mem.bus.tag_occupancy", "tags in use when issuing");
+            occ.record(numTags() - freeTags());
+        }
         if (p.issueCb)
             p.issueCb(tag, curTick());
 
         const sim::Cycles req_beats = beatsFor(p.pkt.size);
         beats += static_cast<double>(req_beats);
+        if (obs::metricsEnabled()) {
+            static auto &c = obs::counter(
+                "mem.bus.beats", "request beats transferred");
+            c.add(req_beats);
+        }
 
         const sim::Tick now = curTick();
         const sim::Tick start = std::max(now, _requestChannelFree);
@@ -101,6 +150,8 @@ TileLinkBus::tryIssue()
                         eventq().scheduleLambda(done,
                             [this, cb, pkt, tag, now, done] {
                                 ++transactions;
+                                observeTransaction(pkt, tag, now,
+                                                   done);
                                 _freeTagMask |= (1u << tag);
                                 BusResponse r;
                                 r.tag = tag;

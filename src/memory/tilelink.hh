@@ -90,11 +90,17 @@ class TileLinkBus : public sim::Clocked, public MemDevice
     void tryIssue();
     std::uint8_t allocateTag();
 
+    /** Flush per-transaction obs metrics and emit its trace span. */
+    void observeTransaction(const MemPacket &pkt, std::uint8_t tag,
+                            sim::Tick issued, sim::Tick done);
+
     TileLinkConfig _cfg;
     MemDevice *_downstream;
     std::uint32_t _freeTagMask;
     std::deque<Pending> _waiting;
     sim::Tick _requestChannelFree = 0;
+    /** Lazily allocated trace-sink process id (0 = none yet). */
+    std::uint32_t _tracePid = 0;
 };
 
 } // namespace qtenon::memory

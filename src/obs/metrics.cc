@@ -1,0 +1,222 @@
+#include "metrics.hh"
+
+namespace qtenon::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/**
+ * JSON string escaping for metric names/descriptions. Names are
+ * ASCII by convention but escape defensively anyway.
+ */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+bool
+metricsEnabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setMetricsEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.count = count();
+    s.sum = sum();
+    s.min = min();
+    s.max = max();
+    for (std::size_t b = 0; b < numBuckets; ++b)
+        s.buckets[b] = bucket(b);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    _count.store(0, std::memory_order_relaxed);
+    _sum.store(0, std::memory_order_relaxed);
+    _min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    _max.store(0, std::memory_order_relaxed);
+    for (auto &b : _buckets)
+        b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+MetricsRegistry &
+registry()
+{
+    return MetricsRegistry::instance();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto &slot = _counters[name];
+    if (!slot.first) {
+        slot.first = std::make_unique<Counter>();
+        slot.second = desc;
+    }
+    return *slot.first;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name,
+                       const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto &slot = _gauges[name];
+    if (!slot.first) {
+        slot.first = std::make_unique<Gauge>();
+        slot.second = desc;
+    }
+    return *slot.first;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto &slot = _histograms[name];
+    if (!slot.first) {
+        slot.first = std::make_unique<Histogram>();
+        slot.second = desc;
+    }
+    return *slot.first;
+}
+
+std::map<std::string, std::uint64_t>
+MetricsRegistry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, slot] : _counters)
+        out[name] = slot.first->value();
+    return out;
+}
+
+std::map<std::string, std::int64_t>
+MetricsRegistry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::map<std::string, std::int64_t> out;
+    for (const auto &[name, slot] : _gauges)
+        out[name] = slot.first->value();
+    return out;
+}
+
+std::map<std::string, HistogramSnapshot>
+MetricsRegistry::histogramValues() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::map<std::string, HistogramSnapshot> out;
+    for (const auto &[name, slot] : _histograms)
+        out[name] = slot.first->snapshot();
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (auto &[name, slot] : _counters)
+        slot.first->reset();
+    for (auto &[name, slot] : _gauges)
+        slot.first->reset();
+    for (auto &[name, slot] : _histograms)
+        slot.first->reset();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, slot] : _counters) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, name);
+        os << ": " << slot.first->value();
+    }
+    os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, slot] : _gauges) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, name);
+        os << ": " << slot.first->value();
+    }
+    os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, slot] : _histograms) {
+        const auto s = slot.first->snapshot();
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, name);
+        os << ": {\"count\": " << s.count << ", \"sum\": " << s.sum
+           << ", \"min\": " << s.min << ", \"max\": " << s.max
+           << ", \"buckets\": [";
+        bool bfirst = true;
+        for (std::size_t b = 0; b < Histogram::numBuckets; ++b) {
+            if (!s.buckets[b])
+                continue;
+            os << (bfirst ? "" : ", ") << '['
+               << Histogram::bucketLow(b) << ", " << s.buckets[b]
+               << ']';
+            bfirst = false;
+        }
+        os << "]}";
+    }
+    os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+} // namespace qtenon::obs

@@ -1,0 +1,296 @@
+#include "trace_sink.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace qtenon::obs {
+
+namespace {
+
+std::atomic<TraceEventSink *> g_sink{nullptr};
+
+std::atomic<std::uint64_t> g_nextTid{0};
+
+/** Render a double timestamp without locale surprises or exponents:
+ *  fixed, three decimals (nanosecond resolution in microseconds). */
+std::string
+renderUs(double us)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+    return buf;
+}
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Whether an arg value can be emitted as a bare JSON number. */
+bool
+isJsonNumber(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    std::size_t i = s[0] == '-' ? 1 : 0;
+    if (i == s.size())
+        return false;
+    bool dot = false;
+    for (; i < s.size(); ++i) {
+        if (s[i] == '.') {
+            if (dot)
+                return false;
+            dot = true;
+        } else if (!std::isdigit(static_cast<unsigned char>(s[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TraceEventSink *
+traceSink()
+{
+    return g_sink.load(std::memory_order_relaxed);
+}
+
+void
+setTraceSink(TraceEventSink *sink)
+{
+    g_sink.store(sink, std::memory_order_release);
+}
+
+std::uint64_t
+currentTid()
+{
+    thread_local const std::uint64_t tid =
+        g_nextTid.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+TraceEventSink::TraceEventSink()
+    : _epoch(std::chrono::steady_clock::now())
+{
+    TraceEvent ev;
+    ev.ph = 'M';
+    ev.pid = wallPid;
+    ev.tid = 0;
+    ev.name = "process_name";
+    ev.args.emplace_back("name", "host (wall clock)");
+    push(std::move(ev));
+}
+
+double
+TraceEventSink::nowUs() const
+{
+    const auto dt = std::chrono::steady_clock::now() - _epoch;
+    return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+std::uint32_t
+TraceEventSink::allocProcess(const std::string &label)
+{
+    std::uint32_t pid;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        pid = _nextPid++;
+    }
+    processName(pid, label);
+    return pid;
+}
+
+void
+TraceEventSink::push(TraceEvent ev)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _events.push_back(std::move(ev));
+}
+
+void
+TraceEventSink::complete(
+    std::uint32_t pid, std::uint64_t tid, std::string name,
+    std::string cat, double tsUs, double durUs,
+    std::vector<std::pair<std::string, std::string>> args)
+{
+    TraceEvent ev;
+    ev.ph = 'X';
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.tsUs = tsUs;
+    ev.durUs = durUs;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.args = std::move(args);
+    push(std::move(ev));
+}
+
+void
+TraceEventSink::instant(std::uint32_t pid, std::uint64_t tid,
+                        std::string name, std::string cat,
+                        double tsUs)
+{
+    TraceEvent ev;
+    ev.ph = 'i';
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.tsUs = tsUs;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    push(std::move(ev));
+}
+
+void
+TraceEventSink::counterSample(std::uint32_t pid, std::string name,
+                              double tsUs, std::int64_t value)
+{
+    TraceEvent ev;
+    ev.ph = 'C';
+    ev.pid = pid;
+    ev.tid = 0;
+    ev.tsUs = tsUs;
+    ev.name = std::move(name);
+    ev.args.emplace_back("value", std::to_string(value));
+    push(std::move(ev));
+}
+
+void
+TraceEventSink::threadName(std::uint32_t pid, std::uint64_t tid,
+                           std::string name)
+{
+    TraceEvent ev;
+    ev.ph = 'M';
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.name = "thread_name";
+    ev.args.emplace_back("name", std::move(name));
+    push(std::move(ev));
+}
+
+void
+TraceEventSink::processName(std::uint32_t pid, std::string name)
+{
+    TraceEvent ev;
+    ev.ph = 'M';
+    ev.pid = pid;
+    ev.tid = 0;
+    ev.name = "process_name";
+    ev.args.emplace_back("name", std::move(name));
+    push(std::move(ev));
+}
+
+std::size_t
+TraceEventSink::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _events.size();
+}
+
+std::vector<TraceEvent>
+TraceEventSink::events() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _events;
+}
+
+void
+TraceEventSink::write(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    os << "{\"traceEvents\": [\n";
+    for (std::size_t i = 0; i < _events.size(); ++i) {
+        const auto &ev = _events[i];
+        os << "  {\"ph\": \"" << ev.ph << "\", \"pid\": " << ev.pid
+           << ", \"tid\": " << ev.tid;
+        if (ev.ph != 'M')
+            os << ", \"ts\": " << renderUs(ev.tsUs);
+        if (ev.ph == 'X')
+            os << ", \"dur\": " << renderUs(ev.durUs);
+        if (ev.ph == 'i')
+            os << ", \"s\": \"t\"";
+        os << ", \"name\": ";
+        writeJsonString(os, ev.name);
+        if (!ev.cat.empty()) {
+            os << ", \"cat\": ";
+            writeJsonString(os, ev.cat);
+        }
+        if (!ev.args.empty()) {
+            os << ", \"args\": {";
+            for (std::size_t a = 0; a < ev.args.size(); ++a) {
+                if (a)
+                    os << ", ";
+                writeJsonString(os, ev.args[a].first);
+                os << ": ";
+                if (isJsonNumber(ev.args[a].second))
+                    os << ev.args[a].second;
+                else
+                    writeJsonString(os, ev.args[a].second);
+            }
+            os << '}';
+        }
+        os << '}' << (i + 1 < _events.size() ? "," : "") << '\n';
+    }
+    os << "]}\n";
+}
+
+std::string
+TraceEventSink::toJsonString() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+ScopedSpan::ScopedSpan(
+    std::string name, std::string cat,
+    std::vector<std::pair<std::string, std::string>> args)
+    : _sink(traceSink()), _name(std::move(name)),
+      _cat(std::move(cat)), _args(std::move(args))
+{
+    if (_sink)
+        _startUs = _sink->nowUs();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    // Guard against the sink being uninstalled mid-scope (a bench
+    // tearing down while a worker unwinds).
+    if (!_sink || traceSink() != _sink)
+        return;
+    _sink->complete(TraceEventSink::wallPid, currentTid(),
+                    std::move(_name), std::move(_cat), _startUs,
+                    _sink->nowUs() - _startUs, std::move(_args));
+}
+
+} // namespace qtenon::obs

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Chrome trace-event timeline sink.
+ *
+ * `TraceEventSink` buffers trace events in memory and writes the
+ * Chrome trace-event JSON format ({"traceEvents":[...]}) that
+ * chrome://tracing and https://ui.perfetto.dev load directly.
+ *
+ * The simulator has two time domains, and the sink keeps them apart
+ * with the format's process axis:
+ *
+ *   - pid 1 (`wallPid`) is the *wall-clock* process: batch-service
+ *     workers and the VQA driver emit spans stamped with real
+ *     microseconds since the sink's construction, one track (tid)
+ *     per OS thread (see currentTid()).
+ *   - every *simulated-time* component (a controller, a TileLink
+ *     bus) allocates its own pid via allocProcess() and stamps
+ *     events with simulated ticks converted to microseconds, so one
+ *     q_gen's nanosecond-scale pipeline stages are not crushed
+ *     against a millisecond-scale job span.
+ *
+ * The sink is process-global and optional: instrumentation sites do
+ * `if (auto *t = traceSink()) t->...` — a single relaxed atomic load
+ * when tracing is off, which keeps the disabled cost at the same
+ * "one load and branch" budget as the metrics layer.
+ */
+
+#ifndef QTENON_OBS_TRACE_SINK_HH
+#define QTENON_OBS_TRACE_SINK_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qtenon::obs {
+
+class TraceEventSink;
+
+/** The installed sink, or nullptr when tracing is off. */
+TraceEventSink *traceSink();
+
+/** Install (or uninstall with nullptr) the process-global sink. */
+void setTraceSink(TraceEventSink *sink);
+
+/** Whether any sink is installed. */
+inline bool
+tracingEnabled()
+{
+    return traceSink() != nullptr;
+}
+
+/**
+ * A small, stable per-OS-thread id for the wall-clock process:
+ * 0 for the first thread that asks (normally main), then 1, 2, ...
+ * in first-use order. Chrome trace tids must be small integers and
+ * std::thread::id is neither small nor stable across runs.
+ */
+std::uint64_t currentTid();
+
+/** One buffered Chrome trace event (see write() for the mapping). */
+struct TraceEvent {
+    /** 'X' complete, 'B'/'E' span edges, 'i' instant, 'C' counter,
+     *  'M' metadata. */
+    char ph = 'X';
+    std::uint32_t pid = 0;
+    std::uint64_t tid = 0;
+    /** Timestamp in microseconds (wall or simulated). */
+    double tsUs = 0.0;
+    /** Duration in microseconds ('X' only). */
+    double durUs = 0.0;
+    std::string name;
+    std::string cat;
+    /** Pre-rendered args; values are emitted as JSON strings unless
+     *  numeric (see write()). */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceEventSink
+{
+  public:
+    /** The wall-clock process id (workers, VQA driver). */
+    static constexpr std::uint32_t wallPid = 1;
+
+    TraceEventSink();
+
+    /** Wall microseconds since this sink was constructed. */
+    double nowUs() const;
+
+    /**
+     * Allocate a pid for a simulated-time track group and emit its
+     * process_name metadata. Thread-safe.
+     */
+    std::uint32_t allocProcess(const std::string &label);
+
+    /** A complete span ('X'): [tsUs, tsUs + durUs]. */
+    void complete(std::uint32_t pid, std::uint64_t tid,
+                  std::string name, std::string cat, double tsUs,
+                  double durUs,
+                  std::vector<std::pair<std::string, std::string>>
+                      args = {});
+
+    /** An instant event ('i'). */
+    void instant(std::uint32_t pid, std::uint64_t tid,
+                 std::string name, std::string cat, double tsUs);
+
+    /** A counter sample ('C'): one series named @p name. */
+    void counterSample(std::uint32_t pid, std::string name,
+                       double tsUs, std::int64_t value);
+
+    /** thread_name metadata for (pid, tid). */
+    void threadName(std::uint32_t pid, std::uint64_t tid,
+                    std::string name);
+
+    /** process_name metadata for @p pid. */
+    void processName(std::uint32_t pid, std::string name);
+
+    std::size_t size() const;
+
+    /** Copy of the buffered events (tests). */
+    std::vector<TraceEvent> events() const;
+
+    /** Write the {"traceEvents": [...]} JSON document. */
+    void write(std::ostream &os) const;
+
+    std::string toJsonString() const;
+
+  private:
+    void push(TraceEvent ev);
+
+    mutable std::mutex _mutex;
+    std::vector<TraceEvent> _events;
+    std::chrono::steady_clock::time_point _epoch;
+    std::uint32_t _nextPid = wallPid + 1;
+};
+
+/**
+ * RAII wall-clock span on the calling thread's wallPid track.
+ * Captures the installed sink at construction; emits one 'X' event
+ * covering the scope at destruction (nothing if tracing was off).
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(std::string name, std::string cat,
+               std::vector<std::pair<std::string, std::string>>
+                   args = {});
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    TraceEventSink *_sink;
+    std::string _name;
+    std::string _cat;
+    std::vector<std::pair<std::string, std::string>> _args;
+    double _startUs = 0.0;
+};
+
+} // namespace qtenon::obs
+
+#endif // QTENON_OBS_TRACE_SINK_HH

@@ -16,13 +16,14 @@ DynamicCircuit::gate(GateType t, std::uint32_t q, double angle)
 }
 
 void
-DynamicCircuit::gate2(GateType t, std::uint32_t q0, std::uint32_t q1)
+DynamicCircuit::gate2(GateType t, std::uint32_t q0, std::uint32_t q1,
+                      double angle)
 {
     if (q0 >= _numQubits || q1 >= _numQubits || q0 == q1)
         sim::fatal("bad two-qubit operands");
     DynamicOp op;
     op.kind = DynamicOp::Kind::Gate;
-    op.gate = Gate{t, q0, q1, ParamRef{}};
+    op.gate = Gate{t, q0, q1, ParamRef::literal(angle)};
     _ops.push_back(op);
 }
 
@@ -33,6 +34,18 @@ DynamicCircuit::gateIf(GateType t, std::uint32_t q, std::uint32_t cbit,
     if (cbit >= _numCbits)
         sim::fatal("classical bit ", cbit, " out of range");
     gate(t, q, angle);
+    _ops.back().condBit = static_cast<std::int32_t>(cbit);
+    _ops.back().condValue = value;
+}
+
+void
+DynamicCircuit::gate2If(GateType t, std::uint32_t q0,
+                        std::uint32_t q1, std::uint32_t cbit,
+                        bool value, double angle)
+{
+    if (cbit >= _numCbits)
+        sim::fatal("classical bit ", cbit, " out of range");
+    gate2(t, q0, q1, angle);
     _ops.back().condBit = static_cast<std::int32_t>(cbit);
     _ops.back().condValue = value;
 }

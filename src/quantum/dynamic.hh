@@ -60,10 +60,15 @@ class DynamicCircuit
     /** @name Construction */
     /// @{
     void gate(GateType t, std::uint32_t q, double angle = 0.0);
-    void gate2(GateType t, std::uint32_t q0, std::uint32_t q1);
+    void gate2(GateType t, std::uint32_t q0, std::uint32_t q1,
+               double angle = 0.0);
     /** Conditioned single-qubit gate: applied iff cbit == value. */
     void gateIf(GateType t, std::uint32_t q, std::uint32_t cbit,
                 bool value = true, double angle = 0.0);
+    /** Conditioned two-qubit gate: applied iff cbit == value. */
+    void gate2If(GateType t, std::uint32_t q0, std::uint32_t q1,
+                 std::uint32_t cbit, bool value = true,
+                 double angle = 0.0);
     void measure(std::uint32_t q, std::uint32_t cbit);
     void reset(std::uint32_t q);
     /// @}

@@ -201,4 +201,190 @@ parse(const std::string &text)
     return c;
 }
 
+std::string
+emitDynamic(const DynamicCircuit &c)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "qreg q[" << c.numQubits() << "];\n";
+    os << "creg m[" << c.numCbits() << "];\n";
+
+    char buf[64];
+    for (const auto &op : c.ops()) {
+        switch (op.kind) {
+          case DynamicOp::Kind::Measure:
+            os << "measure q[" << op.gate.qubit0 << "] -> m["
+               << op.cbit << "];\n";
+            continue;
+          case DynamicOp::Kind::Reset:
+            os << "reset q[" << op.gate.qubit0 << "];\n";
+            continue;
+          case DynamicOp::Kind::Gate:
+            break;
+        }
+        if (op.condBit >= 0) {
+            os << "if(m[" << op.condBit << "]=="
+               << (op.condValue ? 1 : 0) << ") ";
+        }
+        os << mnemonic(op.gate.type);
+        if (isParameterized(op.gate.type)) {
+            std::snprintf(buf, sizeof(buf), "(%.17g)",
+                          op.gate.param.value);
+            os << buf;
+        }
+        os << " q[" << op.gate.qubit0 << "]";
+        if (isTwoQubit(op.gate.type))
+            os << ",q[" << op.gate.qubit1 << "]";
+        os << ";\n";
+    }
+    return os.str();
+}
+
+DynamicCircuit
+parseDynamic(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    std::uint32_t num_qubits = 0;
+    std::uint32_t num_cbits = 0;
+    std::vector<std::string> body;
+
+    while (std::getline(is, line)) {
+        const auto slash = line.find("//");
+        if (slash != std::string::npos)
+            line = line.substr(0, slash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.rfind("OPENQASM", 0) == 0 ||
+            line.rfind("include", 0) == 0) {
+            continue;
+        }
+        if (line.rfind("qreg", 0) == 0) {
+            num_qubits = parseQubit(line, line);
+            continue;
+        }
+        if (line.rfind("creg", 0) == 0) {
+            num_cbits = parseQubit(line, line);
+            continue;
+        }
+        body.push_back(line);
+    }
+    if (num_qubits == 0)
+        sim::fatal("QASM text declares no qreg");
+
+    DynamicCircuit c(num_qubits, num_cbits);
+    for (const auto &stmt : body) {
+        std::string s = stmt;
+        if (!s.empty() && s.back() == ';')
+            s.pop_back();
+
+        // if(m[b]==v) <gate statement>
+        std::int32_t cond_bit = -1;
+        bool cond_value = true;
+        if (s.rfind("if(", 0) == 0) {
+            const auto close = s.find(')');
+            const auto eq = s.find("==");
+            if (close == std::string::npos ||
+                eq == std::string::npos || eq > close) {
+                sim::fatal("bad condition in: ", stmt);
+            }
+            cond_bit = static_cast<std::int32_t>(
+                parseQubit(s.substr(3, eq - 3), stmt));
+            cond_value =
+                std::stoul(s.substr(eq + 2, close - eq - 2)) != 0;
+            s = trim(s.substr(close + 1));
+        }
+
+        // measure q[i] -> m[j]
+        if (s.rfind("measure", 0) == 0) {
+            const auto arrow = s.find("->");
+            if (arrow == std::string::npos)
+                sim::fatal("measure without target in: ", stmt);
+            c.measure(parseQubit(s.substr(7, arrow - 7), stmt),
+                      parseQubit(s.substr(arrow + 2), stmt));
+            continue;
+        }
+        if (s.rfind("reset", 0) == 0) {
+            c.reset(parseQubit(s.substr(5), stmt));
+            continue;
+        }
+
+        // mnemonic[(angle)] q[a][,q[b]]
+        std::size_t i = 0;
+        while (i < s.size() &&
+               std::isalpha(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        const std::string name = s.substr(0, i);
+        double angle = 0.0;
+        if (i < s.size() && s[i] == '(') {
+            const auto close = s.find(')', i);
+            if (close == std::string::npos)
+                sim::fatal("unterminated angle in: ", stmt);
+            angle = std::stod(s.substr(i + 1, close - i - 1));
+            i = close + 1;
+        }
+        const auto args = trim(s.substr(i));
+        const auto comma = args.find(',');
+        const auto q0 = parseQubit(
+            comma == std::string::npos ? args : args.substr(0, comma),
+            stmt);
+
+        GateType t;
+        if (name == "id") {
+            t = GateType::I;
+        } else if (name == "x") {
+            t = GateType::X;
+        } else if (name == "y") {
+            t = GateType::Y;
+        } else if (name == "z") {
+            t = GateType::Z;
+        } else if (name == "h") {
+            t = GateType::H;
+        } else if (name == "s") {
+            t = GateType::S;
+        } else if (name == "sdg") {
+            t = GateType::Sdg;
+        } else if (name == "t") {
+            t = GateType::T;
+        } else if (name == "rx") {
+            t = GateType::RX;
+        } else if (name == "ry") {
+            t = GateType::RY;
+        } else if (name == "rz") {
+            t = GateType::RZ;
+        } else if (name == "rzz") {
+            t = GateType::RZZ;
+        } else if (name == "cz") {
+            t = GateType::CZ;
+        } else if (name == "cx") {
+            t = GateType::CNOT;
+        } else {
+            sim::fatal("unsupported QASM statement: ", stmt);
+        }
+
+        if (isTwoQubit(t)) {
+            if (comma == std::string::npos)
+                sim::fatal("two-qubit gate needs two operands: ",
+                           stmt);
+            const auto q1 = parseQubit(args.substr(comma + 1), stmt);
+            if (cond_bit >= 0) {
+                c.gate2If(t, q0, q1,
+                          static_cast<std::uint32_t>(cond_bit),
+                          cond_value, angle);
+            } else {
+                c.gate2(t, q0, q1, angle);
+            }
+        } else if (cond_bit >= 0) {
+            c.gateIf(t, q0, static_cast<std::uint32_t>(cond_bit),
+                     cond_value, angle);
+        } else {
+            c.gate(t, q0, angle);
+        }
+    }
+    return c;
+}
+
 } // namespace qtenon::quantum::qasm

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "circuit.hh"
+#include "dynamic.hh"
 
 namespace qtenon::quantum::qasm {
 
@@ -27,6 +28,18 @@ std::string emit(const QuantumCircuit &c);
  * subset). Unknown statements are fatal. Angles become literals.
  */
 QuantumCircuit parse(const std::string &text);
+
+/**
+ * Serialize a dynamic (feed-forward) circuit. On top of the static
+ * subset this adds `measure q[i] -> m[j]` with independent indices,
+ * `reset q[i]`, and the OpenQASM 2 conditional form
+ * `if(m[b]==v) <gate>;` restricted to a single classical bit (the
+ * subset the controller's feed-forward path implements).
+ */
+std::string emitDynamic(const DynamicCircuit &c);
+
+/** Parse text produced by emitDynamic(). */
+DynamicCircuit parseDynamic(const std::string &text);
 
 } // namespace qtenon::quantum::qasm
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::runtime {
@@ -26,6 +28,49 @@ void
 QtenonExecutor::drain()
 {
     _eq.run();
+}
+
+void
+QtenonExecutor::observeBreakdown(const char *what,
+                                 const TimeBreakdown &bd,
+                                 sim::Tick start)
+{
+    if (obs::metricsEnabled()) {
+        static auto &quantum = obs::histogram(
+            "runtime.breakdown.quantum_ticks",
+            "quantum execution ticks per install/round");
+        static auto &pulse = obs::histogram(
+            "runtime.breakdown.pulsegen_ticks",
+            "pulse-generation ticks per install/round");
+        static auto &comm = obs::histogram(
+            "runtime.breakdown.comm_ticks",
+            "communication ticks per install/round");
+        static auto &host = obs::histogram(
+            "runtime.breakdown.host_ticks",
+            "host-visible ticks per install/round");
+        static auto &wall = obs::histogram(
+            "runtime.breakdown.wall_ticks",
+            "end-to-end ticks per install/round");
+        quantum.record(bd.quantum);
+        pulse.record(bd.pulseGen);
+        comm.record(bd.comm);
+        host.record(bd.host);
+        wall.record(bd.wall);
+    }
+    if (auto *sink = obs::traceSink()) {
+        if (_tracePid == 0) {
+            _tracePid =
+                sink->allocProcess("executor (sim time)");
+            sink->threadName(_tracePid, 0, "install/rounds");
+        }
+        sink->complete(
+            _tracePid, 0, what, "runtime", sim::ticksToUs(start),
+            sim::ticksToUs(bd.wall),
+            {{"quantum_ticks", std::to_string(bd.quantum)},
+             {"pulsegen_ticks", std::to_string(bd.pulseGen)},
+             {"comm_ticks", std::to_string(bd.comm)},
+             {"host_ticks", std::to_string(bd.host)}});
+    }
 }
 
 TimeBreakdown
@@ -89,6 +134,7 @@ QtenonExecutor::installProgram(const isa::ProgramImage &image)
     bd.comm = bd.commSet + bd.commUpdate;
     bd.wall = _eq.curTick() - start;
     _programInstalled = true;
+    observeBreakdown("install", bd, start);
     return bd;
 }
 
@@ -275,6 +321,7 @@ QtenonExecutor::executeRound(const RoundRecord &round,
 
     bd.comm = bd.commSet + bd.commUpdate + bd.commAcquire;
     bd.wall = _eq.curTick() - start;
+    observeBreakdown("round", bd, start);
     return bd;
 }
 

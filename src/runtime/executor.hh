@@ -95,11 +95,17 @@ class QtenonExecutor
     /** Drain every pending event. */
     void drain();
 
+    /** Record @p bd into the obs breakdown histograms + a span. */
+    void observeBreakdown(const char *what, const TimeBreakdown &bd,
+                          sim::Tick start);
+
     sim::EventQueue &_eq;
     controller::QuantumController &_ctrl;
     isa::QtenonCompiler _compiler;
     ExecutorConfig _cfg;
     bool _programInstalled = false;
+    /** Lazily allocated trace-sink process id (0 = none yet). */
+    std::uint32_t _tracePid = 0;
 };
 
 } // namespace qtenon::runtime

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "quantum/statevector.hh"
 #include "sim/logging.hh"
 
@@ -190,7 +192,7 @@ BatchScheduler::BatchScheduler(SchedulerConfig cfg)
     _metrics.workers = _workers;
     _threads.reserve(_workers);
     for (unsigned i = 0; i < _workers; ++i)
-        _threads.emplace_back([this] { workerLoop(); });
+        _threads.emplace_back([this, i] { workerLoop(i); });
 }
 
 BatchScheduler::~BatchScheduler()
@@ -212,6 +214,12 @@ BatchScheduler::submit(JobSpec spec)
     auto job = std::make_shared<Job>();
     job->spec = std::move(spec);
     job->future = job->promise.get_future().share();
+    job->submitted = std::chrono::steady_clock::now();
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("service.jobs.submitted",
+                                      "jobs enqueued");
+        c.inc();
+    }
 
     JobHandle handle;
     {
@@ -300,8 +308,13 @@ BatchScheduler::metrics() const
 }
 
 void
-BatchScheduler::workerLoop()
+BatchScheduler::workerLoop(unsigned index)
 {
+    if (auto *sink = obs::traceSink()) {
+        sink->threadName(obs::TraceEventSink::wallPid,
+                         obs::currentTid(),
+                         "worker " + std::to_string(index));
+    }
     for (;;) {
         std::shared_ptr<Job> job;
         {
@@ -326,6 +339,16 @@ BatchScheduler::executeJob(Job &job)
 {
     const auto started = std::chrono::steady_clock::now();
 
+    if (obs::metricsEnabled()) {
+        static auto &queue_wait = obs::histogram(
+            "service.job.queue_wait_ns",
+            "submit-to-start queue wait per job");
+        queue_wait.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                started - job.submitted)
+                .count()));
+    }
+
     if (job.cancelRequested.load()) {
         JobResult r;
         r.jobId = job.id;
@@ -341,6 +364,11 @@ BatchScheduler::executeJob(Job &job)
         ? started + timeout
         : std::chrono::steady_clock::time_point{};
     CancelToken token(&job.cancelRequested, deadline);
+
+    static auto &busy = obs::gauge(
+        "service.workers.busy",
+        "workers currently executing a job");
+    busy.add(1);
 
     JobResult r;
     try {
@@ -363,6 +391,7 @@ BatchScheduler::executeJob(Job &job)
         r.status = JobStatus::Failed;
         r.error = "unknown exception";
     }
+    busy.add(-1);
     r.jobId = job.id;
     r.name = job.spec.name;
     finishJob(job, std::move(r), started);
@@ -377,6 +406,34 @@ BatchScheduler::finishJob(Job &job, JobResult r,
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             ended - started)
             .count());
+
+    if (obs::metricsEnabled()) {
+        static auto &completed = obs::counter(
+            "service.jobs.completed", "jobs finished (any status)");
+        static auto &ok = obs::counter("service.jobs.ok",
+                                       "jobs finished Ok");
+        static auto &failed = obs::counter("service.jobs.failed",
+                                           "jobs finished Failed");
+        static auto &run_ns = obs::histogram(
+            "service.job.run_ns", "start-to-finish wall per job");
+        completed.inc();
+        if (r.status == JobStatus::Ok)
+            ok.inc();
+        else if (r.status == JobStatus::Failed)
+            failed.inc();
+        run_ns.record(r.wallNs);
+    }
+    if (auto *sink = obs::traceSink()) {
+        const double end_us = sink->nowUs();
+        const double dur_us =
+            static_cast<double>(r.wallNs) / 1000.0;
+        sink->complete(obs::TraceEventSink::wallPid,
+                       obs::currentTid(),
+                       r.name.empty() ? "job" : r.name,
+                       "service.job", end_us - dur_us, dur_us,
+                       {{"job_id", std::to_string(r.jobId)},
+                        {"status", jobStatusName(r.status)}});
+    }
 
     _store.add(r);
     job.done.store(true);

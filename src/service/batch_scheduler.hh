@@ -178,9 +178,11 @@ class BatchScheduler
         std::shared_future<JobResult> future;
         std::atomic<bool> cancelRequested{false};
         std::atomic<bool> done{false};
+        /** Enqueue time, for the queue-wait histogram. */
+        std::chrono::steady_clock::time_point submitted{};
     };
 
-    void workerLoop();
+    void workerLoop(unsigned index);
     void executeJob(Job &job);
     void finishJob(Job &job, JobResult r,
                    std::chrono::steady_clock::time_point started);

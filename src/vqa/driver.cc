@@ -1,8 +1,11 @@
 #include "driver.hh"
 
 #include <memory>
+#include <optional>
 
 #include "evaluator.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 
 namespace qtenon::vqa {
 
@@ -40,7 +43,19 @@ VqaDriver::run(Workload &w)
 
     std::vector<double> prev_params = w.circuit.parameters();
 
+    const std::string engine = trace.backend;
     EvalOracle oracle = [&](const std::vector<double> &params) {
+        std::optional<obs::ScopedSpan> span;
+        if (obs::tracingEnabled())
+            span.emplace("evaluate", "vqa",
+                         std::vector<std::pair<std::string,
+                                               std::string>>{
+                             {"backend", engine}});
+        if (obs::metricsEnabled()) {
+            static auto &c = obs::counter(
+                "vqa.evaluations", "cost-oracle evaluations");
+            c.inc();
+        }
         runtime::RoundRecord round;
         round.updates =
             compiler.planUpdates(trace.image, prev_params, params);
@@ -60,6 +75,18 @@ VqaDriver::run(Workload &w)
 
     std::vector<double> params = w.circuit.parameters();
     for (std::uint32_t it = 0; it < _cfg.iterations; ++it) {
+        std::optional<obs::ScopedSpan> span;
+        if (obs::tracingEnabled())
+            span.emplace("iterate", "vqa",
+                         std::vector<std::pair<std::string,
+                                               std::string>>{
+                             {"iteration", std::to_string(it)},
+                             {"backend", engine}});
+        if (obs::metricsEnabled()) {
+            static auto &c = obs::counter(
+                "vqa.iterations", "optimizer iterations");
+            c.inc();
+        }
         const double cost = opt->iterate(params, oracle);
         trace.costHistory.push_back(cost);
     }

@@ -12,6 +12,7 @@
 #include <complex>
 
 #include "quantum/backend.hh"
+#include "quantum/sampler.hh"
 #include "quantum/statevector.hh"
 #include "reference_statevector.hh"
 #include "sim/random.hh"
@@ -349,4 +350,57 @@ TEST(BackendConformance, MeanFieldProductExpectations)
     EXPECT_NEAR(b->expectationZ(1), std::cos(t1), 1e-9);
     EXPECT_NEAR(b->expectationZZ(0, 1),
                 std::cos(t0) * std::cos(t1), 1e-9);
+}
+
+// ---------------------------------------------------------------
+// Readout-error cross-validation: the statevector and
+// density-matrix engines, each wrapped in the analytic readout-
+// error decorator, must report identical noisy marginals — and
+// both must match the closed form p' = p (1 - e) + (1 - p) e
+// computed against the exact amplitudes.
+
+TEST(ReadoutErrorCrossValidation, DmMatchesSvAnalytically)
+{
+    constexpr std::uint32_t n = 5;
+    constexpr double flip = 0.037;
+
+    Rng rng(0xE7);
+    for (int trial = 0; trial < 10; ++trial) {
+        // A random entangling circuit (rotations + CNOT ring).
+        QuantumCircuit c(n);
+        for (std::uint32_t q = 0; q < n; ++q) {
+            c.ry(q, ParamRef::literal(rng.uniform(-3, 3)));
+            c.rz(q, ParamRef::literal(rng.uniform(-3, 3)));
+        }
+        for (std::uint32_t q = 0; q < n; ++q)
+            c.cnot(q, (q + 1) % n);
+        for (std::uint32_t q = 0; q < n; ++q)
+            c.rx(q, ParamRef::literal(rng.uniform(-3, 3)));
+        c.measureAll();
+
+        BackendConfig sv_cfg;
+        sv_cfg.kind = BackendKind::Statevector;
+        auto sv = makeBackendSampler(n, sv_cfg, flip);
+        BackendConfig dm_cfg;
+        dm_cfg.kind = BackendKind::DensityMatrix;
+        auto dm = makeBackendSampler(n, dm_cfg, flip);
+
+        // The exact noiseless marginals, for the closed form.
+        StateVector exact(n);
+        exact.applyCircuit(c);
+
+        for (std::uint32_t q = 0; q < n; ++q) {
+            const double p = exact.marginalOne(q);
+            const double expected = p * (1.0 - flip) +
+                                    (1.0 - p) * flip;
+            const double p_sv = sv->marginalOne(c, q);
+            const double p_dm = dm->marginalOne(c, q);
+            EXPECT_NEAR(p_sv, expected, 1e-10)
+                << "trial " << trial << " qubit " << q;
+            EXPECT_NEAR(p_dm, expected, 1e-10)
+                << "trial " << trial << " qubit " << q;
+            EXPECT_NEAR(p_sv, p_dm, 1e-10)
+                << "trial " << trial << " qubit " << q;
+        }
+    }
 }

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Observability layer tests: metric primitives (counter, gauge,
+ * log2-bucketed histogram), the process-wide registry, the Chrome
+ * trace-event sink, and — the part CI leans on — validation of
+ * emitted trace JSON against the trace-event schema subset this
+ * repo produces. When QTENON_TRACE_CHECK names a file, the schema
+ * test also validates that artifact (the CI job points it at the
+ * fig13 trace output).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
+#include "service/json.hh"
+
+using namespace qtenon;
+using qtenon::service::json::Value;
+
+namespace {
+
+/** Enables metrics and starts from a zeroed registry; restores the
+ *  disabled default afterwards so other tests see the zero-cost
+ *  path. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::registry().reset();
+        obs::setMetricsEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        obs::setMetricsEnabled(false);
+        obs::setTraceSink(nullptr);
+        obs::registry().reset();
+    }
+};
+
+/**
+ * Validate one parsed document against the Chrome trace-event
+ * schema subset this repo emits: {"traceEvents":[...]} where every
+ * event has a known phase, integral pid/tid, a name, a numeric ts
+ * (except metadata), a numeric dur for complete events, and
+ * object-shaped args. Returns a failure description or "".
+ */
+std::string
+validateTraceDocument(const Value &doc)
+{
+    if (!doc.isObject())
+        return "document is not an object";
+    const Value *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return "missing traceEvents array";
+
+    const std::set<std::string> phases = {"X", "B", "E", "i", "C",
+                                          "M"};
+    std::size_t idx = 0;
+    for (const auto &ev : events->asArray()) {
+        const std::string where =
+            "event " + std::to_string(idx++) + ": ";
+        if (!ev.isObject())
+            return where + "not an object";
+        const Value *ph = ev.find("ph");
+        if (!ph || !ph->isString() || !phases.count(ph->asString()))
+            return where + "bad ph";
+        const Value *pid = ev.find("pid");
+        const Value *tid = ev.find("tid");
+        if (!pid || !pid->isNumber() || !tid || !tid->isNumber())
+            return where + "bad pid/tid";
+        const Value *name = ev.find("name");
+        if (!name || !name->isString() || name->asString().empty())
+            return where + "bad name";
+        const bool meta = ph->asString() == "M";
+        const Value *ts = ev.find("ts");
+        if (!meta && (!ts || !ts->isNumber()))
+            return where + "missing ts";
+        if (ph->asString() == "X") {
+            const Value *dur = ev.find("dur");
+            if (!dur || !dur->isNumber() || dur->asDouble() < 0.0)
+                return where + "bad dur";
+        }
+        if (const Value *args = ev.find("args"))
+            if (!args->isObject())
+                return where + "args is not an object";
+        if (meta) {
+            const Value *args = ev.find("args");
+            if (!args || !args->find("name"))
+                return where + "metadata without args.name";
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+TEST_F(ObsTest, CounterCountsAndDisabledIsNoOp)
+{
+    obs::Counter c;
+    c.inc();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    obs::setMetricsEnabled(false);
+    c.inc();
+    EXPECT_EQ(c.value(), 42u) << "disabled counter must not move";
+
+    obs::setMetricsEnabled(true);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeTracksLevel)
+{
+    obs::Gauge g;
+    g.set(3);
+    g.add(-5);
+    EXPECT_EQ(g.value(), -2);
+
+    obs::setMetricsEnabled(false);
+    g.set(100);
+    EXPECT_EQ(g.value(), -2);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries)
+{
+    using H = obs::Histogram;
+    EXPECT_EQ(H::bucketOf(0), 0u);
+    EXPECT_EQ(H::bucketOf(1), 1u);
+    EXPECT_EQ(H::bucketOf(2), 2u);
+    EXPECT_EQ(H::bucketOf(3), 2u);
+    EXPECT_EQ(H::bucketOf(4), 3u);
+    EXPECT_EQ(H::bucketOf(~std::uint64_t{0}), 64u);
+    // Every bucket's inclusive lower bound maps back to itself, and
+    // the value just below it maps to the previous bucket.
+    for (std::size_t b = 0; b < H::numBuckets; ++b) {
+        const auto lo = H::bucketLow(b);
+        EXPECT_EQ(H::bucketOf(lo), b) << "bucket " << b;
+        if (b >= 2)
+            EXPECT_EQ(H::bucketOf(lo - 1), b - 1) << "bucket " << b;
+    }
+}
+
+TEST_F(ObsTest, HistogramRecordsExactly)
+{
+    obs::Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(7);
+    h.record(1000);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 1008u) << "sum must be exact, not bucketed";
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 252.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);  // 7 -> [4, 8)
+    EXPECT_EQ(h.bucket(10), 1u); // 1000 -> [512, 1024)
+
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 4u);
+    EXPECT_EQ(snap.sum, 1008u);
+    std::uint64_t bucket_total = 0;
+    for (const auto n : snap.buckets)
+        bucket_total += n;
+    EXPECT_EQ(bucket_total, snap.count);
+
+    obs::setMetricsEnabled(false);
+    h.record(5);
+    EXPECT_EQ(h.count(), 4u) << "disabled histogram must not move";
+}
+
+TEST_F(ObsTest, HistogramEmptyMinIsZero)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST_F(ObsTest, RegistryInternsByName)
+{
+    auto &a = obs::counter("test.registry.counter", "first desc");
+    auto &b = obs::counter("test.registry.counter", "ignored");
+    EXPECT_EQ(&a, &b) << "same name must return the same metric";
+    a.add(3);
+    EXPECT_EQ(obs::registry().counterValues()
+                  .at("test.registry.counter"),
+              3u);
+
+    auto &h = obs::histogram("test.registry.hist");
+    EXPECT_EQ(&h, &obs::histogram("test.registry.hist"));
+    auto &g = obs::gauge("test.registry.gauge");
+    EXPECT_EQ(&g, &obs::gauge("test.registry.gauge"));
+}
+
+TEST_F(ObsTest, RegistryResetKeepsReferencesValid)
+{
+    auto &c = obs::counter("test.reset.counter");
+    auto &h = obs::histogram("test.reset.hist");
+    c.add(9);
+    h.record(5);
+    obs::registry().reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+    c.inc(); // the cached reference still records
+    EXPECT_EQ(obs::registry().counterValues().at("test.reset.counter"),
+              1u);
+}
+
+TEST_F(ObsTest, ConcurrentMutationIsExact)
+{
+    auto &c = obs::counter("test.mt.counter");
+    auto &h = obs::histogram("test.mt.hist");
+    auto &g = obs::gauge("test.mt.gauge");
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                c.inc();
+                h.record(t + 1);
+                g.add(1);
+                g.add(-1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(c.value(), std::uint64_t{kThreads} * kPerThread);
+    EXPECT_EQ(h.count(), std::uint64_t{kThreads} * kPerThread);
+    // Sum of t+1 for t in [0, kThreads) times kPerThread.
+    EXPECT_EQ(h.sum(), std::uint64_t{kThreads} * (kThreads + 1) / 2 *
+                           kPerThread);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), kThreads);
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST_F(ObsTest, RegistryJsonIsParsableAndComplete)
+{
+    obs::counter("test.json.counter").add(7);
+    obs::gauge("test.json.gauge").set(-3);
+    obs::histogram("test.json.hist").record(12);
+
+    std::ostringstream os;
+    obs::registry().writeJson(os);
+    const auto doc = Value::parse(os.str());
+
+    EXPECT_EQ(doc.at("counters").at("test.json.counter").asUint(),
+              7u);
+    EXPECT_EQ(doc.at("gauges").at("test.json.gauge").asInt(), -3);
+    const auto &h = doc.at("histograms").at("test.json.hist");
+    EXPECT_EQ(h.at("count").asUint(), 1u);
+    EXPECT_EQ(h.at("sum").asUint(), 12u);
+    EXPECT_EQ(h.at("min").asUint(), 12u);
+    EXPECT_EQ(h.at("max").asUint(), 12u);
+    ASSERT_TRUE(h.at("buckets").isArray());
+    ASSERT_EQ(h.at("buckets").asArray().size(), 1u)
+        << "empty buckets must be elided";
+    const auto &pair = h.at("buckets").asArray()[0];
+    EXPECT_EQ(pair.asArray()[0].asUint(), 8u) << "12 is in [8, 16)";
+    EXPECT_EQ(pair.asArray()[1].asUint(), 1u);
+}
+
+TEST_F(ObsTest, TraceSinkBuffersAllEventKinds)
+{
+    obs::TraceEventSink sink;
+    const auto pid = sink.allocProcess("sim component");
+    EXPECT_GT(pid, obs::TraceEventSink::wallPid);
+    sink.threadName(pid, 3, "stage");
+    sink.complete(pid, 3, "span", "cat", 10.0, 5.0,
+                  {{"k", "v"}, {"n", "42"}});
+    sink.instant(pid, 3, "marker", "cat", 11.0);
+    sink.counterSample(pid, "occupancy", 12.0, 4);
+
+    const auto events = sink.events();
+    // ctor wallPid meta + process_name + thread_name + X + i + C.
+    ASSERT_EQ(events.size(), 6u);
+    EXPECT_EQ(events[0].ph, 'M');
+    EXPECT_EQ(events[0].pid, obs::TraceEventSink::wallPid);
+    EXPECT_EQ(events[3].ph, 'X');
+    EXPECT_EQ(events[3].name, "span");
+    EXPECT_DOUBLE_EQ(events[3].tsUs, 10.0);
+    EXPECT_DOUBLE_EQ(events[3].durUs, 5.0);
+    EXPECT_EQ(events[4].ph, 'i');
+    EXPECT_EQ(events[5].ph, 'C');
+}
+
+TEST_F(ObsTest, ScopedSpanEmitsOneCompleteEvent)
+{
+    obs::TraceEventSink sink;
+    obs::setTraceSink(&sink);
+    const auto before = sink.size();
+    {
+        obs::ScopedSpan span("scoped", "test", {{"arg", "x"}});
+    }
+    obs::setTraceSink(nullptr);
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), before + 1);
+    const auto &ev = events.back();
+    EXPECT_EQ(ev.ph, 'X');
+    EXPECT_EQ(ev.name, "scoped");
+    EXPECT_EQ(ev.pid, obs::TraceEventSink::wallPid);
+    EXPECT_GE(ev.durUs, 0.0);
+}
+
+TEST_F(ObsTest, ScopedSpanIsSafeAcrossSinkRemoval)
+{
+    obs::TraceEventSink sink;
+    obs::setTraceSink(&sink);
+    {
+        obs::ScopedSpan span("orphan", "test");
+        // The sink goes away mid-span (the sweep CLI uninstalls it
+        // before writing); the dtor must not emit into it.
+        obs::setTraceSink(nullptr);
+    }
+    for (const auto &ev : sink.events())
+        EXPECT_NE(ev.name, "orphan");
+}
+
+TEST_F(ObsTest, TraceJsonMatchesSchema)
+{
+    obs::TraceEventSink sink;
+    const auto pid = sink.allocProcess("bus (sim time)");
+    sink.threadName(pid, 0, "tag 0");
+    sink.complete(pid, 0, "read", "mem.bus", 1.5, 0.25,
+                  {{"addr", "4096"}, {"kind", "acquire"}});
+    sink.instant(pid, 0, "drain", "mem.wbq", 2.0);
+    sink.counterSample(pid, "tags", 2.5, 7);
+
+    const auto doc = Value::parse(sink.toJsonString());
+    EXPECT_EQ(validateTraceDocument(doc), "");
+
+    // Spot-check the mapping: numeric arg values are emitted as
+    // numbers, string args as strings.
+    for (const auto &ev : doc.at("traceEvents").asArray()) {
+        if (ev.at("name").asString() == "read") {
+            EXPECT_TRUE(ev.at("args").at("addr").isNumber());
+            EXPECT_TRUE(ev.at("args").at("kind").isString());
+        }
+    }
+}
+
+TEST_F(ObsTest, TraceArtifactFromEnvironmentValidates)
+{
+    const char *path = std::getenv("QTENON_TRACE_CHECK");
+    if (!path || !*path)
+        GTEST_SKIP() << "QTENON_TRACE_CHECK not set";
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << "cannot open " << path;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const auto doc = Value::parse(buf.str());
+    EXPECT_EQ(validateTraceDocument(doc), "") << path;
+
+    // The fig13 acceptance bar: spans for all four controller
+    // pipeline stages and at least one per-worker job row.
+    std::set<std::string> names;
+    bool worker_row = false;
+    for (const auto &ev : doc.at("traceEvents").asArray()) {
+        names.insert(ev.at("name").asString());
+        if (ev.at("ph").asString() == "M" &&
+            ev.at("name").asString() == "thread_name" &&
+            ev.at("args").at("name").asString().rfind("worker", 0) ==
+                0) {
+            worker_row = true;
+        }
+    }
+    EXPECT_TRUE(names.count("stage1.fetch"));
+    EXPECT_TRUE(names.count("stage2.decode-slt"));
+    EXPECT_TRUE(names.count("stage3.pgu-dispatch"));
+    EXPECT_TRUE(names.count("stage4.arbiter"));
+    EXPECT_TRUE(worker_row) << "no per-worker thread_name rows";
+}

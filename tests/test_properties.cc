@@ -18,6 +18,7 @@
 #include "memory/cache.hh"
 #include "memory/dram.hh"
 #include "quantum/ansatz.hh"
+#include "quantum/qasm.hh"
 #include "quantum/sampler.hh"
 #include "sim/random.hh"
 
@@ -278,5 +279,212 @@ TEST(Property, MeanFieldExactForSingleEntanglerCircuits)
                         1e-9)
                 << "trial " << trial << " qubit " << q;
         }
+    }
+}
+
+// ---------------------------------------------------------------
+// QASM serialization: emit -> parse is the identity on the gate
+// list, for arbitrary circuits over the full supported gate set.
+
+namespace {
+
+/** Uniformly random angle including awkward magnitudes: emitted
+ *  with %.17g, every double must survive the text round trip
+ *  exactly. */
+double
+randomAngle(Rng &rng)
+{
+    switch (rng.index(4)) {
+      case 0: return rng.uniform(-3.2, 3.2);
+      case 1: return rng.uniform(-1e-9, 1e-9);
+      case 2: return rng.uniform(-1e6, 1e6);
+      default: return 0.0;
+    }
+}
+
+quantum::QuantumCircuit
+randomStaticCircuit(Rng &rng, std::uint32_t n, std::size_t len)
+{
+    using quantum::GateType;
+    static const GateType one_q[] = {
+        GateType::I, GateType::X,   GateType::Y, GateType::Z,
+        GateType::H, GateType::S,   GateType::Sdg, GateType::T,
+    };
+    quantum::QuantumCircuit c(n);
+    for (std::size_t i = 0; i < len; ++i) {
+        const auto q0 = static_cast<std::uint32_t>(rng.index(n));
+        auto q1 = static_cast<std::uint32_t>(rng.index(n));
+        while (q1 == q0)
+            q1 = static_cast<std::uint32_t>(rng.index(n));
+        switch (rng.index(5)) {
+          case 0:
+            c.gate(one_q[rng.index(std::size(one_q))], q0);
+            break;
+          case 1: { // parameterized single-qubit rotation
+            const GateType rot[] = {GateType::RX, GateType::RY,
+                                    GateType::RZ};
+            c.rotation(rot[rng.index(3)], q0,
+                       quantum::ParamRef::literal(randomAngle(rng)));
+            break;
+          }
+          case 2:
+            c.rzz(q0, q1,
+                  quantum::ParamRef::literal(randomAngle(rng)));
+            break;
+          case 3:
+            rng.coin(0.5) ? c.cz(q0, q1) : c.cnot(q0, q1);
+            break;
+          default:
+            c.measure(q0);
+            break;
+        }
+    }
+    return c;
+}
+
+quantum::DynamicCircuit
+randomDynamicCircuit(Rng &rng, std::uint32_t n, std::uint32_t cbits,
+                     std::size_t len)
+{
+    using quantum::GateType;
+    quantum::DynamicCircuit c(n, cbits);
+    for (std::size_t i = 0; i < len; ++i) {
+        const auto q0 = static_cast<std::uint32_t>(rng.index(n));
+        auto q1 = static_cast<std::uint32_t>(rng.index(n));
+        while (q1 == q0)
+            q1 = static_cast<std::uint32_t>(rng.index(n));
+        const auto cbit =
+            static_cast<std::uint32_t>(rng.index(cbits));
+        const bool value = rng.coin(0.5);
+        switch (rng.index(6)) {
+          case 0:
+            c.gate(GateType::H, q0);
+            break;
+          case 1: // conditional parameterized gate
+            c.gateIf(GateType::RY, q0, cbit, value,
+                     randomAngle(rng));
+            break;
+          case 2: // conditional two-qubit gate
+            if (rng.coin(0.5))
+                c.gate2If(GateType::CNOT, q0, q1, cbit, value);
+            else
+                c.gate2If(GateType::RZZ, q0, q1, cbit, value,
+                          randomAngle(rng));
+            break;
+          case 3:
+            c.gate2(GateType::CZ, q0, q1);
+            break;
+          case 4:
+            c.measure(q0, cbit);
+            break;
+          default:
+            c.reset(q0);
+            break;
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+TEST(Property, QasmRoundTripPreservesArbitraryCircuits)
+{
+    Rng rng(0xA5);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto n =
+            static_cast<std::uint32_t>(2 + rng.index(7));
+        const auto c =
+            randomStaticCircuit(rng, n, 1 + rng.index(40));
+
+        const auto back = quantum::qasm::parse(quantum::qasm::emit(c));
+        ASSERT_EQ(back.numQubits(), c.numQubits()) << "trial "
+                                                   << trial;
+        ASSERT_EQ(back.numGates(), c.numGates()) << "trial " << trial;
+        for (std::size_t i = 0; i < c.numGates(); ++i) {
+            const auto &g = c.gates()[i];
+            const auto &r = back.gates()[i];
+            EXPECT_EQ(r.type, g.type) << "trial " << trial
+                                      << " gate " << i;
+            EXPECT_EQ(r.qubit0, g.qubit0);
+            if (quantum::isTwoQubit(g.type))
+                EXPECT_EQ(r.qubit1, g.qubit1);
+            if (quantum::isParameterized(g.type)) {
+                // %.17g round-trips every double exactly.
+                EXPECT_EQ(back.resolveAngle(r), c.resolveAngle(g))
+                    << "trial " << trial << " gate " << i;
+            }
+        }
+    }
+}
+
+TEST(Property, QasmRoundTripResolvesSymbolicParameters)
+{
+    // Symbolic parameters are emitted as their resolved values: the
+    // round trip preserves semantics (angles), not the symbol table.
+    Rng rng(0x51);
+    for (int trial = 0; trial < 20; ++trial) {
+        quantum::QuantumCircuit c(3);
+        const auto p0 = c.addParameter(rng.uniform(-3, 3), "theta");
+        const auto p1 = c.addParameter(rng.uniform(-3, 3), "phi");
+        c.h(0);
+        c.rotation(quantum::GateType::RY, 0,
+                   quantum::ParamRef::symbol(p0));
+        c.rotation2(quantum::GateType::RZZ, 0, 1,
+                    quantum::ParamRef::symbol(p1));
+        c.rotation(quantum::GateType::RZ, 2,
+                   quantum::ParamRef::symbol(p0));
+        c.measureAll();
+
+        const auto back =
+            quantum::qasm::parse(quantum::qasm::emit(c));
+        ASSERT_EQ(back.numGates(), c.numGates());
+        for (std::size_t i = 0; i < c.numGates(); ++i) {
+            if (quantum::isParameterized(c.gates()[i].type)) {
+                EXPECT_EQ(back.resolveAngle(back.gates()[i]),
+                          c.resolveAngle(c.gates()[i]))
+                    << "trial " << trial << " gate " << i;
+            }
+        }
+    }
+}
+
+TEST(Property, DynamicQasmRoundTripPreservesFeedForward)
+{
+    Rng rng(0xD1);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto n =
+            static_cast<std::uint32_t>(2 + rng.index(4));
+        const auto cbits =
+            static_cast<std::uint32_t>(1 + rng.index(4));
+        const auto c =
+            randomDynamicCircuit(rng, n, cbits, 1 + rng.index(30));
+
+        const auto back = quantum::qasm::parseDynamic(
+            quantum::qasm::emitDynamic(c));
+        ASSERT_EQ(back.numQubits(), c.numQubits());
+        ASSERT_EQ(back.numCbits(), c.numCbits());
+        ASSERT_EQ(back.ops().size(), c.ops().size()) << "trial "
+                                                     << trial;
+        for (std::size_t i = 0; i < c.ops().size(); ++i) {
+            const auto &o = c.ops()[i];
+            const auto &r = back.ops()[i];
+            EXPECT_EQ(r.kind, o.kind) << "trial " << trial << " op "
+                                      << i;
+            EXPECT_EQ(r.gate.type, o.gate.type);
+            EXPECT_EQ(r.gate.qubit0, o.gate.qubit0);
+            if (quantum::isTwoQubit(o.gate.type))
+                EXPECT_EQ(r.gate.qubit1, o.gate.qubit1);
+            EXPECT_EQ(r.gate.param.value, o.gate.param.value)
+                << "trial " << trial << " op " << i;
+            EXPECT_EQ(r.cbit, o.cbit);
+            EXPECT_EQ(r.condBit, o.condBit) << "trial " << trial
+                                            << " op " << i;
+            EXPECT_EQ(r.condValue, o.condValue);
+        }
+
+        // Semantics, not just syntax: same seed, same outcome.
+        Rng ra(trial + 1), rb(trial + 1);
+        EXPECT_EQ(c.run(ra).word(), back.run(rb).word())
+            << "trial " << trial;
     }
 }
