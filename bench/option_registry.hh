@@ -1,0 +1,189 @@
+/**
+ * @file
+ * A small declarative option registry for the sweep binaries.
+ *
+ * Flag parsing in `sweep_cli.hh` used to be one hand-rolled
+ * strcmp-chain that every new option grew by a dozen lines (and only
+ * some options accepted the `--name=value` form). An option is now
+ * one registration — name, metavar, help text, and a setter — and the
+ * registry provides uniform parsing (`--name value` and
+ * `--name=value` for every option), a generated `--help`, and the
+ * shared error behaviour (`sim::fatal` on unknown or malformed
+ * input). Binaries with extra options (e.g. `fault_sweep`'s
+ * `--loss-rates`) register them through the `extra` hook of
+ * `parseSweepCli` instead of forking the parser.
+ */
+
+#ifndef QTENON_BENCH_OPTION_REGISTRY_HH
+#define QTENON_BENCH_OPTION_REGISTRY_HH
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace qtenon::bench::cli {
+
+/** One registered command-line option. */
+struct Option {
+    /** Full spelling including the leading dashes ("--jobs"). */
+    std::string name;
+    /** Value placeholder for help ("N", "PATH"); empty = boolean. */
+    std::string metavar;
+    std::string help;
+    /** Setter; flags are invoked with an empty string. */
+    std::function<void(const std::string &)> apply;
+
+    bool isFlag() const { return metavar.empty(); }
+};
+
+/** Declarative option table + parser + generated help. */
+class OptionRegistry
+{
+  public:
+    /** Register an option with a custom value parser. */
+    void
+    add(std::string name, std::string metavar, std::string help,
+        std::function<void(const std::string &)> apply)
+    {
+        _options.push_back(Option{std::move(name), std::move(metavar),
+                                  std::move(help), std::move(apply)});
+    }
+
+    /** Boolean flag: presence sets @p target. */
+    void
+    flag(std::string name, std::string help, bool *target)
+    {
+        add(std::move(name), "", std::move(help),
+            [target](const std::string &) { *target = true; });
+    }
+
+    /** String option storing verbatim into @p target. */
+    void
+    str(std::string name, std::string metavar, std::string help,
+        std::string *target)
+    {
+        add(std::move(name), std::move(metavar), std::move(help),
+            [target](const std::string &v) { *target = v; });
+    }
+
+    /** Unsigned option; values below @p min die with @p err. */
+    void
+    uns(std::string name, std::string metavar, std::string help,
+        unsigned *target, long min, std::string err)
+    {
+        add(std::move(name), std::move(metavar), std::move(help),
+            [target, min, err = std::move(err)](
+                const std::string &v) {
+                const long n = std::strtol(v.c_str(), nullptr, 10);
+                if (n < min)
+                    sim::fatal(err);
+                *target = static_cast<unsigned>(n);
+            });
+    }
+
+    /** 64-bit unsigned option (no range check; 0 allowed). */
+    void
+    u64(std::string name, std::string metavar, std::string help,
+        std::uint64_t *target)
+    {
+        add(std::move(name), std::move(metavar), std::move(help),
+            [target](const std::string &v) {
+                *target = std::strtoull(v.c_str(), nullptr, 10);
+            });
+    }
+
+    /** Millisecond duration; non-positive values die with @p err. */
+    void
+    ms(std::string name, std::string metavar, std::string help,
+       std::chrono::milliseconds *target, std::string err)
+    {
+        add(std::move(name), std::move(metavar), std::move(help),
+            [target, err = std::move(err)](const std::string &v) {
+                const long n = std::strtol(v.c_str(), nullptr, 10);
+                if (n <= 0)
+                    sim::fatal(err);
+                *target = std::chrono::milliseconds(n);
+            });
+    }
+
+    const std::vector<Option> &options() const { return _options; }
+
+    /** Generated two-column help, in registration order. */
+    void
+    printHelp(const char *argv0) const
+    {
+        std::printf("usage: %s [options]\n\noptions:\n", argv0);
+        std::size_t width = 0;
+        auto spelled = [](const Option &o) {
+            return o.isFlag() ? o.name : o.name + " " + o.metavar;
+        };
+        for (const auto &o : _options)
+            width = std::max(width, spelled(o).size());
+        for (const auto &o : _options) {
+            std::printf("  %-*s  %s\n", static_cast<int>(width),
+                        spelled(o).c_str(), o.help.c_str());
+        }
+    }
+
+    /**
+     * Parse @p argv against the table. Accepts `--name value` and
+     * `--name=value` for every value option; `--help`/`-h` prints
+     * the generated help and exits; anything unknown or malformed
+     * dies via sim::fatal.
+     */
+    void
+    parse(int argc, char **argv) const
+    {
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strcmp(arg, "--help") == 0 ||
+                std::strcmp(arg, "-h") == 0) {
+                printHelp(argv[0]);
+                std::exit(0);
+            }
+            const char *eq = std::strchr(arg, '=');
+            const std::string name =
+                eq ? std::string(arg, eq - arg) : std::string(arg);
+            const Option *opt = nullptr;
+            for (const auto &o : _options) {
+                if (o.name == name) {
+                    opt = &o;
+                    break;
+                }
+            }
+            if (!opt)
+                sim::fatal("unknown argument '", arg,
+                           "' (try --help)");
+            if (opt->isFlag()) {
+                if (eq)
+                    sim::fatal(name, " takes no value");
+                opt->apply("");
+                continue;
+            }
+            std::string value;
+            if (eq) {
+                value = eq + 1;
+            } else {
+                if (i + 1 >= argc)
+                    sim::fatal(arg, " requires a value");
+                value = argv[++i];
+            }
+            opt->apply(value);
+        }
+    }
+
+  private:
+    std::vector<Option> _options;
+};
+
+} // namespace qtenon::bench::cli
+
+#endif // QTENON_BENCH_OPTION_REGISTRY_HH

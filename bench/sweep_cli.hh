@@ -18,11 +18,20 @@
  *                    its JSON snapshot at exit
  *   --trace-out PATH install a Chrome trace-event sink and write
  *                    the timeline JSON at exit (load in Perfetto)
+ *   --fault-spec S   deterministic fault plan, e.g.
+ *                    eth.drop=0.01,adi.jitter=200 (see
+ *                    fault::FaultSpec::parse)
+ *   --retry-attempts N    job-level retry budget (default 1)
+ *   --retry-backoff-ms N  base backoff before the first job retry
+ *   --retry-jitter F      backoff jitter fraction in [0, 1)
  *
- * so sweeps are reconfigurable without recompiling. The three
- * statevector knobs default to the bit-identical configuration
- * (auto backend, no fusion, serial kernels), so figure outputs only
- * change when a knob is passed explicitly.
+ * so sweeps are reconfigurable without recompiling. Options are
+ * declared against `cli::OptionRegistry` (one registration each,
+ * generated --help); binaries add private options via the `extra`
+ * hook of parseSweepCli. The statevector knobs default to the
+ * bit-identical configuration (auto backend, no fusion, serial
+ * kernels) and the fault plan defaults to empty, so figure outputs
+ * only change when a knob is passed explicitly.
  */
 
 #ifndef QTENON_BENCH_SWEEP_CLI_HH
@@ -32,14 +41,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
+#include "option_registry.hh"
 #include "quantum/backend.hh"
 #include "service/batch_scheduler.hh"
 #include "sim/logging.hh"
@@ -59,6 +70,10 @@ struct SweepCli {
     unsigned svThreads = 1; // 1 = serial, 0 = auto (budgeted)
     std::string metricsJsonPath;
     std::string traceOutPath;
+    /** Parsed --fault-spec; empty = perfect links. */
+    fault::FaultSpec faultSpec;
+    /** Job-level retry policy (--retry-*), in milliseconds. */
+    fault::RetryPolicy retry;
     /** The installed trace sink (kept alive until finish()). */
     std::shared_ptr<obs::TraceEventSink> trace;
 
@@ -69,6 +84,14 @@ struct SweepCli {
         cfg.backend = backend;
         cfg.kernel.fuse1q = svFusion;
         cfg.kernel.threads = svThreads;
+    }
+
+    /** Apply --fault-spec / --retry-* to one proto job spec. */
+    void
+    applyFaults(service::JobSpec &spec) const
+    {
+        spec.faultSpec = faultSpec;
+        spec.retry = retry;
     }
 
     /** Scheduler config honouring --jobs and --timeout-ms. */
@@ -148,11 +171,11 @@ struct SweepCli {
 namespace detail {
 
 inline std::vector<std::uint32_t>
-parseQubitList(const char *arg)
+parseQubitList(const std::string &arg)
 {
     std::vector<std::uint32_t> out;
     std::string tok;
-    for (const char *p = arg;; ++p) {
+    for (const char *p = arg.c_str();; ++p) {
         if (*p == ',' || *p == '\0') {
             if (!tok.empty()) {
                 const long n = std::strtol(tok.c_str(), nullptr, 10);
@@ -174,67 +197,101 @@ parseQubitList(const char *arg)
 
 } // namespace detail
 
+/** Register the shared sweep options against @p cli. */
+inline void
+registerSweepOptions(cli::OptionRegistry &reg, SweepCli &cli)
+{
+    reg.uns("--jobs", "N",
+            "worker threads (default: QTENON_JOBS env, then "
+            "hardware concurrency)",
+            &cli.jobs, 1, "--jobs must be a positive integer");
+    reg.add("--qubits", "a,b,c", "override the qubit sizes swept",
+            [&cli](const std::string &v) {
+                cli.qubits = detail::parseQubitList(v);
+            });
+    reg.u64("--seed", "S",
+            "base RNG seed (each job derives its own)", &cli.seed);
+    reg.str("--json", "PATH",
+            "export the batch's ResultsStore as JSON",
+            &cli.jsonPath);
+    reg.ms("--timeout-ms", "N", "per-job cooperative deadline",
+           &cli.timeout, "--timeout-ms must be positive");
+    reg.add("--backend", "NAME",
+            "force the functional engine (auto, statevector, "
+            "meanfield, stabilizer, densitymatrix)",
+            [&cli](const std::string &v) {
+                cli.backend = quantum::backendKindFromName(v);
+            });
+    reg.flag("--sv-fusion",
+             "enable single-qubit gate fusion in the statevector "
+             "kernels",
+             &cli.svFusion);
+    reg.uns("--sv-threads", "N",
+            "statevector kernel threads (1 = serial, 0 = auto up "
+            "to the batch budget)",
+            &cli.svThreads, 0, "--sv-threads must be >= 0");
+    reg.str("--metrics-json", "PATH",
+            "enable the obs metrics registry and dump its JSON "
+            "snapshot at exit",
+            &cli.metricsJsonPath);
+    reg.str("--trace-out", "PATH",
+            "install a Chrome trace-event sink and write the "
+            "timeline JSON at exit (load in Perfetto)",
+            &cli.traceOutPath);
+    reg.add("--fault-spec", "SPEC",
+            "deterministic fault plan, e.g. "
+            "eth.drop=0.01,adi.jitter=200 (kinds: drop dup corrupt "
+            "reorder error stall flip jitter stall_ns; seed=N pins "
+            "the injection seed)",
+            [&cli](const std::string &v) {
+                try {
+                    cli.faultSpec = fault::FaultSpec::parse(v);
+                } catch (const std::exception &e) {
+                    sim::fatal(e.what());
+                }
+            });
+    reg.add("--retry-attempts", "N",
+            "job-level retry budget, attempts including the first "
+            "(default 1 = no retry)",
+            [&cli](const std::string &v) {
+                const long n = std::strtol(v.c_str(), nullptr, 10);
+                if (n <= 0)
+                    sim::fatal(
+                        "--retry-attempts must be a positive "
+                        "integer");
+                cli.retry.maxAttempts =
+                    static_cast<std::uint32_t>(n);
+            });
+    reg.u64("--retry-backoff-ms", "N",
+            "base backoff before the first job retry "
+            "(doubles per further retry)",
+            &cli.retry.backoff);
+    reg.add("--retry-jitter", "F",
+            "deterministic backoff jitter fraction in [0, 1)",
+            [&cli](const std::string &v) {
+                const double f = std::strtod(v.c_str(), nullptr);
+                if (f < 0.0 || f >= 1.0)
+                    sim::fatal("--retry-jitter must be in [0, 1)");
+                cli.retry.jitter = f;
+            });
+}
+
 /**
  * Parse the shared sweep arguments; exits on --help or bad input.
+ * @p extra lets a binary register its own options on the same
+ * registry (they appear in the generated --help too).
  */
 inline SweepCli
-parseSweepCli(int argc, char **argv)
+parseSweepCli(int argc, char **argv,
+              const std::function<void(cli::OptionRegistry &)>
+                  &extra = {})
 {
     SweepCli cli;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        auto value = [&]() -> const char * {
-            if (i + 1 >= argc)
-                sim::fatal(arg, " requires a value");
-            return argv[++i];
-        };
-        if (std::strcmp(arg, "--help") == 0 ||
-            std::strcmp(arg, "-h") == 0) {
-            std::printf(
-                "usage: %s [--jobs N] [--qubits a,b,c] [--seed S] "
-                "[--json PATH] [--timeout-ms N] [--backend NAME] "
-                "[--sv-fusion] [--sv-threads N] "
-                "[--metrics-json PATH] [--trace-out PATH]\n",
-                argv[0]);
-            std::exit(0);
-        } else if (std::strcmp(arg, "--jobs") == 0) {
-            const long n = std::strtol(value(), nullptr, 10);
-            if (n <= 0)
-                sim::fatal("--jobs must be a positive integer");
-            cli.jobs = static_cast<unsigned>(n);
-        } else if (std::strcmp(arg, "--qubits") == 0) {
-            cli.qubits = detail::parseQubitList(value());
-        } else if (std::strcmp(arg, "--seed") == 0) {
-            cli.seed = std::strtoull(value(), nullptr, 10);
-        } else if (std::strcmp(arg, "--json") == 0) {
-            cli.jsonPath = value();
-        } else if (std::strcmp(arg, "--timeout-ms") == 0) {
-            const long n = std::strtol(value(), nullptr, 10);
-            if (n <= 0)
-                sim::fatal("--timeout-ms must be positive");
-            cli.timeout = std::chrono::milliseconds(n);
-        } else if (std::strcmp(arg, "--backend") == 0) {
-            cli.backend = quantum::backendKindFromName(value());
-        } else if (std::strcmp(arg, "--sv-fusion") == 0) {
-            cli.svFusion = true;
-        } else if (std::strcmp(arg, "--sv-threads") == 0) {
-            const long n = std::strtol(value(), nullptr, 10);
-            if (n < 0)
-                sim::fatal("--sv-threads must be >= 0");
-            cli.svThreads = static_cast<unsigned>(n);
-        } else if (std::strcmp(arg, "--metrics-json") == 0) {
-            cli.metricsJsonPath = value();
-        } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
-            cli.metricsJsonPath = arg + 15;
-        } else if (std::strcmp(arg, "--trace-out") == 0) {
-            cli.traceOutPath = value();
-        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
-            cli.traceOutPath = arg + 12;
-        } else {
-            sim::fatal("unknown argument '", arg,
-                       "' (try --help)");
-        }
-    }
+    cli::OptionRegistry reg;
+    registerSweepOptions(reg, cli);
+    if (extra)
+        extra(reg);
+    reg.parse(argc, argv);
     if (!cli.metricsJsonPath.empty())
         obs::setMetricsEnabled(true);
     if (!cli.traceOutPath.empty()) {

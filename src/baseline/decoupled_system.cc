@@ -1,5 +1,7 @@
 #include "decoupled_system.hh"
 
+#include "udp.hh"
+
 namespace qtenon::baseline {
 
 DecoupledSystem::DecoupledSystem(DecoupledConfig cfg)
@@ -15,13 +17,27 @@ DecoupledSystem::executeRound(const quantum::QuantumCircuit &c,
     const EthernetLink link(_cfg.ethernet);
     const FpgaController fpga(_cfg.fpga);
 
+    // With faults injected the link legs run the full UDP
+    // ack/timeout/retransmit exchange; without, the original
+    // perfect-link closed form (bit-identical to the frozen
+    // baselines).
+    EthernetChannel channel(_cfg.ethernet);
+    if (_cfg.injector)
+        channel.attachInjector(_cfg.injector);
+    UdpExchange udp(channel, _cfg.linkRetry);
+    auto leg = [&](std::uint64_t bytes) {
+        return _cfg.injector ? udp.transfer(bytes).elapsed
+                             : link.messageLatency(bytes);
+    };
+
     // 1. Host: JIT recompilation of the full circuit (every round).
     bd.host += _compiler.jitCompileTime(c);
 
     // 2. Ship the binary to the FPGA over Ethernet.
     const auto binary = _compiler.binaryBytes(c);
-    bd.comm += link.messageLatency(binary);
-    bd.commSet += link.messageLatency(binary);
+    const sim::Tick ship = leg(binary);
+    bd.comm += ship;
+    bd.commSet += ship;
 
     // 3. FPGA regenerates every pulse sequentially.
     const auto instrs = _compiler.instructionCount(c);
@@ -36,8 +52,9 @@ DecoupledSystem::executeRound(const quantum::QuantumCircuit &c,
     // 5. Readout shipped back to the host.
     const std::uint64_t readout_bytes =
         round.shots * ((c.numQubits() + 7) / 8);
-    bd.comm += link.messageLatency(readout_bytes);
-    bd.commAcquire += link.messageLatency(readout_bytes);
+    const sim::Tick acquire = leg(readout_bytes);
+    bd.comm += acquire;
+    bd.commAcquire += acquire;
 
     // 6. Host post-processing + optimizer step.
     bd.host += _cfg.host.timeFor(

@@ -15,6 +15,7 @@
 #define QTENON_BASELINE_DECOUPLED_SYSTEM_HH
 
 #include "ethernet.hh"
+#include "fault/fault.hh"
 #include "fpga_controller.hh"
 #include "isa/baseline_isa.hh"
 #include "quantum/circuit.hh"
@@ -33,6 +34,12 @@ struct DecoupledConfig {
     isa::BaselineCompileCost compileCost;
     runtime::HostCoreModel host = runtime::HostCoreModel::i9();
     quantum::GateTiming gateTiming;
+    /** Optional fault injection (not owned). When set, the Ethernet
+     *  legs run through `UdpExchange` (ack/timeout/retransmit under
+     *  `linkRetry`) instead of the perfect-link closed form. */
+    fault::FaultInjector *injector = nullptr;
+    /** UDP retransmission policy, in ticks (injector set only). */
+    fault::RetryPolicy linkRetry{.maxAttempts = 4};
 };
 
 /** The analytic baseline timing model. */

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "link/channel.hh"
 #include "sim/types.hh"
 
 namespace qtenon::baseline {
@@ -85,6 +86,31 @@ class EthernetLink
 
   private:
     EthernetConfig _cfg;
+};
+
+/**
+ * `link::Channel` adapter over `EthernetLink` (injection site "eth").
+ * The analytic model stays the source of truth for latency; the
+ * adapter adds the in-flight queue + fault hook, which the UDP
+ * retransmission exchange (`baseline/udp.hh`) builds on.
+ */
+class EthernetChannel : public link::Channel
+{
+  public:
+    explicit EthernetChannel(EthernetConfig cfg = EthernetConfig{})
+        : link::Channel("eth"), _link(cfg)
+    {}
+
+    const EthernetLink &model() const { return _link; }
+
+    sim::Tick
+    transferLatency(std::uint64_t bytes) const override
+    {
+        return _link.messageLatency(bytes);
+    }
+
+  private:
+    EthernetLink _link;
 };
 
 } // namespace qtenon::baseline

@@ -1,0 +1,56 @@
+#include "udp.hh"
+
+#include <algorithm>
+
+namespace qtenon::baseline {
+
+UdpOutcome
+UdpExchange::transfer(std::uint64_t bytes, sim::Tick now)
+{
+    const sim::Tick start = now;
+    const std::uint32_t budget = std::max(1u, _retry.maxAttempts);
+    auto *inj = _channel.injector();
+    const fault::SiteId site = _channel.siteId();
+
+    sim::Tick timeout = _retry.attemptTimeout;
+    if (timeout == 0) {
+        timeout = 2 * (_channel.transferLatency(bytes) +
+                       _channel.transferLatency(ackBytes));
+    }
+
+    UdpOutcome out;
+    for (std::uint32_t attempt = 1;; ++attempt) {
+        out.attempts = attempt;
+        if (attempt > 1 && inj)
+            inj->count(site, "retransmits");
+
+        const link::SendOutcome data = _channel.send(bytes, now);
+        if (!data.dropped) {
+            // Receiver acks on arrival; the sender settles when the
+            // ack lands. Ack loss forces a retransmission even
+            // though the data got through (classic UDP duplicate).
+            const link::SendOutcome ack =
+                _channel.send(ackBytes, data.deliverAt);
+            if (!ack.dropped) {
+                _channel.tick(ack.deliverAt);
+                out.elapsed = ack.deliverAt - start;
+                out.delivered = true;
+                return out;
+            }
+        }
+
+        now += timeout;
+        _channel.tick(now);
+        if (attempt >= budget) {
+            if (inj)
+                inj->count(site, "exhausted");
+            out.elapsed = now - start;
+            out.delivered = false;
+            return out;
+        }
+        now += _retry.backoffBefore(attempt,
+                                    inj ? inj->seed() : 0);
+    }
+}
+
+} // namespace qtenon::baseline

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reliable-delivery semantics over the baseline's UDP/Ethernet link.
+ *
+ * The decoupled baseline ships circuit binaries and readout over UDP,
+ * which guarantees nothing. With a fault injector attached to the
+ * `EthernetChannel`, `UdpExchange` models what the host software must
+ * then do: send, wait for an application-level ack, and retransmit on
+ * timeout under a `fault::RetryPolicy` (bounded attempts, exponential
+ * deterministically-jittered backoff). Every retransmission burns a
+ * full stack-latency round, which is exactly the effect that widens
+ * the decoupled-vs-coupled gap as the loss rate grows (fault_sweep).
+ *
+ * Without an injector the exchange degenerates to one fault-free
+ * message + ack, and callers on the no-fault path bypass it entirely
+ * so frozen baseline outputs stay byte-identical.
+ */
+
+#ifndef QTENON_BASELINE_UDP_HH
+#define QTENON_BASELINE_UDP_HH
+
+#include <cstdint>
+
+#include "ethernet.hh"
+#include "fault/fault.hh"
+#include "sim/types.hh"
+
+namespace qtenon::baseline {
+
+/** Result of one reliable transfer (possibly several attempts). */
+struct UdpOutcome {
+    /** Send-to-settled time, including retransmissions + backoff. */
+    sim::Tick elapsed = 0;
+    /** Attempts used (1 = no retransmission). */
+    std::uint32_t attempts = 1;
+    /** False when the retry budget was spent without an acked
+     *  delivery; `elapsed` then covers the full futile exchange. */
+    bool delivered = true;
+};
+
+/**
+ * Application-level ack/timeout/retransmit over an EthernetChannel.
+ * Single-threaded, deterministic: all randomness comes from the
+ * channel's attached injector.
+ */
+class UdpExchange
+{
+  public:
+    /**
+     * @param channel the link (injector optional).
+     * @param retry   attempt budget + backoff, in ticks. A zero
+     *        `attemptTimeout` defaults to twice the fault-free
+     *        data+ack round trip.
+     */
+    UdpExchange(EthernetChannel &channel, fault::RetryPolicy retry)
+        : _channel(channel), _retry(retry)
+    {}
+
+    /** Application-level ack payload size. */
+    static constexpr std::uint64_t ackBytes = 64;
+
+    /**
+     * Reliably transfer @p bytes starting at @p now: send, await the
+     * ack, retransmit on loss (of either direction) after timeout +
+     * backoff. Never throws; an exhausted budget is reported via
+     * `UdpOutcome::delivered` and counted as `fault.eth.exhausted`.
+     */
+    UdpOutcome transfer(std::uint64_t bytes, sim::Tick now = 0);
+
+  private:
+    EthernetChannel &_channel;
+    fault::RetryPolicy _retry;
+};
+
+} // namespace qtenon::baseline
+
+#endif // QTENON_BASELINE_UDP_HH

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "link/channel.hh"
 #include "sim/types.hh"
 
 namespace qtenon::controller {
@@ -84,6 +85,36 @@ class AdiModel
 
   private:
     AdiConfig _cfg;
+};
+
+/**
+ * `link::Channel` adapter over `AdiModel` (injection site "adi").
+ * One adapter per direction: Output transfers are measured in pulse
+ * entries (the byte count is the entry count), Input transfers are
+ * readout words at the fixed interface latency.
+ */
+class AdiChannel : public link::Channel
+{
+  public:
+    enum class Direction { Output, Input };
+
+    explicit AdiChannel(AdiModel model,
+                        Direction dir = Direction::Input)
+        : link::Channel("adi"), _model(model), _dir(dir)
+    {}
+
+    const AdiModel &model() const { return _model; }
+
+    sim::Tick
+    transferLatency(std::uint64_t units) const override
+    {
+        return _dir == Direction::Output ? _model.outputLatency(units)
+                                         : _model.inputLatency();
+    }
+
+  private:
+    AdiModel _model;
+    Direction _dir;
 };
 
 } // namespace qtenon::controller

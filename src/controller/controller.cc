@@ -16,7 +16,8 @@ QuantumController::QuantumController(sim::EventQueue &eq,
     : Clocked(eq, name, sim::ClockDomain::fromHz(cfg.coreFreqHz)),
       _cfg(cfg), _bus(bus),
       _sramClock(sim::ClockDomain::fromHz(cfg.sramFreqHz)),
-      _slt(cfg.layout.numQubits, cfg.slt), _adi(cfg.adi)
+      _slt(cfg.layout.numQubits, cfg.slt), _adi(cfg.adi),
+      _adiIn(AdiModel(cfg.adi), AdiChannel::Direction::Input)
 {
     if (!bus)
         sim::fatal("controller '", name, "' needs a system bus");

@@ -64,6 +64,23 @@ class QuantumController : public sim::Clocked
     const AdiModel &adi() const { return _adi; }
     PulsePipeline &pipeline() { return *_pipeline; }
 
+    /** The ADI's `link::Channel` view (injection site "adi"). */
+    AdiChannel &adiChannel() { return _adiIn; }
+
+    /** Attach fault injection to the ADI readout path. */
+    void
+    attachAdiInjector(fault::FaultInjector *inj)
+    {
+        _adiIn.attachInjector(inj);
+    }
+
+    /**
+     * Readout-path ADI latency for one transfer, including injected
+     * jitter. Identical to `adi().inputLatency()` when no injector
+     * is attached.
+     */
+    sim::Tick adiInputLatency() { return _adiIn.sampleLatency(0); }
+
     /** @name Data path 1: RoCC register transfers (1 cycle, 64-bit) */
     /// @{
 
@@ -153,6 +170,7 @@ class QuantumController : public sim::Clocked
     std::unique_ptr<PulsePipeline> _pipeline;
     MemoryBarrier _barrier;
     AdiModel _adi;
+    AdiChannel _adiIn;
     ReorderBufferQueue<memory::BusResponse> _rbq;
     WriteBufferQueue _wbq;
     /** Analytic WBQ drain horizon (tick the staging empties). */

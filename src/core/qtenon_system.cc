@@ -11,6 +11,8 @@ QtenonSystem::QtenonSystem(QtenonConfig cfg) : _cfg(cfg)
                                           _cfg.l2, _dram.get());
     _bus = std::make_unique<memory::TileLinkBus>(
         _eq, "bus", core_clock, _cfg.bus, _l2.get());
+    if (_cfg.injector)
+        _bus->attachInjector(_cfg.injector, _cfg.busRetry);
 
     controller::ControllerConfig ctrl_cfg;
     ctrl_cfg.layout.numQubits = _cfg.numQubits;
@@ -20,6 +22,8 @@ QtenonSystem::QtenonSystem(QtenonConfig cfg) : _cfg(cfg)
     ctrl_cfg.coreFreqHz = _cfg.coreFreqHz;
     _controller = std::make_unique<controller::QuantumController>(
         _eq, "qc", ctrl_cfg, _bus.get());
+    if (_cfg.injector)
+        _controller->attachAdiInjector(_cfg.injector);
 
     runtime::ExecutorConfig exec_cfg;
     exec_cfg.software = _cfg.software;

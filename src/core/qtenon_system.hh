@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "controller/controller.hh"
+#include "fault/fault.hh"
 #include "memory/cache.hh"
 #include "memory/dram.hh"
 #include "memory/tilelink.hh"
@@ -43,6 +44,12 @@ struct QtenonConfig {
     std::uint64_t coreFreqHz = 1'000'000'000ull;
     /** Ablation: force K shots per measurement PUT (0 = policy). */
     std::uint64_t batchIntervalOverride = 0;
+    /** Optional fault injection (not owned): attaches to the bus
+     *  (site "bus") and the ADI readout channel (site "adi"). */
+    fault::FaultInjector *injector = nullptr;
+    /** Tag-retry policy for injected bus response errors (ticks). */
+    fault::RetryPolicy busRetry{.maxAttempts = 3,
+                                .backoff = 10 * sim::nsTicks};
 };
 
 /** Result of one end-to-end VQA run on Qtenon. */

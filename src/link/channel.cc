@@ -1,0 +1,107 @@
+#include "channel.hh"
+
+#include <algorithm>
+
+namespace qtenon::link {
+
+Channel::Channel(std::string site) : _site(std::move(site)) {}
+
+void
+Channel::attachInjector(fault::FaultInjector *inj)
+{
+    _inj = inj;
+    _siteId = inj ? inj->site(_site) : 0;
+}
+
+sim::Tick
+Channel::sampleLatency(std::uint64_t bytes)
+{
+    sim::Tick lat = transferLatency(bytes);
+    if (_inj && _inj->active(_siteId)) {
+        const sim::Tick extra = _inj->jitterTicks(_siteId);
+        _stats.jitterTicks += extra;
+        lat += extra;
+    }
+    return lat;
+}
+
+SendOutcome
+Channel::send(std::uint64_t bytes, sim::Tick now, std::uint64_t payload)
+{
+    Message m;
+    m.seq = _nextSeq++;
+    m.bytes = bytes;
+    m.payload = payload;
+    m.sentAt = now;
+    ++_stats.sent;
+
+    const sim::Tick base = transferLatency(bytes);
+    m.deliverAt = now + base;
+
+    const bool inject = _inj && _inj->active(_siteId);
+    if (inject) {
+        if (_inj->shouldDrop(_siteId)) {
+            ++_stats.dropped;
+            return {/*dropped=*/true, 0};
+        }
+        const sim::Tick extra = _inj->jitterTicks(_siteId);
+        _stats.jitterTicks += extra;
+        m.deliverAt += extra;
+        if (_inj->shouldReorder(_siteId)) {
+            // One extra transfer latency is enough for the next
+            // message sent at `now` to overtake this one.
+            ++_stats.reordered;
+            m.deliverAt += base > 0 ? base : sim::nsTicks;
+        }
+        if (_inj->shouldCorrupt(_siteId)) {
+            ++_stats.corrupted;
+            m.corrupted = true;
+            m.payload = _inj->corruptWord(_siteId, m.payload);
+        }
+        if (_inj->shouldDuplicate(_siteId)) {
+            ++_stats.duplicated;
+            Message dup = m;
+            dup.duplicate = true;
+            dup.deliverAt += _inj->jitterTicks(_siteId);
+            enqueue(dup);
+        }
+    }
+
+    const sim::Tick at = m.deliverAt;
+    enqueue(std::move(m));
+    return {/*dropped=*/false, at};
+}
+
+void
+Channel::enqueue(Message m)
+{
+    auto pos = std::upper_bound(
+        _inFlight.begin(), _inFlight.end(), m,
+        [](const Message &a, const Message &b) {
+            return a.deliverAt != b.deliverAt ? a.deliverAt < b.deliverAt
+                                              : a.seq < b.seq;
+        });
+    _inFlight.insert(pos, std::move(m));
+}
+
+std::vector<Message>
+Channel::deliver(sim::Tick now)
+{
+    std::vector<Message> out;
+    auto it = _inFlight.begin();
+    while (it != _inFlight.end() && it->deliverAt <= now)
+        ++it;
+    out.assign(std::make_move_iterator(_inFlight.begin()),
+               std::make_move_iterator(it));
+    _inFlight.erase(_inFlight.begin(), it);
+    _stats.delivered += out.size();
+    return out;
+}
+
+sim::Tick
+Channel::nextDeliveryAt() const
+{
+    return _inFlight.empty() ? sim::maxTick : _inFlight.front().deliverAt;
+}
+
+} // namespace qtenon::link

@@ -29,6 +29,15 @@ TileLinkBus::TileLinkBus(sim::EventQueue &eq, std::string name,
                            "requests that waited for a free tag");
     stats().registerAverage(&tagOccupancy, "tag_occupancy",
                             "tags in use when issuing");
+    _port = std::make_unique<TileLinkPort>(*this);
+}
+
+void
+TileLinkBus::attachInjector(fault::FaultInjector *inj,
+                            fault::RetryPolicy retry)
+{
+    _port->attachInjector(inj);
+    _retry = retry;
 }
 
 std::uint32_t
@@ -130,42 +139,77 @@ TileLinkBus::tryIssue()
         }
 
         const sim::Tick now = curTick();
-        const sim::Tick start = std::max(now, _requestChannelFree);
+        sim::Tick start = std::max(now, _requestChannelFree);
+        auto *inj = _port->injector();
+        const fault::SiteId site = _port->siteId();
+        if (inj && inj->active(site) && inj->shouldStall(site)) {
+            // An injected stall occupies the request channel, so it
+            // back-pressures every queued transaction behind it.
+            start += inj->faults(site).stallTicks;
+        }
         _requestChannelFree = start +
             clockDomain().cyclesToTicks(req_beats);
         const sim::Tick arrive = _requestChannelFree +
             clockDomain().cyclesToTicks(_cfg.channelLatency);
 
-        // Hand the request to the downstream device once it has fully
-        // crossed the request channel.
-        eventq().scheduleLambda(arrive,
-            [this, p = std::move(p), tag, now]() mutable {
-                MemPacket pkt = p.pkt;
-                _downstream->access(pkt,
-                    [this, cb = std::move(p.cb), pkt, tag,
-                     now](sim::Tick down_done) {
-                        const sim::Tick done = down_done +
-                            clockDomain().cyclesToTicks(
-                                _cfg.channelLatency);
-                        eventq().scheduleLambda(done,
-                            [this, cb, pkt, tag, now, done] {
-                                ++transactions;
-                                observeTransaction(pkt, tag, now,
-                                                   done);
-                                _freeTagMask |= (1u << tag);
-                                BusResponse r;
-                                r.tag = tag;
-                                r.issued = now;
-                                r.completed = done;
-                                r.pkt = pkt;
-                                cb(r);
-                                tryIssue();
-                            },
-                            "bus response");
-                    });
-            },
-            "bus request");
+        issueDownstream(std::make_shared<Pending>(std::move(p)), tag,
+                        now, arrive, 1);
     }
+}
+
+void
+TileLinkBus::issueDownstream(std::shared_ptr<Pending> p,
+                             std::uint8_t tag, sim::Tick issued,
+                             sim::Tick arrive, std::uint32_t attempt)
+{
+    // Hand the request to the downstream device once it has fully
+    // crossed the request channel.
+    eventq().scheduleLambda(arrive,
+        [this, p, tag, issued, attempt] {
+            MemPacket pkt = p->pkt;
+            _downstream->access(pkt,
+                [this, p, pkt, tag, issued,
+                 attempt](sim::Tick down_done) {
+                    const sim::Tick done = down_done +
+                        clockDomain().cyclesToTicks(
+                            _cfg.channelLatency);
+                    auto *inj = _port->injector();
+                    const fault::SiteId site = _port->siteId();
+                    if (inj && inj->active(site) &&
+                        inj->shouldError(site)) {
+                        if (attempt <
+                            std::max(1u, _retry.maxAttempts)) {
+                            inj->count(site, "retries");
+                            const sim::Tick backoff =
+                                _retry.backoffBefore(
+                                    attempt, issued ^ tag);
+                            issueDownstream(p, tag, issued,
+                                            done + backoff,
+                                            attempt + 1);
+                            return;
+                        }
+                        // Budget spent: deliver the (errored)
+                        // response rather than wedge the tag.
+                        inj->count(site, "retry_exhausted");
+                    }
+                    eventq().scheduleLambda(done,
+                        [this, p, pkt, tag, issued, done] {
+                            ++transactions;
+                            observeTransaction(pkt, tag, issued,
+                                               done);
+                            _freeTagMask |= (1u << tag);
+                            BusResponse r;
+                            r.tag = tag;
+                            r.issued = issued;
+                            r.completed = done;
+                            r.pkt = pkt;
+                            p->cb(r);
+                            tryIssue();
+                        },
+                        "bus response");
+                });
+        },
+        "bus request");
 }
 
 } // namespace qtenon::memory

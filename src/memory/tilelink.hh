@@ -15,11 +15,16 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 
+#include "fault/fault.hh"
+#include "link/channel.hh"
 #include "packet.hh"
 #include "sim/sim_object.hh"
 
 namespace qtenon::memory {
+
+class TileLinkPort;
 
 /** Bus parameters. */
 struct TileLinkConfig {
@@ -54,6 +59,22 @@ class TileLinkBus : public sim::Clocked, public MemDevice
     TileLinkBus(sim::EventQueue &eq, std::string name,
                 sim::ClockDomain clock, TileLinkConfig cfg,
                 MemDevice *downstream);
+
+    /**
+     * The bus's `link::Channel` view (injection site "bus"): the
+     * uniform attachment point for fault injection, shared with the
+     * Ethernet and ADI adapters.
+     */
+    TileLinkPort &port() { return *_port; }
+
+    /**
+     * Attach fault injection through the port and set the tag-retry
+     * policy: an injected response error re-issues the transaction
+     * downstream on the *same* tag after a deterministic backoff, so
+     * the RBQ still sees exactly one arrival per expected tag.
+     */
+    void attachInjector(fault::FaultInjector *inj,
+                        fault::RetryPolicy retry = {});
 
     /** MemDevice entry point (tag handled internally). */
     void access(const MemPacket &pkt, MemCallback on_complete) override;
@@ -90,6 +111,15 @@ class TileLinkBus : public sim::Clocked, public MemDevice
     void tryIssue();
     std::uint8_t allocateTag();
 
+    /**
+     * Hand @p p to the downstream device at @p arrive; on an injected
+     * response error, re-issue (same tag) until the retry budget is
+     * spent.
+     */
+    void issueDownstream(std::shared_ptr<Pending> p, std::uint8_t tag,
+                         sim::Tick issued, sim::Tick arrive,
+                         std::uint32_t attempt);
+
     /** Flush per-transaction obs metrics and emit its trace span. */
     void observeTransaction(const MemPacket &pkt, std::uint8_t tag,
                             sim::Tick issued, sim::Tick done);
@@ -101,6 +131,33 @@ class TileLinkBus : public sim::Clocked, public MemDevice
     sim::Tick _requestChannelFree = 0;
     /** Lazily allocated trace-sink process id (0 = none yet). */
     std::uint32_t _tracePid = 0;
+    fault::RetryPolicy _retry;
+    std::unique_ptr<TileLinkPort> _port;
+};
+
+/**
+ * `link::Channel` adapter over the bus's own channel timing (request
+ * serialization + one channel traversal). The event-driven bus model
+ * stays authoritative for transaction scheduling; the port is the
+ * uniform latency/injection surface.
+ */
+class TileLinkPort : public link::Channel
+{
+  public:
+    explicit TileLinkPort(const TileLinkBus &bus)
+        : link::Channel("bus"), _bus(&bus)
+    {}
+
+    sim::Tick
+    transferLatency(std::uint64_t bytes) const override
+    {
+        return _bus->clockDomain().cyclesToTicks(
+            _bus->beatsFor(static_cast<std::uint32_t>(bytes)) +
+            _bus->config().channelLatency);
+    }
+
+  private:
+    const TileLinkBus *_bus;
 };
 
 } // namespace qtenon::memory

@@ -221,7 +221,6 @@ QtenonExecutor::executeRound(const RoundRecord &round,
         : ((sw.transmission == TransmissionPolicy::Batched)
                ? batchInterval(bus_width, n)
                : 1);
-    const sim::Tick adi_in = _ctrl.adi().inputLatency();
     const sim::Tick barrier_cycle = _ctrl.clockPeriod();
 
     auto last_put_done = std::make_shared<sim::Tick>(run_start);
@@ -246,7 +245,11 @@ QtenonExecutor::executeRound(const RoundRecord &round,
         ++batch_shots;
 
         if (batch_shots == K || s + 1 == shots) {
-            const sim::Tick put_time = t_shot + adi_in;
+            // Per-PUT ADI crossing: with an injector attached each
+            // batch draws its own jitter; otherwise this is the
+            // constant interface latency.
+            const sim::Tick put_time =
+                t_shot + _ctrl.adiInputLatency();
             const auto first = static_cast<std::uint32_t>(
                 batch_first_entry % layout.measureEntries);
             const auto count = static_cast<std::uint32_t>(

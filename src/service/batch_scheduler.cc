@@ -137,6 +137,18 @@ runJobSpec(const JobSpec &spec, std::uint64_t job_id,
     token.checkpoint();
     auto workload = vqa::Workload::build(spec.workload);
 
+    // One private injector per job, seeded from the job's derived
+    // seed (unless the spec pins one), so injection sequences are
+    // bit-identical regardless of worker count or completion order.
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (!spec.faultSpec.empty()) {
+        const std::uint64_t fseed = spec.faultSpec.seed != 0
+            ? spec.faultSpec.seed : fault::mix64(r.seed);
+        inj = std::make_unique<fault::FaultInjector>(spec.faultSpec,
+                                                     fseed);
+        driver_cfg.injector = inj.get();
+    }
+
     // The functional optimization runs once; every replay target
     // reuses the one recorded trace.
     vqa::VqaDriver driver(driver_cfg);
@@ -156,6 +168,7 @@ runJobSpec(const JobSpec &spec, std::uint64_t job_id,
         auto qcfg = spec.qtenon;
         qcfg.numQubits = spec.workload.numQubits;
         qcfg.host = host;
+        qcfg.injector = inj.get();
         core::QtenonSystem sys(qcfg);
         r.shotDuration = sys.shotDuration(workload.circuit);
         r.systems.push_back(replayOnQtenon(
@@ -165,7 +178,9 @@ runJobSpec(const JobSpec &spec, std::uint64_t job_id,
 
     if (spec.runBaseline) {
         token.checkpoint();
-        baseline::DecoupledSystem base(spec.baselineCfg);
+        auto bcfg = spec.baselineCfg;
+        bcfg.injector = inj.get();
+        baseline::DecoupledSystem base(bcfg);
         SystemRun run;
         run.label = "baseline";
         for (const auto &round : trace.rounds) {
@@ -175,6 +190,9 @@ runJobSpec(const JobSpec &spec, std::uint64_t job_id,
         run.total = run.rounds;
         r.systems.push_back(std::move(run));
     }
+
+    if (inj)
+        inj->exportCounters(r.metrics);
 
     return r;
 }
@@ -358,12 +376,11 @@ BatchScheduler::executeJob(Job &job)
         return;
     }
 
-    const auto timeout = job.spec.timeout.count() > 0
-        ? job.spec.timeout : _cfg.defaultTimeout;
-    const auto deadline = timeout.count() > 0
-        ? started + timeout
-        : std::chrono::steady_clock::time_point{};
-    CancelToken token(&job.cancelRequested, deadline);
+    const bool job_override = job.spec.timeout.count() > 0;
+    const auto timeout =
+        job_override ? job.spec.timeout : _cfg.defaultTimeout;
+    const std::uint32_t budget =
+        std::max(1u, job.spec.retry.maxAttempts);
 
     static auto &busy = obs::gauge(
         "service.workers.busy",
@@ -371,25 +388,74 @@ BatchScheduler::executeJob(Job &job)
     busy.add(1);
 
     JobResult r;
-    try {
-        r = runJobSpec(job.spec, job.id, token);
-        r.status = JobStatus::Ok;
-    } catch (const JobCancelledError &) {
-        r = JobResult{};
-        r.status = JobStatus::Cancelled;
-    } catch (const JobTimedOutError &) {
-        r = JobResult{};
-        r.status = JobStatus::TimedOut;
-        r.error = "exceeded " + std::to_string(timeout.count()) +
-                  " ms deadline";
-    } catch (const std::exception &e) {
-        r = JobResult{};
-        r.status = JobStatus::Failed;
-        r.error = e.what();
-    } catch (...) {
-        r = JobResult{};
-        r.status = JobStatus::Failed;
-        r.error = "unknown exception";
+    for (std::uint32_t attempt = 1; attempt <= budget; ++attempt) {
+        const auto attempt_started = attempt == 1
+            ? started : std::chrono::steady_clock::now();
+        const auto deadline = timeout.count() > 0
+            ? attempt_started + timeout
+            : std::chrono::steady_clock::time_point{};
+        CancelToken token(&job.cancelRequested, deadline);
+
+        try {
+            r = runJobSpec(job.spec, job.id, token);
+            r.status = JobStatus::Ok;
+        } catch (const JobCancelledError &) {
+            r = JobResult{};
+            r.status = JobStatus::Cancelled;
+        } catch (const JobTimedOutError &) {
+            const auto elapsed = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() -
+                    attempt_started)
+                    .count());
+            r = JobResult{};
+            r.status = JobStatus::TimedOut;
+            r.timeoutSource =
+                job_override ? "job-override" : "scheduler-default";
+            r.timeoutElapsedMs = elapsed;
+            r.error = "exceeded " + std::to_string(timeout.count()) +
+                      " ms deadline (" + r.timeoutSource +
+                      ", elapsed " + std::to_string(elapsed) + " ms)";
+        } catch (const std::exception &e) {
+            r = JobResult{};
+            r.status = JobStatus::Failed;
+            r.error = e.what();
+        } catch (...) {
+            r = JobResult{};
+            r.status = JobStatus::Failed;
+            r.error = "unknown exception";
+        }
+        r.attempts = attempt;
+
+        // Retry only genuine failures; Ok and Cancelled are final,
+        // as is a cancel that raced the failing attempt.
+        if (r.status == JobStatus::Ok ||
+            r.status == JobStatus::Cancelled ||
+            attempt >= budget || job.cancelRequested.load())
+            break;
+
+        if (obs::metricsEnabled()) {
+            static auto &c = obs::counter(
+                "service.jobs.retried",
+                "job attempts re-run under JobSpec::retry");
+            c.inc();
+        }
+        if (auto *sink = obs::traceSink()) {
+            sink->instant(obs::TraceEventSink::wallPid,
+                          obs::currentTid(), "job.retry",
+                          "service.job", sink->nowUs());
+        }
+        // Deterministic backoff schedule: a pure function of the
+        // job's derived seed and the attempt number, so it is
+        // identical at every worker count.
+        const std::uint64_t backoff_ms = job.spec.retry.backoffBefore(
+            attempt,
+            deriveJobSeed(job.spec.driver.seed, job.id));
+        if (backoff_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+        }
     }
     busy.add(-1);
     r.jobId = job.id;

@@ -21,6 +21,7 @@
 
 #include "baseline/decoupled_system.hh"
 #include "core/qtenon_system.hh"
+#include "fault/fault.hh"
 #include "vqa/driver.hh"
 #include "vqa/workload.hh"
 
@@ -105,6 +106,25 @@ struct JobSpec {
     std::chrono::milliseconds timeout{0};
 
     /**
+     * Fault-injection plan (`--fault-spec`); empty = perfect links,
+     * which is the byte-stable frozen-baseline path. When set, the
+     * job builds one private `fault::FaultInjector` seeded from the
+     * job's derived seed, so injection sequences are identical on
+     * every worker count. Per-site retry policies live next to the
+     * components they drive (`baselineCfg.linkRetry`,
+     * `qtenon.busRetry`, `driver.evalRetry`).
+     */
+    fault::FaultSpec faultSpec;
+
+    /**
+     * Job-level retry: re-run a Failed/TimedOut job up to
+     * `retry.maxAttempts` times with deterministic exponential
+     * backoff (milliseconds). The default (1 attempt) is the
+     * historical no-retry behaviour.
+     */
+    fault::RetryPolicy retry;
+
+    /**
      * Escape hatch: when set, this body runs instead of the
      * declarative spec (used e.g. by the routing ablation, which
      * exercises the router rather than a QtenonSystem). Throwing
@@ -144,6 +164,17 @@ struct JobResult {
 
     /** Free-form named metrics (custom jobs, ablation extras). */
     std::map<std::string, double> metrics;
+
+    /** Attempts consumed under JobSpec::retry (1 = first try
+     *  succeeded; only written to JSON when > 1). */
+    std::uint32_t attempts = 1;
+
+    /** Which deadline applied when status == TimedOut:
+     *  "job-override" or "scheduler-default" (empty otherwise). */
+    std::string timeoutSource;
+    /** Elapsed wall time when the deadline fired, in milliseconds
+     *  (timed-out jobs only). */
+    std::uint64_t timeoutElapsedMs = 0;
 
     /** Measured host wall-clock of this job (excluded from the
      *  deterministic digest). */

@@ -105,6 +105,14 @@ resultToJson(const JobResult &r, bool deterministic_only)
         metrics.set(k, json::Value(v));
     o.set("metrics", std::move(metrics));
     o.set("sim_ticks", r.simTicks);
+    // Retry/timeout provenance is written only when it deviates from
+    // the defaults, so pre-fault-layer batch JSON stays byte-stable.
+    if (r.attempts > 1)
+        o.set("attempts", std::uint64_t{r.attempts});
+    if (!r.timeoutSource.empty())
+        o.set("timeout_source", r.timeoutSource);
+    if (r.timeoutElapsedMs > 0)
+        o.set("timeout_elapsed_ms", r.timeoutElapsedMs);
     if (!deterministic_only)
         o.set("wall_ns", r.wallNs);
     return o;
@@ -137,6 +145,12 @@ resultFromJson(const json::Value &v)
     // stored batch results stay byte-stable across releases).
     if (const json::Value *b = v.find("backend"))
         r.backend = b->asString();
+    if (const json::Value *a = v.find("attempts"))
+        r.attempts = static_cast<std::uint32_t>(a->asUint());
+    if (const json::Value *ts = v.find("timeout_source"))
+        r.timeoutSource = ts->asString();
+    if (const json::Value *te = v.find("timeout_elapsed_ms"))
+        r.timeoutElapsedMs = te->asUint();
     if (const json::Value *w = v.find("wall_ns"))
         r.wallNs = w->asUint();
     return r;

@@ -26,6 +26,7 @@ VqaDriver::run(Workload &w)
     ecfg.shots = _cfg.shots;
     ecfg.useExactCost = _cfg.useExactCost;
     ecfg.readoutError = _cfg.readoutError;
+    ecfg.injector = _cfg.injector;
     CostEvaluator eval(n, ecfg, _cfg.seed);
     trace.backend = eval.backend().name();
 
@@ -43,6 +44,14 @@ VqaDriver::run(Workload &w)
 
     std::vector<double> prev_params = w.circuit.parameters();
 
+    fault::FaultInjector *inj = _cfg.injector;
+    const fault::SiteId eval_site = inj ? inj->site("eval") : 0;
+    const bool eval_faults = inj && inj->active(eval_site);
+    const std::uint32_t eval_budget = eval_faults
+        ? std::max(1u, _cfg.evalRetry.maxAttempts) : 1;
+    double last_good = 0.0;
+    bool have_good = false;
+
     const std::string engine = trace.backend;
     EvalOracle oracle = [&](const std::vector<double> &params) {
         std::optional<obs::ScopedSpan> span;
@@ -56,20 +65,47 @@ VqaDriver::run(Workload &w)
                 "vqa.evaluations", "cost-oracle evaluations");
             c.inc();
         }
-        runtime::RoundRecord round;
-        round.updates =
-            compiler.planUpdates(trace.image, prev_params, params);
-        prev_params = params;
-        round.shots = _cfg.shots;
-        round.postOpsPerShot = w.cost->opsPerShot();
-        round.optimizerOps = opt_ops_per_round;
-
         w.circuit.setParameters(params);
-        const double cost = eval.evaluate(
-            w.circuit, *w.cost,
-            record_shots ? &round.shotData : nullptr);
+        double cost = 0.0;
+        bool ok = false;
+        for (std::uint32_t attempt = 1; attempt <= eval_budget;
+             ++attempt) {
+            // Every attempt costs a full round in the timing trace:
+            // the shots ran even when the result is then lost. A
+            // re-run needs no new parameter updates (prev == params).
+            runtime::RoundRecord round;
+            round.updates = compiler.planUpdates(trace.image,
+                                                 prev_params, params);
+            prev_params = params;
+            round.shots = _cfg.shots;
+            round.postOpsPerShot = w.cost->opsPerShot();
+            round.optimizerOps = opt_ops_per_round;
 
-        trace.rounds.push_back(std::move(round));
+            cost = eval.evaluate(
+                w.circuit, *w.cost,
+                record_shots ? &round.shotData : nullptr);
+            trace.rounds.push_back(std::move(round));
+
+            if (!eval_faults || !(inj->shouldDrop(eval_site) ||
+                                  inj->shouldCorrupt(eval_site))) {
+                ok = true;
+                break;
+            }
+            if (attempt < eval_budget)
+                inj->count(eval_site, "requeued");
+        }
+        if (!ok) {
+            // Budget spent: discard the evaluation. Returning the
+            // last good cost keeps GD finite differences at zero for
+            // this term and keeps SPSA's symmetric step bounded,
+            // instead of poisoning the optimizer with a corrupted
+            // value.
+            inj->count(eval_site, "discarded");
+            if (have_good)
+                cost = last_good;
+        }
+        last_good = cost;
+        have_good = true;
         return cost;
     };
 

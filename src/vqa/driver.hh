@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.hh"
 #include "optimizer.hh"
 #include "quantum/backend.hh"
 #include "runtime/trace.hh"
@@ -40,6 +41,20 @@ struct DriverConfig {
     bool useExactCost = false;
     /** Per-qubit readout bit-flip probability (0 = ideal). */
     double readoutError = 0.0;
+    /**
+     * Optional fault injection (not owned). Site "eval" makes whole
+     * cost evaluations fail (drop) or come back detectably corrupted
+     * (corrupt); each failed attempt still costs a full round in the
+     * timing trace (the shots ran, the result was lost) and is
+     * re-queued under `evalRetry`. A job that exhausts the budget
+     * discards the evaluation and falls back to the last good cost,
+     * which is gradient-safe for both GD (zero contribution) and
+     * SPSA (bounded symmetric difference). Site "readout" adds
+     * measurement bit flips (see EvaluatorConfig::injector).
+     */
+    fault::FaultInjector *injector = nullptr;
+    /** Evaluation re-queue budget when faults are injected. */
+    fault::RetryPolicy evalRetry{.maxAttempts = 3};
 };
 
 /** Runs workloads functionally and produces timing traces. */

@@ -14,20 +14,35 @@ CostEvaluator::CostEvaluator(std::uint32_t num_qubits,
     if (cfg.readoutError < 0.0 || cfg.readoutError > 0.5)
         sim::fatal("readout flip probability must be in [0, 0.5], "
                    "got ", cfg.readoutError);
+    if (cfg.injector) {
+        _inj = cfg.injector;
+        _readoutSite = _inj->site("readout");
+        _flipRate = _inj->faults(_readoutSite).flip;
+    }
 }
 
 std::vector<std::uint64_t>
 CostEvaluator::sampleWithReadout()
 {
     auto out = _backend->sample(_cfg.shots, _rng);
-    if (_cfg.readoutError == 0.0)
-        return out;
-    // Same flip order as NoisyReadoutSampler: per word, per qubit.
     const auto n = _backend->numQubits();
-    for (auto &word : out) {
-        for (std::uint32_t q = 0; q < n; ++q) {
-            if (_rng.coin(_cfg.readoutError))
-                word ^= std::uint64_t(1) << q;
+    if (_cfg.readoutError > 0.0) {
+        // Same flip order as NoisyReadoutSampler: per word, per qubit.
+        for (auto &word : out) {
+            for (std::uint32_t q = 0; q < n; ++q) {
+                if (_rng.coin(_cfg.readoutError))
+                    word ^= std::uint64_t(1) << q;
+            }
+        }
+    }
+    if (_flipRate > 0.0) {
+        // Injected flips draw from the injector's "readout" stream,
+        // so each one is counted and traced.
+        for (auto &word : out) {
+            for (std::uint32_t q = 0; q < n; ++q) {
+                if (_inj->shouldFlipBit(_readoutSite))
+                    word ^= std::uint64_t(1) << q;
+            }
         }
     }
     return out;
@@ -57,8 +72,11 @@ CostEvaluator::evaluate(const quantum::QuantumCircuit &c,
     // Wide registers: evaluate from per-qubit marginals, with the
     // analytic readout-error adjustment p' = p(1-e) + (1-p)e.
     auto p1 = _backend->marginals();
-    if (_cfg.readoutError > 0.0) {
-        const double e = _cfg.readoutError;
+    if (_cfg.readoutError > 0.0 || _flipRate > 0.0) {
+        // Independent flip sources compose: 1-2e' = (1-2a)(1-2b).
+        const double a = _cfg.readoutError;
+        const double b = _flipRate;
+        const double e = a + b - 2.0 * a * b;
         for (auto &p : p1)
             p = p * (1.0 - e) + (1.0 - p) * e;
     }

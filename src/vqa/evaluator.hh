@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cost.hh"
+#include "fault/fault.hh"
 #include "quantum/backend.hh"
 #include "quantum/circuit.hh"
 #include "sim/random.hh"
@@ -35,6 +36,10 @@ struct EvaluatorConfig {
     bool useExactCost = false;
     /** Per-qubit readout bit-flip probability (0 = ideal). */
     double readoutError = 0.0;
+    /** Optional fault injection (not owned): site "readout" adds
+     *  injector-driven measurement bit flips on top of readoutError,
+     *  drawn from the injector's own stream so they are counted. */
+    fault::FaultInjector *injector = nullptr;
 };
 
 /**
@@ -74,6 +79,10 @@ class CostEvaluator
     EvaluatorConfig _cfg;
     std::unique_ptr<quantum::Backend> _backend;
     sim::Rng _rng;
+    fault::FaultInjector *_inj = nullptr;
+    fault::SiteId _readoutSite = 0;
+    /** Injected per-bit flip rate (cached from the spec). */
+    double _flipRate = 0.0;
 };
 
 } // namespace qtenon::vqa

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "fault/fault.hh"
 #include "service/batch_scheduler.hh"
 #include "service/json.hh"
 #include "service/sweep.hh"
@@ -214,6 +215,128 @@ TEST(Scheduler, TimeoutStopsAtNextCheckpoint)
     EXPECT_EQ(sched.metrics().timedOut, 1u);
 }
 
+TEST(Scheduler, TimeoutErrorNamesDeadlineSourceAndElapsed)
+{
+    // Job-override deadline: the error says which deadline fired and
+    // how long the attempt actually ran.
+    SchedulerConfig cfg;
+    cfg.workers = 1;
+    BatchScheduler sched(cfg);
+    JobSpec slow;
+    slow.name = "slow";
+    slow.timeout = std::chrono::milliseconds(20);
+    slow.custom = [](JobContext &ctx) {
+        for (;;) {
+            ctx.token.checkpoint();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    };
+    const auto r = sched.submit(slow).result.get();
+    EXPECT_EQ(r.status, JobStatus::TimedOut);
+    EXPECT_EQ(r.timeoutSource, "job-override");
+    EXPECT_GE(r.timeoutElapsedMs, 20u);
+    EXPECT_NE(r.error.find("job-override"), std::string::npos)
+        << r.error;
+    EXPECT_NE(r.error.find("elapsed"), std::string::npos) << r.error;
+
+    // Scheduler-default deadline: same shape, different source.
+    SchedulerConfig dcfg;
+    dcfg.workers = 1;
+    dcfg.defaultTimeout = std::chrono::milliseconds(20);
+    BatchScheduler dsched(dcfg);
+    JobSpec dslow = slow;
+    dslow.timeout = std::chrono::milliseconds(0);
+    const auto dr = dsched.submit(dslow).result.get();
+    EXPECT_EQ(dr.status, JobStatus::TimedOut);
+    EXPECT_EQ(dr.timeoutSource, "scheduler-default");
+    EXPECT_NE(dr.error.find("scheduler-default"), std::string::npos)
+        << dr.error;
+}
+
+TEST(Scheduler, RetrySucceedsAfterTransientFailures)
+{
+    SchedulerConfig cfg;
+    cfg.workers = 1;
+    BatchScheduler sched(cfg);
+
+    auto failures = std::make_shared<std::atomic<int>>(0);
+    JobSpec flaky;
+    flaky.name = "flaky";
+    flaky.retry.maxAttempts = 3;
+    flaky.custom = [failures](JobContext &) {
+        if (failures->fetch_add(1) < 2)
+            throw std::runtime_error("transient");
+    };
+    const auto r = sched.submit(flaky).result.get();
+    EXPECT_EQ(r.status, JobStatus::Ok);
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(failures->load(), 3);
+    EXPECT_EQ(sched.metrics().ok, 1u);
+}
+
+TEST(Scheduler, RetryExhaustsBudgetAndReportsLastError)
+{
+    SchedulerConfig cfg;
+    cfg.workers = 1;
+    BatchScheduler sched(cfg);
+
+    auto runs = std::make_shared<std::atomic<int>>(0);
+    JobSpec doomed;
+    doomed.name = "doomed";
+    doomed.retry.maxAttempts = 3;
+    doomed.custom = [runs](JobContext &) {
+        throw std::runtime_error(
+            "attempt " + std::to_string(runs->fetch_add(1) + 1));
+    };
+    const auto r = sched.submit(doomed).result.get();
+    EXPECT_EQ(r.status, JobStatus::Failed);
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(r.error, "attempt 3");
+    EXPECT_EQ(runs->load(), 3);
+
+    // Single-attempt jobs keep the historical behaviour.
+    JobSpec once;
+    once.name = "once";
+    once.custom = [](JobContext &) {
+        throw std::runtime_error("boom");
+    };
+    const auto ro = sched.submit(once).result.get();
+    EXPECT_EQ(ro.status, JobStatus::Failed);
+    EXPECT_EQ(ro.attempts, 1u);
+}
+
+TEST(Scheduler, RetryOutcomeIsIdenticalAcrossWorkerCounts)
+{
+    // Four flaky jobs, each failing exactly twice before succeeding:
+    // the retry accounting (attempts, status, names) must be
+    // byte-identical whether they run serially or concurrently,
+    // because the backoff schedule depends only on (seed, job id).
+    auto run = [](unsigned workers) {
+        SchedulerConfig cfg;
+        cfg.workers = workers;
+        BatchScheduler sched(cfg);
+        std::vector<JobSpec> jobs;
+        for (int j = 0; j < 4; ++j) {
+            auto failures = std::make_shared<std::atomic<int>>(0);
+            JobSpec spec;
+            spec.name = "flaky" + std::to_string(j);
+            spec.retry.maxAttempts = 4;
+            spec.retry.backoff = 1; // ms; exercises the sleep path
+            spec.retry.jitter = 0.5;
+            spec.custom = [failures](JobContext &) {
+                if (failures->fetch_add(1) < 2)
+                    throw std::runtime_error("transient");
+            };
+            jobs.push_back(std::move(spec));
+        }
+        sched.submitAll(std::move(jobs));
+        return sched.wait().toJsonString(
+            /*deterministic_only=*/true);
+    };
+    EXPECT_EQ(run(1), run(4));
+}
+
 TEST(Scheduler, CancelPendingAndRunningJobs)
 {
     SchedulerConfig cfg;
@@ -258,6 +381,88 @@ TEST(Scheduler, CancelPendingAndRunningJobs)
 
     // Cancelling a finished job reports false.
     EXPECT_FALSE(sched.cancel(h_blocker.id));
+}
+
+TEST(Scheduler, FaultInjectionIsByteIdenticalAcrossWorkerCounts)
+{
+    // The acceptance bar for the fault layer: one --fault-spec +
+    // seed reproduces the identical injection sequences (and thus
+    // identical results JSON and fault.* counters) at every worker
+    // count, because each job owns one injector seeded from its
+    // derived job seed.
+    const auto spec = fault::FaultSpec::parse(
+        "eth.drop=0.2,eth.jitter=150,readout.flip=0.02,"
+        "bus.error=0.05,adi.jitter=50");
+    auto run = [&spec](unsigned workers) {
+        SchedulerConfig cfg;
+        cfg.workers = workers;
+        BatchScheduler sched(cfg);
+        auto jobs = smallSweep();
+        for (auto &j : jobs) {
+            j.faultSpec = spec;
+            j.runBaseline = true;
+        }
+        sched.submitAll(std::move(jobs));
+        return sched.wait();
+    };
+    const auto one = run(1);
+    const auto eight = run(8);
+    EXPECT_EQ(one.toJsonString(/*deterministic_only=*/true),
+              eight.toJsonString(true));
+
+    // The faults really fired and were exported per job.
+    for (const auto &r : one.sorted()) {
+        EXPECT_EQ(r.status, JobStatus::Ok) << r.name;
+        EXPECT_GT(r.metrics.count("fault.eth.drop") +
+                      r.metrics.count("fault.eth.jitter"),
+                  0u)
+            << r.name;
+        EXPECT_GT(r.metrics.count("fault.eth.retransmits"), 0u)
+            << r.name;
+    }
+
+    // And the run differs from the fault-free one (the faults are
+    // not cosmetic: the baseline pays for retransmissions).
+    const auto clean = runSweepWith(1);
+    EXPECT_NE(clean.toJsonString(true), one.toJsonString(true));
+}
+
+TEST(ResultsStore, RetryAndTimeoutFieldsRoundTripThroughJson)
+{
+    ResultsStore store;
+    JobResult r;
+    r.jobId = 9;
+    r.name = "retried";
+    r.status = JobStatus::TimedOut;
+    r.attempts = 3;
+    r.timeoutSource = "job-override";
+    r.timeoutElapsedMs = 47;
+    r.error = "exceeded 30 ms deadline (job-override, elapsed 47 ms)";
+    store.add(r);
+
+    const auto text = store.toJsonString();
+    EXPECT_NE(text.find("\"attempts\": 3"), std::string::npos);
+    EXPECT_NE(text.find("\"timeout_source\": \"job-override\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"timeout_elapsed_ms\": 47"),
+              std::string::npos);
+
+    const auto back = ResultsStore::fromJsonString(text).get(9);
+    EXPECT_EQ(back.attempts, 3u);
+    EXPECT_EQ(back.timeoutSource, "job-override");
+    EXPECT_EQ(back.timeoutElapsedMs, 47u);
+
+    // Defaulted fields stay absent so pre-fault-layer exports are
+    // byte-stable.
+    ResultsStore plain;
+    JobResult ok;
+    ok.jobId = 1;
+    ok.name = "ok";
+    ok.status = JobStatus::Ok;
+    plain.add(ok);
+    const auto plain_text = plain.toJsonString();
+    EXPECT_EQ(plain_text.find("attempts"), std::string::npos);
+    EXPECT_EQ(plain_text.find("timeout_source"), std::string::npos);
 }
 
 TEST(ResultsStore, JsonRoundTripIsLossless)
