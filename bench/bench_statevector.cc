@@ -2,13 +2,27 @@
  * @file
  * Per-kernel statevector benchmarks: the optimized pair-loop /
  * diagonal / fused kernels (quantum/statevector.cc) timed against the
- * seed's frozen scalar kernels (tests/reference_statevector.hh), plus
- * the threaded kernels at 1/2/4 workers. Emits a JSON summary
- * (default BENCH_statevector.json) recording ns-per-gate and the
- * speedup of each optimized variant over the reference, including the
- * headline 20-qubit apply1q pair-loop + fusion ratio.
+ * seed's frozen scalar kernels (tests/reference_statevector.hh), the
+ * SIMD slab backends against the forced-scalar backend, and the
+ * persistent-pool threaded kernels at 1/2/4 workers. Emits a JSON
+ * summary (default BENCH_statevector.json) recording ns-per-gate plus
+ * two speedup columns per row: `vs_reference` (the frozen seed
+ * kernels) and, for the threads_* rows, `vs_threads_1` (the same
+ * binary at one thread) — the honest scaling baseline the v1 schema
+ * lacked, where `threads_2` at "0.73x" was really measuring per-gate
+ * thread spawn/join against a serial run.
  *
- *   bench_statevector [--qubits N] [--reps R] [--out PATH]
+ * Thread scaling is judged against a hardware-aware target: a box
+ * with >= 4 cores must show threads_4 >= 2.5x threads_1, while a
+ * single-core container (where parallel speedup is physically
+ * impossible and the pool can only add barrier overhead) must merely
+ * stay >= 0.9x. The target and the observed hardware_concurrency are
+ * both recorded in the criteria block so results are auditable.
+ *
+ *   bench_statevector [--qubits N] [--reps R] [--out PATH] [--smoke]
+ *
+ * --smoke keeps the full row set but drops to --reps 2 and exits
+ * nonzero if any criteria gate fails (CI regression tripwire).
  */
 
 #include <chrono>
@@ -17,6 +31,7 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "quantum/circuit.hh"
@@ -102,13 +117,33 @@ struct Row {
     std::string name;
     std::size_t gates = 0;
     double nsPerGate = 0.0;
-    double speedup = 0.0; // vs the paired reference row; 0 = n/a
+    double vsReference = 0.0; // vs the frozen seed kernels; 0 = n/a
+    double vsThreads1 = 0.0;  // threads rows only; 0 = n/a
 };
 
 double
 nsPerGate(double seconds, std::size_t gates)
 {
     return seconds * 1e9 / static_cast<double>(gates);
+}
+
+/**
+ * The minimum acceptable threads_4 / threads_1 ratio for the cores
+ * this process can actually use. 4+ cores must deliver real scaling;
+ * degraded widths get proportionally weaker targets; a single-core
+ * box only has to show the persistent pool is not a regression.
+ */
+double
+scalingTargetFor(unsigned hw)
+{
+    const unsigned eff = hw < 4 ? hw : 4;
+    if (eff >= 4)
+        return 2.5;
+    if (eff == 3)
+        return 1.8;
+    if (eff == 2)
+        return 1.3;
+    return 0.9;
 }
 
 } // namespace
@@ -118,6 +153,8 @@ main(int argc, char **argv)
 {
     std::uint32_t n = 20;
     unsigned reps = 3;
+    bool smoke = false;
+    bool repsSet = false;
     std::string out = "BENCH_statevector.json";
     for (int i = 1; i < argc; ++i) {
         auto value = [&]() -> const char * {
@@ -128,15 +165,24 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--qubits") == 0)
             n = static_cast<std::uint32_t>(
                 std::strtoul(value(), nullptr, 10));
-        else if (std::strcmp(argv[i], "--reps") == 0)
+        else if (std::strcmp(argv[i], "--reps") == 0) {
             reps = static_cast<unsigned>(
                 std::strtoul(value(), nullptr, 10));
-        else if (std::strcmp(argv[i], "--out") == 0)
+            repsSet = true;
+        } else if (std::strcmp(argv[i], "--out") == 0)
             out = value();
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
         else
             sim::fatal("usage: bench_statevector [--qubits N] "
-                       "[--reps R] [--out PATH]");
+                       "[--reps R] [--out PATH] [--smoke]");
     }
+    if (smoke && !repsSet)
+        reps = 2;
+
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const double scalingTarget = scalingTargetFor(hw);
 
     const auto euler = eulerCircuit(n, 2);
     const auto diag = diagonalCircuit(n, 2);
@@ -154,68 +200,105 @@ main(int argc, char **argv)
                            [&] { sv.applyCircuit(c); });
     };
 
-    std::printf("statevector kernel bench: %u qubits, best of %u\n\n",
-                n, reps);
+    const char *backend =
+        quantum::StateVector(1, 24, {}).simdBackendName();
+    std::printf("statevector kernel bench: %u qubits, best of %u, "
+                "simd backend %s, %u hardware threads\n\n",
+                n, reps, backend, hw);
 
-    // -- apply1q: reference scalar vs pair-loop vs pair-loop+fusion.
+    // -- apply1q: reference vs forced-scalar pair-loop vs SIMD
+    //    pair-loop vs SIMD pair-loop + fusion.
     const double ref_1q = timeReference(euler);
     rows.push_back({"apply1q_reference", euler.numGates(),
-                    nsPerGate(ref_1q, euler.numGates()), 0.0});
+                    nsPerGate(ref_1q, euler.numGates())});
 
-    const double pair_1q = timeOptimized(euler, {});
+    quantum::KernelConfig scalarCfg;
+    scalarCfg.simd = quantum::SimdMode::Scalar;
+    const double pair_1q = timeOptimized(euler, scalarCfg);
     rows.push_back({"apply1q_pairloop", euler.numGates(),
                     nsPerGate(pair_1q, euler.numGates()),
                     ref_1q / pair_1q});
 
-    quantum::KernelConfig fused;
-    fused.fuse1q = true;
-    const double fused_1q = timeOptimized(euler, fused);
+    const double simd_1q = timeOptimized(euler, {});
+    rows.push_back({"apply1q_pairloop_simd", euler.numGates(),
+                    nsPerGate(simd_1q, euler.numGates()),
+                    ref_1q / simd_1q});
+
+    quantum::KernelConfig fusedCfg;
+    fusedCfg.fuse1q = true;
+    const double fused_1q = timeOptimized(euler, fusedCfg);
     rows.push_back({"apply1q_pairloop_fused", euler.numGates(),
                     nsPerGate(fused_1q, euler.numGates()),
                     ref_1q / fused_1q});
 
-    // -- diagonal gates: full 2x2 scan vs specialized phase pass.
+    // -- diagonal gates: full 2x2 scan vs specialized phase pass,
+    //    scalar and SIMD.
     const double ref_diag = timeReference(diag);
     rows.push_back({"diagonal_reference", diag.numGates(),
-                    nsPerGate(ref_diag, diag.numGates()), 0.0});
-    const double opt_diag = timeOptimized(diag, {});
+                    nsPerGate(ref_diag, diag.numGates())});
+    const double scalar_diag = timeOptimized(diag, scalarCfg);
     rows.push_back({"diagonal_phase_pass", diag.numGates(),
-                    nsPerGate(opt_diag, diag.numGates()),
-                    ref_diag / opt_diag});
+                    nsPerGate(scalar_diag, diag.numGates()),
+                    ref_diag / scalar_diag});
+    const double simd_diag = timeOptimized(diag, {});
+    rows.push_back({"diagonal_phase_pass_simd", diag.numGates(),
+                    nsPerGate(simd_diag, diag.numGates()),
+                    ref_diag / simd_diag});
 
-    // -- threading: 1/2/4 kernel workers on the euler circuit.
-    double serial = 0.0;
+    // -- threading: 1/2/4 persistent-pool workers on the euler
+    //    circuit. threads_1 is the scaling denominator; every
+    //    threads row also reports vs_reference for absolute context.
+    double threads1 = 0.0;
+    double threads4 = 0.0;
     for (unsigned t : {1u, 2u, 4u}) {
         quantum::KernelConfig k;
         k.threads = t;
         k.parallelMinQubits = std::min<std::uint32_t>(n, 20);
         const double s = timeOptimized(euler, k);
         if (t == 1)
-            serial = s;
+            threads1 = s;
+        if (t == 4)
+            threads4 = s;
         rows.push_back({"threads_" + std::to_string(t),
                         euler.numGates(),
-                        nsPerGate(s, euler.numGates()),
-                        t == 1 ? ref_1q / s : serial / s});
+                        nsPerGate(s, euler.numGates()), ref_1q / s,
+                        threads1 / s});
     }
 
-    std::printf("%-26s %8s %12s %10s\n", "kernel", "gates",
-                "ns/gate", "speedup");
+    std::printf("%-26s %8s %12s %8s %8s\n", "kernel", "gates",
+                "ns/gate", "vs_ref", "vs_t1");
     for (const auto &r : rows) {
-        if (r.speedup > 0.0)
-            std::printf("%-26s %8zu %12.1f %9.2fx\n", r.name.c_str(),
-                        r.gates, r.nsPerGate, r.speedup);
+        std::printf("%-26s %8zu %12.1f ", r.name.c_str(), r.gates,
+                    r.nsPerGate);
+        if (r.vsReference > 0.0)
+            std::printf("%7.2fx ", r.vsReference);
         else
-            std::printf("%-26s %8zu %12.1f %10s\n", r.name.c_str(),
-                        r.gates, r.nsPerGate, "-");
+            std::printf("%8s ", "-");
+        if (r.vsThreads1 > 0.0)
+            std::printf("%7.2fx\n", r.vsThreads1);
+        else
+            std::printf("%8s\n", "-");
     }
 
     const double headline = ref_1q / fused_1q;
+    const double simdSpeedup = pair_1q / simd_1q;
+    const double scaling = threads4 > 0.0 ? threads1 / threads4 : 0.0;
+    const bool scalingOk = scaling >= scalingTarget;
     std::printf("\n%u-qubit apply1q pair-loop + fusion vs reference "
                 "scalar: %.2fx %s\n",
                 n, headline, headline >= 2.0 ? "(>= 2x)" : "(< 2x)");
+    std::printf("simd (%s) vs forced-scalar pair-loop: %.2fx (note: "
+                "the scalar slab kernels are auto-vectorized by the "
+                "compiler; the seed's pair-loop row is the 2x "
+                "acceptance baseline)\n",
+                backend, simdSpeedup);
+    std::printf("threads_4 vs threads_1: %.2fx (target %.2fx on %u "
+                "hardware threads) %s\n",
+                scaling, scalingTarget, hw,
+                scalingOk ? "[ok]" : "[FAIL]");
 
     service::json::Value doc = service::json::Value::object();
-    doc.set("schema", "qtenon.bench-statevector.v1");
+    doc.set("schema", "qtenon.bench-statevector.v2");
     doc.set("qubits", n);
     doc.set("reps", reps);
     service::json::Value results = service::json::Value::array();
@@ -224,14 +307,30 @@ main(int argc, char **argv)
         row.set("name", r.name);
         row.set("gates", static_cast<std::uint64_t>(r.gates));
         row.set("ns_per_gate", r.nsPerGate);
-        if (r.speedup > 0.0)
-            row.set("speedup", r.speedup);
+        if (r.vsReference > 0.0) {
+            row.set("vs_reference", r.vsReference);
+            // v1 compat: "speedup" stays the vs-reference ratio.
+            row.set("speedup", r.vsReference);
+        }
+        if (r.vsThreads1 > 0.0)
+            row.set("vs_threads_1", r.vsThreads1);
         results.asArray().push_back(std::move(row));
     }
     doc.set("results", std::move(results));
     service::json::Value crit = service::json::Value::object();
     crit.set("apply1q_fused_speedup", headline);
     crit.set("meets_2x_target", headline >= 2.0);
+    crit.set("simd_backend", backend);
+    // In-binary A/B: the SIMD table vs the forced-scalar table of
+    // the *same* slab kernels (the scalar table is itself compiler-
+    // auto-vectorized, so this understates the win over the seed's
+    // hand-written pair-loop — compare ns_per_gate across JSON
+    // revisions for that).
+    crit.set("simd_vs_scalar_speedup", simdSpeedup);
+    crit.set("hw_concurrency", static_cast<std::uint64_t>(hw));
+    crit.set("threads_4_vs_threads_1", scaling);
+    crit.set("threads_scaling_target", scalingTarget);
+    crit.set("threads_scaling_ok", scalingOk);
     doc.set("criteria", std::move(crit));
 
     std::ofstream os(out);
@@ -240,5 +339,8 @@ main(int argc, char **argv)
     doc.write(os, 2);
     os << "\n";
     std::printf("written to %s\n", out.c_str());
+
+    if (smoke && !(scalingOk && headline >= 2.0))
+        return 1;
     return 0;
 }

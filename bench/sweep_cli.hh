@@ -14,6 +14,9 @@
  *                    statevector kernels
  *   --sv-threads N   statevector kernel threads (1 = serial,
  *                    0 = auto up to the batch budget)
+ *   --sv-simd MODE   statevector kernel backend (auto = widest
+ *                    instruction set the CPU supports, scalar =
+ *                    force the portable backend)
  *   --metrics-json PATH  enable the obs metrics registry and dump
  *                    its JSON snapshot at exit
  *   --trace-out PATH install a Chrome trace-event sink and write
@@ -68,6 +71,7 @@ struct SweepCli {
     quantum::BackendKind backend = quantum::BackendKind::Auto;
     bool svFusion = false;
     unsigned svThreads = 1; // 1 = serial, 0 = auto (budgeted)
+    quantum::SimdMode svSimd = quantum::SimdMode::Auto;
     std::string metricsJsonPath;
     std::string traceOutPath;
     /** Parsed --fault-spec; empty = perfect links. */
@@ -84,6 +88,7 @@ struct SweepCli {
         cfg.backend = backend;
         cfg.kernel.fuse1q = svFusion;
         cfg.kernel.threads = svThreads;
+        cfg.kernel.simd = svSimd;
     }
 
     /** Apply --fault-spec / --retry-* to one proto job spec. */
@@ -230,6 +235,12 @@ registerSweepOptions(cli::OptionRegistry &reg, SweepCli &cli)
             "statevector kernel threads (1 = serial, 0 = auto up "
             "to the batch budget)",
             &cli.svThreads, 0, "--sv-threads must be >= 0");
+    reg.add("--sv-simd", "MODE",
+            "statevector kernel backend (auto, scalar); all "
+            "backends are bit-identical",
+            [&cli](const std::string &v) {
+                cli.svSimd = quantum::simdModeFromName(v);
+            });
     reg.str("--metrics-json", "PATH",
             "enable the obs metrics registry and dump its JSON "
             "snapshot at exit",

@@ -1,0 +1,138 @@
+#include "kernel_pool.hh"
+
+#include <chrono>
+
+#include "obs/metrics.hh"
+
+namespace qtenon::quantum {
+
+namespace {
+
+obs::Gauge &
+workersGauge()
+{
+    static obs::Gauge &g = obs::gauge(
+        "quantum.kernel_pool.workers",
+        "live statevector kernel worker threads (excl. callers)");
+    return g;
+}
+
+obs::Counter &
+dispatchCounter()
+{
+    static obs::Counter &c = obs::counter(
+        "quantum.kernel_pool.dispatches",
+        "kernel passes dispatched to a worker pool");
+    return c;
+}
+
+obs::Counter &
+poolsCounter()
+{
+    static obs::Counter &c = obs::counter(
+        "quantum.kernel_pool.created",
+        "kernel pools constructed");
+    return c;
+}
+
+obs::Histogram &
+busyHistogram()
+{
+    static obs::Histogram &h = obs::histogram(
+        "quantum.kernel_pool.worker_busy_ns",
+        "per-participant busy time inside one kernel pass");
+    return h;
+}
+
+} // namespace
+
+KernelPool::KernelPool(unsigned threads)
+    : _threads(threads == 0 ? 1 : threads)
+{
+    poolsCounter().inc();
+    _workers.reserve(_threads - 1);
+    for (unsigned t = 1; t < _threads; ++t)
+        _workers.emplace_back([this, t] { workerLoop(t); });
+    workersGauge().add(static_cast<std::int64_t>(_threads) - 1);
+}
+
+KernelPool::~KernelPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (auto &w : _workers)
+        w.join();
+    workersGauge().add(1 - static_cast<std::int64_t>(_threads));
+}
+
+void
+KernelPool::executeTask(TaskFn fn, void *ctx, unsigned tid)
+{
+    if (!obs::metricsEnabled()) {
+        fn(ctx, tid, _threads);
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(ctx, tid, _threads);
+    const auto t1 = std::chrono::steady_clock::now();
+    busyHistogram().record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+}
+
+void
+KernelPool::runImpl(TaskFn fn, void *ctx)
+{
+    if (_threads == 1) {
+        executeTask(fn, ctx, 0);
+        return;
+    }
+    dispatchCounter().inc();
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        _fn = fn;
+        _ctx = ctx;
+        _pending = _threads - 1;
+        ++_epoch;
+    }
+    _wake.notify_all();
+
+    // Participant 0 works alongside the team, then waits out the
+    // epoch instead of joining threads.
+    executeTask(fn, ctx, 0);
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    _done.wait(lock, [this] { return _pending == 0; });
+}
+
+void
+KernelPool::workerLoop(unsigned tid)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        TaskFn fn = nullptr;
+        void *ctx = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock, [this, seen] {
+                return _stopping || _epoch != seen;
+            });
+            if (_stopping)
+                return;
+            seen = _epoch;
+            fn = _fn;
+            ctx = _ctx;
+        }
+        executeTask(fn, ctx, tid);
+        {
+            std::lock_guard<std::mutex> guard(_mutex);
+            if (--_pending == 0)
+                _done.notify_one();
+        }
+    }
+}
+
+} // namespace qtenon::quantum

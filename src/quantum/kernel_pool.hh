@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Persistent statevector kernel worker pool.
+ *
+ * The previous threading scheme spawned and joined a fresh
+ * std::thread team for *every gate kernel*, which at 20 qubits cost
+ * more than the kernel itself (BENCH_statevector.json recorded the
+ * 2- and 4-thread pair-loop at 0.73x of single-thread). A KernelPool
+ * instead creates its N-1 worker threads once — the calling thread
+ * is always participant 0 — and hands out work through an
+ * epoch/generation barrier: dispatching a pass is one mutex'd
+ * epoch bump + notify, and completion is a counted wait, with no
+ * thread creation and no heap allocation anywhere on the gate path.
+ *
+ * Work is described by a plain function pointer + context pointer
+ * (run() wraps any callable by reference via a stateless
+ * trampoline), and every participant receives (tid, threads) so the
+ * caller can carve deterministic contiguous slabs. The pool makes no
+ * fairness or ordering promises beyond "all participants ran and
+ * finished before run() returns".
+ *
+ * Observability (src/obs/): pool construction/teardown moves the
+ * `quantum.kernel_pool.workers` gauge, each dispatch bumps
+ * `quantum.kernel_pool.dispatches`, and per-worker busy time lands
+ * in the `quantum.kernel_pool.worker_busy_ns` histogram (wall-clock,
+ * hence the `_ns` suffix; only measured while metrics are enabled).
+ */
+
+#ifndef QTENON_QUANTUM_KERNEL_POOL_HH
+#define QTENON_QUANTUM_KERNEL_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace qtenon::quantum {
+
+/** A fixed team of kernel worker threads, reusable across passes. */
+class KernelPool
+{
+  public:
+    /** Spawn @p threads - 1 workers (the caller is participant 0). */
+    explicit KernelPool(unsigned threads);
+    ~KernelPool();
+
+    KernelPool(const KernelPool &) = delete;
+    KernelPool &operator=(const KernelPool &) = delete;
+
+    /** Team size including the calling thread. */
+    unsigned threads() const { return _threads; }
+
+    /**
+     * Execute @p fn(tid, threads) on every participant (the caller
+     * runs tid 0 in-line) and return once all have finished. The
+     * callable is borrowed by reference for the duration of the
+     * call — nothing is copied or allocated.
+     */
+    template <typename Fn>
+    void
+    run(Fn &&fn)
+    {
+        using F = std::remove_reference_t<Fn>;
+        runImpl(&trampoline<F>, const_cast<std::remove_const_t<F> *>(
+                                    std::addressof(fn)));
+    }
+
+  private:
+    using TaskFn = void (*)(void *ctx, unsigned tid,
+                            unsigned threads);
+
+    template <typename F>
+    static void
+    trampoline(void *ctx, unsigned tid, unsigned threads)
+    {
+        (*static_cast<F *>(ctx))(tid, threads);
+    }
+
+    void runImpl(TaskFn fn, void *ctx);
+    void workerLoop(unsigned tid);
+    void executeTask(TaskFn fn, void *ctx, unsigned tid);
+
+    const unsigned _threads;
+    std::vector<std::thread> _workers;
+
+    std::mutex _mutex;
+    std::condition_variable _wake;
+    std::condition_variable _done;
+    /** Bumped once per dispatched pass; workers latch the value. */
+    std::uint64_t _epoch = 0;
+    /** Workers still inside the current epoch's task. */
+    unsigned _pending = 0;
+    TaskFn _fn = nullptr;
+    void *_ctx = nullptr;
+    bool _stopping = false;
+};
+
+} // namespace qtenon::quantum
+
+#endif // QTENON_QUANTUM_KERNEL_POOL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Runtime backend selection for the statevector slab kernels. The
+ * set of compiled-in backends is decided by CMake (per-arch source
+ * lists + QTENON_HAVE_KERNELS_* definitions); which one actually
+ * runs is decided here, once, against the executing CPU.
+ */
+
+#include "kernels.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::quantum::kernels {
+
+#ifdef QTENON_HAVE_KERNELS_AVX2
+const KernelTable &avx2Kernels(); // kernels_avx2.cc
+#endif
+#ifdef QTENON_HAVE_KERNELS_NEON
+const KernelTable &neonKernels(); // kernels_neon.cc
+#endif
+
+const char *
+simdModeName(SimdMode m)
+{
+    switch (m) {
+      case SimdMode::Auto:
+        return "auto";
+      case SimdMode::Scalar:
+        return "scalar";
+    }
+    return "?";
+}
+
+SimdMode
+simdModeFromName(const std::string &name)
+{
+    if (name == "auto")
+        return SimdMode::Auto;
+    if (name == "scalar")
+        return SimdMode::Scalar;
+    sim::fatal("unknown SIMD mode '", name, "' (auto|scalar)");
+}
+
+const KernelTable &
+activeKernels(SimdMode mode)
+{
+    if (mode == SimdMode::Scalar)
+        return scalarKernels();
+#ifdef QTENON_HAVE_KERNELS_AVX2
+    // One cpuid probe for the life of the process.
+    static const bool has_avx2 = __builtin_cpu_supports("avx2");
+    if (has_avx2)
+        return avx2Kernels();
+#endif
+#ifdef QTENON_HAVE_KERNELS_NEON
+    return neonKernels();
+#endif
+    return scalarKernels();
+}
+
+} // namespace qtenon::quantum::kernels

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Statevector slab-kernel dispatch.
+ *
+ * Every gate kernel is expressed as a *slab* function: it computes
+ * one contiguous sub-range of the gate's index space (pair indices
+ * for unitary gates, amplitude indices for linear phase passes) so
+ * the same entry points serve the serial path and every worker of
+ * the persistent kernel pool. Each backend (scalar fallback, AVX2,
+ * NEON) provides a complete KernelTable from the shared loop bodies
+ * in kernels_impl.hh; the AVX2 table is built in its own translation
+ * unit compiled with -mavx2 and only selected after a runtime cpuid
+ * check, so the binary stays runnable on non-AVX2 hosts.
+ *
+ * All backends compute bit-identical amplitudes (see simd.hh for the
+ * arithmetic contract), which is what lets KernelConfig::simd default
+ * to Auto without perturbing any frozen figure output.
+ */
+
+#ifndef QTENON_QUANTUM_KERNELS_HH
+#define QTENON_QUANTUM_KERNELS_HH
+
+#include <complex>
+#include <cstdint>
+#include <string>
+
+namespace qtenon::quantum::kernels {
+
+using Amp = std::complex<double>;
+
+/** Kernel instruction-set policy (KernelConfig::simd). */
+enum class SimdMode {
+    /** Best backend the CPU supports (checked once at runtime). */
+    Auto,
+    /** Force the scalar fallback (tests, A/B benchmarking). */
+    Scalar,
+};
+
+const char *simdModeName(SimdMode m);
+SimdMode simdModeFromName(const std::string &name);
+
+/**
+ * One backend's slab kernels. Range conventions:
+ *  - apply1q / phaseUpper: [p0, p1) are *pair* indices; pair p maps
+ *    to amplitude i = insertBit(p, q) and partner j = i | (1 << q).
+ *  - phaseLinear / parityPhase: [i0, i1) are amplitude indices.
+ *  - czQuarter / cnotQuarter: [p0, p1) index the quarter subspace
+ *    (both selector bits spliced in).
+ */
+struct KernelTable {
+    /** Backend name for metrics/bench rows ("scalar", "avx2", ...). */
+    const char *name;
+
+    /** amps[i], amps[j] = m * (amps[i], amps[j]); m is row-major
+     *  [m00, m01, m10, m11]. */
+    void (*apply1q)(Amp *amps, std::uint32_t q, std::uint64_t p0,
+                    std::uint64_t p1, const Amp *m);
+
+    /** amps[insertBit(p, q) | bit] *= ph (Z/S/Sdg/T fast path). */
+    void (*phaseUpper)(Amp *amps, std::uint32_t q, std::uint64_t p0,
+                       std::uint64_t p1, Amp ph);
+
+    /** amps[i] *= (i & bit) ? ph1 : ph0 over [i0, i1). */
+    void (*phaseLinear)(Amp *amps, std::uint64_t bit,
+                        std::uint64_t i0, std::uint64_t i1, Amp ph0,
+                        Amp ph1);
+
+    /** amps[i] *= (parity(i & (abit|bbit)) even ? even : odd). */
+    void (*parityPhase)(Amp *amps, std::uint64_t abit,
+                        std::uint64_t bbit, std::uint64_t i0,
+                        std::uint64_t i1, Amp even, Amp odd);
+
+    /** CZ: negate the both-bits-set quarter subspace. */
+    void (*czQuarter)(Amp *amps, std::uint32_t lo, std::uint32_t hi,
+                      std::uint64_t mask, std::uint64_t p0,
+                      std::uint64_t p1);
+
+    /** CNOT: swap (i, i | tbit) over the control-set quarter. */
+    void (*cnotQuarter)(Amp *amps, std::uint32_t lo, std::uint32_t hi,
+                        std::uint64_t cbit, std::uint64_t tbit,
+                        std::uint64_t p0, std::uint64_t p1);
+};
+
+/** The always-available scalar fallback table. */
+const KernelTable &scalarKernels();
+
+/**
+ * The table @p mode resolves to on this machine: Scalar returns the
+ * fallback; Auto returns the widest backend compiled in *and*
+ * supported by the running CPU (one cached cpuid check).
+ */
+const KernelTable &activeKernels(SimdMode mode);
+
+} // namespace qtenon::quantum::kernels
+
+#endif // QTENON_QUANTUM_KERNELS_HH

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Shared statevector slab-kernel loop bodies, written once against
+ * the `complexf64x2` wrapper and stamped out per backend: each
+ * kernels_<backend>.cc defines QTENON_KERNELS_NS (and the simd.hh
+ * backend macro) and then includes this header, so the loops compile
+ * under that backend's instruction set without any runtime
+ * indirection inside the loop.
+ *
+ * Exactness: every element is computed by the same non-fused
+ * mul/add/sub arithmetic as the serial scalar kernels (simd.hh
+ * contract), and each slab [p0, p1) touches a disjoint set of
+ * amplitudes, so results are bit-identical to the reference kernels
+ * for any slab partition, thread count, and backend.
+ *
+ * Index structure exploited throughout: for target qubit q the pair
+ * index p decomposes as (group g, offset o) with o < 2^q, and the
+ * bit-clear amplitude i = (g << (q+1)) | o. Offsets within a group
+ * are *contiguous* amplitude runs, so for q >= 1 the inner loops are
+ * unit-stride and vectorize two complexes at a time; q == 0 uses the
+ * in-register pair layout instead (one vector = one full pair).
+ * Slab boundaries are aligned to 8 pairs by the pool partitioner, so
+ * the scalar tails below only run for tiny serial registers.
+ */
+
+#ifndef QTENON_KERNELS_NS
+#error "kernels_impl.hh must be included with QTENON_KERNELS_NS set"
+#endif
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "kernels.hh"
+#include "simd.hh"
+
+namespace qtenon::quantum::kernels {
+namespace QTENON_KERNELS_NS {
+
+using simd::Amp;
+using simd::cmulExact;
+using simd::complexf64x2;
+
+namespace detail {
+
+/** Insert a zero bit at position @p b of @p x. */
+inline std::uint64_t
+insertBit(std::uint64_t x, std::uint32_t b)
+{
+    const std::uint64_t low = (std::uint64_t(1) << b) - 1;
+    return ((x & ~low) << 1) | (x & low);
+}
+
+inline void
+apply1qSlab(Amp *amps, std::uint32_t q, std::uint64_t p0,
+            std::uint64_t p1, const Amp *m)
+{
+    const Amp m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+    const std::uint64_t run = std::uint64_t(1) << q;
+
+    if (run == 1) {
+        // q == 0: a pair is two adjacent amplitudes — one vector
+        // holds (a0, a1) and the matrix columns are packed so both
+        // new amplitudes come out of two lane-wise products.
+        const auto c0 = complexf64x2::pack(m00, m10);
+        const auto c1 = complexf64x2::pack(m01, m11);
+        for (std::uint64_t p = p0; p < p1; ++p) {
+            Amp *base = amps + (p << 1);
+            const auto v = complexf64x2::load(base);
+            v.dupLo().cmul(c0).add(v.dupHi().cmul(c1)).store(base);
+        }
+        return;
+    }
+
+    const auto b00 = complexf64x2::broadcast(m00);
+    const auto b01 = complexf64x2::broadcast(m01);
+    const auto b10 = complexf64x2::broadcast(m10);
+    const auto b11 = complexf64x2::broadcast(m11);
+    std::uint64_t p = p0;
+    while (p < p1) {
+        const std::uint64_t g = p >> q;
+        const std::uint64_t oBegin = p & (run - 1);
+        const std::uint64_t count =
+            std::min(run - oBegin, p1 - p);
+        const std::uint64_t oEnd = oBegin + count;
+        Amp *lo = amps + (g << (q + 1));
+        Amp *hi = lo + run;
+        std::uint64_t o = oBegin;
+        for (; o + 2 <= oEnd; o += 2) {
+            const auto a0 = complexf64x2::load(lo + o);
+            const auto a1 = complexf64x2::load(hi + o);
+            a0.cmul(b00).add(a1.cmul(b01)).store(lo + o);
+            a0.cmul(b10).add(a1.cmul(b11)).store(hi + o);
+        }
+        for (; o < oEnd; ++o) {
+            const Amp a0 = lo[o];
+            const Amp a1 = hi[o];
+            lo[o] = cmulExact(a0, m00) + cmulExact(a1, m01);
+            hi[o] = cmulExact(a0, m10) + cmulExact(a1, m11);
+        }
+        p += count;
+    }
+}
+
+inline void
+phaseUpperSlab(Amp *amps, std::uint32_t q, std::uint64_t p0,
+               std::uint64_t p1, Amp ph)
+{
+    const std::uint64_t run = std::uint64_t(1) << q;
+    if (run == 1) {
+        // q == 0: the bit-set partners are the odd amplitudes — a
+        // stride-2 walk; stay scalar rather than multiply the even
+        // lane by an identity phase (which could flip a -0.0 bit).
+        for (std::uint64_t p = p0; p < p1; ++p) {
+            Amp &a = amps[(p << 1) | 1];
+            a = cmulExact(a, ph);
+        }
+        return;
+    }
+    const auto b = complexf64x2::broadcast(ph);
+    std::uint64_t p = p0;
+    while (p < p1) {
+        const std::uint64_t g = p >> q;
+        const std::uint64_t oBegin = p & (run - 1);
+        const std::uint64_t count =
+            std::min(run - oBegin, p1 - p);
+        const std::uint64_t oEnd = oBegin + count;
+        Amp *hi = amps + (g << (q + 1)) + run;
+        std::uint64_t o = oBegin;
+        for (; o + 2 <= oEnd; o += 2) {
+            complexf64x2::load(hi + o).cmul(b).store(hi + o);
+        }
+        for (; o < oEnd; ++o)
+            hi[o] = cmulExact(hi[o], ph);
+        p += count;
+    }
+}
+
+inline void
+phaseLinearSlab(Amp *amps, std::uint64_t bit, std::uint64_t i0,
+                std::uint64_t i1, Amp ph0, Amp ph1)
+{
+    if (bit == 1) {
+        // Alternating per element; slabs start even, so a packed
+        // [ph0, ph1] pattern lines up with every vector.
+        const auto pat = complexf64x2::pack(ph0, ph1);
+        std::uint64_t i = i0;
+        for (; i + 2 <= i1 && !(i & 1); i += 2)
+            complexf64x2::load(amps + i).cmul(pat).store(amps + i);
+        for (; i < i1; ++i)
+            amps[i] = cmulExact(amps[i], (i & 1) ? ph1 : ph0);
+        return;
+    }
+    // Runs of `bit` amplitudes share one phase.
+    std::uint64_t i = i0;
+    while (i < i1) {
+        const std::uint64_t count =
+            std::min(bit - (i & (bit - 1)), i1 - i);
+        const Amp ph = (i & bit) ? ph1 : ph0;
+        const auto b = complexf64x2::broadcast(ph);
+        const std::uint64_t end = i + count;
+        std::uint64_t j = i;
+        for (; j + 2 <= end; j += 2)
+            complexf64x2::load(amps + j).cmul(b).store(amps + j);
+        for (; j < end; ++j)
+            amps[j] = cmulExact(amps[j], ph);
+        i = end;
+    }
+}
+
+inline void
+parityPhaseSlab(Amp *amps, std::uint64_t abit, std::uint64_t bbit,
+                std::uint64_t i0, std::uint64_t i1, Amp even,
+                Amp odd)
+{
+    const std::uint64_t lobit = std::min(abit, bbit);
+    const std::uint64_t hibit = std::max(abit, bbit);
+    if (lobit == 1) {
+        // Parity flips every element; within one (even-based) vector
+        // the hi bit is constant, so the pattern is [even, odd] or
+        // [odd, even] by the hi bit alone.
+        const auto eo = complexf64x2::pack(even, odd);
+        const auto oe = complexf64x2::pack(odd, even);
+        std::uint64_t i = i0;
+        for (; i + 2 <= i1 && !(i & 1); i += 2) {
+            const auto pat = (i & hibit) ? oe : eo;
+            complexf64x2::load(amps + i).cmul(pat).store(amps + i);
+        }
+        for (; i < i1; ++i) {
+            const bool pa = i & abit;
+            const bool pb = i & bbit;
+            amps[i] = cmulExact(amps[i], (pa == pb) ? even : odd);
+        }
+        return;
+    }
+    // Runs of `lobit` amplitudes share one parity.
+    std::uint64_t i = i0;
+    while (i < i1) {
+        const std::uint64_t count =
+            std::min(lobit - (i & (lobit - 1)), i1 - i);
+        const bool pa = i & abit;
+        const bool pb = i & bbit;
+        const Amp ph = (pa == pb) ? even : odd;
+        const auto b = complexf64x2::broadcast(ph);
+        const std::uint64_t end = i + count;
+        std::uint64_t j = i;
+        for (; j + 2 <= end; j += 2)
+            complexf64x2::load(amps + j).cmul(b).store(amps + j);
+        for (; j < end; ++j)
+            amps[j] = cmulExact(amps[j], ph);
+        i = end;
+    }
+}
+
+inline void
+czQuarterSlab(Amp *amps, std::uint32_t lo, std::uint32_t hi,
+              std::uint64_t mask, std::uint64_t p0, std::uint64_t p1)
+{
+    const std::uint64_t run = std::uint64_t(1) << lo;
+    if (run == 1) {
+        for (std::uint64_t p = p0; p < p1; ++p) {
+            Amp &a =
+                amps[insertBit(insertBit(p, lo), hi) | mask];
+            a = -a;
+        }
+        return;
+    }
+    // Within a lo-group the spliced indices are contiguous: sign-
+    // flip `count` adjacent amplitudes at a time.
+    std::uint64_t p = p0;
+    while (p < p1) {
+        const std::uint64_t count =
+            std::min(run - (p & (run - 1)), p1 - p);
+        Amp *base = amps + (insertBit(insertBit(p, lo), hi) | mask);
+        std::uint64_t o = 0;
+        for (; o + 2 <= count; o += 2)
+            complexf64x2::load(base + o).neg().store(base + o);
+        for (; o < count; ++o)
+            base[o] = -base[o];
+        p += count;
+    }
+}
+
+inline void
+cnotQuarterSlab(Amp *amps, std::uint32_t lo, std::uint32_t hi,
+                std::uint64_t cbit, std::uint64_t tbit,
+                std::uint64_t p0, std::uint64_t p1)
+{
+    (void)cbit;
+    const std::uint64_t run = std::uint64_t(1) << lo;
+    const std::uint64_t cb = cbit;
+    std::uint64_t p = p0;
+    // Contiguous runs on both sides of the swap (tbit is clear in
+    // every spliced index, so i | tbit = i + tbit stays contiguous).
+    while (p < p1) {
+        const std::uint64_t count = run == 1
+            ? 1
+            : std::min(run - (p & (run - 1)), p1 - p);
+        Amp *a = amps + (insertBit(insertBit(p, lo), hi) | cb);
+        Amp *b = a + tbit;
+        for (std::uint64_t o = 0; o < count; ++o)
+            std::swap(a[o], b[o]);
+        p += count;
+    }
+}
+
+} // namespace detail
+
+inline const KernelTable &
+table()
+{
+    static const KernelTable t = {
+        complexf64x2::backendName,  &detail::apply1qSlab,
+        &detail::phaseUpperSlab,    &detail::phaseLinearSlab,
+        &detail::parityPhaseSlab,   &detail::czQuarterSlab,
+        &detail::cnotQuarterSlab,
+    };
+    return t;
+}
+
+} // namespace QTENON_KERNELS_NS
+} // namespace qtenon::quantum::kernels

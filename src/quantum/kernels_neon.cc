@@ -1,0 +1,24 @@
+/**
+ * @file
+ * NEON instantiation of the statevector slab kernels. Only added to
+ * the build on aarch64, where Advanced SIMD is baseline — so unlike
+ * AVX2 there is no runtime feature check to make.
+ */
+
+#ifndef __ARM_NEON
+#error "kernels_neon.cc requires an aarch64 target"
+#endif
+
+#define QTENON_SIMD_BACKEND_NEON 1
+#define QTENON_KERNELS_NS neon_backend
+#include "kernels_impl.hh"
+
+namespace qtenon::quantum::kernels {
+
+const KernelTable &
+neonKernels()
+{
+    return neon_backend::table();
+}
+
+} // namespace qtenon::quantum::kernels

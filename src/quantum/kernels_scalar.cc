@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Scalar-fallback instantiation of the statevector slab kernels.
+ * Deliberately defines no QTENON_SIMD_BACKEND_* macro, so simd.hh
+ * resolves complexf64x2 to plain scalar arithmetic regardless of
+ * what -m flags the rest of the build uses.
+ */
+
+#define QTENON_KERNELS_NS scalar_backend
+#include "kernels_impl.hh"
+
+namespace qtenon::quantum::kernels {
+
+const KernelTable &
+scalarKernels()
+{
+    return scalar_backend::table();
+}
+
+} // namespace qtenon::quantum::kernels

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
+#include "kernel_pool.hh"
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::quantum {
@@ -14,6 +17,15 @@ namespace {
 constexpr std::complex<double> iUnit{0.0, 1.0};
 
 std::atomic<unsigned> gKernelThreadCap{0};
+
+/**
+ * Slab alignment, in index units (pairs or amplitudes): slab
+ * boundaries land on multiples of 8 so two-complex SIMD vectors
+ * never straddle threads and adjacent slabs never share a 64-byte
+ * amplitude cacheline (8 pairs map to >= 128 contiguous bytes on
+ * every kernel's index decomposition).
+ */
+constexpr std::uint64_t kSlabAlign = 8;
 
 /** Insert a zero bit at position @p b of @p x (bits at and above @p b
  *  shift up by one). The workhorse of the pair-index decomposition:
@@ -106,6 +118,33 @@ isDiagonal2x2(const std::complex<double> m[2][2])
            m[1][0] == std::complex<double>{0.0, 0.0};
 }
 
+obs::Histogram &
+passHistogram()
+{
+    static obs::Histogram &h = obs::histogram(
+        "quantum.kernel.pass_ns",
+        "wall time of one statevector kernel pass");
+    return h;
+}
+
+obs::Counter &
+parallelPassCounter()
+{
+    static obs::Counter &c = obs::counter(
+        "quantum.kernel.parallel_passes",
+        "kernel passes executed on the worker pool");
+    return c;
+}
+
+obs::Counter &
+serialPassCounter()
+{
+    static obs::Counter &c = obs::counter(
+        "quantum.kernel.serial_passes",
+        "kernel passes executed on the calling thread");
+    return c;
+}
+
 } // namespace
 
 void
@@ -126,6 +165,9 @@ resolveKernelThreads(unsigned requested)
     unsigned hw = std::thread::hardware_concurrency();
     if (hw == 0)
         hw = 1;
+    // Auto is clamped by the hardware width; explicit requests are
+    // honoured (determinism tests deliberately oversubscribe) —
+    // both respect the scheduler's process-wide budget.
     unsigned n = requested == 0 ? hw : requested;
     const unsigned cap = kernelThreadCap();
     if (cap != 0)
@@ -135,7 +177,8 @@ resolveKernelThreads(unsigned requested)
 
 StateVector::StateVector(std::uint32_t num_qubits,
                          std::uint32_t max_qubits, KernelConfig kernel)
-    : _numQubits(num_qubits), _kernel(kernel)
+    : _numQubits(num_qubits), _kernel(kernel),
+      _kt(&kernels::activeKernels(kernel.simd))
 {
     if (num_qubits == 0)
         sim::fatal("statevector needs at least one qubit");
@@ -145,6 +188,43 @@ StateVector::StateVector(std::uint32_t num_qubits,
     }
     _amps.assign(std::size_t(1) << num_qubits, Amp{0.0, 0.0});
     _amps[0] = Amp{1.0, 0.0};
+}
+
+StateVector::~StateVector() = default;
+StateVector::StateVector(StateVector &&) noexcept = default;
+StateVector &StateVector::operator=(StateVector &&) noexcept = default;
+
+StateVector::StateVector(const StateVector &other)
+    : _numQubits(other._numQubits), _amps(other._amps),
+      _kernel(other._kernel), _kt(other._kt)
+{
+}
+
+StateVector &
+StateVector::operator=(const StateVector &other)
+{
+    _numQubits = other._numQubits;
+    _amps = other._amps;
+    _kernel = other._kernel;
+    _kt = other._kt;
+    // The worker team is per-instance; the next wide pass rebuilds.
+    _pool.reset();
+    return *this;
+}
+
+void
+StateVector::setKernelConfig(KernelConfig k)
+{
+    _kernel = k;
+    _kt = &kernels::activeKernels(k.simd);
+    // Let the next wide pass rebuild the team at the new size.
+    _pool.reset();
+}
+
+const char *
+StateVector::simdBackendName() const
+{
+    return _kt->name;
 }
 
 void
@@ -163,55 +243,72 @@ StateVector::kernelThreads() const
     return resolveKernelThreads(_kernel.threads);
 }
 
+KernelPool &
+StateVector::pool(unsigned threads)
+{
+    // Rebuilds only when the resolved width changes (e.g. a
+    // BatchScheduler installed a new cap mid-life); the common case
+    // reuses the same team for every gate of every circuit.
+    if (!_pool || _pool->threads() != threads)
+        _pool = std::make_unique<KernelPool>(threads);
+    return *_pool;
+}
+
 template <typename Fn>
 void
-StateVector::parallelFor(std::uint64_t total, Fn &&fn) const
+StateVector::forSlabs(std::uint64_t total, Fn &&fn)
 {
     const unsigned nt = kernelThreads();
-    if (nt <= 1 || total < 2 * nt) {
+    const bool wide = nt > 1 && total >= 2 * nt * kSlabAlign;
+    const bool timed = obs::metricsEnabled();
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+
+    if (!wide) {
+        if (timed)
+            serialPassCounter().inc();
         fn(std::uint64_t(0), total);
-        return;
+    } else {
+        if (timed)
+            parallelPassCounter().inc();
+        // Contiguous aligned slabs: participant t owns
+        // [t*chunk, (t+1)*chunk) ∩ [0, total). Every index is
+        // computed by exactly one thread with the same arithmetic as
+        // the serial loop, so amplitudes are identical for every
+        // thread count; alignment keeps SIMD vectors and amplitude
+        // cachelines from straddling slabs.
+        std::uint64_t chunk = (total + nt - 1) / nt;
+        chunk = (chunk + kSlabAlign - 1) & ~(kSlabAlign - 1);
+        pool(nt).run([&fn, chunk, total](unsigned tid, unsigned) {
+            const std::uint64_t begin = std::min<std::uint64_t>(
+                std::uint64_t(tid) * chunk, total);
+            const std::uint64_t end =
+                std::min<std::uint64_t>(begin + chunk, total);
+            if (begin < end)
+                fn(begin, end);
+        });
     }
-    // Contiguous per-thread blocks: each index is computed by exactly
-    // one thread with the same arithmetic as the serial loop, so the
-    // amplitudes are identical for every thread count.
-    const std::uint64_t chunk = (total + nt - 1) / nt;
-    std::vector<std::thread> team;
-    team.reserve(nt - 1);
-    for (unsigned t = 1; t < nt; ++t) {
-        const std::uint64_t begin = std::min<std::uint64_t>(
-            std::uint64_t(t) * chunk, total);
-        const std::uint64_t end =
-            std::min<std::uint64_t>(begin + chunk, total);
-        if (begin >= end)
-            break;
-        team.emplace_back([&fn, begin, end] { fn(begin, end); });
+
+    if (timed) {
+        const auto t1 = std::chrono::steady_clock::now();
+        passHistogram().record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t1 - t0)
+                .count()));
     }
-    fn(std::uint64_t(0), std::min<std::uint64_t>(chunk, total));
-    for (auto &t : team)
-        t.join();
 }
 
 void
 StateVector::apply1q(std::uint32_t q, const Amp m[2][2])
 {
-    // Iterate the 2^(n-1) (i, i|bit) pairs directly: p is the pair
-    // index, and splicing a zero bit into position q yields the
-    // bit-clear partner i.
-    const std::uint64_t bit = std::uint64_t(1) << q;
+    // Iterate the 2^(n-1) (i, i|bit) pairs; the slab kernel handles
+    // the group/offset decomposition and vectorization.
     const std::uint64_t pairs = _amps.size() >> 1;
-    const Amp m00 = m[0][0], m01 = m[0][1];
-    const Amp m10 = m[1][0], m11 = m[1][1];
+    const Amp flat[4] = {m[0][0], m[0][1], m[1][0], m[1][1]};
     Amp *amps = _amps.data();
-    parallelFor(pairs, [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t p = begin; p < end; ++p) {
-            const std::uint64_t i = insertBit(p, q);
-            const std::uint64_t j = i | bit;
-            const Amp a0 = amps[i];
-            const Amp a1 = amps[j];
-            amps[i] = m00 * a0 + m01 * a1;
-            amps[j] = m10 * a0 + m11 * a1;
-        }
+    const auto *kt = _kt;
+    forSlabs(pairs, [=](std::uint64_t begin, std::uint64_t end) {
+        kt->apply1q(amps, q, begin, end, flat);
     });
 }
 
@@ -219,21 +316,20 @@ void
 StateVector::applyPhase1q(std::uint32_t q, Amp p0, Amp p1)
 {
     Amp *amps = _amps.data();
-    const std::uint64_t bit = std::uint64_t(1) << q;
+    const auto *kt = _kt;
     if (p0 == Amp{1.0, 0.0}) {
         // Z/S/Sdg/T: only the bit-set half picks up a phase.
         const std::uint64_t half = _amps.size() >> 1;
-        parallelFor(half, [=](std::uint64_t begin, std::uint64_t end) {
-            for (std::uint64_t p = begin; p < end; ++p)
-                amps[insertBit(p, q) | bit] *= p1;
+        forSlabs(half, [=](std::uint64_t begin, std::uint64_t end) {
+            kt->phaseUpper(amps, q, begin, end, p1);
         });
         return;
     }
     // RZ and fused diagonals: one linear phase pass, no pair gather.
-    parallelFor(_amps.size(),
-                [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t i = begin; i < end; ++i)
-            amps[i] *= (i & bit) ? p1 : p0;
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    forSlabs(_amps.size(),
+             [=](std::uint64_t begin, std::uint64_t end) {
+        kt->phaseLinear(amps, bit, begin, end, p0, p1);
     });
 }
 
@@ -247,12 +343,9 @@ StateVector::applyCZ(std::uint32_t a, std::uint32_t b)
         (std::uint64_t(1) << a) | (std::uint64_t(1) << b);
     const std::uint64_t quarter = _amps.size() >> 2;
     Amp *amps = _amps.data();
-    parallelFor(quarter, [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t p = begin; p < end; ++p) {
-            const std::uint64_t i =
-                insertBit(insertBit(p, lo), hi) | mask;
-            amps[i] = -amps[i];
-        }
+    const auto *kt = _kt;
+    forSlabs(quarter, [=](std::uint64_t begin, std::uint64_t end) {
+        kt->czQuarter(amps, lo, hi, mask, begin, end);
     });
 }
 
@@ -267,12 +360,9 @@ StateVector::applyCNOT(std::uint32_t control, std::uint32_t target)
     const std::uint64_t tbit = std::uint64_t(1) << target;
     const std::uint64_t quarter = _amps.size() >> 2;
     Amp *amps = _amps.data();
-    parallelFor(quarter, [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t p = begin; p < end; ++p) {
-            const std::uint64_t i =
-                insertBit(insertBit(p, lo), hi) | cbit;
-            std::swap(amps[i], amps[i | tbit]);
-        }
+    const auto *kt = _kt;
+    forSlabs(quarter, [=](std::uint64_t begin, std::uint64_t end) {
+        kt->cnotQuarter(amps, lo, hi, cbit, tbit, begin, end);
     });
 }
 
@@ -286,13 +376,10 @@ StateVector::applyRZZ(std::uint32_t a, std::uint32_t b, double angle)
     const std::uint64_t abit = std::uint64_t(1) << a;
     const std::uint64_t bbit = std::uint64_t(1) << b;
     Amp *amps = _amps.data();
-    parallelFor(_amps.size(),
-                [=](std::uint64_t begin, std::uint64_t end) {
-        for (std::uint64_t i = begin; i < end; ++i) {
-            const bool pa = i & abit;
-            const bool pb = i & bbit;
-            amps[i] *= (pa == pb) ? even : odd;
-        }
+    const auto *kt = _kt;
+    forSlabs(_amps.size(),
+             [=](std::uint64_t begin, std::uint64_t end) {
+        kt->parityPhase(amps, abit, bbit, begin, end, even, odd);
     });
 }
 

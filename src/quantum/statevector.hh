@@ -10,11 +10,18 @@
  * The gate kernels iterate the 2^(n-1) amplitude *pairs* directly via
  * low/high-bit index decomposition (instead of branch-skipping all
  * 2^n indices), apply diagonal gates (Z/S/Sdg/T/RZ/CZ/RZZ) as pure
- * phase passes with no pair gather, and can optionally fuse runs of
- * adjacent single-qubit gates and split kernels across a bounded
- * thread team (see KernelConfig). With fusion and threading at their
- * defaults the amplitudes are bit-identical to the original scalar
- * kernels (kept as tests/reference_statevector.hh).
+ * phase passes with no pair gather, and run through the slab-kernel
+ * backends of kernels.hh: contiguous unit-stride inner loops,
+ * vectorized two complex amplitudes at a time (AVX2/NEON via the
+ * portable complexf64x2 wrapper in simd.hh, scalar fallback
+ * elsewhere). Multi-threaded kernels split the index space into
+ * contiguous cache-blocked slabs executed by a persistent KernelPool
+ * (kernel_pool.hh) — threads are created once per StateVector, not
+ * per gate. Every amplitude is computed by exactly one thread with
+ * the same non-fused arithmetic as the serial scalar loop, so the
+ * results are bit-identical to the original scalar kernels (kept as
+ * tests/reference_statevector.hh) at every thread count and SIMD
+ * width; only fuse1q (which reassociates 2x2 products) changes bits.
  */
 
 #ifndef QTENON_QUANTUM_STATEVECTOR_HH
@@ -22,12 +29,21 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "circuit.hh"
+#include "kernels.hh"
 #include "sim/random.hh"
 
 namespace qtenon::quantum {
+
+class KernelPool;
+
+/** Kernel instruction-set policy, re-exported for configs. */
+using SimdMode = kernels::SimdMode;
+using kernels::simdModeFromName;
+using kernels::simdModeName;
 
 /**
  * Statevector kernel tuning.
@@ -39,13 +55,19 @@ namespace qtenon::quantum {
  *    Off by default because it reassociates floating-point products
  *    (results differ in the last ulp, not in correctness).
  *  - threads > 1 splits each kernel's index range into contiguous
- *    per-thread blocks. Every pair is still computed by the exact
- *    same arithmetic, so threading never changes amplitudes; it is
- *    off by default and only engages at parallelMinQubits and above,
- *    where per-gate work (>= 2^19 pairs) dwarfs thread start-up.
- *    threads == 0 means "auto": the hardware concurrency, clamped by
- *    the process-wide cap (setKernelThreadCap) that BatchScheduler
- *    installs so --jobs x kernel threads never oversubscribes.
+ *    per-thread slabs executed by a persistent worker pool. Every
+ *    pair is still computed by the exact same arithmetic, so
+ *    threading never changes amplitudes; it is off by default and
+ *    only engages at parallelMinQubits and above, where per-gate
+ *    work (>= 2^19 pairs) dwarfs the barrier. threads == 0 means
+ *    "auto": hardware concurrency, clamped by the process-wide cap
+ *    (setKernelThreadCap) that BatchScheduler installs so --jobs x
+ *    kernel threads never oversubscribes. Explicit counts are
+ *    honoured beyond the hardware width (useful for determinism
+ *    tests) but still respect the scheduler cap.
+ *  - simd selects the slab-kernel backend; Auto picks the widest
+ *    instruction set the running CPU supports. All backends are
+ *    bit-identical, so this is a pure speed knob.
  */
 struct KernelConfig {
     /** Fuse adjacent same-qubit single-qubit gates (applyCircuit). */
@@ -54,6 +76,8 @@ struct KernelConfig {
     unsigned threads = 1;
     /** Register size below which kernels always stay serial. */
     std::uint32_t parallelMinQubits = 20;
+    /** Kernel backend: Auto (runtime-detected) or forced Scalar. */
+    SimdMode simd = SimdMode::Auto;
 };
 
 /**
@@ -66,7 +90,14 @@ struct KernelConfig {
 void setKernelThreadCap(unsigned cap);
 unsigned kernelThreadCap();
 
-/** The KernelConfig.threads / hardware / cap resolution rule. */
+/**
+ * The KernelConfig.threads / hardware / cap resolution rule:
+ * requested == 0 ("auto") resolves to hardware concurrency and is
+ * clamped by *both* the scheduler cap and the hardware width;
+ * explicit requests are honoured (tests deliberately oversubscribe
+ * single-core machines) but still clamped by the scheduler cap.
+ * Always returns >= 1.
+ */
 unsigned resolveKernelThreads(unsigned requested);
 
 /** Dense 2^n-amplitude state vector with gate application. */
@@ -81,6 +112,13 @@ class StateVector
     explicit StateVector(std::uint32_t num_qubits,
                          std::uint32_t max_qubits = defaultMaxQubits,
                          KernelConfig kernel = KernelConfig{});
+    ~StateVector();
+
+    StateVector(StateVector &&) noexcept;
+    StateVector &operator=(StateVector &&) noexcept;
+    /** Copies duplicate amplitudes and config, never the pool. */
+    StateVector(const StateVector &other);
+    StateVector &operator=(const StateVector &other);
 
     std::uint32_t numQubits() const { return _numQubits; }
     std::size_t dim() const { return _amps.size(); }
@@ -91,7 +129,10 @@ class StateVector
     }
 
     const KernelConfig &kernelConfig() const { return _kernel; }
-    void setKernelConfig(KernelConfig k) { _kernel = k; }
+    void setKernelConfig(KernelConfig k);
+
+    /** The slab-kernel backend in use ("scalar", "avx2", "neon"). */
+    const char *simdBackendName() const;
 
     /** Reset to |0...0>. */
     void reset();
@@ -157,16 +198,27 @@ class StateVector
     void applyCNOT(std::uint32_t control, std::uint32_t target);
     void applyRZZ(std::uint32_t a, std::uint32_t b, double angle);
 
-    /** Serial-or-threaded iteration of [0, total) in blocks. */
+    /**
+     * Serial-or-pooled iteration of [0, total): @p fn receives one
+     * contiguous [begin, end) slab per participant, aligned so SIMD
+     * vectors and cachelines never straddle a slab boundary.
+     */
     template <typename Fn>
-    void parallelFor(std::uint64_t total, Fn &&fn) const;
+    void forSlabs(std::uint64_t total, Fn &&fn);
 
     /** Threads to use for one kernel pass (1 = stay serial). */
     unsigned kernelThreads() const;
 
+    /** The pool sized for @p threads (created/resized lazily). */
+    KernelPool &pool(unsigned threads);
+
     std::uint32_t _numQubits;
     std::vector<Amp> _amps;
     KernelConfig _kernel;
+    /** Resolved slab-kernel backend for _kernel.simd. */
+    const kernels::KernelTable *_kt;
+    /** Persistent worker team; null until a pass first goes wide. */
+    std::unique_ptr<KernelPool> _pool;
 };
 
 } // namespace qtenon::quantum

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared randomized-circuit generator for kernel cross-validation
+ * tests (test_backend.cc, test_kernel_pool.cc): a gate stream drawn
+ * from every gate type the statevector kernels implement, so a single
+ * circuit exercises the pair-loop, the diagonal phase passes, and the
+ * CZ/CNOT quarter-subspace kernels.
+ */
+
+#ifndef QTENON_TESTS_RANDOM_CIRCUIT_HH
+#define QTENON_TESTS_RANDOM_CIRCUIT_HH
+
+#include <cstdint>
+
+#include "quantum/circuit.hh"
+#include "sim/random.hh"
+
+namespace qtenon::tests {
+
+/** A random circuit exercising every gate type. */
+inline quantum::QuantumCircuit
+randomCircuit(std::uint32_t n, std::size_t num_gates, sim::Rng &rng)
+{
+    using quantum::GateType;
+    using quantum::ParamRef;
+    quantum::QuantumCircuit c(n);
+    auto q = [&] {
+        return static_cast<std::uint32_t>(rng.uniform() * n);
+    };
+    auto q_pair = [&](std::uint32_t &a, std::uint32_t &b) {
+        a = q();
+        do {
+            b = q();
+        } while (b == a);
+    };
+    for (std::size_t i = 0; i < num_gates; ++i) {
+        const int pick = static_cast<int>(rng.uniform() * 13.0);
+        const double angle = rng.uniform(-3.0, 3.0);
+        std::uint32_t a, b;
+        switch (pick) {
+          case 0: c.gate(GateType::X, q()); break;
+          case 1: c.gate(GateType::Y, q()); break;
+          case 2: c.gate(GateType::Z, q()); break;
+          case 3: c.h(q()); break;
+          case 4: c.gate(GateType::S, q()); break;
+          case 5: c.gate(GateType::Sdg, q()); break;
+          case 6: c.gate(GateType::T, q()); break;
+          case 7: c.rx(q(), ParamRef::literal(angle)); break;
+          case 8: c.ry(q(), ParamRef::literal(angle)); break;
+          case 9: c.rz(q(), ParamRef::literal(angle)); break;
+          case 10:
+            if (n < 2)
+                break;
+            q_pair(a, b);
+            c.rzz(a, b, ParamRef::literal(angle));
+            break;
+          case 11:
+            if (n < 2)
+                break;
+            q_pair(a, b);
+            c.cz(a, b);
+            break;
+          default:
+            if (n < 2)
+                break;
+            q_pair(a, b);
+            c.cnot(a, b);
+            break;
+        }
+    }
+    return c;
+}
+
+} // namespace qtenon::tests
+
+#endif // QTENON_TESTS_RANDOM_CIRCUIT_HH

@@ -8,72 +8,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
+#include <thread>
 
 #include "quantum/backend.hh"
 #include "quantum/sampler.hh"
 #include "quantum/statevector.hh"
+#include "random_circuit.hh"
 #include "reference_statevector.hh"
 #include "sim/random.hh"
 
 using namespace qtenon::quantum;
 using qtenon::sim::Rng;
+using qtenon::tests::randomCircuit;
 using qtenon::tests::ReferenceStateVector;
 
 namespace {
-
-/** A random circuit exercising every gate type. */
-QuantumCircuit
-randomCircuit(std::uint32_t n, std::size_t num_gates, Rng &rng)
-{
-    QuantumCircuit c(n);
-    auto q = [&] {
-        return static_cast<std::uint32_t>(rng.uniform() * n);
-    };
-    auto q_pair = [&](std::uint32_t &a, std::uint32_t &b) {
-        a = q();
-        do {
-            b = q();
-        } while (b == a);
-    };
-    for (std::size_t i = 0; i < num_gates; ++i) {
-        const int pick = static_cast<int>(rng.uniform() * 13.0);
-        const double angle = rng.uniform(-3.0, 3.0);
-        std::uint32_t a, b;
-        switch (pick) {
-          case 0: c.gate(GateType::X, q()); break;
-          case 1: c.gate(GateType::Y, q()); break;
-          case 2: c.gate(GateType::Z, q()); break;
-          case 3: c.h(q()); break;
-          case 4: c.gate(GateType::S, q()); break;
-          case 5: c.gate(GateType::Sdg, q()); break;
-          case 6: c.gate(GateType::T, q()); break;
-          case 7: c.rx(q(), ParamRef::literal(angle)); break;
-          case 8: c.ry(q(), ParamRef::literal(angle)); break;
-          case 9: c.rz(q(), ParamRef::literal(angle)); break;
-          case 10:
-            if (n < 2)
-                break;
-            q_pair(a, b);
-            c.rzz(a, b, ParamRef::literal(angle));
-            break;
-          case 11:
-            if (n < 2)
-                break;
-            q_pair(a, b);
-            c.cz(a, b);
-            break;
-          default:
-            if (n < 2)
-                break;
-            q_pair(a, b);
-            c.cnot(a, b);
-            break;
-        }
-    }
-    return c;
-}
 
 void
 expectMatchesReference(const StateVector &sv,
@@ -153,6 +105,36 @@ TEST(KernelThreads, CapClampsResolution)
     EXPECT_EQ(resolveKernelThreads(1), 1u);
     setKernelThreadCap(0);
     EXPECT_EQ(resolveKernelThreads(3), 3u);
+}
+
+TEST(KernelThreads, AutoClampsToHardwareAndCap)
+{
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+
+    // threads == 0 ("auto") never exceeds the hardware width even
+    // with no scheduler cap installed...
+    setKernelThreadCap(0);
+    EXPECT_EQ(resolveKernelThreads(0), hw);
+
+    // ...and is clamped by whichever of {cap, hardware} is tighter.
+    setKernelThreadCap(1);
+    EXPECT_EQ(resolveKernelThreads(0), 1u);
+    setKernelThreadCap(hw + 8);
+    EXPECT_EQ(resolveKernelThreads(0), hw);
+
+    // Explicit requests are honoured beyond the hardware width
+    // (determinism tests deliberately oversubscribe single-core
+    // machines) but still respect the scheduler budget.
+    setKernelThreadCap(0);
+    EXPECT_EQ(resolveKernelThreads(hw + 7), hw + 7);
+    setKernelThreadCap(2);
+    EXPECT_EQ(resolveKernelThreads(hw + 7), 2u);
+
+    // Degenerate caps still resolve to at least one thread.
+    setKernelThreadCap(0);
+    EXPECT_GE(resolveKernelThreads(0), 1u);
+    EXPECT_GE(resolveKernelThreads(1), 1u);
 }
 
 TEST(BackendKindNames, RoundTripAndAliases)

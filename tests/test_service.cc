@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -17,6 +18,7 @@
 #include <thread>
 
 #include "fault/fault.hh"
+#include "quantum/statevector.hh"
 #include "service/batch_scheduler.hh"
 #include "service/json.hh"
 #include "service/sweep.hh"
@@ -115,6 +117,38 @@ TEST(Scheduler, ResolvesWorkerCount)
     EXPECT_EQ(resolveWorkerCount(2), 2u); // explicit beats env
     ASSERT_EQ(unsetenv("QTENON_JOBS"), 0);
     EXPECT_GE(resolveWorkerCount(0), 1u);
+}
+
+TEST(Scheduler, KernelThreadBudgetPreventsOversubscription)
+{
+    namespace quantum = qtenon::quantum;
+    // BatchScheduler installs the process-wide kernel-thread cap on
+    // construction and clears it on destruction, so that --jobs x
+    // per-job statevector kernel threads never exceeds the machine.
+    ASSERT_EQ(quantum::kernelThreadCap(), 0u);
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        SchedulerConfig cfg;
+        cfg.workers = workers;
+        BatchScheduler sched(cfg);
+        ASSERT_EQ(sched.workers(), workers);
+
+        // threads == 0 ("auto") inside any job resolves under the
+        // installed budget: jobs x kernel threads stays within the
+        // hardware (each job always gets at least one thread).
+        const unsigned per_job = quantum::resolveKernelThreads(0);
+        EXPECT_GE(per_job, 1u);
+        EXPECT_LE(per_job * workers, std::max(hw, workers))
+            << "auto kernel threads oversubscribe with " << workers
+            << " workers";
+
+        // Explicit oversized requests are clamped by the same cap.
+        EXPECT_LE(quantum::resolveKernelThreads(64) * workers,
+                  std::max(hw, workers));
+    }
+    EXPECT_EQ(quantum::kernelThreadCap(), 0u)
+        << "cap must be cleared when the batch is torn down";
 }
 
 TEST(Scheduler, ResultsAreBitIdenticalAcrossWorkerCounts)
