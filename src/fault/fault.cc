@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/hash.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
 
@@ -21,12 +22,7 @@ mix64(std::uint64_t z)
 std::uint64_t
 hashName(const std::string &s)
 {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    return core::fnv1a(s);
 }
 
 bool

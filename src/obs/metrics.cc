@@ -1,5 +1,9 @@
 #include "metrics.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
 namespace qtenon::obs {
 
 namespace {
@@ -43,6 +47,18 @@ writeJsonString(std::ostream &os, const std::string &s)
     os << '"';
 }
 
+/** %.17g with a forced '.'/exponent, mirroring the service JSON
+ *  writer so quantiles re-parse as doubles. */
+void
+writeJsonDouble(std::ostream &os, double d)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    if (!std::strpbrk(buf, ".eE"))
+        std::strcat(buf, ".0");
+    os << buf;
+}
+
 } // namespace
 
 bool
@@ -55,6 +71,49 @@ void
 setMetricsEnabled(bool on)
 {
     g_enabled.store(on, std::memory_order_relaxed);
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return static_cast<double>(min);
+    if (q >= 1.0)
+        return static_cast<double>(max);
+
+    // Continuous rank over the sorted recorded values, in
+    // [0, count - 1] (the inclusive-endpoint convention: q = 0 is
+    // the minimum, q = 1 the maximum).
+    const double target = q * static_cast<double>(count - 1);
+    std::uint64_t before = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        const std::uint64_t n = buckets[b];
+        if (!n)
+            continue;
+        if (target < static_cast<double>(before + n)) {
+            // Values in bucket b lie in [bucketLow(b), 2^b - 1],
+            // further clamped by the recorded global extrema.
+            std::uint64_t lo = Histogram::bucketLow(b);
+            std::uint64_t hi = b + 1 < buckets.size()
+                ? Histogram::bucketLow(b + 1) - 1
+                : ~std::uint64_t{0};
+            lo = std::max(lo, min);
+            hi = std::min(hi, max);
+            if (n == 1 || hi <= lo)
+                return static_cast<double>(lo);
+            const double frac =
+                (target - static_cast<double>(before)) /
+                static_cast<double>(n - 1);
+            return static_cast<double>(lo) +
+                (static_cast<double>(hi) -
+                 static_cast<double>(lo)) *
+                frac;
+        }
+        before += n;
+    }
+    return static_cast<double>(max);
 }
 
 HistogramSnapshot
@@ -204,7 +263,13 @@ MetricsRegistry::writeJson(std::ostream &os) const
         writeJsonString(os, name);
         os << ": {\"count\": " << s.count << ", \"sum\": " << s.sum
            << ", \"min\": " << s.min << ", \"max\": " << s.max
-           << ", \"buckets\": [";
+           << ", \"p50\": ";
+        writeJsonDouble(os, s.p50());
+        os << ", \"p99\": ";
+        writeJsonDouble(os, s.p99());
+        os << ", \"p999\": ";
+        writeJsonDouble(os, s.p999());
+        os << ", \"buckets\": [";
         bool bfirst = true;
         for (std::size_t b = 0; b < Histogram::numBuckets; ++b) {
             if (!s.buckets[b])

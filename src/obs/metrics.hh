@@ -112,6 +112,20 @@ struct HistogramSnapshot {
     std::uint64_t min = 0;
     std::uint64_t max = 0;
     std::array<std::uint64_t, 65> buckets{};
+
+    /**
+     * The @p q-quantile (q in [0, 1]) estimated by linear
+     * interpolation inside the log2 bucket holding the target rank.
+     * The interpolation range is clamped to the recorded global
+     * [min, max], so degenerate shapes come out exact: a histogram
+     * whose values are all equal returns that value for every q, and
+     * q = 0 / q = 1 return min / max exactly. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
 };
 
 /**
@@ -190,6 +204,9 @@ class Histogram
     }
 
     HistogramSnapshot snapshot() const;
+
+    /** Convenience: snapshot().quantile(q). */
+    double quantile(double q) const { return snapshot().quantile(q); }
 
     void reset();
 

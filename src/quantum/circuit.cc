@@ -1,6 +1,7 @@
 #include "circuit.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/logging.hh"
 
@@ -152,6 +153,65 @@ QuantumCircuit::stats() const
     s.depth = layer.empty()
         ? 0 : *std::max_element(layer.begin(), layer.end());
     return s;
+}
+
+namespace {
+
+/** 16 lowercase hex digits of @p v (fixed width keeps the canonical
+ *  text prefix-free without further separators). */
+void
+appendHex64(std::string &out, std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    for (int i = 15; i >= 0; --i)
+        out.push_back(digits[(v >> (4 * i)) & 0xf]);
+}
+
+void
+appendDoubleBits(std::string &out, double d)
+{
+    appendHex64(out, std::bit_cast<std::uint64_t>(d));
+}
+
+} // namespace
+
+std::string
+QuantumCircuit::canonicalText() const
+{
+    std::string out;
+    out.reserve(32 + 17 * _paramValues.size() + 24 * _gates.size());
+    out += "n=";
+    out += std::to_string(_numQubits);
+    out += ";p=[";
+    for (std::size_t i = 0; i < _paramValues.size(); ++i) {
+        if (i)
+            out.push_back(',');
+        appendDoubleBits(out, _paramValues[i]);
+    }
+    out += "];g=[";
+    for (std::size_t i = 0; i < _gates.size(); ++i) {
+        const Gate &g = _gates[i];
+        if (i)
+            out.push_back('|');
+        out += gateName(g.type);
+        out.push_back(' ');
+        out += std::to_string(g.qubit0);
+        if (isTwoQubit(g.type)) {
+            out.push_back(' ');
+            out += std::to_string(g.qubit1);
+        }
+        if (isParameterized(g.type)) {
+            if (g.param.isSymbolic()) {
+                out += " #";
+                out += std::to_string(g.param.index);
+            } else {
+                out += " =";
+                appendDoubleBits(out, g.param.value);
+            }
+        }
+    }
+    out.push_back(']');
+    return out;
 }
 
 std::vector<std::size_t>

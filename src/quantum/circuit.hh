@@ -112,6 +112,18 @@ class QuantumCircuit
     /** Compute shape statistics (gate counts, depth). */
     CircuitStats stats() const;
 
+    /**
+     * Canonical, bit-exact textual form of the IR: qubit count, the
+     * parameter table (doubles as raw IEEE-754 bit patterns, so
+     * values that differ in the last ulp canonicalize differently),
+     * and every gate in program order with its operands and angle
+     * reference. Two circuits produce the same text iff they are the
+     * same program over the same parameter values — the property the
+     * daemon's content-addressed result cache keys on. Parameter
+     * *names* are excluded: they are documentation, not semantics.
+     */
+    std::string canonicalText() const;
+
     /** Gates that reference symbolic parameter @p idx. */
     std::vector<std::size_t> gatesUsingParameter(std::uint32_t idx) const;
 

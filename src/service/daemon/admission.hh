@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The daemon's admission-controlled job queue: three priority bands
+ * (drained high to low, FIFO within a band), a bounded total depth,
+ * and per-client in-flight quotas.
+ *
+ * Admission is decided at push time and is explicit — a rejected
+ * submission gets a typed reason (the daemon turns it into a
+ * REJECTED protocol frame) instead of unbounded queueing or a
+ * silently dropped request. A client's quota covers everything it
+ * has been admitted for that has not finished yet (queued *and*
+ * executing), so one aggressive client cannot monopolize the worker
+ * pool; the daemon calls release() when the response has been sent.
+ *
+ * Drain protocol: beginDrain() flips the queue into its terminal
+ * state — every later push is rejected with Draining, while pop()
+ * keeps handing out already-admitted work until the queue is empty
+ * and then returns false (forever). Consumers treat that false as
+ * "exit your loop"; the daemon then waits for in-flight jobs and
+ * shuts down. Admitted work is never thrown away: graceful drain
+ * means everything accepted before SIGTERM still completes and gets
+ * its response.
+ *
+ * Thread-safe; templated on the queued payload so the scheduling
+ * policy is unit-testable without a daemon around it.
+ */
+
+#ifndef QTENON_SERVICE_DAEMON_ADMISSION_HH
+#define QTENON_SERVICE_DAEMON_ADMISSION_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "protocol.hh"
+
+namespace qtenon::service::daemon {
+
+/** Outcome of one admission decision. */
+enum class Admission {
+    Admitted,
+    /** The bounded queue is at capacity. */
+    RejectedQueueFull,
+    /** The client is at its in-flight quota. */
+    RejectedQuota,
+    /** The daemon is draining and accepts no new work. */
+    RejectedDraining,
+};
+
+/** Protocol "reason" string for a rejection. */
+inline const char *
+admissionReason(Admission a)
+{
+    switch (a) {
+    case Admission::RejectedQueueFull:
+        return "queue_full";
+    case Admission::RejectedQuota:
+        return "quota";
+    case Admission::RejectedDraining:
+        return "draining";
+    case Admission::Admitted:
+        break;
+    }
+    return "admitted";
+}
+
+/** Queue limits. */
+struct AdmissionConfig {
+    /** Max queued (not yet popped) entries across all bands. */
+    std::size_t maxQueueDepth = 64;
+    /** Max admitted-but-unreleased entries per client. */
+    std::size_t perClientQuota = 16;
+};
+
+template <typename T>
+class AdmissionQueue
+{
+  public:
+    explicit AdmissionQueue(AdmissionConfig cfg = AdmissionConfig{})
+        : _cfg(cfg)
+    {}
+
+    /**
+     * Decide admission for @p item from @p client at @p priority.
+     * On Admitted the item is queued and the client's in-flight
+     * count is charged; any rejection leaves no state behind.
+     */
+    Admission
+    push(T item, Priority priority, const std::string &client)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_draining)
+            return Admission::RejectedDraining;
+        if (_cfg.perClientQuota == 0 ||
+            _inFlight[client] >= _cfg.perClientQuota) {
+            // Don't let the probe insert grow the map forever.
+            if (_inFlight[client] == 0)
+                _inFlight.erase(client);
+            return Admission::RejectedQuota;
+        }
+        if (depthLocked() >= _cfg.maxQueueDepth)
+            return Admission::RejectedQueueFull;
+        ++_inFlight[client];
+        band(priority).push_back(std::move(item));
+        depthGauge().set(
+            static_cast<std::int64_t>(depthLocked()));
+        _available.notify_one();
+        return Admission::Admitted;
+    }
+
+    /**
+     * Block until an entry is available or the queue is drained dry.
+     * Returns false only in the terminal drained-and-empty state.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _available.wait(lock, [this] {
+            return depthLocked() > 0 || _draining;
+        });
+        for (auto *q : {&_high, &_normal, &_low}) {
+            if (!q->empty()) {
+                out = std::move(q->front());
+                q->pop_front();
+                depthGauge().set(
+                    static_cast<std::int64_t>(depthLocked()));
+                return true;
+            }
+        }
+        return false; // draining and empty
+    }
+
+    /** Return one unit of @p client's quota (job finished). */
+    void
+    release(const std::string &client)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _inFlight.find(client);
+        if (it == _inFlight.end())
+            return;
+        if (--it->second == 0)
+            _inFlight.erase(it);
+    }
+
+    /** Enter the terminal draining state (idempotent). */
+    void
+    beginDrain()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _draining = true;
+        _available.notify_all();
+    }
+
+    bool
+    draining() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _draining;
+    }
+
+    /** Currently queued (not yet popped) entries. */
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return depthLocked();
+    }
+
+    /** Admitted-but-unreleased entries for @p client. */
+    std::size_t
+    inFlight(const std::string &client) const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _inFlight.find(client);
+        return it == _inFlight.end() ? 0 : it->second;
+    }
+
+    const AdmissionConfig &config() const { return _cfg; }
+
+  private:
+    std::size_t
+    depthLocked() const
+    {
+        return _high.size() + _normal.size() + _low.size();
+    }
+
+    std::deque<T> &
+    band(Priority p)
+    {
+        switch (p) {
+        case Priority::High:
+            return _high;
+        case Priority::Low:
+            return _low;
+        case Priority::Normal:
+            break;
+        }
+        return _normal;
+    }
+
+    static obs::Gauge &
+    depthGauge()
+    {
+        static auto &g = obs::gauge("daemon.queue.depth",
+                                    "admitted jobs awaiting a "
+                                    "submitter");
+        return g;
+    }
+
+    AdmissionConfig _cfg;
+    mutable std::mutex _mutex;
+    std::condition_variable _available;
+    std::deque<T> _high;
+    std::deque<T> _normal;
+    std::deque<T> _low;
+    std::map<std::string, std::size_t> _inFlight;
+    bool _draining = false;
+};
+
+} // namespace qtenon::service::daemon
+
+#endif // QTENON_SERVICE_DAEMON_ADMISSION_HH

@@ -1,0 +1,186 @@
+#include "client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace qtenon::service::daemon {
+
+DaemonClient::~DaemonClient()
+{
+    close();
+}
+
+void
+DaemonClient::connect(const std::string &socket_path)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error(
+            "client: socket path empty or too long: " +
+            socket_path);
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error(
+            std::string("client: socket(): ") +
+            std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error("client: connect(" + socket_path +
+                                 "): " + std::strerror(err));
+    }
+    _fd = fd;
+}
+
+void
+DaemonClient::connectWithRetry(const std::string &socket_path,
+                               std::uint64_t timeout_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        try {
+            connect(socket_path);
+            return;
+        } catch (const std::exception &) {
+            if (std::chrono::steady_clock::now() >= deadline)
+                throw;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    }
+}
+
+void
+DaemonClient::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+void
+DaemonClient::sendPayload(const std::string &payload)
+{
+    if (_fd < 0)
+        throw std::runtime_error("client: not connected");
+    writeFrame(_fd, payload);
+}
+
+void
+DaemonClient::sendJson(const json::Value &v)
+{
+    sendPayload(v.dump(0));
+}
+
+void
+DaemonClient::submitAsync(const JobRequest &req, std::uint64_t id,
+                          Priority priority)
+{
+    sendJson(makeSubmit(req, id, priority));
+}
+
+Response
+DaemonClient::readResponse()
+{
+    if (_fd < 0)
+        throw std::runtime_error("client: not connected");
+    std::string payload;
+    if (!readFrame(_fd, payload))
+        throw std::runtime_error(
+            "client: daemon closed the connection");
+    return decodeResponse(payload);
+}
+
+Response
+DaemonClient::submit(const JobRequest &req, std::uint64_t id,
+                     Priority priority)
+{
+    submitAsync(req, id, priority);
+    return readResponse();
+}
+
+Response
+DaemonClient::ping(std::uint64_t id)
+{
+    json::Value v = json::Value::object();
+    v.set("type", "ping");
+    v.set("id", id);
+    sendJson(v);
+    return readResponse();
+}
+
+Response
+DaemonClient::stats(std::uint64_t id)
+{
+    json::Value v = json::Value::object();
+    v.set("type", "stats");
+    v.set("id", id);
+    sendJson(v);
+    return readResponse();
+}
+
+Response
+DaemonClient::shutdown(std::uint64_t id)
+{
+    json::Value v = json::Value::object();
+    v.set("type", "shutdown");
+    v.set("id", id);
+    sendJson(v);
+    return readResponse();
+}
+
+Response
+decodeResponse(const std::string &payload)
+{
+    Response r;
+    r.body = json::Value::parse(payload);
+    r.type = r.body.at("type").asString();
+    if (const auto *id = r.body.find("id"))
+        r.id = id->asUint();
+    // "cache" is the hit/miss string on result frames but a stats
+    // object on stats frames.
+    if (const auto *cache = r.body.find("cache"))
+        if (cache->isString())
+            r.cacheState = cache->asString();
+    if (const auto *key = r.body.find("key"))
+        r.key = key->asString();
+    if (const auto *reason = r.body.find("reason"))
+        r.reason = reason->asString();
+    if (const auto *error = r.body.find("error"))
+        r.error = error->asString();
+    if (r.type == "result") {
+        // The daemon appends "result" as the envelope's final
+        // member, so its serialized bytes sit verbatim between the
+        // member name and the closing brace — slice them out rather
+        // than re-serializing, so byte-identity checks compare what
+        // was actually on the wire.
+        static const std::string marker = ",\"result\":";
+        const auto pos = payload.find(marker);
+        if (pos == std::string::npos || payload.empty() ||
+            payload.back() != '}')
+            throw std::runtime_error(
+                "client: malformed result envelope");
+        const auto start = pos + marker.size();
+        r.resultBytes =
+            payload.substr(start, payload.size() - start - 1);
+    }
+    return r;
+}
+
+} // namespace qtenon::service::daemon

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Synchronous qtenond client: connect to the daemon's AF_UNIX
+ * socket, speak the frame protocol, and expose typed calls for each
+ * message kind. One client == one connection == one outstanding
+ * pipeline of requests; responses to pipelined submits arrive in
+ * completion order, matched back to requests by the echoed "id".
+ *
+ * Used by the loadgen bench, the daemon tests, and as the reference
+ * implementation of the wire protocol from the client side.
+ */
+
+#ifndef QTENON_SERVICE_DAEMON_CLIENT_HH
+#define QTENON_SERVICE_DAEMON_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "protocol.hh"
+#include "service/json.hh"
+
+namespace qtenon::service::daemon {
+
+/** One daemon reply, decoded. */
+struct Response {
+    /** "result", "rejected", "error", "pong", "stats",
+     *  "shutting_down". */
+    std::string type;
+    /** Echo of the request id (0 if the daemon had none). */
+    std::uint64_t id = 0;
+    /** "hit" or "miss" for result frames. */
+    std::string cacheState;
+    /** Cache key hex for result frames. */
+    std::string key;
+    /** Rejection reason ("queue_full", "quota", "draining"). */
+    std::string reason;
+    /** Error message for error frames. */
+    std::string error;
+    /** The full decoded frame. */
+    json::Value body;
+    /** The raw "result" member bytes, extracted verbatim from the
+     *  frame payload (byte-identity checks compare these). */
+    std::string resultBytes;
+
+    bool isResult() const { return type == "result"; }
+    bool isRejected() const { return type == "rejected"; }
+    bool isError() const { return type == "error"; }
+};
+
+class DaemonClient
+{
+  public:
+    DaemonClient() = default;
+    ~DaemonClient();
+
+    DaemonClient(const DaemonClient &) = delete;
+    DaemonClient &operator=(const DaemonClient &) = delete;
+
+    /** Connect to @p socket_path; throws std::runtime_error. */
+    void connect(const std::string &socket_path);
+    /**
+     * connect() with retries while the daemon is still binding its
+     * socket; throws after @p timeout_ms of refused attempts.
+     */
+    void connectWithRetry(const std::string &socket_path,
+                          std::uint64_t timeout_ms = 5000);
+    void close();
+    bool connected() const { return _fd >= 0; }
+
+    /** Fire one submit frame; does not wait for the response. */
+    void submitAsync(const JobRequest &req, std::uint64_t id,
+                     Priority priority = Priority::Normal);
+    /** Send one raw frame payload verbatim (protocol tests). */
+    void sendPayload(const std::string &payload);
+    /** Read the next response frame; throws on EOF/protocol error. */
+    Response readResponse();
+
+    /** Submit and wait for the matching response. */
+    Response submit(const JobRequest &req, std::uint64_t id,
+                    Priority priority = Priority::Normal);
+
+    Response ping(std::uint64_t id = 0);
+    Response stats(std::uint64_t id = 0);
+    /** Ask the daemon to drain; returns the shutting_down frame. */
+    Response shutdown(std::uint64_t id = 0);
+
+  private:
+    void sendJson(const json::Value &v);
+
+    int _fd = -1;
+};
+
+/** Decode one response payload (exposed for protocol tests). */
+Response decodeResponse(const std::string &payload);
+
+} // namespace qtenon::service::daemon
+
+#endif // QTENON_SERVICE_DAEMON_CLIENT_HH

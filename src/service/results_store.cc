@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/hash.hh"
 #include "json.hh"
 
 namespace qtenon::service {
@@ -77,8 +78,10 @@ systemRunFromJson(const json::Value &v)
     return s;
 }
 
+} // namespace
+
 json::Value
-resultToJson(const JobResult &r, bool deterministic_only)
+jobResultToJson(const JobResult &r, bool deterministic_only)
 {
     json::Value o = json::Value::object();
     o.set("job_id", r.jobId);
@@ -119,7 +122,7 @@ resultToJson(const JobResult &r, bool deterministic_only)
 }
 
 JobResult
-resultFromJson(const json::Value &v)
+jobResultFromJson(const json::Value &v)
 {
     JobResult r;
     r.jobId = v.at("job_id").asUint();
@@ -155,8 +158,6 @@ resultFromJson(const json::Value &v)
         r.wallNs = w->asUint();
     return r;
 }
-
-} // namespace
 
 void
 ResultsStore::add(JobResult r)
@@ -237,7 +238,7 @@ ResultsStore::toJson(std::ostream &os, bool deterministic_only) const
     json::Value results = json::Value::array();
     for (const auto &r : sorted())
         results.asArray().push_back(
-            resultToJson(r, deterministic_only));
+            jobResultToJson(r, deterministic_only));
     doc.set("results", std::move(results));
     doc.write(os, 2);
     os << "\n";
@@ -265,7 +266,7 @@ ResultsStore::fromJsonString(const std::string &text)
     }
     ResultsStore store;
     for (const auto &r : doc.at("results").asArray())
-        store.add(resultFromJson(r));
+        store.add(jobResultFromJson(r));
     return store;
 }
 
@@ -280,13 +281,7 @@ ResultsStore::fromJson(std::istream &is)
 std::uint64_t
 ResultsStore::deterministicDigest() const
 {
-    const std::string text = toJsonString(/*deterministic_only=*/true);
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : text) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    return core::fnv1a(toJsonString(/*deterministic_only=*/true));
 }
 
 } // namespace qtenon::service

@@ -20,6 +20,22 @@
 
 namespace qtenon::service {
 
+namespace json {
+class Value;
+}
+
+/**
+ * One JobResult as a JSON object (the element shape of the v1
+ * results document). @p deterministic_only drops wall-clock fields,
+ * so two serializations of bit-identical simulation outcomes compare
+ * byte-equal — the daemon's result cache stores exactly these bytes.
+ */
+json::Value jobResultToJson(const JobResult &r,
+                            bool deterministic_only = false);
+
+/** Re-import one jobResultToJson() object. */
+JobResult jobResultFromJson(const json::Value &v);
+
 /** Thread-safe collection of JobResults keyed by job id. */
 class ResultsStore
 {

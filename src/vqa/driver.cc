@@ -1,13 +1,46 @@
 #include "driver.hh"
 
+#include <bit>
 #include <memory>
 #include <optional>
 
 #include "evaluator.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
+#include "quantum/kernels.hh"
 
 namespace qtenon::vqa {
+
+std::string
+canonicalText(const DriverConfig &cfg)
+{
+    static const char digits[] = "0123456789abcdef";
+    const auto ro = std::bit_cast<std::uint64_t>(cfg.readoutError);
+    std::string rohex(16, '0');
+    for (int i = 0; i < 16; ++i)
+        rohex[15 - i] = digits[(ro >> (4 * i)) & 0xf];
+
+    std::string out;
+    out += "shots=" + std::to_string(cfg.shots);
+    out += ";iters=" + std::to_string(cfg.iterations);
+    out += ";opt=";
+    out += cfg.optimizer == OptimizerKind::GradientDescent ? "gd"
+                                                           : "spsa";
+    out += ";seed=" + std::to_string(cfg.seed);
+    out += ";cap=" + std::to_string(cfg.exactCap);
+    out += ";backend=";
+    out += quantum::backendKindName(cfg.backend);
+    out += ";fuse=" + std::to_string(cfg.kernel.fuse1q ? 1 : 0);
+    out += ";threads=" + std::to_string(cfg.kernel.threads);
+    out += ";pmin=" + std::to_string(cfg.kernel.parallelMinQubits);
+    out += ";simd=";
+    out += quantum::simdModeName(cfg.kernel.simd);
+    out += ";shotdata=" +
+        std::to_string(cfg.recordShotData ? 1 : 0);
+    out += ";exact=" + std::to_string(cfg.useExactCost ? 1 : 0);
+    out += ";ro=" + rohex;
+    return out;
+}
 
 runtime::VqaTrace
 VqaDriver::run(Workload &w)

@@ -57,6 +57,19 @@ struct DriverConfig {
     fault::RetryPolicy evalRetry{.maxAttempts = 3};
 };
 
+/**
+ * Canonical textual form of every DriverConfig field that can alter
+ * a job's functional or recorded outcome: shots, iterations,
+ * optimizer, seed, exact cap, backend kind, kernel knobs (fusion and
+ * SIMD mode are included even though they are bit-identical by
+ * contract — the cache key is deliberately conservative), exact-cost
+ * mode, readout error (raw IEEE-754 bits), and shot-data recording.
+ * The fault injector pointer is excluded; the owning JobSpec's
+ * FaultSpec canonicalizes separately. Used by the daemon's
+ * content-addressed result-cache key.
+ */
+std::string canonicalText(const DriverConfig &cfg);
+
 /** Runs workloads functionally and produces timing traces. */
 class VqaDriver
 {

@@ -193,6 +193,91 @@ TEST_F(ObsTest, HistogramEmptyMinIsZero)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST_F(ObsTest, QuantileEdgeCases)
+{
+    obs::Histogram h;
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0) << "empty histogram";
+
+    h.record(42);
+    // One sample: every quantile is that sample.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+
+    obs::Histogram same;
+    for (int i = 0; i < 100; ++i)
+        same.record(777);
+    // All-equal samples: min/max clamping makes the interpolation
+    // exact at every rank.
+    EXPECT_DOUBLE_EQ(same.quantile(0.5), 777.0);
+    EXPECT_DOUBLE_EQ(same.quantile(0.99), 777.0);
+    EXPECT_DOUBLE_EQ(same.quantile(0.999), 777.0);
+}
+
+TEST_F(ObsTest, QuantileBoundsAndMonotonicity)
+{
+    obs::Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    const auto snap = h.snapshot();
+    // q=0 / q=1 are exactly min/max.
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1000.0);
+    // Bucket interpolation is approximate but must stay within the
+    // recorded range, be monotone in q, and land in the right
+    // bucket-sized neighborhood of the true quantile.
+    double prev = 0.0;
+    for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+        const double est = snap.quantile(q);
+        EXPECT_GE(est, 1.0) << q;
+        EXPECT_LE(est, 1000.0) << q;
+        EXPECT_GE(est, prev) << q;
+        prev = est;
+        // Log2 buckets are at most a factor of two wide: the
+        // estimate is within 2x either way of the exact rank value.
+        const double exact = 1.0 + q * 999.0;
+        EXPECT_LE(est, exact * 2.0) << q;
+        EXPECT_GE(est, exact / 2.0) << q;
+    }
+    EXPECT_DOUBLE_EQ(snap.p50(), snap.quantile(0.5));
+    EXPECT_DOUBLE_EQ(snap.p99(), snap.quantile(0.99));
+    EXPECT_DOUBLE_EQ(snap.p999(), snap.quantile(0.999));
+}
+
+TEST_F(ObsTest, QuantileInterpolatesWithinBucket)
+{
+    obs::Histogram h;
+    // 100 samples spread across one bucket [64, 128).
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.record(64 + (v * 63) / 99);
+    const auto snap = h.snapshot();
+    const double p50 = snap.quantile(0.5);
+    // The true median is ~95.5; interpolation inside the bucket
+    // must do far better than either edge.
+    EXPECT_GT(p50, 80.0);
+    EXPECT_LT(p50, 110.0);
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesQuantiles)
+{
+    auto &h = obs::histogram("test.quantile.hist", "latency");
+    for (std::uint64_t v = 1; v <= 64; ++v)
+        h.record(v);
+    std::ostringstream os;
+    obs::registry().writeJson(os);
+    const auto doc = service::json::Value::parse(os.str());
+    const Value &entry =
+        doc.at("histograms").at("test.quantile.hist");
+    for (const char *q : {"p50", "p99", "p999"}) {
+        ASSERT_NE(entry.find(q), nullptr) << q;
+        EXPECT_GT(entry.find(q)->asDouble(), 0.0) << q;
+    }
+    EXPECT_LE(entry.at("p50").asDouble(),
+              entry.at("p99").asDouble());
+    EXPECT_LE(entry.at("p99").asDouble(),
+              entry.at("p999").asDouble());
+}
+
 TEST_F(ObsTest, RegistryInternsByName)
 {
     auto &a = obs::counter("test.registry.counter", "first desc");

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Content-addressed result cache tests: cache-key canonicalization
+ * (equal requests collide, every outcome-affecting field separates),
+ * LRU bookkeeping, and the daemon's byte-identity contract — a cache
+ * hit replays exactly the bytes a recompute produces, at any worker
+ * count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/daemon/client.hh"
+#include "service/daemon/daemon.hh"
+#include "service/daemon/result_cache.hh"
+
+using namespace qtenon;
+using namespace qtenon::service::daemon;
+
+namespace {
+
+JobRequest
+baseRequest()
+{
+    JobRequest req;
+    req.name = "cache-key-base";
+    req.client = "tester";
+    req.algorithm = "qaoa";
+    req.qubits = 6;
+    req.shots = 100;
+    req.iterations = 3;
+    req.seed = 11;
+    return req;
+}
+
+std::string
+testSocketPath(const char *tag)
+{
+    return "/tmp/qtenon_rc_" + std::to_string(::getpid()) + "_" +
+        tag + ".sock";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Key canonicalization.
+
+TEST(CacheKey, EqualRequestsProduceEqualKeys)
+{
+    const JobRequest a = baseRequest();
+    JobRequest b = baseRequest();
+    EXPECT_EQ(cacheKeyOf(a), cacheKeyOf(b));
+    EXPECT_EQ(cacheKeyOf(a).hex(), cacheKeyOf(b).hex());
+}
+
+TEST(CacheKey, IdentityFieldsAreExcluded)
+{
+    // Display name, client identity, and the deadline change who
+    // asked and whether a result exists — never its content.
+    const CacheKey base = cacheKeyOf(baseRequest());
+    JobRequest req = baseRequest();
+    req.name = "renamed";
+    EXPECT_EQ(cacheKeyOf(req), base);
+    req = baseRequest();
+    req.client = "someone-else";
+    EXPECT_EQ(cacheKeyOf(req), base);
+    req = baseRequest();
+    req.timeoutMs = 5000;
+    EXPECT_EQ(cacheKeyOf(req), base);
+}
+
+TEST(CacheKey, EveryOutcomeFieldSeparatesKeys)
+{
+    const CacheKey base = cacheKeyOf(baseRequest());
+    std::vector<std::pair<const char *, JobRequest>> variants;
+
+    JobRequest v = baseRequest();
+    v.algorithm = "vqe";
+    variants.emplace_back("algorithm", v);
+    v = baseRequest();
+    v.qubits = 8;
+    variants.emplace_back("qubits", v);
+    v = baseRequest();
+    v.layers = 3;
+    variants.emplace_back("layers", v);
+    v = baseRequest();
+    v.shots = 101;
+    variants.emplace_back("shots", v);
+    v = baseRequest();
+    v.iterations = 4;
+    variants.emplace_back("iterations", v);
+    v = baseRequest();
+    v.optimizer = "spsa";
+    variants.emplace_back("optimizer", v);
+    v = baseRequest();
+    v.seed = 12;
+    variants.emplace_back("seed", v);
+    v = baseRequest();
+    v.backend = "statevector";
+    variants.emplace_back("backend", v);
+    v = baseRequest();
+    v.svSimd = "scalar";
+    variants.emplace_back("sv_simd", v);
+    v = baseRequest();
+    v.svFusion = true;
+    variants.emplace_back("sv_fusion", v);
+    v = baseRequest();
+    v.exactCost = true;
+    variants.emplace_back("exact_cost", v);
+    v = baseRequest();
+    v.readoutError = 0.01;
+    variants.emplace_back("readout_error", v);
+    v = baseRequest();
+    v.faultSpec = "eth.drop=0.5";
+    variants.emplace_back("fault_spec", v);
+    v = baseRequest();
+    v.hosts = {"rocket", "boom-l"};
+    variants.emplace_back("hosts", v);
+    v = baseRequest();
+    v.runBaseline = true;
+    variants.emplace_back("baseline", v);
+
+    std::vector<CacheKey> keys{base};
+    for (const auto &[field, req] : variants) {
+        const CacheKey k = cacheKeyOf(req);
+        EXPECT_NE(k, base) << field << " must change the key";
+        for (const CacheKey &seen : keys)
+            EXPECT_NE(k, seen)
+                << field << " collided with an earlier variant";
+        keys.push_back(k);
+    }
+}
+
+TEST(CacheKey, ReadoutErrorIsKeyedOnExactBits)
+{
+    // Adjacent representable doubles must separate: the key hashes
+    // the bit pattern, not a formatted decimal rendering.
+    JobRequest a = baseRequest();
+    a.readoutError = 0.1;
+    JobRequest b = baseRequest();
+    b.readoutError = std::nextafter(0.1, 1.0);
+    EXPECT_NE(cacheKeyOf(a), cacheKeyOf(b));
+}
+
+// ---------------------------------------------------------------
+// LRU mechanics.
+
+TEST(ResultCacheLru, InsertLookupRoundTrip)
+{
+    ResultCache cache(4);
+    const CacheKey k = core::fnv1a128("entry");
+    EXPECT_EQ(cache.lookup(k), nullptr);
+    cache.insert(k, "payload");
+    auto hit = cache.lookup(k);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, "payload");
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ResultCacheLru, EvictsLeastRecentlyUsed)
+{
+    ResultCache cache(2);
+    const CacheKey a = core::fnv1a128("a");
+    const CacheKey b = core::fnv1a128("b");
+    const CacheKey c = core::fnv1a128("c");
+    cache.insert(a, "A");
+    cache.insert(b, "B");
+    // Touch a so b becomes the LRU victim.
+    ASSERT_NE(cache.lookup(a), nullptr);
+    cache.insert(c, "C");
+    EXPECT_NE(cache.lookup(a), nullptr);
+    EXPECT_EQ(cache.lookup(b), nullptr);
+    EXPECT_NE(cache.lookup(c), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheLru, ZeroCapacityDisables)
+{
+    ResultCache cache(0);
+    EXPECT_FALSE(cache.enabled());
+    const CacheKey k = core::fnv1a128("x");
+    cache.insert(k, "X");
+    EXPECT_EQ(cache.lookup(k), nullptr);
+    EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+// ---------------------------------------------------------------
+// Byte-identity across worker counts: the same request served by a
+// one-worker daemon, an eight-worker daemon, a cache hit, and a
+// cache-disabled recompute must produce identical result bytes.
+
+namespace {
+
+JobRequest
+identityRequest()
+{
+    JobRequest req;
+    req.name = "identity";
+    req.client = "identity-tester";
+    req.algorithm = "vqe";
+    req.qubits = 4;
+    req.shots = 50;
+    req.iterations = 2;
+    req.seed = 23;
+    return req;
+}
+
+std::string
+serveOnce(Daemon &daemon, const JobRequest &req,
+          std::string *cache_state = nullptr)
+{
+    DaemonClient client;
+    client.connectWithRetry(daemon.socketPath());
+    const Response resp = client.submit(req, 1);
+    EXPECT_TRUE(resp.isResult()) << resp.type << " " << resp.error;
+    if (cache_state)
+        *cache_state = resp.cacheState;
+    return resp.resultBytes;
+}
+
+} // namespace
+
+TEST(ByteIdentity, HitMatchesRecomputeAtAnyWorkerCount)
+{
+    const JobRequest req = identityRequest();
+
+    DaemonConfig one;
+    one.socketPath = testSocketPath("w1");
+    one.workers = 1;
+    Daemon daemonOne(one);
+    daemonOne.start();
+    std::string state;
+    const std::string coldOne = serveOnce(daemonOne, req, &state);
+    EXPECT_EQ(state, "miss");
+    const std::string hitOne = serveOnce(daemonOne, req, &state);
+    EXPECT_EQ(state, "hit");
+    daemonOne.stop();
+
+    DaemonConfig eight;
+    eight.socketPath = testSocketPath("w8");
+    eight.workers = 8;
+    Daemon daemonEight(eight);
+    daemonEight.start();
+    const std::string coldEight =
+        serveOnce(daemonEight, req, &state);
+    EXPECT_EQ(state, "miss");
+    daemonEight.stop();
+
+    DaemonConfig uncached;
+    uncached.socketPath = testSocketPath("nc");
+    uncached.workers = 8;
+    uncached.cacheCapacity = 0;
+    Daemon daemonUncached(uncached);
+    daemonUncached.start();
+    const std::string recompute1 =
+        serveOnce(daemonUncached, req, &state);
+    EXPECT_EQ(state, "miss");
+    const std::string recompute2 =
+        serveOnce(daemonUncached, req, &state);
+    EXPECT_EQ(state, "miss");
+    daemonUncached.stop();
+
+    ASSERT_FALSE(coldOne.empty());
+    EXPECT_EQ(coldOne, hitOne) << "hit != recompute";
+    EXPECT_EQ(coldOne, coldEight) << "worker count leaked in";
+    EXPECT_EQ(recompute1, recompute2)
+        << "recompute not deterministic";
+    EXPECT_EQ(coldOne, recompute1)
+        << "cache-disabled recompute diverged";
+}
+
+TEST(ByteIdentity, ResultBytesAreValidDeterministicJson)
+{
+    DaemonConfig cfg;
+    cfg.socketPath = testSocketPath("js");
+    cfg.workers = 2;
+    Daemon daemon(cfg);
+    daemon.start();
+    const std::string bytes = serveOnce(daemon, identityRequest());
+    daemon.stop();
+
+    const auto v = service::json::Value::parse(bytes);
+    ASSERT_TRUE(v.isObject());
+    // Identity fields the daemon normalizes.
+    EXPECT_EQ(v.at("job_id").asUint(), 0u);
+    EXPECT_EQ(v.at("name").asString(), "");
+    EXPECT_EQ(v.at("status").asString(), "ok");
+    // Wall-clock fields are dropped from the deterministic form.
+    EXPECT_EQ(v.find("wall_ns"), nullptr);
+    // Round trip is byte-stable.
+    EXPECT_EQ(service::json::Value::parse(bytes).dump(0), bytes);
+}
