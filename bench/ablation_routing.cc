@@ -12,6 +12,7 @@
 
 #include "bench_util.hh"
 
+#include "isa/pass/swap_routing.hh"
 #include "quantum/mapping.hh"
 #include "service/batch_scheduler.hh"
 #include "sweep_cli.hh"
@@ -36,13 +37,12 @@ routingJob(vqa::Algorithm alg, std::uint32_t n)
         auto w = vqa::Workload::build(wcfg);
 
         quantum::QuantumTimingModel timing;
-        quantum::Router router;
 
         const auto base = timing.schedule(w.circuit).duration;
         ctx.token.checkpoint();
 
-        auto lin =
-            router.route(w.circuit, quantum::CouplingMap::linear(n));
+        auto lin = isa::pass::routeCircuit(
+            w.circuit, quantum::CouplingMap::linear(n));
         const auto lin_t = timing.schedule(lin.circuit).duration;
         ctx.token.checkpoint();
 
@@ -51,9 +51,8 @@ routingJob(vqa::Algorithm alg, std::uint32_t n)
         while (rows * rows < n)
             ++rows;
         const auto cols = (n + rows - 1) / rows;
-        auto grd =
-            router.route(w.circuit,
-                         quantum::CouplingMap::grid(rows, cols));
+        auto grd = isa::pass::routeCircuit(
+            w.circuit, quantum::CouplingMap::grid(rows, cols));
         const auto grd_t = timing.schedule(grd.circuit).duration;
 
         auto &m = ctx.result.metrics;

@@ -24,6 +24,10 @@
  *   --fault-spec S   deterministic fault plan, e.g.
  *                    eth.drop=0.01,adi.jitter=200 (see
  *                    fault::FaultSpec::parse)
+ *   --dump-after PASS print the compile context after the named
+ *                    lowering pass (isa/pass/)
+ *   --compile-cache N share a content-addressed compile cache of
+ *                    N structural images across the batch
  *   --retry-attempts N    job-level retry budget (default 1)
  *   --retry-backoff-ms N  base backoff before the first job retry
  *   --retry-jitter F      backoff jitter fraction in [0, 1)
@@ -51,6 +55,8 @@
 #include <vector>
 
 #include "fault/fault.hh"
+#include "isa/pass/compile_cache.hh"
+#include "isa/pass/pass_manager.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
 #include "option_registry.hh"
@@ -80,6 +86,13 @@ struct SweepCli {
     fault::RetryPolicy retry;
     /** The installed trace sink (kept alive until finish()). */
     std::shared_ptr<obs::TraceEventSink> trace;
+    /** --dump-after pass name (empty = no dump). */
+    std::string dumpAfter;
+    /** --compile-cache capacity; 0 = no cache (the default). */
+    std::size_t compileCacheCap = 0;
+    /** The process-global compile cache --compile-cache installed
+     *  (kept alive for the binary's lifetime). */
+    std::shared_ptr<isa::CompileCache> compileCache;
 
     /** Apply the backend/kernel knobs to one job's driver config. */
     void
@@ -249,6 +262,22 @@ registerSweepOptions(cli::OptionRegistry &reg, SweepCli &cli)
             "install a Chrome trace-event sink and write the "
             "timeline JSON at exit (load in Perfetto)",
             &cli.traceOutPath);
+    reg.str("--dump-after", "PASS",
+            "print the compile context after the named lowering "
+            "pass (gate-fusion, swap-routing, edge-coloring, "
+            "slt-layout, entry-packing)",
+            &cli.dumpAfter);
+    reg.add("--compile-cache", "N",
+            "share a content-addressed compile cache of N "
+            "structural images across the batch (0 = no cache, "
+            "the default; images are byte-identical either way)",
+            [&cli](const std::string &v) {
+                const long n = std::strtol(v.c_str(), nullptr, 10);
+                if (n < 0)
+                    sim::fatal("--compile-cache must be >= 0");
+                cli.compileCacheCap =
+                    static_cast<std::size_t>(n);
+            });
     reg.add("--fault-spec", "SPEC",
             "deterministic fault plan, e.g. "
             "eth.drop=0.01,adi.jitter=200 (kinds: drop dup corrupt "
@@ -305,6 +334,13 @@ parseSweepCli(int argc, char **argv,
     reg.parse(argc, argv);
     if (!cli.metricsJsonPath.empty())
         obs::setMetricsEnabled(true);
+    if (!cli.dumpAfter.empty())
+        isa::pass::setDumpAfter(cli.dumpAfter);
+    if (cli.compileCacheCap > 0) {
+        cli.compileCache = std::make_shared<isa::CompileCache>(
+            cli.compileCacheCap);
+        isa::setProcessCompileCache(cli.compileCache.get());
+    }
     if (!cli.traceOutPath.empty()) {
         cli.trace = std::make_shared<obs::TraceEventSink>();
         obs::setTraceSink(cli.trace.get());

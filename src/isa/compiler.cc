@@ -1,53 +1,75 @@
 #include "compiler.hh"
 
+#include <algorithm>
+#include <memory>
+
+#include "pass/edge_coloring.hh"
+#include "pass/entry_packing.hh"
+#include "pass/gate_fusion.hh"
+#include "pass/slt_layout.hh"
+#include "pass/swap_routing.hh"
+#include "quantum/mapping.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::isa {
 
-using controller::EntryStatus;
 using controller::ProgramEntry;
-using quantum::GateType;
+
+std::string
+PipelineConfig::canonicalText() const
+{
+    std::string out = "fuse=";
+    out += fuseLiteralRotations ? '1' : '0';
+    out += ";coupling=";
+    if (!coupling) {
+        out += "none";
+        return out;
+    }
+    out += "{n=" + std::to_string(coupling->numQubits()) + ";e=[";
+    bool first = true;
+    for (std::uint32_t a = 0; a < coupling->numQubits(); ++a) {
+        auto higher = coupling->neighbors(a);
+        std::sort(higher.begin(), higher.end());
+        for (auto b : higher) {
+            if (b <= a)
+                continue; // undirected: list each edge once
+            if (!first)
+                out += ',';
+            first = false;
+            out += std::to_string(a) + "-" + std::to_string(b);
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+pass::PassManager
+QtenonCompiler::buildPipeline() const
+{
+    pass::PassManager pm;
+    pm.add(std::make_unique<pass::GateFusion>(
+        _pipe.fuseLiteralRotations));
+    pm.add(std::make_unique<pass::SwapRouting>());
+    pm.add(std::make_unique<pass::EdgeColoredScheduling>());
+    pm.add(std::make_unique<pass::SltLayout>());
+    pm.add(std::make_unique<pass::ProgramEntryPacking>());
+    return pm;
+}
+
+std::string
+QtenonCompiler::pipelineDescription() const
+{
+    return buildPipeline().description();
+}
 
 ProgramImage
 QtenonCompiler::compile(const quantum::QuantumCircuit &c) const
 {
-    ProgramImage img;
-    img.numQubits = c.numQubits();
-    img.perQubit.resize(c.numQubits());
-    img.paramToReg.assign(c.numParameters(), ~std::uint32_t(0));
-
-    // One regfile slot per symbolic parameter, allocated in parameter
-    // order so the optimizer can address slots directly.
-    for (std::uint32_t p = 0; p < c.numParameters(); ++p) {
-        img.paramToReg[p] = p;
-        img.regfileInit.push_back(
-            ProgramEntry::encodeAngle(c.parameter(p)));
-    }
-
-    auto emit = [&](std::uint32_t qubit, const quantum::Gate &g) {
-        ProgramEntry e;
-        e.type = ProgramEntry::encodeType(g.type);
-        e.status = EntryStatus::Invalid;
-        if (quantum::isParameterized(g.type) && g.param.isSymbolic()) {
-            e.regFlag = true;
-            e.data = img.paramToReg[g.param.index];
-            img.links.push_back(RegfileLink{
-                e.data, qubit,
-                static_cast<std::uint32_t>(img.perQubit[qubit].size())});
-        } else {
-            e.regFlag = false;
-            e.data = ProgramEntry::encodeAngle(c.resolveAngle(g));
-        }
-        img.perQubit[qubit].push_back(e);
-    };
-
-    for (const auto &g : c.gates()) {
-        // Two-qubit gates drive control pulses on both qubits.
-        emit(g.qubit0, g);
-        if (quantum::isTwoQubit(g.type))
-            emit(g.qubit1, g);
-    }
-    return img;
+    pass::CompileContext ctx;
+    ctx.circuit = c;
+    ctx.coupling = _pipe.coupling;
+    buildPipeline().run(ctx);
+    return std::move(ctx.image);
 }
 
 UpdatePlan
@@ -80,6 +102,14 @@ double
 QtenonCompiler::incrementalCycles(std::size_t num_updates) const
 {
     return _cost.cyclesPerUpdate * static_cast<double>(num_updates);
+}
+
+double
+QtenonCompiler::cachedCompileCycles(const ProgramImage &image) const
+{
+    return _cost.cacheLookupCycles +
+        _cost.cyclesPerUpdate *
+        static_cast<double>(image.regfileInit.size());
 }
 
 InstructionCount

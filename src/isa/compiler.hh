@@ -7,18 +7,31 @@
  * parameters get a .regfile slot and the entry's reg_flag, so
  * *dynamic incremental compilation* reduces a parameter change to a
  * single q_update instead of a full recompile.
+ *
+ * Lowering runs through a registered pass pipeline (isa/pass/): gate
+ * fusion, SWAP routing, edge-colored layer scheduling, SLT layout
+ * analysis, and program-entry packing, each individually testable
+ * and timed. At the default PipelineConfig (no fusion, no coupling
+ * constraint) the pipeline reproduces the historical monolithic
+ * emit byte-for-byte.
  */
 
 #ifndef QTENON_ISA_COMPILER_HH
 #define QTENON_ISA_COMPILER_HH
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "pass/pass_manager.hh"
 #include "program.hh"
 #include "quantum/circuit.hh"
 #include "sim/types.hh"
+
+namespace qtenon::quantum {
+class CouplingMap;
+}
 
 namespace qtenon::isa {
 
@@ -30,6 +43,27 @@ struct CompilerCostModel {
     double fixedCycles = 2000.0;
     /** Incremental path: cycles per q_update prepared. */
     double cyclesPerUpdate = 12.0;
+    /** Cached path: key hash + cache lookup, charged instead of the
+     *  front-end fixedCycles when the structural image is served
+     *  from the compile cache. */
+    double cacheLookupCycles = 200.0;
+};
+
+/**
+ * Everything that changes what the pass pipeline emits for a given
+ * circuit. Part of the compile-cache key: two compiles may share a
+ * cached image only if their PipelineConfig canonical texts match.
+ */
+struct PipelineConfig {
+    /** Merge runs of same-axis literal rotations (off by default —
+     *  paper-figure images are defined on the unfused stream). */
+    bool fuseLiteralRotations = false;
+    /** Physical connectivity to route onto; null = all-to-all (the
+     *  paper's implicit assumption, no SWAPs inserted). Not owned. */
+    const quantum::CouplingMap *coupling = nullptr;
+
+    /** Deterministic text form for cache keying. */
+    std::string canonicalText() const;
 };
 
 /** One planned q_update: (regfile slot, encoded value). */
@@ -54,14 +88,27 @@ struct InstructionCount {
 class QtenonCompiler
 {
   public:
-    explicit QtenonCompiler(CompilerCostModel cost = CompilerCostModel{})
-        : _cost(cost)
+    explicit QtenonCompiler(CompilerCostModel cost = CompilerCostModel{},
+                            PipelineConfig pipe = PipelineConfig{})
+        : _cost(cost), _pipe(pipe)
     {}
 
     const CompilerCostModel &costModel() const { return _cost; }
+    const PipelineConfig &pipelineConfig() const { return _pipe; }
 
-    /** Compile @p c into a program image. */
+    /** Compile @p c into a program image via the pass pipeline. */
     ProgramImage compile(const quantum::QuantumCircuit &c) const;
+
+    /**
+     * The registered lowering pipeline for this compiler's config:
+     * gate-fusion | swap-routing | edge-coloring | slt-layout |
+     * entry-packing. Exposed so tools can attach dump hooks or run
+     * it over a caller-owned CompileContext.
+     */
+    pass::PassManager buildPipeline() const;
+
+    /** '|'-joined pass names (recorded in artifacts). */
+    std::string pipelineDescription() const;
 
     /**
      * Plan the q_updates needed to move the installed image from
@@ -79,6 +126,13 @@ class QtenonCompiler
     double incrementalCycles(std::size_t num_updates) const;
 
     /**
+     * Host cycles for a compile served from the structural cache:
+     * the front-end fixed cost plus one update-path refill per
+     * regfile slot — the per-entry emit work is skipped entirely.
+     */
+    double cachedCompileCycles(const ProgramImage &image) const;
+
+    /**
      * Qtenon instruction count for a full VQA run: one q_set per
      * qubit chunk up front, then per round @p updates_per_round
      * q_updates plus q_gen + q_run + q_acquire.
@@ -90,6 +144,7 @@ class QtenonCompiler
 
   private:
     CompilerCostModel _cost;
+    PipelineConfig _pipe;
 };
 
 } // namespace qtenon::isa

@@ -1,0 +1,34 @@
+#include "edge_coloring.hh"
+
+namespace qtenon::isa::pass {
+
+LayerSchedule
+EdgeColoredScheduling::schedule(const quantum::QuantumCircuit &c)
+{
+    LayerSchedule sched;
+    // layer q's gates may start at; ASAP greedy is deterministic and
+    // optimal for the chain-structured ansaetze the workloads build.
+    std::vector<std::uint32_t> ready(c.numQubits(), 0);
+    const auto &gates = c.gates();
+    for (std::uint32_t i = 0; i < gates.size(); ++i) {
+        const auto &g = gates[i];
+        std::uint32_t layer = ready[g.qubit0];
+        if (quantum::isTwoQubit(g.type))
+            layer = std::max(layer, ready[g.qubit1]);
+        if (layer >= sched.layers.size())
+            sched.layers.resize(layer + 1);
+        sched.layers[layer].push_back(i);
+        ready[g.qubit0] = layer + 1;
+        if (quantum::isTwoQubit(g.type))
+            ready[g.qubit1] = layer + 1;
+    }
+    return sched;
+}
+
+void
+EdgeColoredScheduling::run(CompileContext &ctx) const
+{
+    ctx.schedule = schedule(ctx.circuit);
+}
+
+} // namespace qtenon::isa::pass

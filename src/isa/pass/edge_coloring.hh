@@ -1,0 +1,35 @@
+/**
+ * @file
+ * EdgeColoredScheduling: partition the gate list into layers such
+ * that no two gates in a layer share a qubit — a greedy edge
+ * coloring of the circuit's interaction multigraph, where each color
+ * class is one parallel pulse slot. The layer count is the pulse-
+ * level depth the controller sequences, and the analysis is recorded
+ * in the context for downstream passes and the --dump-after surface.
+ */
+
+#ifndef QTENON_ISA_PASS_EDGE_COLORING_HH
+#define QTENON_ISA_PASS_EDGE_COLORING_HH
+
+#include "pass.hh"
+
+namespace qtenon::isa::pass {
+
+class EdgeColoredScheduling : public Pass
+{
+  public:
+    const char *name() const override { return "edge-coloring"; }
+    Field reads() const override
+    {
+        return Field::Circuit | Field::Routing;
+    }
+    Field writes() const override { return Field::Schedule; }
+    void run(CompileContext &ctx) const override;
+
+    /** Greedy ASAP layering of @p c (deterministic). */
+    static LayerSchedule schedule(const quantum::QuantumCircuit &c);
+};
+
+} // namespace qtenon::isa::pass
+
+#endif // QTENON_ISA_PASS_EDGE_COLORING_HH

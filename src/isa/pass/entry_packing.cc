@@ -1,0 +1,56 @@
+#include "entry_packing.hh"
+
+namespace qtenon::isa::pass {
+
+using controller::EntryStatus;
+using controller::ProgramEntry;
+
+ProgramImage
+ProgramEntryPacking::pack(const quantum::QuantumCircuit &c)
+{
+    ProgramImage img;
+    img.numQubits = c.numQubits();
+    img.perQubit.resize(c.numQubits());
+    img.paramToReg.assign(c.numParameters(), ~std::uint32_t(0));
+
+    // One regfile slot per symbolic parameter, allocated in parameter
+    // order so the optimizer can address slots directly.
+    for (std::uint32_t p = 0; p < c.numParameters(); ++p) {
+        img.paramToReg[p] = p;
+        img.regfileInit.push_back(
+            ProgramEntry::encodeAngle(c.parameter(p)));
+    }
+
+    auto emit = [&](std::uint32_t qubit, const quantum::Gate &g) {
+        ProgramEntry e;
+        e.type = ProgramEntry::encodeType(g.type);
+        e.status = EntryStatus::Invalid;
+        if (quantum::isParameterized(g.type) && g.param.isSymbolic()) {
+            e.regFlag = true;
+            e.data = img.paramToReg[g.param.index];
+            img.links.push_back(RegfileLink{
+                e.data, qubit,
+                static_cast<std::uint32_t>(img.perQubit[qubit].size())});
+        } else {
+            e.regFlag = false;
+            e.data = ProgramEntry::encodeAngle(c.resolveAngle(g));
+        }
+        img.perQubit[qubit].push_back(e);
+    };
+
+    for (const auto &g : c.gates()) {
+        // Two-qubit gates drive control pulses on both qubits.
+        emit(g.qubit0, g);
+        if (quantum::isTwoQubit(g.type))
+            emit(g.qubit1, g);
+    }
+    return img;
+}
+
+void
+ProgramEntryPacking::run(CompileContext &ctx) const
+{
+    ctx.image = pack(ctx.circuit);
+}
+
+} // namespace qtenon::isa::pass

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * ProgramEntryPacking: lower the (routed) circuit IR into the
+ * per-qubit 65-bit .program entry lists, the regfile assignment for
+ * symbolic parameters, and the regfile -> entry invalidation links —
+ * the emit step absorbed from the old monolithic compiler, byte-for-
+ * byte: every paper-figure image depends on this exact layout.
+ */
+
+#ifndef QTENON_ISA_PASS_ENTRY_PACKING_HH
+#define QTENON_ISA_PASS_ENTRY_PACKING_HH
+
+#include "pass.hh"
+
+namespace qtenon::isa::pass {
+
+class ProgramEntryPacking : public Pass
+{
+  public:
+    const char *name() const override { return "entry-packing"; }
+    Field reads() const override
+    {
+        return Field::Circuit | Field::Routing;
+    }
+    Field writes() const override { return Field::Image; }
+    void run(CompileContext &ctx) const override;
+
+    /** Pack @p c into a fresh image (the legacy compile loop). */
+    static ProgramImage pack(const quantum::QuantumCircuit &c);
+};
+
+} // namespace qtenon::isa::pass
+
+#endif // QTENON_ISA_PASS_ENTRY_PACKING_HH

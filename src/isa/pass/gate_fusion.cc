@@ -1,0 +1,89 @@
+#include "gate_fusion.hh"
+
+#include "obs/metrics.hh"
+
+namespace qtenon::isa::pass {
+
+using quantum::Gate;
+using quantum::GateType;
+using quantum::ParamRef;
+using quantum::QuantumCircuit;
+
+namespace {
+
+bool
+fusableRotation(const Gate &g)
+{
+    return (g.type == GateType::RX || g.type == GateType::RY ||
+            g.type == GateType::RZ) &&
+        !g.param.isSymbolic();
+}
+
+} // namespace
+
+std::uint64_t
+GateFusion::fuse(QuantumCircuit &c)
+{
+    constexpr std::size_t none = ~std::size_t(0);
+    std::vector<Gate> out;
+    out.reserve(c.numGates());
+    /** Index in `out` of the last gate touching each qubit. */
+    std::vector<std::size_t> last(c.numQubits(), none);
+    std::uint64_t fused = 0;
+
+    for (const auto &g : c.gates()) {
+        if (fusableRotation(g) && last[g.qubit0] != none) {
+            Gate &prev = out[last[g.qubit0]];
+            if (prev.type == g.type && prev.qubit0 == g.qubit0 &&
+                fusableRotation(prev)) {
+                prev.param = ParamRef::literal(prev.param.value +
+                                               g.param.value);
+                ++fused;
+                continue;
+            }
+        }
+        const auto idx = out.size();
+        out.push_back(g);
+        last[g.qubit0] = idx;
+        if (quantum::isTwoQubit(g.type))
+            last[g.qubit1] = idx;
+    }
+
+    if (fused == 0)
+        return 0;
+
+    QuantumCircuit next(c.numQubits());
+    for (std::uint32_t p = 0; p < c.numParameters(); ++p)
+        next.addParameter(c.parameter(p), c.parameterName(p));
+    for (const auto &g : out) {
+        if (g.type == GateType::Measure)
+            next.measure(g.qubit0);
+        else if (quantum::isTwoQubit(g.type) &&
+                 quantum::isParameterized(g.type))
+            next.rotation2(g.type, g.qubit0, g.qubit1, g.param);
+        else if (quantum::isTwoQubit(g.type))
+            next.gate2(g.type, g.qubit0, g.qubit1);
+        else if (quantum::isParameterized(g.type))
+            next.rotation(g.type, g.qubit0, g.param);
+        else
+            next.gate(g.type, g.qubit0);
+    }
+    c = std::move(next);
+    return fused;
+}
+
+void
+GateFusion::run(CompileContext &ctx) const
+{
+    if (!_enabled)
+        return;
+    const auto fused = fuse(ctx.circuit);
+    if (obs::metricsEnabled() && fused) {
+        static auto &c = obs::counter(
+            "isa.pass.gate_fusion.fused",
+            "literal rotations merged away by gate fusion");
+        c.add(fused);
+    }
+}
+
+} // namespace qtenon::isa::pass

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * GateFusion: merge adjacent literal rotations of the same type on
+ * the same qubit into one gate, shrinking the .program image.
+ *
+ * Only *literal* angles fuse: a symbolic rotation's .program entry
+ * carries a regfile slot reference, and fusing two slots would break
+ * the one-slot-per-parameter q_update contract. Disabled by default
+ * (the byte-stable configuration every paper figure runs under);
+ * `PipelineConfig::fuseLiteralRotations` turns it on.
+ */
+
+#ifndef QTENON_ISA_PASS_GATE_FUSION_HH
+#define QTENON_ISA_PASS_GATE_FUSION_HH
+
+#include "pass.hh"
+
+namespace qtenon::isa::pass {
+
+class GateFusion : public Pass
+{
+  public:
+    explicit GateFusion(bool enabled) : _enabled(enabled) {}
+
+    const char *name() const override { return "gate-fusion"; }
+    Field reads() const override { return Field::Circuit; }
+    Field writes() const override { return Field::Circuit; }
+    void run(CompileContext &ctx) const override;
+
+    /** Gates removed by the last run (testing/metrics). */
+    static std::uint64_t fuse(quantum::QuantumCircuit &c);
+
+  private:
+    bool _enabled;
+};
+
+} // namespace qtenon::isa::pass
+
+#endif // QTENON_ISA_PASS_GATE_FUSION_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The pass-manager compilation pipeline's shared vocabulary: the
+ * CompileContext every pass reads/writes, the Field bitmask passes
+ * use to declare their dependencies, and the Pass interface.
+ *
+ * Lowering a circuit to a Qtenon ProgramImage used to be a monolith
+ * (the old QtenonCompiler::compile) with routing, scheduling, and
+ * SLT concerns scattered across quantum/, controller/, and isa/.
+ * Here each concern is one registered pass over one shared context;
+ * the PassManager (pass_manager.hh) validates at registration time
+ * that every field a pass reads has a producer earlier in the
+ * pipeline, so illegal orderings fail fast instead of producing
+ * silently wrong images.
+ */
+
+#ifndef QTENON_ISA_PASS_PASS_HH
+#define QTENON_ISA_PASS_PASS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "quantum/circuit.hh"
+#include "quantum/mapping.hh"
+
+namespace qtenon::isa::pass {
+
+/** Context fields a pass may declare as read or written. */
+enum class Field : std::uint32_t {
+    None = 0,
+    /** The working circuit IR (fusion rewrites it in place). */
+    Circuit = 1u << 0,
+    /** The optional physical coupling map (pipeline input). */
+    Coupling = 1u << 1,
+    /** Routing products: routed circuit, swap count, layouts. */
+    Routing = 1u << 2,
+    /** The edge-colored layer schedule. */
+    Schedule = 1u << 3,
+    /** The SLT set-pressure analysis. */
+    SltPlan = 1u << 4,
+    /** The packed ProgramImage (the pipeline's output). */
+    Image = 1u << 5,
+};
+
+constexpr Field
+operator|(Field a, Field b)
+{
+    return static_cast<Field>(static_cast<std::uint32_t>(a) |
+                              static_cast<std::uint32_t>(b));
+}
+
+constexpr Field
+operator&(Field a, Field b)
+{
+    return static_cast<Field>(static_cast<std::uint32_t>(a) &
+                              static_cast<std::uint32_t>(b));
+}
+
+constexpr bool
+covers(Field have, Field want)
+{
+    return (static_cast<std::uint32_t>(have) &
+            static_cast<std::uint32_t>(want)) ==
+        static_cast<std::uint32_t>(want);
+}
+
+/** Output of routing one circuit onto a coupling map. */
+struct RoutingResult {
+    /** The routed circuit over physical qubits. */
+    quantum::QuantumCircuit circuit{1};
+    /** SWAPs inserted (each lowered to three CNOTs). */
+    std::uint64_t swapsInserted = 0;
+    /** logical qubit -> physical qubit after the full circuit. */
+    std::vector<std::uint32_t> finalLayout;
+    /** logical qubit -> physical readout bit for its measurement. */
+    std::vector<std::uint32_t> readoutMap;
+};
+
+/** The edge-colored gate schedule (one color = one layer). */
+struct LayerSchedule {
+    /** Gate indices per layer; no two gates in a layer share a
+     *  qubit, so a layer can fire in one pulse slot. */
+    std::vector<std::vector<std::uint32_t>> layers;
+
+    std::size_t depth() const { return layers.size(); }
+};
+
+/** SLT set-pressure analysis of the lowered parameter stream. */
+struct SltLayoutPlan {
+    /** Distinct static (type, data) pulse parameters. */
+    std::uint64_t distinctStatic = 0;
+    /** Program entries whose data is a regfile slot (dynamic). */
+    std::uint64_t dynamicEntries = 0;
+    /** Static parameters landing beyond an SLT set's way count —
+     *  each predicts a capacity/conflict eviction to QSpace. */
+    std::uint64_t predictedConflicts = 0;
+    /** Static-parameter load per 7-bit SLT set index. */
+    std::vector<std::uint32_t> setLoad;
+};
+
+/** The shared state one pipeline run threads through its passes. */
+struct CompileContext {
+    /** The working circuit; passes rewriting the IR replace it. */
+    quantum::QuantumCircuit circuit{1};
+    /** Optional coupling map (not owned); null = all-to-all. */
+    const quantum::CouplingMap *coupling = nullptr;
+
+    RoutingResult routing;
+    LayerSchedule schedule;
+    SltLayoutPlan sltPlan;
+    ProgramImage image;
+};
+
+/** One registered compilation pass. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable kebab-case name (metrics, spans, --dump-after). */
+    virtual const char *name() const = 0;
+
+    /** Context fields this pass consumes. */
+    virtual Field reads() const = 0;
+
+    /** Context fields this pass produces or rewrites. */
+    virtual Field writes() const = 0;
+
+    virtual void run(CompileContext &ctx) const = 0;
+};
+
+/**
+ * Deterministic textual dump of @p ctx (the --dump-after payload):
+ * the working IR in canonical form plus whatever analyses have run.
+ * Stable across runs and worker counts by construction — it contains
+ * no pointers, wall times, or hashes of unstable state.
+ */
+std::string dumpText(const CompileContext &ctx);
+
+} // namespace qtenon::isa::pass
+
+#endif // QTENON_ISA_PASS_PASS_HH

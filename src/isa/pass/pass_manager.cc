@@ -1,0 +1,130 @@
+#include "pass_manager.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
+#include "sim/logging.hh"
+
+namespace qtenon::isa::pass {
+
+namespace {
+
+std::mutex g_dumpAfterMutex;
+std::string g_dumpAfter;
+
+} // namespace
+
+void
+setDumpAfter(std::string pass_name)
+{
+    std::lock_guard<std::mutex> lock(g_dumpAfterMutex);
+    g_dumpAfter = std::move(pass_name);
+}
+
+std::string
+dumpAfter()
+{
+    std::lock_guard<std::mutex> lock(g_dumpAfterMutex);
+    return g_dumpAfter;
+}
+
+std::string
+dumpText(const CompileContext &ctx)
+{
+    std::string out;
+    out += "circuit: ";
+    out += ctx.circuit.canonicalText(true);
+    out += "\ncoupling: ";
+    out += ctx.coupling ? "constrained" : "all-to-all";
+    out += "\nswaps: " + std::to_string(ctx.routing.swapsInserted);
+    out += "\nlayers: " + std::to_string(ctx.schedule.depth());
+    out += "\nslt: static=" +
+        std::to_string(ctx.sltPlan.distinctStatic) +
+        " dynamic=" + std::to_string(ctx.sltPlan.dynamicEntries) +
+        " conflicts=" + std::to_string(ctx.sltPlan.predictedConflicts);
+    out += "\nimage: qubits=" + std::to_string(ctx.image.numQubits) +
+        " entries=" + std::to_string(ctx.image.totalEntries()) +
+        " regs=" + std::to_string(ctx.image.regfileInit.size()) +
+        " links=" + std::to_string(ctx.image.links.size());
+    out += "\n";
+    return out;
+}
+
+PassManager::PassManager() = default;
+
+void
+PassManager::add(std::unique_ptr<Pass> p)
+{
+    if (!covers(_produced, p->reads())) {
+        sim::fatal("pass '", p->name(),
+                   "' reads a field no earlier pass produces "
+                   "(pipeline so far: ", description(), ")");
+    }
+    _produced = _produced | p->writes();
+    _passes.push_back(std::move(p));
+}
+
+std::string
+PassManager::description() const
+{
+    std::string out;
+    for (const auto &p : _passes) {
+        if (!out.empty())
+            out.push_back('|');
+        out += p->name();
+    }
+    return out;
+}
+
+bool
+PassManager::hasPass(const std::string &name) const
+{
+    for (const auto &p : _passes) {
+        if (name == p->name())
+            return true;
+    }
+    return false;
+}
+
+void
+PassManager::run(CompileContext &ctx) const
+{
+    const std::string dump_after = dumpAfter();
+    for (const auto &p : _passes) {
+        std::optional<obs::ScopedSpan> span;
+        if (obs::tracingEnabled())
+            span.emplace(std::string("isa.pass.") + p->name(),
+                         "isa");
+        if (obs::metricsEnabled()) {
+            const auto t0 = std::chrono::steady_clock::now();
+            p->run(ctx);
+            const auto ns = std::chrono::duration_cast<
+                std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0).count();
+            obs::histogram(std::string("isa.pass.") + p->name() +
+                               ".latency_ns",
+                           "wall time of one pass run")
+                .record(static_cast<std::uint64_t>(ns));
+        } else {
+            p->run(ctx);
+        }
+        if (!dump_after.empty() && dump_after == p->name()) {
+            const std::string text = dumpText(ctx);
+            if (_dumpHook) {
+                _dumpHook(p->name(), text);
+            } else {
+                std::printf("--- dump-after %s ---\n%s", p->name(),
+                            text.c_str());
+            }
+        }
+    }
+    if (!covers(_produced, Field::Image))
+        sim::fatal("pipeline '", description(),
+                   "' has no image-producing pass");
+}
+
+} // namespace qtenon::isa::pass

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The PassManager: an ordered, validated pipeline of compilation
+ * passes over one CompileContext.
+ *
+ * Registration-time validation enforces the pipeline's dependency
+ * discipline: a pass may only be added after every field it reads
+ * has a producer earlier in the pipeline (the circuit and coupling
+ * map count as inputs). Each pass run is wrapped in an obs latency
+ * histogram (`isa.pass.<name>.latency_ns` — wall clock, excluded
+ * from determinism digests by the `_ns` convention) and a trace
+ * span, and the `--dump-after=<pass>` debug surface fires a dump
+ * callback with the deterministic context dump after the named pass.
+ */
+
+#ifndef QTENON_ISA_PASS_PASS_MANAGER_HH
+#define QTENON_ISA_PASS_PASS_MANAGER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pass.hh"
+
+namespace qtenon::isa::pass {
+
+/**
+ * Process-global --dump-after selector: after the named pass runs,
+ * every PassManager emits the context dump (to its callback, or to
+ * stdout when none is set). Empty disables. Mirrors the
+ * obs::setMetricsEnabled pattern so the shared bench CLI can wire
+ * the flag without threading state through every binary.
+ */
+void setDumpAfter(std::string pass_name);
+std::string dumpAfter();
+
+class PassManager
+{
+  public:
+    /** Receives (pass name, dump text) after the dump-after pass. */
+    using DumpHook =
+        std::function<void(const std::string &, const std::string &)>;
+
+    PassManager();
+
+    /**
+     * Append @p p to the pipeline. Fatals when a field @p p reads
+     * has no producer among the inputs (Circuit, Coupling) and the
+     * passes registered so far — the ordering invariant.
+     */
+    void add(std::unique_ptr<Pass> p);
+
+    /** Registered pass names joined with '|' (artifact metadata). */
+    std::string description() const;
+
+    bool hasPass(const std::string &name) const;
+    std::size_t size() const { return _passes.size(); }
+
+    /** Override the --dump-after destination (tests, artifacts). */
+    void setDumpHook(DumpHook hook) { _dumpHook = std::move(hook); }
+
+    /**
+     * Run every pass in order over @p ctx. Fatals when the pipeline
+     * never produced the Image field — a pipeline without a packing
+     * pass compiles nothing.
+     */
+    void run(CompileContext &ctx) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> _passes;
+    /** Fields with a producer so far (inputs pre-seeded). */
+    Field _produced = Field::Circuit | Field::Coupling;
+    DumpHook _dumpHook;
+};
+
+} // namespace qtenon::isa::pass
+
+#endif // QTENON_ISA_PASS_PASS_MANAGER_HH

@@ -1,0 +1,58 @@
+#include "slt_layout.hh"
+
+#include <set>
+
+#include "controller/program_entry.hh"
+#include "controller/slt.hh"
+#include "obs/metrics.hh"
+
+namespace qtenon::isa::pass {
+
+using controller::ProgramEntry;
+using controller::SkipLookupTable;
+
+SltLayoutPlan
+SltLayout::analyse(const quantum::QuantumCircuit &c,
+                   std::uint32_t ways)
+{
+    SltLayoutPlan plan;
+    plan.setLoad.assign(128, 0);
+    // Distinct static parameters per SLT set. The SLT is per-qubit,
+    // but the ansatz repeats the same angles across qubits, so the
+    // per-set load of the distinct-parameter population is the
+    // conservative (worst-qubit) pressure estimate.
+    std::set<std::pair<std::uint8_t, std::uint32_t>> seen;
+    for (const auto &g : c.gates()) {
+        if (quantum::isParameterized(g.type) &&
+            g.param.isSymbolic()) {
+            plan.dynamicEntries +=
+                quantum::isTwoQubit(g.type) ? 2 : 1;
+            continue;
+        }
+        const auto type = ProgramEntry::encodeType(g.type);
+        const auto data = quantum::isParameterized(g.type)
+            ? ProgramEntry::encodeAngle(c.resolveAngle(g))
+            : 0;
+        if (!seen.insert({type, data}).second)
+            continue;
+        ++plan.distinctStatic;
+        const auto set = SkipLookupTable::indexOf(type, data);
+        if (++plan.setLoad[set] > ways)
+            ++plan.predictedConflicts;
+    }
+    return plan;
+}
+
+void
+SltLayout::run(CompileContext &ctx) const
+{
+    ctx.sltPlan = analyse(ctx.circuit, _ways);
+    if (obs::metricsEnabled()) {
+        static auto &conflicts = obs::counter(
+            "isa.pass.slt_layout.predicted_conflicts",
+            "static parameters overflowing an SLT set");
+        conflicts.add(ctx.sltPlan.predictedConflicts);
+    }
+}
+
+} // namespace qtenon::isa::pass

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SltLayout: predict how the compiled parameter stream will land in
+ * the controller's per-qubit Skip Lookup Tables (controller/slt.hh).
+ *
+ * Each static (type, quantized data) pulse parameter maps to one of
+ * the SLT's 128 sets via SkipLookupTable::indexOf; a set loaded
+ * beyond its way count predicts capacity evictions to QSpace on
+ * first touch. Symbolic parameters are counted as dynamic — their
+ * data field is a regfile slot whose contents change per q_update,
+ * so their SLT behaviour depends on the optimizer trajectory, not
+ * the layout. This is an analysis pass: it informs metrics and the
+ * --dump-after surface without mutating the image.
+ */
+
+#ifndef QTENON_ISA_PASS_SLT_LAYOUT_HH
+#define QTENON_ISA_PASS_SLT_LAYOUT_HH
+
+#include "pass.hh"
+
+namespace qtenon::isa::pass {
+
+class SltLayout : public Pass
+{
+  public:
+    explicit SltLayout(std::uint32_t ways = 2) : _ways(ways) {}
+
+    const char *name() const override { return "slt-layout"; }
+    Field reads() const override
+    {
+        return Field::Circuit | Field::Routing;
+    }
+    Field writes() const override { return Field::SltPlan; }
+    void run(CompileContext &ctx) const override;
+
+    /** Analyse @p c against an SLT with @p ways ways per set. */
+    static SltLayoutPlan analyse(const quantum::QuantumCircuit &c,
+                                 std::uint32_t ways);
+
+  private:
+    std::uint32_t _ways;
+};
+
+} // namespace qtenon::isa::pass
+
+#endif // QTENON_ISA_PASS_SLT_LAYOUT_HH

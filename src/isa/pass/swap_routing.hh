@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SwapRouting: the transpile step that makes a circuit legal on a
+ * physically constrained chip (absorbed from quantum/mapping, which
+ * now provides only the CouplingMap substrate).
+ *
+ * A greedy shortest-path router: walks the gate list, and for each
+ * two-qubit gate on non-adjacent physical qubits swaps the first
+ * operand along a BFS shortest path until adjacent (SWAP = three
+ * CNOTs). With no coupling map configured — the paper's implicit
+ * all-to-all assumption and the byte-stable default — the pass
+ * records identity routing metadata and leaves the circuit alone.
+ */
+
+#ifndef QTENON_ISA_PASS_SWAP_ROUTING_HH
+#define QTENON_ISA_PASS_SWAP_ROUTING_HH
+
+#include "pass.hh"
+
+namespace qtenon::isa::pass {
+
+/**
+ * Route @p c onto @p map (identity initial layout). Fatals when the
+ * map has fewer qubits than the circuit register.
+ */
+RoutingResult routeCircuit(const quantum::QuantumCircuit &c,
+                           const quantum::CouplingMap &map);
+
+class SwapRouting : public Pass
+{
+  public:
+    const char *name() const override { return "swap-routing"; }
+    Field reads() const override
+    {
+        return Field::Circuit | Field::Coupling;
+    }
+    Field writes() const override
+    {
+        return Field::Circuit | Field::Routing;
+    }
+    void run(CompileContext &ctx) const override;
+};
+
+} // namespace qtenon::isa::pass
+
+#endif // QTENON_ISA_PASS_SWAP_ROUTING_HH

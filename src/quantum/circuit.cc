@@ -176,19 +176,27 @@ appendDoubleBits(std::string &out, double d)
 } // namespace
 
 std::string
-QuantumCircuit::canonicalText() const
+QuantumCircuit::canonicalText(bool params_symbolic) const
 {
     std::string out;
     out.reserve(32 + 17 * _paramValues.size() + 24 * _gates.size());
     out += "n=";
     out += std::to_string(_numQubits);
-    out += ";p=[";
-    for (std::size_t i = 0; i < _paramValues.size(); ++i) {
-        if (i)
-            out.push_back(',');
-        appendDoubleBits(out, _paramValues[i]);
+    if (params_symbolic) {
+        // Structural form: the table's arity matters (it sizes the
+        // regfile), its values do not (they live in regfile slots).
+        out += ";p=#";
+        out += std::to_string(_paramValues.size());
+        out += ";g=[";
+    } else {
+        out += ";p=[";
+        for (std::size_t i = 0; i < _paramValues.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendDoubleBits(out, _paramValues[i]);
+        }
+        out += "];g=[";
     }
-    out += "];g=[";
     for (std::size_t i = 0; i < _gates.size(); ++i) {
         const Gate &g = _gates[i];
         if (i)

@@ -121,8 +121,15 @@ class QuantumCircuit
      * same program over the same parameter values — the property the
      * daemon's content-addressed result cache keys on. Parameter
      * *names* are excluded: they are documentation, not semantics.
+     *
+     * With @p params_symbolic the parameter table contributes only
+     * its arity (`p=#<count>`), not its values: two circuits that
+     * differ only in symbolic parameter values canonicalize the
+     * same. Literal gate angles still contribute their exact bits —
+     * they are baked into .program entries, not regfile slots. This
+     * is the structural identity the compile cache keys on.
      */
-    std::string canonicalText() const;
+    std::string canonicalText(bool params_symbolic = false) const;
 
     /** Gates that reference symbolic parameter @p idx. */
     std::vector<std::size_t> gatesUsingParameter(std::uint32_t idx) const;

@@ -101,75 +101,4 @@ CouplingMap::allToAll(std::uint32_t n)
     return m;
 }
 
-RoutingResult
-Router::route(const QuantumCircuit &c, const CouplingMap &map) const
-{
-    if (map.numQubits() < c.numQubits())
-        sim::fatal("coupling map smaller than the circuit register");
-
-    RoutingResult res;
-    res.circuit = QuantumCircuit(map.numQubits());
-    res.readoutMap.assign(c.numQubits(), 0);
-
-    // Copy the parameter table so symbolic references stay valid.
-    for (std::uint32_t p = 0; p < c.numParameters(); ++p)
-        res.circuit.addParameter(c.parameter(p), c.parameterName(p));
-
-    // layout[logical] = physical; placement[physical] = logical.
-    std::vector<std::uint32_t> layout(map.numQubits());
-    std::vector<std::uint32_t> placement(map.numQubits());
-    for (std::uint32_t q = 0; q < map.numQubits(); ++q)
-        layout[q] = placement[q] = q;
-
-    auto emit_swap = [&](std::uint32_t pa, std::uint32_t pb) {
-        // SWAP = CNOT(a,b) CNOT(b,a) CNOT(a,b).
-        res.circuit.cnot(pa, pb);
-        res.circuit.cnot(pb, pa);
-        res.circuit.cnot(pa, pb);
-        ++res.swapsInserted;
-        std::swap(placement[pa], placement[pb]);
-        layout[placement[pa]] = pa;
-        layout[placement[pb]] = pb;
-    };
-
-    for (const auto &g : c.gates()) {
-        if (g.type == GateType::Measure) {
-            const auto phys = layout[g.qubit0];
-            res.circuit.measure(phys);
-            res.readoutMap[g.qubit0] = phys;
-            continue;
-        }
-        if (!isTwoQubit(g.type)) {
-            Gate out = g;
-            out.qubit0 = out.qubit1 = layout[g.qubit0];
-            if (isParameterized(g.type))
-                res.circuit.rotation(g.type, out.qubit0, g.param);
-            else
-                res.circuit.gate(g.type, out.qubit0);
-            continue;
-        }
-
-        // Two-qubit gate: swap operand 0 toward operand 1 until the
-        // physical qubits are coupled.
-        auto pa = layout[g.qubit0];
-        auto pb = layout[g.qubit1];
-        if (!map.connected(pa, pb)) {
-            auto path = map.shortestPath(pa, pb);
-            // Swap along the path, leaving one hop.
-            for (std::size_t hop = 0; hop + 2 < path.size(); ++hop)
-                emit_swap(path[hop], path[hop + 1]);
-            pa = layout[g.qubit0];
-            pb = layout[g.qubit1];
-        }
-        if (isParameterized(g.type))
-            res.circuit.rotation2(g.type, pa, pb, g.param);
-        else
-            res.circuit.gate2(g.type, pa, pb);
-    }
-
-    res.finalLayout.assign(layout.begin(),
-                           layout.begin() + c.numQubits());
-    return res;
-}
-
 } // namespace qtenon::quantum

@@ -1,14 +1,14 @@
 /**
  * @file
- * Qubit mapping and routing: physical coupling maps and a SWAP-
- * inserting router.
+ * Qubit mapping substrate: physical coupling maps.
  *
  * The paper evaluates with implicit all-to-all connectivity; real
  * superconducting chips couple qubits on a line or grid, and a
  * transpiler must insert SWAPs to route two-qubit gates. This module
- * provides the substrate and lets the ablation benches quantify how
- * much connectivity assumptions affect circuit depth and therefore
- * quantum execution time.
+ * provides the connectivity graph; the SWAP-inserting router lives
+ * in the compiler pipeline (isa/pass/swap_routing.hh), which lets
+ * the ablation benches quantify how much connectivity assumptions
+ * affect circuit depth and therefore quantum execution time.
  */
 
 #ifndef QTENON_QUANTUM_MAPPING_HH
@@ -60,31 +60,6 @@ class CouplingMap
   private:
     std::uint32_t _numQubits;
     std::vector<std::vector<std::uint32_t>> _adjacent;
-};
-
-/** Output of routing one circuit onto a coupling map. */
-struct RoutingResult {
-    /** The routed circuit over physical qubits. */
-    QuantumCircuit circuit{1};
-    /** SWAPs inserted (each lowered to three CNOTs). */
-    std::uint64_t swapsInserted = 0;
-    /** logical qubit -> physical qubit after the full circuit. */
-    std::vector<std::uint32_t> finalLayout;
-    /** logical qubit -> physical readout bit for its measurement. */
-    std::vector<std::uint32_t> readoutMap;
-};
-
-/**
- * A greedy shortest-path router: walks the gate list, and for each
- * two-qubit gate on non-adjacent physical qubits swaps the first
- * operand along a BFS shortest path until adjacent.
- */
-class Router
-{
-  public:
-    /** Route @p c onto @p map (identity initial layout). */
-    RoutingResult route(const QuantumCircuit &c,
-                        const CouplingMap &map) const;
 };
 
 } // namespace qtenon::quantum

@@ -80,9 +80,13 @@ QtenonExecutor::installProgram(const isa::ProgramImage &image)
     const sim::Tick start = _eq.curTick();
     const auto &layout = _ctrl.config().layout;
 
-    // Host-side compile of the whole image.
-    const sim::Tick compile_t =
-        _cfg.host.timeFor(_compiler.initialCompileCycles(image));
+    // Host-side compile of the whole image. Under CachedIncremental
+    // the structural image comes from the compile cache, so the host
+    // pays only the front end plus a regfile refill.
+    const sim::Tick compile_t = _cfg.host.timeFor(
+        _cfg.software.compile == CompileMode::CachedIncremental
+            ? _compiler.cachedCompileCycles(image)
+            : _compiler.initialCompileCycles(image));
     bd.host += compile_t;
     bd.hostBusy += compile_t;
     advanceTo(start + compile_t);
@@ -151,8 +155,9 @@ QtenonExecutor::executeRound(const RoundRecord &round,
     const auto &sw = _cfg.software;
     const sim::Tick start = _eq.curTick();
 
-    // ---- Parameter delivery.
-    if (sw.compile == CompileMode::Incremental) {
+    // ---- Parameter delivery. Both incremental modes take the
+    // q_update path; only FullRecompile re-emits the program.
+    if (sw.compile != CompileMode::FullRecompile) {
         const sim::Tick prep = _cfg.host.timeFor(
             _compiler.incrementalCycles(round.updates.size()));
         bd.host += prep;
@@ -196,13 +201,13 @@ QtenonExecutor::executeRound(const RoundRecord &round,
 
     // ---- q_gen of whatever is stale.
     const sim::Tick gen_t0 = _eq.curTick();
-    auto work = (sw.compile == CompileMode::Incremental)
+    auto work = (sw.compile != CompileMode::FullRecompile)
         ? _ctrl.staleProgramEntries()
         : std::vector<std::uint64_t>{};
     controller::PipelineResult pres;
     auto on_gen = [&pres](const controller::PipelineResult &r,
                           sim::Tick) { pres = r; };
-    if (sw.compile == CompileMode::Incremental)
+    if (sw.compile != CompileMode::FullRecompile)
         _ctrl.generate(std::move(work), on_gen);
     else
         _ctrl.generateAll(on_gen);

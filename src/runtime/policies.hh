@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string_view>
 
 namespace qtenon::runtime {
 
@@ -41,7 +42,49 @@ enum class CompileMode {
     FullRecompile,
     /** Dynamic incremental compilation: q_update changed params. */
     Incremental,
+    /**
+     * Incremental, with the initial structural compile served from
+     * the content-addressed compile cache (isa/pass/compile_cache):
+     * install charges only the front-end fixed cost plus a regfile
+     * refill instead of the per-entry emit. Rounds behave exactly
+     * like Incremental. An explicit mode — never inferred from
+     * runtime cache state — so modeled time stays a pure function
+     * of the configuration.
+     */
+    CachedIncremental,
 };
+
+/** Stable text name of @p m (JSON artifacts, CLI flags). */
+constexpr const char *
+compileModeName(CompileMode m)
+{
+    switch (m) {
+      case CompileMode::FullRecompile:
+        return "full-recompile";
+      case CompileMode::Incremental:
+        return "incremental";
+      case CompileMode::CachedIncremental:
+        return "cached-incremental";
+    }
+    return "incremental";
+}
+
+/** Inverse of compileModeName; @p ok reports whether @p s parsed. */
+inline CompileMode
+compileModeFromName(std::string_view s, bool *ok = nullptr)
+{
+    if (ok)
+        *ok = true;
+    if (s == "full-recompile")
+        return CompileMode::FullRecompile;
+    if (s == "incremental")
+        return CompileMode::Incremental;
+    if (s == "cached-incremental")
+        return CompileMode::CachedIncremental;
+    if (ok)
+        *ok = false;
+    return CompileMode::Incremental;
+}
 
 /** Algorithm 1, line 1: the batched-transmission interval. */
 constexpr std::uint64_t

@@ -119,6 +119,8 @@ runJobSpec(const JobSpec &spec, std::uint64_t job_id,
     r.name = spec.name;
 
     auto driver_cfg = spec.driver;
+    if (spec.compileCache)
+        driver_cfg.compileCache = spec.compileCache;
     if (spec.deriveSeedFromJobId)
         driver_cfg.seed = deriveJobSeed(driver_cfg.seed, job_id);
     r.seed = driver_cfg.seed;
@@ -133,6 +135,8 @@ runJobSpec(const JobSpec &spec, std::uint64_t job_id,
         spec.custom(ctx);
         return r;
     }
+    r.compileMode =
+        runtime::compileModeName(spec.qtenon.software.compile);
 
     token.checkpoint();
     auto workload = vqa::Workload::build(spec.workload);

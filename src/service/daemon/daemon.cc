@@ -101,7 +101,8 @@ Daemon::Daemon(DaemonConfig cfg)
       _sched(SchedulerConfig{_cfg.workers, _cfg.defaultTimeout}),
       _queue(AdmissionConfig{_cfg.maxQueueDepth,
                              _cfg.perClientQuota}),
-      _cache(_cfg.cacheCapacity)
+      _cache(_cfg.cacheCapacity),
+      _compileCache(_cfg.compileCacheCapacity)
 {}
 
 Daemon::~Daemon()
@@ -342,6 +343,10 @@ Daemon::handleSubmit(const std::shared_ptr<Connection> &conn,
             : req.client;
         pending.key = cacheKeyOf(req);
         pending.spec = req.toJobSpec();
+        // Structural compiles are shared across submissions; only
+        // the cache pointer changes, never the compile mode, so
+        // result bytes are identical with the cache on or off.
+        pending.spec.compileCache = &_compileCache;
         pending.received = received;
     } catch (const std::exception &e) {
         json::Value err = json::Value::object();
@@ -534,6 +539,16 @@ Daemon::statsJson() const
               static_cast<std::uint64_t>(s.cache.capacity));
     cache.set("hit_rate", s.cache.hitRate());
     v.set("cache", std::move(cache));
+    const auto cc = _compileCache.stats();
+    json::Value ccv = json::Value::object();
+    ccv.set("hits", cc.hits);
+    ccv.set("misses", cc.misses);
+    ccv.set("inserts", cc.inserts);
+    ccv.set("evictions", cc.evictions);
+    ccv.set("entries", static_cast<std::uint64_t>(cc.entries));
+    ccv.set("capacity", static_cast<std::uint64_t>(cc.capacity));
+    ccv.set("hit_rate", cc.hitRate());
+    v.set("compile_cache", std::move(ccv));
     return v;
 }
 

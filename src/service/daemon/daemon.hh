@@ -62,6 +62,11 @@ struct DaemonConfig {
     std::size_t perClientQuota = 16;
     /** Result-cache entries; 0 disables caching. */
     std::size_t cacheCapacity = 1024;
+    /** Compile-cache structural entries; 0 disables. Serves repeat
+     *  submissions whose circuits differ only in parameter values
+     *  without re-running the pass pipeline (images byte-identical
+     *  either way, so result bytes are unaffected). */
+    std::size_t compileCacheCapacity = 256;
     /** Scheduler-default per-job deadline; zero = none. */
     std::chrono::milliseconds defaultTimeout{0};
 };
@@ -174,6 +179,7 @@ class Daemon
     BatchScheduler _sched;
     AdmissionQueue<Pending> _queue;
     ResultCache _cache;
+    isa::CompileCache _compileCache;
 
     std::thread _acceptThread;
     std::vector<std::thread> _submitters;

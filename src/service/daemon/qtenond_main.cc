@@ -44,6 +44,8 @@ usage(const char *argv0)
         "(default 16)\n"
         "  --cache N           result-cache entries; 0 disables "
         "(default 1024)\n"
+        "  --compile-cache N   compile-cache structural entries; "
+        "0 disables (default 256)\n"
         "  --timeout-ms N      default per-job deadline; 0 = none\n"
         "  --metrics-json PATH enable metrics, dump on exit\n"
         "  --help              this text\n",
@@ -100,6 +102,9 @@ main(int argc, char **argv)
         } else if (arg == "--cache") {
             cfg.cacheCapacity =
                 parseCount("--cache", value("--cache"));
+        } else if (arg == "--compile-cache") {
+            cfg.compileCacheCapacity = parseCount(
+                "--compile-cache", value("--compile-cache"));
         } else if (arg == "--timeout-ms") {
             cfg.defaultTimeout = std::chrono::milliseconds(
                 parseCount("--timeout-ms", value("--timeout-ms")));

@@ -125,6 +125,15 @@ struct JobSpec {
     fault::RetryPolicy retry;
 
     /**
+     * Optional shared compile cache (not owned; thread-safe). Copied
+     * into driver.compileCache for declarative jobs, so repeat
+     * submissions of structurally identical circuits skip the pass
+     * pipeline. Null = compile cold (the byte-stable default: cached
+     * and cold images are byte-identical by contract anyway).
+     */
+    isa::CompileCache *compileCache = nullptr;
+
+    /**
      * Escape hatch: when set, this body runs instead of the
      * declarative spec (used e.g. by the routing ablation, which
      * exercises the router rather than a QtenonSystem). Throwing
@@ -150,6 +159,11 @@ struct JobResult {
      *  empty for custom jobs. Not written by the v1 JSON schema (so
      *  stored batch results stay byte-stable), but accepted on read. */
     std::string backend;
+    /** Compile mode the replay charged ("incremental",
+     *  "full-recompile", "cached-incremental"); empty for custom
+     *  jobs. Only written to JSON when != "incremental", so stored
+     *  batch results stay byte-stable at the default mode. */
+    std::string compileMode;
 
     /** Functional optimization outcome. */
     std::vector<double> costHistory;

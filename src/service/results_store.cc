@@ -116,6 +116,10 @@ jobResultToJson(const JobResult &r, bool deterministic_only)
         o.set("timeout_source", r.timeoutSource);
     if (r.timeoutElapsedMs > 0)
         o.set("timeout_elapsed_ms", r.timeoutElapsedMs);
+    // Compile mode only when it deviates from the historical
+    // default, same byte-stability contract as above.
+    if (!r.compileMode.empty() && r.compileMode != "incremental")
+        o.set("compile_mode", r.compileMode);
     if (!deterministic_only)
         o.set("wall_ns", r.wallNs);
     return o;
@@ -154,6 +158,8 @@ jobResultFromJson(const json::Value &v)
         r.timeoutSource = ts->asString();
     if (const json::Value *te = v.find("timeout_elapsed_ms"))
         r.timeoutElapsedMs = te->asUint();
+    if (const json::Value *cm = v.find("compile_mode"))
+        r.compileMode = cm->asString();
     if (const json::Value *w = v.find("wall_ns"))
         r.wallNs = w->asUint();
     return r;

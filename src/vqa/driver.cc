@@ -50,7 +50,10 @@ VqaDriver::run(Workload &w)
     trace.numQubits = n;
 
     isa::QtenonCompiler compiler;
-    trace.image = compiler.compile(w.circuit);
+    auto *cache = _cfg.compileCache ? _cfg.compileCache
+                                    : isa::processCompileCache();
+    trace.image = cache ? cache->compile(w.circuit, compiler)
+                        : compiler.compile(w.circuit);
 
     EvaluatorConfig ecfg;
     ecfg.backend.kind = _cfg.backend;

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "fault/fault.hh"
+#include "isa/pass/compile_cache.hh"
 #include "optimizer.hh"
 #include "quantum/backend.hh"
 #include "runtime/trace.hh"
@@ -55,6 +56,15 @@ struct DriverConfig {
     fault::FaultInjector *injector = nullptr;
     /** Evaluation re-queue budget when faults are injected. */
     fault::RetryPolicy evalRetry{.maxAttempts = 3};
+    /**
+     * Optional content-addressed compile cache (not owned). When set
+     * (or when a process-global cache is installed — see
+     * isa/pass/compile_cache.hh), the trace's program image is
+     * served from the cache on a structural hit; images are byte-
+     * identical either way, so this is excluded from canonicalText
+     * like the injector.
+     */
+    isa::CompileCache *compileCache = nullptr;
 };
 
 /**

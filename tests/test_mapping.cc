@@ -1,12 +1,14 @@
 /**
  * @file
- * Tests of coupling maps and the SWAP router: path arithmetic,
+ * Tests of coupling maps and the pipeline SWAP router
+ * (isa/pass/swap_routing): path arithmetic,
  * routing legality (every 2q gate lands on a coupler), functional
  * equivalence with the unrouted circuit, and depth costs.
  */
 
 #include <gtest/gtest.h>
 
+#include "isa/pass/swap_routing.hh"
 #include "quantum/mapping.hh"
 #include "quantum/statevector.hh"
 #include "quantum/timing.hh"
@@ -64,7 +66,7 @@ TEST(Router, AdjacentGatesPassThrough)
     c.h(0);
     c.cz(0, 1);
     c.measureAll();
-    auto res = Router().route(c, CouplingMap::linear(3));
+    auto res = qtenon::isa::pass::routeCircuit(c, CouplingMap::linear(3));
     EXPECT_EQ(res.swapsInserted, 0u);
     EXPECT_EQ(res.circuit.numGates(), c.numGates());
 }
@@ -73,7 +75,7 @@ TEST(Router, DistantGateInsertsSwaps)
 {
     QuantumCircuit c(5);
     c.cz(0, 4);
-    auto res = Router().route(c, CouplingMap::linear(5));
+    auto res = qtenon::isa::pass::routeCircuit(c, CouplingMap::linear(5));
     // Distance 4 -> three swaps bring qubit 0 next to qubit 4.
     EXPECT_EQ(res.swapsInserted, 3u);
     // Each SWAP is three CNOTs plus the CZ itself.
@@ -92,7 +94,7 @@ TEST(Router, EveryTwoQubitGateLandsOnACoupler)
             continue;
         c.cz(a, b);
     }
-    auto res = Router().route(c, map);
+    auto res = qtenon::isa::pass::routeCircuit(c, map);
     for (const auto &g : res.circuit.gates()) {
         if (isTwoQubit(g.type)) {
             EXPECT_TRUE(map.connected(g.qubit0, g.qubit1))
@@ -106,7 +108,7 @@ TEST(Router, PreservesParameterTable)
     QuantumCircuit c(4);
     auto p = c.addParameter(0.77, "mine");
     c.rzz(0, 3, ParamRef::symbol(p));
-    auto res = Router().route(c, CouplingMap::linear(4));
+    auto res = qtenon::isa::pass::routeCircuit(c, CouplingMap::linear(4));
     ASSERT_EQ(res.circuit.numParameters(), 1u);
     EXPECT_DOUBLE_EQ(res.circuit.parameter(0), 0.77);
     EXPECT_EQ(res.circuit.parameterName(0), "mine");
@@ -145,7 +147,7 @@ TEST(Router, FunctionallyEquivalentOnRandomCircuits)
                 break;
             }
         }
-        auto res = Router().route(c, CouplingMap::linear(4));
+        auto res = qtenon::isa::pass::routeCircuit(c, CouplingMap::linear(4));
 
         StateVector orig(4), routed(4);
         orig.applyCircuit(c);
@@ -166,7 +168,7 @@ TEST(Router, ReadoutMapFollowsMeasurement)
     c.x(0);
     c.cz(0, 3); // forces movement on a line
     c.measureAll();
-    auto res = Router().route(c, CouplingMap::linear(4));
+    auto res = qtenon::isa::pass::routeCircuit(c, CouplingMap::linear(4));
     // Sample the routed circuit; logical qubit 0 must read 1 at its
     // mapped readout bit.
     StateVector sv(4);
@@ -182,8 +184,8 @@ TEST(Router, RoutingIncreasesDepthOnSparseMaps)
     for (std::uint32_t a = 0; a < 6; ++a)
         c.cz(a, (a + 3) % 6);
 
-    auto all = Router().route(c, CouplingMap::allToAll(6));
-    auto line = Router().route(c, CouplingMap::linear(6));
+    auto all = qtenon::isa::pass::routeCircuit(c, CouplingMap::allToAll(6));
+    auto line = qtenon::isa::pass::routeCircuit(c, CouplingMap::linear(6));
     QuantumTimingModel timing;
     EXPECT_GT(timing.schedule(line.circuit).duration,
               timing.schedule(all.circuit).duration);
