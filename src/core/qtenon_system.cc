@@ -16,6 +16,9 @@ QtenonSystem::QtenonSystem(QtenonConfig cfg) : _cfg(cfg)
 
     controller::ControllerConfig ctrl_cfg;
     ctrl_cfg.layout.numQubits = _cfg.numQubits;
+    if (_cfg.programEntriesPerQubit)
+        ctrl_cfg.layout.programEntriesPerQubit =
+            _cfg.programEntriesPerQubit;
     ctrl_cfg.slt = _cfg.slt;
     ctrl_cfg.pipeline = _cfg.pipeline;
     ctrl_cfg.adi = _cfg.adi;

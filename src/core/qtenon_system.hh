@@ -32,6 +32,10 @@ namespace qtenon::core {
 /** Full-system configuration (defaults reproduce Tables 2 and 4). */
 struct QtenonConfig {
     std::uint32_t numQubits = 64;
+    /** Per-qubit .program chunk capacity in entries; 0 keeps the
+     *  paper's 1024 (Table 2). Routed images that funnel traffic
+     *  through few qubits (multi-chip shard boundaries) need more. */
+    std::uint32_t programEntriesPerQubit = 0;
     runtime::HostCoreModel host = runtime::HostCoreModel::rocket();
     runtime::SoftwareConfig software = runtime::SoftwareConfig::full();
     controller::SltConfig slt;

@@ -9,6 +9,7 @@
 #include "pass/slt_layout.hh"
 #include "pass/swap_routing.hh"
 #include "quantum/mapping.hh"
+#include "shard/partition.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::isa {
@@ -23,23 +24,27 @@ PipelineConfig::canonicalText() const
     out += ";coupling=";
     if (!coupling) {
         out += "none";
-        return out;
-    }
-    out += "{n=" + std::to_string(coupling->numQubits()) + ";e=[";
-    bool first = true;
-    for (std::uint32_t a = 0; a < coupling->numQubits(); ++a) {
-        auto higher = coupling->neighbors(a);
-        std::sort(higher.begin(), higher.end());
-        for (auto b : higher) {
-            if (b <= a)
-                continue; // undirected: list each edge once
-            if (!first)
-                out += ',';
-            first = false;
-            out += std::to_string(a) + "-" + std::to_string(b);
+    } else {
+        out += "{n=" + std::to_string(coupling->numQubits()) + ";e=[";
+        bool first = true;
+        for (std::uint32_t a = 0; a < coupling->numQubits(); ++a) {
+            auto higher = coupling->neighbors(a);
+            std::sort(higher.begin(), higher.end());
+            for (auto b : higher) {
+                if (b <= a)
+                    continue; // undirected: list each edge once
+                if (!first)
+                    out += ',';
+                first = false;
+                out += std::to_string(a) + "-" + std::to_string(b);
+            }
         }
+        out += "]}";
     }
-    out += "]}";
+    // A single shard lowers identically to no map, so only genuine
+    // partitions extend the cache key (keeps historical keys stable).
+    if (shardMap && !shardMap->isSingle())
+        out += ";shard={" + shardMap->canonicalText() + "}";
     return out;
 }
 
@@ -68,6 +73,7 @@ QtenonCompiler::compile(const quantum::QuantumCircuit &c) const
     pass::CompileContext ctx;
     ctx.circuit = c;
     ctx.coupling = _pipe.coupling;
+    ctx.shardMap = _pipe.shardMap;
     buildPipeline().run(ctx);
     return std::move(ctx.image);
 }

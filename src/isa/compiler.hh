@@ -33,6 +33,10 @@ namespace qtenon::quantum {
 class CouplingMap;
 }
 
+namespace qtenon::shard {
+class ShardMap;
+}
+
 namespace qtenon::isa {
 
 /** Host-side compile cost model (cycles on the host core). */
@@ -61,8 +65,17 @@ struct PipelineConfig {
     /** Physical connectivity to route onto; null = all-to-all (the
      *  paper's implicit assumption, no SWAPs inserted). Not owned. */
     const quantum::CouplingMap *coupling = nullptr;
+    /** Multi-chip shard map; SWAPs are routed through shard-boundary
+     *  couplers when it has more than one shard. Null or a single
+     *  shard keeps the byte-stable single-controller lowering (and
+     *  the historical cache key). Mutually exclusive with an
+     *  explicit coupling map. Not owned. */
+    const shard::ShardMap *shardMap = nullptr;
 
-    /** Deterministic text form for cache keying. */
+    /** Deterministic text form for cache keying. Multi-shard maps
+     *  append a `;shard={...}` segment, so cached images never leak
+     *  across partitions; single-shard/absent maps add nothing
+     *  (their lowering is identical by construction). */
     std::string canonicalText() const;
 };
 

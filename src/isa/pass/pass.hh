@@ -25,6 +25,10 @@
 #include "quantum/circuit.hh"
 #include "quantum/mapping.hh"
 
+namespace qtenon::shard {
+class ShardMap;
+}
+
 namespace qtenon::isa::pass {
 
 /** Context fields a pass may declare as read or written. */
@@ -42,6 +46,8 @@ enum class Field : std::uint32_t {
     SltPlan = 1u << 4,
     /** The packed ProgramImage (the pipeline's output). */
     Image = 1u << 5,
+    /** The optional multi-chip shard map (pipeline input). */
+    ShardMap = 1u << 6,
 };
 
 constexpr Field
@@ -76,6 +82,10 @@ struct RoutingResult {
     std::vector<std::uint32_t> finalLayout;
     /** logical qubit -> physical readout bit for its measurement. */
     std::vector<std::uint32_t> readoutMap;
+    /** Two-qubit gates in the routed circuit whose operands live on
+     *  different shards (boundary-coupler traffic); 0 without a
+     *  multi-chip shard map. */
+    std::uint64_t crossShardGates = 0;
 };
 
 /** The edge-colored gate schedule (one color = one layer). */
@@ -106,6 +116,11 @@ struct CompileContext {
     quantum::QuantumCircuit circuit{1};
     /** Optional coupling map (not owned); null = all-to-all. */
     const quantum::CouplingMap *coupling = nullptr;
+    /** Optional multi-chip shard map (not owned); null or a single
+     *  shard = the byte-stable single-controller lowering. Mutually
+     *  exclusive with an explicit coupling map: the shard map
+     *  *derives* the connectivity (ShardMap::couplingMap). */
+    const shard::ShardMap *shardMap = nullptr;
 
     RoutingResult routing;
     LayerSchedule schedule;

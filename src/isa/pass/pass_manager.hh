@@ -70,7 +70,8 @@ class PassManager
   private:
     std::vector<std::unique_ptr<Pass>> _passes;
     /** Fields with a producer so far (inputs pre-seeded). */
-    Field _produced = Field::Circuit | Field::Coupling;
+    Field _produced =
+        Field::Circuit | Field::Coupling | Field::ShardMap;
     DumpHook _dumpHook;
 };
 

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "obs/metrics.hh"
+#include "shard/partition.hh"
 #include "sim/logging.hh"
 
 namespace qtenon::isa::pass {
@@ -83,9 +84,77 @@ routeCircuit(const QuantumCircuit &c, const CouplingMap &map)
     return res;
 }
 
+quantum::QuantumCircuit
+withRestoredLayout(const RoutingResult &routing)
+{
+    auto c = routing.circuit;
+    const auto phys = c.numQubits();
+    // placement[physical] = logical qubit there, or ~0 for the
+    // physical qubits no logical qubit ended on.
+    std::vector<std::uint32_t> placement(phys, ~0u);
+    std::vector<std::uint32_t> position(phys, ~0u);
+    for (std::uint32_t q = 0; q < routing.finalLayout.size(); ++q) {
+        placement[routing.finalLayout[q]] = q;
+        position[q] = routing.finalLayout[q];
+    }
+    for (std::uint32_t q = 0;
+         q < static_cast<std::uint32_t>(routing.finalLayout.size());
+         ++q) {
+        const auto p = position[q];
+        if (p == q)
+            continue;
+        // Bring logical q home with one exact SWAP (three CNOTs).
+        c.cnot(q, p);
+        c.cnot(p, q);
+        c.cnot(q, p);
+        const auto displaced = placement[q];
+        placement[q] = q;
+        placement[p] = displaced;
+        position[q] = q;
+        if (displaced != ~0u)
+            position[displaced] = p;
+    }
+    return c;
+}
+
 void
 SwapRouting::run(CompileContext &ctx) const
 {
+    const auto *sm = ctx.shardMap;
+    const bool sharded = sm && sm->numShards() > 1;
+    if (sharded && ctx.coupling) {
+        sim::fatal("swap-routing: an explicit coupling map and a "
+                   "multi-chip shard map are mutually exclusive");
+    }
+    if (sharded) {
+        // Route onto the partition-induced connectivity: all-to-all
+        // within a shard, one coupler per shard boundary.
+        const auto derived = sm->couplingMap();
+        ctx.routing = routeCircuit(ctx.circuit, derived);
+        ctx.circuit = ctx.routing.circuit;
+        std::uint64_t cross = 0;
+        for (const auto &g : ctx.circuit.gates())
+            if (isTwoQubit(g.type) &&
+                sm->crossShard(g.qubit0, g.qubit1))
+                ++cross;
+        ctx.routing.crossShardGates = cross;
+        if (obs::metricsEnabled()) {
+            if (ctx.routing.swapsInserted) {
+                static auto &cs = obs::counter(
+                    "isa.pass.swap_routing.swaps",
+                    "SWAP gates inserted by routing");
+                cs.add(ctx.routing.swapsInserted);
+            }
+            if (cross) {
+                static auto &cx = obs::counter(
+                    "isa.pass.swap_routing.cross_shard",
+                    "routed two-qubit gates crossing a shard "
+                    "boundary");
+                cx.add(cross);
+            }
+        }
+        return;
+    }
     if (!ctx.coupling) {
         // All-to-all: identity layout, readout bit = logical qubit.
         const auto n = ctx.circuit.numQubits();

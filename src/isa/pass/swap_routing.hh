@@ -26,13 +26,24 @@ namespace qtenon::isa::pass {
 RoutingResult routeCircuit(const quantum::QuantumCircuit &c,
                            const quantum::CouplingMap &map);
 
+/**
+ * The routed circuit of @p routing with SWAPs (three exact CNOTs
+ * each) appended until every logical qubit sits back at its own
+ * physical index. Because every kernel the router emits is an exact
+ * amplitude permutation or a qubit-index-independent arithmetic op,
+ * sampling the returned circuit is *bit-identical* to sampling the
+ * unrouted circuit on the statevector backend — the identity the
+ * sharding test harness is built on.
+ */
+quantum::QuantumCircuit withRestoredLayout(const RoutingResult &routing);
+
 class SwapRouting : public Pass
 {
   public:
     const char *name() const override { return "swap-routing"; }
     Field reads() const override
     {
-        return Field::Circuit | Field::Coupling;
+        return Field::Circuit | Field::Coupling | Field::ShardMap;
     }
     Field writes() const override
     {

@@ -1,0 +1,45 @@
+#include "interchip.hh"
+
+#include <algorithm>
+
+namespace qtenon::shard {
+
+TransferOutcome
+reliableTransfer(link::Channel &ch, std::uint64_t bytes,
+                 sim::Tick now, const fault::RetryPolicy &policy,
+                 std::uint64_t seed)
+{
+    TransferOutcome out;
+    const auto budget =
+        std::max<std::uint32_t>(1, policy.maxAttempts);
+    auto *inj = ch.injector();
+    sim::Tick t = now;
+    for (std::uint32_t attempt = 1; attempt <= budget; ++attempt) {
+        out.attempts = attempt;
+        const auto sent = ch.send(bytes, t);
+        if (!sent.dropped) {
+            ch.tick(sent.deliverAt);
+            out.ticks = sent.deliverAt - now;
+            return out;
+        }
+        if (attempt == budget)
+            break;
+        // Lost: wait out the ack timeout plus the policy's
+        // deterministic backoff, then retransmit.
+        const auto timeout = policy.attemptTimeout
+            ? policy.attemptTimeout
+            : 2 * ch.transferLatency(bytes);
+        t += timeout + policy.backoffBefore(attempt, seed);
+        if (inj)
+            inj->count(ch.siteId(), "retransmits");
+    }
+    // Budget exhausted: fall back to a modeled reliable (explicitly
+    // acked, double-latency) transfer so the run still completes.
+    if (inj)
+        inj->count(ch.siteId(), "exhausted");
+    out.exhausted = true;
+    out.ticks = (t - now) + 2 * ch.transferLatency(bytes);
+    return out;
+}
+
+} // namespace qtenon::shard

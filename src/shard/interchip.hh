@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The inter-chip classical link between the host hub and one shard's
+ * controller chip, built on the unified `link::Channel` API so the
+ * fault injector's per-site seeded streams give *every channel its
+ * own fault domain*: channel k registers injection site "xchip<k>",
+ * and because site streams are seeded from (injector seed, site-name
+ * hash), injecting loss on shard A's channel never perturbs shard
+ * B's RNG sequence or results.
+ *
+ * `reliableTransfer` is the retry layer on top: bounded-attempt
+ * retransmission with the shared `fault::RetryPolicy` backoff
+ * schedule. Retransmissions and budget exhaustion are counted
+ * through the injector ("retransmits" / "exhausted", surfacing as
+ * `fault.xchip<k>.*` metrics exactly like the Ethernet baseline's),
+ * and an exhausted transfer falls back to a modeled
+ * reliable-but-slow path so a sharded run always completes with
+ * deterministic, loss-dependent timing rather than failing.
+ */
+
+#ifndef QTENON_SHARD_INTERCHIP_HH
+#define QTENON_SHARD_INTERCHIP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.hh"
+#include "link/channel.hh"
+#include "sim/types.hh"
+
+namespace qtenon::shard {
+
+/** Latency/bandwidth model of one inter-chip link direction. */
+struct InterChipLinkConfig {
+    /** Fixed per-message latency (serdes + controller ingress). */
+    sim::Tick latency = 400 * sim::nsTicks;
+    /** Link bandwidth in gigabits per second. */
+    std::uint64_t gbps = 100;
+};
+
+/** One host-hub <-> shard-chip link direction. */
+class InterChipChannel : public link::Channel
+{
+  public:
+    InterChipChannel(std::string site, InterChipLinkConfig cfg)
+        : link::Channel(std::move(site)), _cfg(cfg)
+    {}
+
+    const InterChipLinkConfig &config() const { return _cfg; }
+
+    sim::Tick
+    transferLatency(std::uint64_t bytes) const override
+    {
+        // bytes * 8 bits at gbps bits/ns, in ticks.
+        return _cfg.latency +
+            (bytes * 8 * sim::nsTicks) / _cfg.gbps;
+    }
+
+  private:
+    InterChipLinkConfig _cfg;
+};
+
+/** What one reliableTransfer call did. */
+struct TransferOutcome {
+    /** Elapsed ticks from send start to delivery (or fallback). */
+    sim::Tick ticks = 0;
+    /** Send attempts performed (1 = delivered first try). */
+    std::uint32_t attempts = 1;
+    /** The retry budget ran out; the fallback path delivered. */
+    bool exhausted = false;
+};
+
+/**
+ * Push one @p bytes message through @p ch at @p now, retransmitting
+ * dropped sends under @p policy (attempt timeout defaults to twice
+ * the transfer latency; backoff jitter is deterministic in
+ * @p seed). Counts "retransmits" per re-send and "exhausted" when
+ * the budget runs out, via the channel's injector.
+ */
+TransferOutcome reliableTransfer(link::Channel &ch,
+                                 std::uint64_t bytes, sim::Tick now,
+                                 const fault::RetryPolicy &policy,
+                                 std::uint64_t seed);
+
+} // namespace qtenon::shard
+
+#endif // QTENON_SHARD_INTERCHIP_HH

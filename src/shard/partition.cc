@@ -1,0 +1,106 @@
+#include "partition.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::shard {
+
+ShardMap::ShardMap(std::uint32_t num_qubits, std::vector<Shard> shards)
+    : _numQubits(num_qubits), _shards(std::move(shards))
+{
+    if (_numQubits == 0)
+        sim::fatal("shard map over an empty register");
+    if (_shards.empty())
+        sim::fatal("shard map with no shards");
+    std::uint32_t expect = 0;
+    for (std::size_t s = 0; s < _shards.size(); ++s) {
+        const auto &sh = _shards[s];
+        if (sh.count == 0)
+            sim::fatal("shard ", s, " is empty");
+        if (sh.first < expect)
+            sim::fatal("shard ", s, " overlaps its predecessor: ",
+                       "starts at qubit ", sh.first,
+                       ", previous shard ends at ", expect);
+        if (sh.first > expect)
+            sim::fatal("gap before shard ", s, ": qubits [", expect,
+                       ", ", sh.first, ") are unowned");
+        expect = sh.end();
+    }
+    if (expect != _numQubits)
+        sim::fatal("shard map covers ", expect, " of ", _numQubits,
+                   " qubits");
+
+    _owner.resize(_numQubits);
+    for (std::uint32_t s = 0; s < numShards(); ++s)
+        for (std::uint32_t q = _shards[s].first; q < _shards[s].end();
+             ++q)
+            _owner[q] = s;
+}
+
+ShardMap
+ShardMap::single(std::uint32_t num_qubits)
+{
+    return ShardMap(num_qubits, {Shard{0, num_qubits}});
+}
+
+ShardMap
+ShardMap::uniform(std::uint32_t num_qubits, std::uint32_t num_shards)
+{
+    if (num_shards == 0)
+        sim::fatal("uniform shard map with zero shards");
+    if (num_shards > num_qubits)
+        sim::fatal("uniform shard map: ", num_shards,
+                   " shards over ", num_qubits, " qubits");
+    std::vector<Shard> shards;
+    shards.reserve(num_shards);
+    std::uint32_t first = 0;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+        const std::uint32_t count =
+            num_qubits / num_shards + (s < num_qubits % num_shards);
+        shards.push_back(Shard{first, count});
+        first += count;
+    }
+    return ShardMap(num_qubits, std::move(shards));
+}
+
+std::uint32_t
+ShardMap::shardOf(std::uint32_t q) const
+{
+    if (q >= _numQubits)
+        sim::fatal("qubit ", q, " outside the ", _numQubits,
+                   "-qubit shard map");
+    return _owner[q];
+}
+
+std::uint32_t
+ShardMap::localIndex(std::uint32_t q) const
+{
+    return q - _shards[shardOf(q)].first;
+}
+
+quantum::CouplingMap
+ShardMap::couplingMap() const
+{
+    quantum::CouplingMap map(_numQubits);
+    for (const auto &sh : _shards)
+        for (std::uint32_t a = sh.first; a < sh.end(); ++a)
+            for (std::uint32_t b = a + 1; b < sh.end(); ++b)
+                map.addCoupler(a, b);
+    for (std::uint32_t s = 0; s + 1 < numShards(); ++s)
+        map.addCoupler(_shards[s].end() - 1, _shards[s + 1].first);
+    return map;
+}
+
+std::string
+ShardMap::canonicalText() const
+{
+    std::string out = "n=" + std::to_string(_numQubits) + ";s=[";
+    for (std::size_t s = 0; s < _shards.size(); ++s) {
+        if (s)
+            out += ',';
+        out += std::to_string(_shards[s].count);
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace qtenon::shard

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Qubit partitioning for the multi-chip sharded controller.
+ *
+ * The paper scales Qtenon to 320 qubits with a single controller;
+ * real deployments at that size split the register across several
+ * controller chips, each owning a contiguous qubit shard, connected
+ * by a classical inter-chip link ("Towards System-Level
+ * Quantum-Accelerator Integration" and HI-HCQC both argue this
+ * interconnect is the scaling bottleneck). A `ShardMap` is the
+ * partition: an ordered list of contiguous shards covering the
+ * register exactly once. It is consumed by
+ *
+ *   - the compiler pipeline (isa/pass/swap_routing.hh), which routes
+ *     cross-shard two-qubit gates through per-boundary couplers;
+ *   - the compile cache, whose key incorporates `canonicalText()` so
+ *     cached images never leak across different partitions;
+ *   - the sharded controller (sharded_controller.hh), which builds
+ *     one QtenonSystem per shard and moves program and measurement
+ *     traffic over inter-chip channels.
+ *
+ * Construction validates the partition (no overlaps, no gaps, full
+ * coverage) and fatals on violation, so every downstream consumer
+ * can assume a well-formed map.
+ */
+
+#ifndef QTENON_SHARD_PARTITION_HH
+#define QTENON_SHARD_PARTITION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quantum/mapping.hh"
+
+namespace qtenon::shard {
+
+/** One contiguous qubit shard owned by one controller chip. */
+struct Shard {
+    /** First global qubit index of the shard. */
+    std::uint32_t first = 0;
+    /** Number of qubits owned (> 0). */
+    std::uint32_t count = 0;
+
+    /** One past the last owned global qubit. */
+    std::uint32_t end() const { return first + count; }
+};
+
+/**
+ * A validated partition of global qubits [0, numQubits) into ordered
+ * contiguous shards. Immutable after construction.
+ */
+class ShardMap
+{
+  public:
+    /**
+     * Build from an explicit shard list. Fatals unless the shards,
+     * in order, tile [0, @p num_qubits) exactly: every count > 0,
+     * shard 0 starts at qubit 0, each shard starts where the
+     * previous one ended (no gaps, no overlaps), and the last shard
+     * ends at @p num_qubits.
+     */
+    ShardMap(std::uint32_t num_qubits, std::vector<Shard> shards);
+
+    /** The trivial single-chip partition (one shard owns all). */
+    static ShardMap single(std::uint32_t num_qubits);
+
+    /**
+     * @p num_shards near-equal contiguous shards over
+     * @p num_qubits (the first `num_qubits % num_shards` shards get
+     * one extra qubit). Fatals when num_shards is 0 or exceeds
+     * num_qubits.
+     */
+    static ShardMap uniform(std::uint32_t num_qubits,
+                            std::uint32_t num_shards);
+
+    std::uint32_t numQubits() const { return _numQubits; }
+    std::uint32_t
+    numShards() const
+    {
+        return static_cast<std::uint32_t>(_shards.size());
+    }
+    bool isSingle() const { return _shards.size() == 1; }
+
+    const Shard &shard(std::uint32_t s) const { return _shards[s]; }
+    const std::vector<Shard> &shards() const { return _shards; }
+
+    /** Shard index owning global qubit @p q (O(1)). */
+    std::uint32_t shardOf(std::uint32_t q) const;
+
+    /** @p q's index within its owning shard. */
+    std::uint32_t localIndex(std::uint32_t q) const;
+
+    /** Whether @p a and @p b live on different shards. */
+    bool
+    crossShard(std::uint32_t a, std::uint32_t b) const
+    {
+        return shardOf(a) != shardOf(b);
+    }
+
+    /**
+     * The physical connectivity this partition induces: all-to-all
+     * within each shard (the paper's single-chip assumption holds
+     * per chip) plus exactly one boundary coupler between adjacent
+     * shards — the last qubit of shard k to the first qubit of
+     * shard k+1 — so every cross-shard two-qubit gate must be
+     * SWAP-routed through a boundary.
+     */
+    quantum::CouplingMap couplingMap() const;
+
+    /**
+     * Deterministic text form for cache keying, e.g.
+     * "n=8;s=[4,4]". Contiguity makes the per-shard counts a
+     * complete description.
+     */
+    std::string canonicalText() const;
+
+  private:
+    std::uint32_t _numQubits;
+    std::vector<Shard> _shards;
+    /** Global qubit -> owning shard index. */
+    std::vector<std::uint32_t> _owner;
+};
+
+} // namespace qtenon::shard
+
+#endif // QTENON_SHARD_PARTITION_HH

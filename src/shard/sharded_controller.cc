@@ -1,0 +1,357 @@
+#include "sharded_controller.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "isa/pass/pass.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
+#include "sim/logging.hh"
+
+namespace qtenon::shard {
+
+using quantum::GateType;
+using quantum::QuantumCircuit;
+
+std::vector<ShardProgram>
+splitImage(const isa::ProgramImage &global, const ShardMap &map)
+{
+    if (global.numQubits != map.numQubits())
+        sim::fatal("splitImage: ", global.numQubits,
+                   "-qubit image vs ", map.numQubits(),
+                   "-qubit shard map");
+
+    std::vector<ShardProgram> parts(map.numShards());
+    for (std::uint32_t s = 0; s < map.numShards(); ++s) {
+        auto &part = parts[s];
+        const auto &sh = map.shard(s);
+        part.shardIndex = s;
+        part.image.numQubits = sh.count;
+        part.image.perQubit.assign(
+            global.perQubit.begin() + sh.first,
+            global.perQubit.begin() + sh.end());
+        // The QCC regfile is a fixed-size file independent of the
+        // register width, so replicating the global assignment keeps
+        // global slot numbers valid on every chip — q_update routing
+        // then only needs the per-shard usage filter below.
+        part.image.paramToReg = global.paramToReg;
+        part.image.regfileInit = global.regfileInit;
+        for (const auto &l : global.links) {
+            if (map.shardOf(l.qubit) != s)
+                continue;
+            part.image.links.push_back(isa::RegfileLink{
+                l.reg, map.localIndex(l.qubit), l.entry});
+            part.regsUsed.push_back(l.reg);
+        }
+        std::sort(part.regsUsed.begin(), part.regsUsed.end());
+        part.regsUsed.erase(std::unique(part.regsUsed.begin(),
+                                        part.regsUsed.end()),
+                            part.regsUsed.end());
+    }
+    return parts;
+}
+
+namespace {
+
+/** The gates of @p routed owned by shard @p s, rebased chip-local
+ *  (cross-shard two-qubit gates are the inter-chip phase and are
+ *  excluded here). */
+QuantumCircuit
+shardLocalCircuit(const QuantumCircuit &routed, const ShardMap &map,
+                  std::uint32_t s)
+{
+    QuantumCircuit local(map.shard(s).count);
+    for (std::uint32_t p = 0; p < routed.numParameters(); ++p)
+        local.addParameter(routed.parameter(p),
+                           routed.parameterName(p));
+    for (const auto &g : routed.gates()) {
+        if (g.type == GateType::Measure) {
+            if (map.shardOf(g.qubit0) == s)
+                local.measure(map.localIndex(g.qubit0));
+            continue;
+        }
+        if (!quantum::isTwoQubit(g.type)) {
+            if (map.shardOf(g.qubit0) != s)
+                continue;
+            const auto q = map.localIndex(g.qubit0);
+            if (quantum::isParameterized(g.type))
+                local.rotation(g.type, q, g.param);
+            else
+                local.gate(g.type, q);
+            continue;
+        }
+        if (map.shardOf(g.qubit0) != s ||
+            map.shardOf(g.qubit1) != s)
+            continue; // boundary gate: charged as inter-chip phase
+        const auto a = map.localIndex(g.qubit0);
+        const auto b = map.localIndex(g.qubit1);
+        if (quantum::isParameterized(g.type))
+            local.rotation2(g.type, a, b, g.param);
+        else
+            local.gate2(g.type, a, b);
+    }
+    return local;
+}
+
+/** The shard's slice of one global readout word. */
+std::uint64_t
+sliceWord(std::uint64_t word, const Shard &sh)
+{
+    const auto mask = sh.count >= 64
+        ? ~0ull
+        : ((1ull << sh.count) - 1);
+    return (word >> sh.first) & mask;
+}
+
+/** Per-field maximum of two breakdowns (parallel chips). */
+void
+maxInto(runtime::TimeBreakdown &into,
+        const runtime::TimeBreakdown &bd)
+{
+    into.quantum = std::max(into.quantum, bd.quantum);
+    into.pulseGen = std::max(into.pulseGen, bd.pulseGen);
+    into.comm = std::max(into.comm, bd.comm);
+    into.host = std::max(into.host, bd.host);
+    into.hostBusy = std::max(into.hostBusy, bd.hostBusy);
+    into.wall = std::max(into.wall, bd.wall);
+    into.commSet = std::max(into.commSet, bd.commSet);
+    into.commUpdate = std::max(into.commUpdate, bd.commUpdate);
+    into.commAcquire = std::max(into.commAcquire, bd.commAcquire);
+}
+
+/** Modeled wire size of one shard's program install. */
+std::uint64_t
+installBytes(const isa::ProgramImage &image)
+{
+    // 65-bit entries (9 bytes packed), 4-byte regfile words,
+    // 12-byte invalidation links.
+    return image.totalEntries() * 9 +
+        image.regfileInit.size() * 4 + image.links.size() * 12;
+}
+
+} // namespace
+
+ShardedController::ShardedController(ShardedConfig cfg)
+    : _cfg(std::move(cfg))
+{
+    if (_cfg.chip.numQubits != _cfg.map.numQubits())
+        _cfg.chip.numQubits = _cfg.map.numQubits();
+}
+
+isa::QtenonCompiler
+ShardedController::compiler() const
+{
+    isa::PipelineConfig pipe;
+    pipe.shardMap = &_cfg.map;
+    return isa::QtenonCompiler(isa::CompilerCostModel{}, pipe);
+}
+
+isa::ProgramImage
+ShardedController::compile(const quantum::QuantumCircuit &c,
+                           bool *was_hit) const
+{
+    const auto comp = compiler();
+    if (_cfg.compileCache)
+        return _cfg.compileCache->compile(c, comp, was_hit);
+    if (was_hit)
+        *was_hit = false;
+    return comp.compile(c);
+}
+
+ShardedRun
+ShardedController::execute(const quantum::QuantumCircuit &logical,
+                           const runtime::VqaTrace &trace)
+{
+    ShardedRun run;
+    const auto &map = _cfg.map;
+
+    if (map.isSingle()) {
+        // Pure passthrough: one chip, no channels, no re-lowering —
+        // byte-identical to core::QtenonSystem::execute on the
+        // driver-compiled trace.
+        core::QtenonConfig chip = _cfg.chip;
+        chip.numQubits = map.numQubits();
+        core::QtenonSystem sys(chip);
+        const auto res = sys.execute(trace, logical);
+        run.total = res.total();
+        run.shotDuration = sys.shotDuration(logical);
+        run.simTicks = sys.eventQueue().curTick();
+        ShardStats st;
+        st.numQubits = map.numQubits();
+        st.total = run.total;
+        st.programEntries = trace.image.totalEntries();
+        st.simTicks = run.simTicks;
+        run.shards.push_back(st);
+        return run;
+    }
+
+    // Shard-aware lowering: routing products from the pipeline, the
+    // image through the compile cache when one is configured (the
+    // key incorporates the shard map).
+    const auto comp = compiler();
+    isa::pass::CompileContext ctx;
+    ctx.circuit = logical;
+    ctx.shardMap = &map;
+    comp.buildPipeline().run(ctx);
+    run.swapsInserted = ctx.routing.swapsInserted;
+    run.crossShardGates = ctx.routing.crossShardGates;
+    isa::ProgramImage image;
+    if (_cfg.compileCache)
+        image = _cfg.compileCache->compile(logical, comp,
+                                           &run.compileCacheHit);
+    else
+        image = std::move(ctx.image);
+
+    const auto parts = splitImage(image, map);
+
+    // One chip and one inter-chip channel per shard; each channel is
+    // its own injection site, so each shard has its own fault domain.
+    const auto numShards = map.numShards();
+    std::vector<std::unique_ptr<core::QtenonSystem>> chips;
+    std::vector<InterChipChannel> channels;
+    chips.reserve(numShards);
+    channels.reserve(numShards);
+    for (std::uint32_t s = 0; s < numShards; ++s) {
+        core::QtenonConfig chip = _cfg.chip;
+        chip.numQubits = map.shard(s).count;
+        // Boundary funneling concentrates routed SWAPs on the few
+        // coupler qubits, whose .program chunks can outgrow the
+        // paper's 1024 entries — size this chip's chunks to fit
+        // (rounded up to whole paper-sized chunks).
+        const auto maxChunk = parts[s].image.maxChunkEntries();
+        if (maxChunk > 1024)
+            chip.programEntriesPerQubit =
+                (maxChunk + 1023) / 1024 * 1024;
+        chip.injector = nullptr;
+        chips.push_back(
+            std::make_unique<core::QtenonSystem>(chip));
+        channels.emplace_back("xchip" + std::to_string(s),
+                              _cfg.link);
+        if (_cfg.injector)
+            channels.back().attachInjector(_cfg.injector);
+    }
+
+    // A shot spans the slowest chip's local circuit plus the
+    // serialized cross-shard phase: every boundary gate costs one
+    // control-message round trip before the chips proceed.
+    sim::Tick maxLocalShot = 0;
+    std::vector<QuantumCircuit> locals;
+    locals.reserve(numShards);
+    for (std::uint32_t s = 0; s < numShards; ++s) {
+        locals.push_back(
+            shardLocalCircuit(ctx.circuit, map, s));
+        maxLocalShot = std::max(
+            maxLocalShot, chips[s]->shotDuration(locals[s]));
+    }
+    const sim::Tick crossPhase =
+        run.crossShardGates * 2 * _cfg.link.latency;
+    run.shotDuration = maxLocalShot + crossPhase;
+
+    auto *sink = obs::traceSink();
+    std::uint32_t tracePid = 0;
+    if (sink)
+        tracePid = sink->allocProcess("sharded controller");
+
+    run.shards.resize(numShards);
+    for (std::uint32_t s = 0; s < numShards; ++s) {
+        auto &st = run.shards[s];
+        const auto &sh = map.shard(s);
+        st.index = s;
+        st.firstQubit = sh.first;
+        st.numQubits = sh.count;
+        st.programEntries = parts[s].image.totalEntries();
+
+        // The shard's sub-trace: its chip image, updates filtered to
+        // the regfile slots its entries reference, its slice of the
+        // readout words. Host post-processing runs once on the host
+        // hub; it is charged to shard 0.
+        runtime::VqaTrace sub;
+        sub.numQubits = sh.count;
+        sub.backend = trace.backend;
+        sub.image = parts[s].image;
+        sub.costHistory = trace.costHistory;
+        sub.rounds.reserve(trace.rounds.size());
+        const auto &regs = parts[s].regsUsed;
+        for (const auto &r : trace.rounds) {
+            runtime::RoundRecord lr;
+            for (const auto &u : r.updates)
+                if (std::binary_search(regs.begin(), regs.end(),
+                                       u.first))
+                    lr.updates.push_back(u);
+            lr.shots = r.shots;
+            if (!r.shotData.empty() && trace.numQubits <= 64) {
+                lr.shotData.reserve(r.shotData.size());
+                for (auto w : r.shotData)
+                    lr.shotData.push_back(sliceWord(w, sh));
+            }
+            lr.postOpsPerShot = s == 0 ? r.postOpsPerShot : 0.0;
+            lr.optimizerOps = s == 0 ? r.optimizerOps : 0.0;
+            sub.rounds.push_back(std::move(lr));
+        }
+
+        const auto res =
+            chips[s]->executor().execute(sub, run.shotDuration);
+        st.total = res.total();
+        st.simTicks = chips[s]->eventQueue().curTick();
+
+        // Inter-chip traffic on this shard's own channel: the
+        // program install, one update message per round that
+        // touches this shard, one measurement gather per round.
+        auto &ch = channels[s];
+        sim::Tick t = 0;
+        std::uint64_t msgIndex = 0;
+        auto push = [&](std::uint64_t bytes) {
+            const auto out = reliableTransfer(
+                ch, bytes, t, _cfg.linkRetry,
+                (static_cast<std::uint64_t>(s) << 32) | msgIndex);
+            ++msgIndex;
+            t += out.ticks;
+            ++st.xlinkMessages;
+            st.xlinkBytes += bytes;
+            st.xlinkRetransmits += out.attempts - 1;
+            st.xlinkExhausted += out.exhausted ? 1 : 0;
+        };
+        push(installBytes(parts[s].image));
+        const std::uint64_t readoutBytes = (sh.count + 7) / 8;
+        for (const auto &r : sub.rounds) {
+            if (!r.updates.empty())
+                push(r.updates.size() * 12);
+            push(r.shots * readoutBytes);
+        }
+        st.xlinkTicks = t;
+        st.total.comm += st.xlinkTicks;
+        st.total.wall += st.xlinkTicks;
+
+        if (obs::metricsEnabled()) {
+            const auto prefix =
+                "shard." + std::to_string(s) + ".xlink.";
+            obs::counter(prefix + "messages",
+                         "inter-chip messages for this shard")
+                .add(st.xlinkMessages);
+            obs::counter(prefix + "bytes",
+                         "inter-chip bytes for this shard")
+                .add(st.xlinkBytes);
+            obs::counter(prefix + "retransmits",
+                         "inter-chip retransmissions for this shard")
+                .add(st.xlinkRetransmits);
+        }
+        if (sink) {
+            sink->threadName(tracePid, s,
+                             "shard" + std::to_string(s));
+            sink->complete(
+                tracePid, s, "replay+xlink", "shard", 0.0,
+                sim::ticksToUs(st.total.wall),
+                {{"qubits", std::to_string(sh.count)},
+                 {"xlink_bytes", std::to_string(st.xlinkBytes)},
+                 {"xlink_retransmits",
+                  std::to_string(st.xlinkRetransmits)},
+                 {"xlink_ticks", std::to_string(st.xlinkTicks)}});
+        }
+
+        maxInto(run.total, st.total);
+        run.simTicks += st.simTicks;
+    }
+    return run;
+}
+
+} // namespace qtenon::shard

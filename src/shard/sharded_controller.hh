@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The multi-chip sharded controller: N `core::QtenonSystem`
+ * instances, each owning one contiguous qubit shard, composed behind
+ * one controller-shaped facade that routes program installation,
+ * parameter updates, and measurement readback over per-shard
+ * inter-chip channels (interchip.hh).
+ *
+ * Lowering is shard-aware end to end: the circuit runs through the
+ * regular pass pipeline with the shard map in the PipelineConfig, so
+ * `swap-routing` inserts boundary SWAPs for cross-shard two-qubit
+ * gates and the compile-cache key incorporates the partition. The
+ * resulting global image is split per shard (`splitImage`): each
+ * chip receives the program chunks of its own qubits (indices
+ * rebased to chip-local), a replicated regfile (the QCC regfile is a
+ * fixed 1024-entry file, so replication is free and keeps global
+ * slot numbers valid on every chip), and the regfile->entry links
+ * filtered to its qubits.
+ *
+ * Timing model of one sharded run:
+ *   - every chip replays its local sub-trace on its own private
+ *     event queue (chips simulate independently, like the batch
+ *     service's per-job systems);
+ *   - a shot's duration is the slowest chip's local circuit plus a
+ *     serialized cross-shard phase (each boundary gate costs one
+ *     control-message round trip on the inter-chip link);
+ *   - program bytes, per-round update messages, and per-round
+ *     measurement gathers move over each shard's own channel
+ *     through the retransmission layer, so inter-chip loss inflates
+ *     that shard's (and only that shard's) communication time;
+ *   - the aggregate breakdown takes the per-component maximum over
+ *     shards (chips run in parallel; the slowest one gates the run).
+ *
+ * A single-shard map bypasses all of it: no channels, no split, the
+ * trace replays exactly like `core::QtenonSystem::execute`, so the
+ * N=1 configuration is byte-identical to the single-controller path.
+ */
+
+#ifndef QTENON_SHARD_SHARDED_CONTROLLER_HH
+#define QTENON_SHARD_SHARDED_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/qtenon_system.hh"
+#include "interchip.hh"
+#include "isa/pass/compile_cache.hh"
+#include "partition.hh"
+#include "runtime/breakdown.hh"
+#include "runtime/trace.hh"
+
+namespace qtenon::shard {
+
+/** Configuration of one sharded controller composition. */
+struct ShardedConfig {
+    ShardMap map = ShardMap::single(64);
+    /** Per-chip template; numQubits is overridden per shard and the
+     *  chip-internal injector is detached (intra-chip faults remain
+     *  the single-chip surface; the shard layer owns the inter-chip
+     *  fault domains). */
+    core::QtenonConfig chip;
+    /** Inter-chip link model (one channel per shard). */
+    InterChipLinkConfig link;
+    /** Retransmission budget for inter-chip messages (ticks). */
+    fault::RetryPolicy linkRetry{.maxAttempts = 4,
+                                 .backoff = 200 * sim::nsTicks};
+    /** Fault injection over the inter-chip channels, sites
+     *  "xchip0".."xchip<N-1>" (not owned, may be null). */
+    fault::FaultInjector *injector = nullptr;
+    /** Optional shared compile cache for the shard-aware lowering
+     *  (not owned); the key includes the shard map. */
+    isa::CompileCache *compileCache = nullptr;
+};
+
+/** The global image split for one shard's chip. */
+struct ShardProgram {
+    std::uint32_t shardIndex = 0;
+    /** Chip-local image: numQubits = shard size, per-qubit entries
+     *  rebased, regfile replicated in full. */
+    isa::ProgramImage image;
+    /** Sorted global regfile slots referenced by this shard's
+     *  entries (the q_update routing filter). */
+    std::vector<std::uint32_t> regsUsed;
+};
+
+/**
+ * Split @p global (compiled over the full register) into per-shard
+ * chip images. Fatals when the image register disagrees with the
+ * map.
+ */
+std::vector<ShardProgram> splitImage(const isa::ProgramImage &global,
+                                     const ShardMap &map);
+
+/** Per-shard accounting of one sharded run. */
+struct ShardStats {
+    std::uint32_t index = 0;
+    std::uint32_t firstQubit = 0;
+    std::uint32_t numQubits = 0;
+    /** Chip replay breakdown including this shard's link time. */
+    runtime::TimeBreakdown total;
+    std::uint64_t programEntries = 0;
+    /** Inter-chip traffic on this shard's channel. */
+    std::uint64_t xlinkMessages = 0;
+    std::uint64_t xlinkBytes = 0;
+    std::uint64_t xlinkRetransmits = 0;
+    std::uint64_t xlinkExhausted = 0;
+    /** Serialized channel busy time (send to delivery, retries
+     *  included). */
+    sim::Tick xlinkTicks = 0;
+    /** Simulated time reached by this chip's event queue. */
+    sim::Tick simTicks = 0;
+};
+
+/** Aggregate result of one sharded trace replay. */
+struct ShardedRun {
+    /** Per-component maximum over shards (parallel chips), with the
+     *  inter-chip link time folded into comm/wall. */
+    runtime::TimeBreakdown total;
+    std::vector<ShardStats> shards;
+    /** Routed two-qubit gates crossing a shard boundary. */
+    std::uint64_t crossShardGates = 0;
+    /** SWAPs the router inserted (boundary funneling). */
+    std::uint64_t swapsInserted = 0;
+    /** One sharded shot: slowest local circuit + cross-shard phase. */
+    sim::Tick shotDuration = 0;
+    /** Sum of per-chip event-queue times. */
+    sim::Tick simTicks = 0;
+    /** Whether the shard-aware compile was served from the cache. */
+    bool compileCacheHit = false;
+};
+
+/** N controller chips behind one facade. */
+class ShardedController
+{
+  public:
+    explicit ShardedController(ShardedConfig cfg);
+
+    const ShardedConfig &config() const { return _cfg; }
+    const ShardMap &map() const { return _cfg.map; }
+
+    /** The shard-aware pipeline configuration (cache-key bearing). */
+    isa::QtenonCompiler compiler() const;
+
+    /** Shard-aware lowering of @p c (through the configured compile
+     *  cache when one is set). */
+    isa::ProgramImage compile(const quantum::QuantumCircuit &c,
+                              bool *was_hit = nullptr) const;
+
+    /**
+     * Replay @p trace of @p logical on the composition. The trace's
+     * functional content (rounds, updates, shot words) is reused;
+     * multi-shard maps recompile the image shard-aware and ignore
+     * `trace.image`, the single-shard map replays it verbatim.
+     */
+    ShardedRun execute(const quantum::QuantumCircuit &logical,
+                       const runtime::VqaTrace &trace);
+
+  private:
+    ShardedConfig _cfg;
+};
+
+} // namespace qtenon::shard
+
+#endif // QTENON_SHARD_SHARDED_CONTROLLER_HH

@@ -15,11 +15,17 @@
 #include "controller/program_entry.hh"
 #include "controller/rbq.hh"
 #include "controller/wbq.hh"
+#include "isa/compiler.hh"
+#include "isa/pass/pass_manager.hh"
+#include "isa/pass/swap_routing.hh"
 #include "memory/cache.hh"
 #include "memory/dram.hh"
 #include "quantum/ansatz.hh"
 #include "quantum/qasm.hh"
 #include "quantum/sampler.hh"
+#include "quantum/statevector.hh"
+#include "random_circuit.hh"
+#include "shard/partition.hh"
 #include "sim/random.hh"
 
 using namespace qtenon;
@@ -486,5 +492,61 @@ TEST(Property, DynamicQasmRoundTripPreservesFeedForward)
         Rng ra(trial + 1), rb(trial + 1);
         EXPECT_EQ(c.run(ra).word(), back.run(rb).word())
             << "trial " << trial;
+    }
+}
+
+// ---------------------------------------------------------------
+// Sharded lowering: for any random circuit and any K-way contiguous
+// partition, routing through the shard topology and undoing the
+// final layout yields the identical measurement distribution (and
+// identical sampled bits) as the identity 1-shard lowering.
+
+TEST(Property, ShardedLoweringPreservesMeasurementDistribution)
+{
+    Rng rng(0x5AAD);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto n =
+            static_cast<std::uint32_t>(4 + rng.index(5)); // 4..8
+        const auto k = static_cast<std::uint32_t>(
+            2 + rng.index(n / 2 - 1)); // 2..n/2
+        const auto map = shard::ShardMap::uniform(n, k);
+        auto c = tests::randomCircuit(n, 20 + rng.index(20), rng);
+        c.measureAll();
+
+        // K-way shard-aware lowering through the pass pipeline.
+        isa::pass::CompileContext ctx;
+        ctx.circuit = c;
+        ctx.shardMap = &map;
+        isa::PipelineConfig pipe;
+        pipe.shardMap = &map;
+        const isa::QtenonCompiler comp(isa::CompilerCostModel{},
+                                       pipe);
+        comp.buildPipeline().run(ctx);
+
+        // The identity 1-shard map must lower to the circuit
+        // itself (no routing).
+        const auto ident = shard::ShardMap::single(n);
+        isa::pass::CompileContext ictx;
+        ictx.circuit = c;
+        ictx.shardMap = &ident;
+        isa::PipelineConfig ipipe;
+        ipipe.shardMap = &ident;
+        const isa::QtenonCompiler icomp(isa::CompilerCostModel{},
+                                        ipipe);
+        icomp.buildPipeline().run(ictx);
+        EXPECT_EQ(ictx.routing.swapsInserted, 0u)
+            << "trial " << trial;
+
+        const auto restored =
+            isa::pass::withRestoredLayout(ctx.routing);
+        quantum::StateVector one(n), sharded(n);
+        one.applyCircuit(ictx.circuit);
+        sharded.applyCircuit(restored);
+
+        // Identical distribution, bit for bit: same seed, same
+        // sampled words.
+        Rng ra(1000 + trial), rb(1000 + trial);
+        EXPECT_EQ(one.sample(128, ra), sharded.sample(128, rb))
+            << "trial " << trial << " n=" << n << " k=" << k;
     }
 }

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Per-shard inter-chip fault domains (src/shard/interchip.hh): each
+ * channel is its own injection site with an independently seeded
+ * stream, so loss on one shard's link never perturbs another shard's
+ * RNG sequence or results; the bounded-retransmission layer accounts
+ * retries and budget exhaustion deterministically and always
+ * completes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "shard/sharded_controller.hh"
+#include "vqa/driver.hh"
+
+using namespace qtenon;
+using shard::InterChipChannel;
+using shard::InterChipLinkConfig;
+using shard::ShardMap;
+
+namespace {
+
+/** Outcome trace of a fixed message schedule on one channel. */
+std::vector<shard::TransferOutcome>
+driveChannel(InterChipChannel &ch, const fault::RetryPolicy &policy)
+{
+    std::vector<shard::TransferOutcome> outs;
+    sim::Tick t = 0;
+    for (int i = 0; i < 32; ++i) {
+        const auto out = reliableTransfer(
+            ch, 64 + 8 * static_cast<std::uint64_t>(i), t, policy,
+            static_cast<std::uint64_t>(i));
+        t += out.ticks;
+        outs.push_back(out);
+    }
+    return outs;
+}
+
+bool
+sameOutcomes(const std::vector<shard::TransferOutcome> &a,
+             const std::vector<shard::TransferOutcome> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].ticks != b[i].ticks ||
+            a[i].attempts != b[i].attempts ||
+            a[i].exhausted != b[i].exhausted)
+            return false;
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Fault-domain isolation at the channel level: changing shard A's
+// loss rate leaves shard B's stream untouched (per-site seeding).
+
+TEST(ShardFaultDomains, LossOnOneChannelNeverPerturbsAnother)
+{
+    fault::RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.backoff = 100 * sim::nsTicks;
+
+    auto run = [&](double loss_a, double loss_b) {
+        fault::FaultSpec fs;
+        if (loss_a > 0.0)
+            fs.sites["xchip0"].drop = loss_a;
+        if (loss_b > 0.0)
+            fs.sites["xchip1"].drop = loss_b;
+        fault::FaultInjector inj(fs, 42);
+        InterChipChannel a("xchip0", InterChipLinkConfig{});
+        InterChipChannel b("xchip1", InterChipLinkConfig{});
+        a.attachInjector(&inj);
+        b.attachInjector(&inj);
+        const auto outsA = driveChannel(a, policy);
+        const auto outsB = driveChannel(b, policy);
+        return std::make_pair(outsA, outsB);
+    };
+
+    const auto clean = run(0.0, 0.3);
+    const auto lossy = run(0.6, 0.3);
+
+    // Shard 0's channel did change...
+    EXPECT_FALSE(sameOutcomes(clean.first, lossy.first));
+    // ...and shard 1's sequence is bit-identical regardless.
+    EXPECT_TRUE(sameOutcomes(clean.second, lossy.second));
+}
+
+// ---------------------------------------------------------------
+// Retransmit accounting: drop=1 with a 3-attempt budget burns 2
+// retransmissions, counts one exhaustion, and still delivers via
+// the modeled fallback.
+
+TEST(ShardFaultDomains, RetransmitExhaustionAccounting)
+{
+    fault::FaultSpec fs;
+    fs.sites["xchip0"].drop = 1.0;
+    fault::FaultInjector inj(fs, 7);
+    InterChipChannel ch("xchip0", InterChipLinkConfig{});
+    ch.attachInjector(&inj);
+
+    fault::RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.backoff = 100 * sim::nsTicks;
+
+    const auto out = reliableTransfer(ch, 128, 0, policy, 99);
+    EXPECT_EQ(out.attempts, 3u);
+    EXPECT_TRUE(out.exhausted);
+    // The fallback still makes forward progress, and costs more
+    // than a clean transfer.
+    EXPECT_GT(out.ticks, ch.transferLatency(128));
+
+    std::map<std::string, double> counters;
+    inj.exportCounters(counters);
+    EXPECT_EQ(counters.at("fault.xchip0.retransmits"), 2.0);
+    EXPECT_EQ(counters.at("fault.xchip0.exhausted"), 1.0);
+    EXPECT_EQ(counters.at("fault.xchip0.drop"), 3.0);
+}
+
+// ---------------------------------------------------------------
+// End-to-end isolation: a sharded run with loss on shard 0's link
+// reproduces every other shard's stats bit for bit, and perturbs
+// only shard 0's link accounting.
+
+namespace {
+
+shard::ShardedRun
+runSharded(const fault::FaultSpec &fs)
+{
+    vqa::WorkloadConfig wl;
+    wl.algorithm = vqa::Algorithm::Qaoa;
+    wl.numQubits = 8;
+    auto workload = vqa::Workload::build(wl);
+    vqa::DriverConfig dc;
+    dc.optimizer = vqa::OptimizerKind::Spsa;
+    dc.iterations = 2;
+    dc.shots = 64;
+    dc.seed = 21;
+    vqa::VqaDriver driver(dc);
+    const auto trace = driver.run(workload);
+
+    shard::ShardedConfig cfg;
+    cfg.map = ShardMap::uniform(8, 4);
+    cfg.chip.numQubits = 8;
+    fault::FaultInjector inj(fs, 5);
+    cfg.injector = &inj;
+    shard::ShardedController sc(std::move(cfg));
+    return sc.execute(workload.circuit, trace);
+}
+
+} // namespace
+
+TEST(ShardFaultDomains, ShardStatsIsolatedEndToEnd)
+{
+    fault::FaultSpec clean;
+    fault::FaultSpec lossy;
+    lossy.sites["xchip0"].drop = 0.8;
+
+    const auto a = runSharded(clean);
+    const auto b = runSharded(lossy);
+    ASSERT_EQ(a.shards.size(), 4u);
+    ASSERT_EQ(b.shards.size(), 4u);
+
+    // Shard 0 paid retransmissions...
+    EXPECT_GT(b.shards[0].xlinkRetransmits,
+              a.shards[0].xlinkRetransmits);
+    EXPECT_GT(b.shards[0].xlinkTicks, a.shards[0].xlinkTicks);
+    // ...while every other shard's accounting is untouched.
+    for (std::uint32_t s = 1; s < 4; ++s) {
+        EXPECT_EQ(a.shards[s].xlinkMessages,
+                  b.shards[s].xlinkMessages);
+        EXPECT_EQ(a.shards[s].xlinkBytes, b.shards[s].xlinkBytes);
+        EXPECT_EQ(a.shards[s].xlinkRetransmits,
+                  b.shards[s].xlinkRetransmits);
+        EXPECT_EQ(a.shards[s].xlinkExhausted,
+                  b.shards[s].xlinkExhausted);
+        EXPECT_EQ(a.shards[s].xlinkTicks, b.shards[s].xlinkTicks);
+        EXPECT_EQ(a.shards[s].total.wall, b.shards[s].total.wall);
+        EXPECT_EQ(a.shards[s].simTicks, b.shards[s].simTicks);
+    }
+    // Routing and the shot model are loss-independent.
+    EXPECT_EQ(a.crossShardGates, b.crossShardGates);
+    EXPECT_EQ(a.shotDuration, b.shotDuration);
+}
+
+TEST(ShardFaultDomains, LossyRunsAreDeterministic)
+{
+    fault::FaultSpec lossy;
+    for (int s = 0; s < 4; ++s)
+        lossy.sites["xchip" + std::to_string(s)].drop = 0.5;
+
+    const auto a = runSharded(lossy);
+    const auto b = runSharded(lossy);
+    ASSERT_EQ(a.shards.size(), b.shards.size());
+    EXPECT_EQ(a.total.wall, b.total.wall);
+    EXPECT_EQ(a.total.comm, b.total.comm);
+    for (std::size_t s = 0; s < a.shards.size(); ++s) {
+        EXPECT_EQ(a.shards[s].xlinkRetransmits,
+                  b.shards[s].xlinkRetransmits);
+        EXPECT_EQ(a.shards[s].xlinkTicks,
+                  b.shards[s].xlinkTicks);
+    }
+}
+
+// ---------------------------------------------------------------
+// An exhausted retry budget degrades timing but never results: the
+// run completes and the exhaustion is accounted per shard.
+
+TEST(ShardFaultDomains, ExhaustedBudgetStillCompletes)
+{
+    fault::FaultSpec total_loss;
+    for (int s = 0; s < 4; ++s)
+        total_loss.sites["xchip" + std::to_string(s)].drop = 1.0;
+
+    const auto run = runSharded(total_loss);
+    std::uint64_t exhausted = 0;
+    for (const auto &st : run.shards) {
+        exhausted += st.xlinkExhausted;
+        // Every message fell back after (maxAttempts - 1) = 3
+        // retransmissions.
+        EXPECT_EQ(st.xlinkExhausted, st.xlinkMessages);
+        EXPECT_EQ(st.xlinkRetransmits, 3 * st.xlinkMessages);
+    }
+    EXPECT_GT(exhausted, 0u);
+    EXPECT_GT(run.total.wall, 0u);
+}
