@@ -1,0 +1,485 @@
+/**
+ * @file
+ * QEC feed-forward deadline sweep (src/qec/): repeated
+ * repetition-code stabilizer rounds with decode -> correct
+ * feed-forward under a per-round deadline, timed on the
+ * tightly-coupled Qtenon path and on the decoupled UDP/Ethernet
+ * baseline, at several injected loss rates, with corrections
+ * delivered scalar (q_update) or vector (q_update.v, --isa-vector).
+ *
+ * Writes a machine-checkable artifact (--out, schema
+ * "qtenon.qec-sweep.v1") whose criteria block is validated by
+ * test_vector_isa's artifact gate; --smoke exits nonzero unless
+ * every criterion holds:
+ *   - jobs_invariant: re-running the whole sweep on one worker
+ *     reproduces every per-config digest bit for bit
+ *   - tight_beats_decoupled: the tight path's deadline-miss rate is
+ *     strictly below the decoupled baseline's at every tested loss
+ *     rate, in both ISA modes
+ *   - vector_reduces_rocc: the vector lowering issues strictly fewer
+ *     RoCC instructions than the scalar one, both in the measured
+ *     QEC rounds and in the analytic count for a >= 32-qubit ansatz
+ *   - vector_moves_elements: q_update.v actually carried packed
+ *     elements when enabled, and never fired when disabled
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sweep_cli.hh"
+
+#include "core/hash.hh"
+#include "isa/compiler.hh"
+#include "qec/feed_forward.hh"
+#include "service/batch_scheduler.hh"
+#include "service/json.hh"
+#include "sim/logging.hh"
+
+using namespace qtenon;
+using namespace qtenon::bench;
+
+namespace {
+
+struct Config {
+    std::vector<double> losses = {0.0, 0.01, 0.05};
+    double dataErrorRate = 0.05;
+    std::uint32_t ansatzQubits = 32;
+    std::string outPath;
+    bool smoke = false;
+};
+
+/** One (loss, isa-mode) configuration's results. */
+struct Row {
+    double loss = 0.0;
+    bool vector = false;
+    std::uint64_t rounds = 0;
+    std::uint64_t tightMisses = 0;
+    std::uint64_t decoupledMisses = 0;
+    double tightMissRate = 0.0;
+    double decoupledMissRate = 0.0;
+    std::uint64_t roccTransfers = 0;
+    std::uint64_t roccVectorElements = 0;
+    std::uint64_t injectedErrors = 0;
+    std::uint64_t correctionsApplied = 0;
+    bool logicalValue = false;
+    core::Digest128 digest;
+    bool rerunMatches = false;
+};
+
+void
+updateU64(core::Fnv1a &h, std::uint64_t v)
+{
+    h.update(v);
+}
+
+/** Content digest of everything a feed-forward run reports. */
+core::Digest128
+runDigest(const qec::FeedForwardResult &res)
+{
+    core::Fnv1a lo;
+    core::Fnv1a hi(core::Fnv1a::offsetBasis ^
+                   0x9e3779b97f4a7c15ull);
+    auto both = [&](std::uint64_t v) {
+        updateU64(lo, v);
+        updateU64(hi, v);
+    };
+    for (const auto &r : res.rounds) {
+        both(r.tightNs);
+        both(r.decoupledNs);
+        both(r.tightMiss ? 1 : 0);
+        both(r.decoupledMiss ? 1 : 0);
+        both(r.injectedErrors);
+        both(r.corrections);
+    }
+    both(res.tightMisses);
+    both(res.decoupledMisses);
+    both(res.roccTransfers);
+    both(res.roccVectorElements);
+    both(res.injectedErrors);
+    both(res.correctionsApplied);
+    both(res.logicalValue ? 1 : 0);
+    return core::Digest128{lo.digest(), hi.digest()};
+}
+
+/** Split a 128-bit digest into four exact-in-double 32-bit words. */
+void
+digestToMetrics(const core::Digest128 &d,
+                std::map<std::string, double> &m)
+{
+    m["digest_0"] = static_cast<double>(d.lo & 0xffffffffull);
+    m["digest_1"] = static_cast<double>(d.lo >> 32);
+    m["digest_2"] = static_cast<double>(d.hi & 0xffffffffull);
+    m["digest_3"] = static_cast<double>(d.hi >> 32);
+}
+
+core::Digest128
+digestFromMetrics(const std::map<std::string, double> &m)
+{
+    auto word = [&](const char *k) {
+        const auto it = m.find(k);
+        return it == m.end()
+            ? 0ull
+            : static_cast<std::uint64_t>(it->second);
+    };
+    return core::Digest128{
+        word("digest_0") | (word("digest_1") << 32),
+        word("digest_2") | (word("digest_3") << 32)};
+}
+
+/** The sweep's job list: (loss x {scalar, vector}) harness runs. */
+std::vector<service::JobSpec>
+buildJobs(const Config &cfg, const SweepCli &cli)
+{
+    std::vector<service::JobSpec> jobs;
+    for (auto loss : cfg.losses) {
+        for (bool vec : {false, true}) {
+            service::JobSpec spec;
+            spec.name = std::string("qec-sweep/") +
+                (vec ? "vector" : "scalar") + "/loss" +
+                std::to_string(loss);
+            // Figure parity: every configuration replays the same
+            // functional QEC trace, so loss and ISA mode are the
+            // only variables.
+            spec.deriveSeedFromJobId = false;
+            const auto error_rate = cfg.dataErrorRate;
+            spec.custom = [loss, vec, error_rate,
+                           cli](service::JobContext &ctx) {
+                qec::FeedForwardConfig fcfg;
+                fcfg.distance = cli.qecDistance;
+                fcfg.rounds = cli.qecRounds;
+                fcfg.deadlineNs = cli.qecDeadlineNs;
+                fcfg.dataErrorRate = error_rate;
+                fcfg.vectorIsa = vec;
+                fcfg.seed = ctx.seed;
+
+                fault::FaultSpec fs;
+                if (loss > 0.0)
+                    fs.sites["eth"].drop = loss;
+                fault::FaultInjector inj(fs,
+                                         fault::mix64(ctx.seed));
+                fcfg.injector = &inj;
+
+                const qec::FeedForwardHarness harness(fcfg);
+                const auto res = harness.run();
+
+                auto &r = ctx.result;
+                r.numQubits = 2 * fcfg.distance - 1;
+                r.rounds = res.rounds.size();
+                r.metrics["loss"] = loss;
+                r.metrics["vector"] = vec ? 1.0 : 0.0;
+                r.metrics["tight_misses"] =
+                    static_cast<double>(res.tightMisses);
+                r.metrics["decoupled_misses"] =
+                    static_cast<double>(res.decoupledMisses);
+                r.metrics["tight_miss_rate"] = res.tightMissRate();
+                r.metrics["decoupled_miss_rate"] =
+                    res.decoupledMissRate();
+                r.metrics["rocc_transfers"] =
+                    static_cast<double>(res.roccTransfers);
+                r.metrics["rocc_vector_elements"] =
+                    static_cast<double>(res.roccVectorElements);
+                r.metrics["injected_errors"] =
+                    static_cast<double>(res.injectedErrors);
+                r.metrics["corrections_applied"] =
+                    static_cast<double>(res.correctionsApplied);
+                r.metrics["logical_value"] =
+                    res.logicalValue ? 1.0 : 0.0;
+                inj.exportCounters(r.metrics);
+                digestToMetrics(runDigest(res), r.metrics);
+            };
+            jobs.push_back(std::move(spec));
+        }
+    }
+    return jobs;
+}
+
+double
+metric(const service::JobResult &r, const char *key)
+{
+    const auto it = r.metrics.find(key);
+    return it == r.metrics.end() ? 0.0 : it->second;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [sweep options] [--loss l1,l2,...] "
+        "[--error-rate P] [--ansatz-qubits N] [--out PATH] "
+        "[--smoke]\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    std::string loss_arg;
+    const auto cli = parseSweepCli(
+        argc, argv, [&](cli::OptionRegistry &reg) {
+            reg.add("--loss", "l1,l2",
+                    "ethernet loss rates swept for the decoupled "
+                    "baseline (default 0,0.01,0.05)",
+                    [&](const std::string &v) { loss_arg = v; });
+            reg.add("--error-rate", "P",
+                    "per-data-qubit X-error probability per round "
+                    "(default 0.05)",
+                    [&](const std::string &v) {
+                        cfg.dataErrorRate =
+                            std::strtod(v.c_str(), nullptr);
+                    });
+            reg.uns("--ansatz-qubits", "N",
+                    "ansatz size for the analytic RoCC instruction "
+                    "count (default 32, the criteria floor)",
+                    &cfg.ansatzQubits, 32,
+                    "--ansatz-qubits must be >= 32");
+            reg.str("--out", "PATH", "write the JSON artifact",
+                    &cfg.outPath);
+            reg.flag("--smoke",
+                     "small fast run; exit 1 unless every "
+                     "criterion holds",
+                     &cfg.smoke);
+        });
+    (void)usage;
+    if (!loss_arg.empty()) {
+        cfg.losses.clear();
+        std::string tok;
+        for (const char *p = loss_arg.c_str();; ++p) {
+            if (*p == ',' || *p == '\0') {
+                if (!tok.empty())
+                    cfg.losses.push_back(
+                        std::strtod(tok.c_str(), nullptr));
+                tok.clear();
+                if (*p == '\0')
+                    break;
+            } else {
+                tok.push_back(*p);
+            }
+        }
+    }
+    if (cfg.smoke)
+        cfg.losses = {0.0, 0.1};
+
+    banner("QEC feed-forward sweep: tight vs decoupled under a "
+           "per-round deadline");
+    std::printf("distance-%u repetition code, %u rounds, deadline "
+                "%llu ns, error rate %.3f\n",
+                cli.qecDistance, cli.qecRounds,
+                static_cast<unsigned long long>(cli.qecDeadlineNs),
+                cfg.dataErrorRate);
+
+    auto jobs = buildJobs(cfg, cli);
+    service::BatchScheduler sched(cli.schedulerConfig());
+    const auto handles = sched.submitAll(std::move(jobs));
+    auto &store = sched.wait();
+
+    auto checked = [](const service::ResultsStore &st,
+                      std::uint64_t id) {
+        auto r = st.get(id);
+        if (r.status != service::JobStatus::Ok)
+            sim::fatal("job '", r.name, "' ",
+                       service::jobStatusName(r.status), ": ",
+                       r.error);
+        return r;
+    };
+
+    // Worker-count invariance: the whole sweep again on one worker;
+    // every per-config digest must reproduce bit for bit.
+    auto rerun_jobs = buildJobs(cfg, cli);
+    auto rerun_sched_cfg = cli.schedulerConfig();
+    rerun_sched_cfg.workers = 1;
+    service::BatchScheduler rerun_sched(rerun_sched_cfg);
+    const auto rerun_handles =
+        rerun_sched.submitAll(std::move(rerun_jobs));
+    auto &rerun_store = rerun_sched.wait();
+
+    std::vector<Row> rows;
+    bool jobsInvariant = true;
+    bool tightBeatsDecoupled = true;
+    bool vectorMovesElements = true;
+    std::size_t idx = 0;
+    for (auto loss : cfg.losses) {
+        for (bool vec : {false, true}) {
+            const auto r = checked(store, handles[idx].id);
+            const auto rr =
+                checked(rerun_store, rerun_handles[idx].id);
+            ++idx;
+            Row row;
+            row.loss = loss;
+            row.vector = vec;
+            row.rounds = r.rounds;
+            row.tightMisses = static_cast<std::uint64_t>(
+                metric(r, "tight_misses"));
+            row.decoupledMisses = static_cast<std::uint64_t>(
+                metric(r, "decoupled_misses"));
+            row.tightMissRate = metric(r, "tight_miss_rate");
+            row.decoupledMissRate =
+                metric(r, "decoupled_miss_rate");
+            row.roccTransfers = static_cast<std::uint64_t>(
+                metric(r, "rocc_transfers"));
+            row.roccVectorElements = static_cast<std::uint64_t>(
+                metric(r, "rocc_vector_elements"));
+            row.injectedErrors = static_cast<std::uint64_t>(
+                metric(r, "injected_errors"));
+            row.correctionsApplied = static_cast<std::uint64_t>(
+                metric(r, "corrections_applied"));
+            row.logicalValue = metric(r, "logical_value") != 0.0;
+            row.digest = digestFromMetrics(r.metrics);
+            row.rerunMatches =
+                row.digest == digestFromMetrics(rr.metrics);
+            if (!row.rerunMatches)
+                jobsInvariant = false;
+            if (row.tightMissRate >= row.decoupledMissRate)
+                tightBeatsDecoupled = false;
+            if (vec != (row.roccVectorElements > 0))
+                vectorMovesElements = false;
+            rows.push_back(row);
+        }
+    }
+
+    // The measured reduction: at every loss rate the vector run must
+    // have issued strictly fewer RoCC instructions than the scalar
+    // run of the identical functional trace.
+    bool measuredReduction = true;
+    for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+        if (rows[i + 1].roccTransfers >= rows[i].roccTransfers)
+            measuredReduction = false;
+    }
+
+    // The analytic count on a >= 32-qubit ansatz: a full-parameter
+    // update round under the scalar and the vector lowering.
+    auto comparison = paperConfig(vqa::Algorithm::Qaoa,
+                                  vqa::OptimizerKind::Spsa,
+                                  cfg.ansatzQubits);
+    auto workload = vqa::Workload::build(comparison.workload);
+    isa::QtenonCompiler scalar_comp;
+    const auto scalar_img = scalar_comp.compile(workload.circuit);
+    isa::PipelineConfig vpipe;
+    vpipe.vectorIsa = true;
+    isa::QtenonCompiler vector_comp(isa::CompilerCostModel{}, vpipe);
+    const auto vector_img = vector_comp.compile(workload.circuit);
+    const std::uint64_t updates_per_round =
+        scalar_img.regfileInit.size();
+    const auto scalar_count = isa::QtenonCompiler::countInstructions(
+        scalar_img, 10, updates_per_round);
+    const auto vector_count =
+        isa::QtenonCompiler::countInstructionsVector(
+            vector_img, 10, updates_per_round);
+    const bool ansatzReduction =
+        vector_count.total() < scalar_count.total();
+    const bool vectorReducesRocc =
+        measuredReduction && ansatzReduction;
+
+    std::printf("\n%8s %8s %8s %12s %12s %10s %10s %8s\n", "loss",
+                "isa", "rounds", "tight-miss", "dec-miss",
+                "rocc", "vec-elems", "rerun");
+    for (const auto &row : rows) {
+        std::printf("%8.3f %8s %8llu %12.2f %12.2f %10llu %10llu "
+                    "%8s\n",
+                    row.loss, row.vector ? "vector" : "scalar",
+                    static_cast<unsigned long long>(row.rounds),
+                    row.tightMissRate, row.decoupledMissRate,
+                    static_cast<unsigned long long>(
+                        row.roccTransfers),
+                    static_cast<unsigned long long>(
+                        row.roccVectorElements),
+                    row.rerunMatches ? "ok" : "DIFF");
+    }
+    std::printf("\n%u-qubit ansatz, 10 rounds x %llu updates: "
+                "%llu scalar vs %llu vector instructions\n",
+                cfg.ansatzQubits,
+                static_cast<unsigned long long>(updates_per_round),
+                static_cast<unsigned long long>(
+                    scalar_count.total()),
+                static_cast<unsigned long long>(
+                    vector_count.total()));
+
+    const bool ok = jobsInvariant && tightBeatsDecoupled &&
+        vectorReducesRocc && vectorMovesElements;
+    std::printf("jobs invariant: %s   tight beats decoupled: %s   "
+                "vector reduces rocc: %s   vector moves elements: "
+                "%s\n",
+                jobsInvariant ? "yes" : "NO",
+                tightBeatsDecoupled ? "yes" : "NO",
+                vectorReducesRocc ? "yes" : "NO",
+                vectorMovesElements ? "yes" : "NO");
+
+    if (!cfg.outPath.empty()) {
+        using service::json::Value;
+        Value root = Value::object();
+        root.set("schema", "qtenon.qec-sweep.v1");
+        Value conf = Value::object();
+        conf.set("distance", std::uint64_t{cli.qecDistance});
+        conf.set("rounds", std::uint64_t{cli.qecRounds});
+        conf.set("deadline_ns", cli.qecDeadlineNs);
+        conf.set("error_rate", cfg.dataErrorRate);
+        Value lv = Value::array();
+        for (auto l : cfg.losses)
+            lv.asArray().push_back(Value(l));
+        conf.set("loss", std::move(lv));
+        conf.set("ansatz_qubits", std::uint64_t{cfg.ansatzQubits});
+        conf.set("seed", cli.seed);
+        conf.set("smoke", cfg.smoke);
+        root.set("config", std::move(conf));
+        Value rv = Value::array();
+        for (const auto &row : rows) {
+            Value o = Value::object();
+            o.set("loss", row.loss);
+            o.set("vector", row.vector);
+            o.set("rounds", row.rounds);
+            o.set("tight_misses", row.tightMisses);
+            o.set("decoupled_misses", row.decoupledMisses);
+            o.set("tight_miss_rate", row.tightMissRate);
+            o.set("decoupled_miss_rate", row.decoupledMissRate);
+            o.set("rocc_transfers", row.roccTransfers);
+            o.set("rocc_vector_elements", row.roccVectorElements);
+            o.set("injected_errors", row.injectedErrors);
+            o.set("corrections_applied", row.correctionsApplied);
+            o.set("logical_value", row.logicalValue);
+            o.set("digest", row.digest.hex());
+            o.set("rerun_matches", row.rerunMatches);
+            rv.asArray().push_back(std::move(o));
+        }
+        root.set("rows", std::move(rv));
+        Value ansatz = Value::object();
+        ansatz.set("qubits", std::uint64_t{cfg.ansatzQubits});
+        ansatz.set("rounds", std::uint64_t{10});
+        ansatz.set("updates_per_round", updates_per_round);
+        ansatz.set("scalar_total", scalar_count.total());
+        ansatz.set("vector_total", vector_count.total());
+        ansatz.set("vector_q_update_v", vector_count.qUpdateV);
+        ansatz.set("vector_q_gen_v", vector_count.qGenV);
+        root.set("ansatz", std::move(ansatz));
+        Value criteria = Value::object();
+        criteria.set("jobs_invariant", jobsInvariant);
+        criteria.set("tight_beats_decoupled", tightBeatsDecoupled);
+        criteria.set("vector_reduces_rocc", vectorReducesRocc);
+        criteria.set("vector_moves_elements", vectorMovesElements);
+        root.set("criteria", std::move(criteria));
+        root.set("ok", ok);
+
+        std::ofstream os(cfg.outPath);
+        if (!os) {
+            std::fprintf(stderr,
+                         "qec_sweep: cannot open --out path '%s'\n",
+                         cfg.outPath.c_str());
+            return 1;
+        }
+        os << root.dump(2) << "\n";
+        std::printf("artifact: %s\n", cfg.outPath.c_str());
+    }
+
+    cli.finish(sched);
+    if (cfg.smoke && !ok) {
+        std::fprintf(stderr, "qec_sweep: smoke criteria FAILED\n");
+        return 1;
+    }
+    return 0;
+}

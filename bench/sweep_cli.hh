@@ -78,6 +78,16 @@ struct SweepCli {
     bool svFusion = false;
     unsigned svThreads = 1; // 1 = serial, 0 = auto (budgeted)
     quantum::SimdMode svSimd = quantum::SimdMode::Auto;
+    /** --isa-vector: compile + replay with the wave-granular vector
+     *  ISA (q_update.v / q_gen.v); off keeps the byte-stable scalar
+     *  instruction stream. */
+    bool isaVector = false;
+    /** --qec-rounds: stabilizer-measurement rounds per QEC job. */
+    std::uint32_t qecRounds = 10;
+    /** --qec-distance: repetition-code distance (data qubits). */
+    std::uint32_t qecDistance = 5;
+    /** --qec-deadline-ns: per-round feed-forward deadline. */
+    std::uint64_t qecDeadlineNs = 10000;
     std::string metricsJsonPath;
     std::string traceOutPath;
     /** Parsed --fault-spec; empty = perfect links. */
@@ -102,6 +112,7 @@ struct SweepCli {
         cfg.kernel.fuse1q = svFusion;
         cfg.kernel.threads = svThreads;
         cfg.kernel.simd = svSimd;
+        cfg.isaVector = isaVector;
     }
 
     /** Apply --fault-spec / --retry-* to one proto job spec. */
@@ -254,6 +265,21 @@ registerSweepOptions(cli::OptionRegistry &reg, SweepCli &cli)
             [&cli](const std::string &v) {
                 cli.svSimd = quantum::simdModeFromName(v);
             });
+    reg.flag("--isa-vector",
+             "compile and replay with the wave-granular vector ISA "
+             "(q_update.v / q_gen.v); off keeps the byte-stable "
+             "scalar instruction stream",
+             &cli.isaVector);
+    reg.uns("--qec-rounds", "N",
+            "stabilizer-measurement rounds per QEC feed-forward job",
+            &cli.qecRounds, 1, "--qec-rounds must be positive");
+    reg.uns("--qec-distance", "D",
+            "repetition-code distance (data qubits per block)",
+            &cli.qecDistance, 2, "--qec-distance must be >= 2");
+    reg.u64("--qec-deadline-ns", "N",
+            "per-round decode->correct feed-forward deadline in "
+            "nanoseconds",
+            &cli.qecDeadlineNs);
     reg.str("--metrics-json", "PATH",
             "enable the obs metrics registry and dump its JSON "
             "snapshot at exit",

@@ -28,6 +28,8 @@ QuantumController::QuantumController(sim::EventQueue &eq,
 
     stats().registerScalar(&roccTransfers, "rocc_transfers",
                            "RoCC register transfers");
+    stats().registerScalar(&roccVectorElements, "rocc_vector_elements",
+                           "regfile elements moved by q_update.v");
     stats().registerScalar(&setBytes, "set_bytes",
                            "bytes moved by q_set");
     stats().registerScalar(&acquireBytes, "acquire_bytes",
@@ -85,6 +87,65 @@ QuantumController::roccWrite(std::uint64_t qaddr, std::uint64_t data)
     }
     // One core cycle, per the paper's RoCC path.
     return clockEdge(1);
+}
+
+sim::Tick
+QuantumController::roccWriteVector(
+    std::uint64_t base_qaddr, std::uint32_t stride,
+    const std::vector<std::uint32_t> &values)
+{
+    if (stride == 0)
+        sim::fatal("q_update.v with stride 0");
+    if (values.empty())
+        sim::fatal("q_update.v with an empty element vector");
+
+    // One instruction, one RoCC transfer — the whole point of the
+    // vector form.
+    ++roccTransfers;
+    roccVectorElements += values.size();
+    if (obs::metricsEnabled()) {
+        static auto &c = obs::counter("controller.rocc.transfers",
+                                      "RoCC register transfers");
+        c.inc();
+        static auto &el = obs::counter(
+            "controller.rocc.vector_elements",
+            "regfile elements moved by q_update.v");
+        el.add(values.size());
+    }
+
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const std::uint64_t qaddr = base_qaddr + i * stride;
+        if (!_qcc->userAccessible(qaddr))
+            sim::fatal("q_update.v lane to non-public QAddress 0x",
+                       std::hex, qaddr);
+        if (_cfg.layout.segmentOf(qaddr) != memory::QccSegment::Regfile)
+            sim::fatal("q_update.v targets .regfile, got QAddress 0x",
+                       std::hex, qaddr);
+        const auto reg = static_cast<std::uint32_t>(
+            qaddr - _cfg.layout.regfileBase());
+        // Write-if-different: unchanged lanes neither touch the SRAM
+        // nor invalidate dependents, keeping the stale set identical
+        // to an equivalent scalar q_update sequence.
+        if (_qcc->readRegfile(reg) == values[i])
+            continue;
+        QTRACE(Controller, "q_update.v regfile[", reg, "] = 0x",
+               std::hex, values[i]);
+        _qcc->writeRegfile(reg, values[i]);
+        auto it = _regfileLinks.find(reg);
+        if (it != _regfileLinks.end()) {
+            for (auto pq : it->second) {
+                auto e = _qcc->readProgram(pq);
+                if (e.status != EntryStatus::Invalid) {
+                    e.status = EntryStatus::Invalid;
+                    _qcc->writeProgram(pq, e);
+                }
+                _stale.push_back(pq);
+            }
+        }
+    }
+    // Dispatch cycle plus two 32-bit elements per cycle over the
+    // 64-bit RoCC operand path.
+    return clockEdge(1 + (values.size() + 1) / 2);
 }
 
 sim::Tick

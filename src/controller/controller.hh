@@ -91,6 +91,19 @@ class QuantumController : public sim::Clocked
      */
     sim::Tick roccWrite(std::uint64_t qaddr, std::uint64_t data);
 
+    /**
+     * q_update.v: one RoCC transfer delivering @p values to regfile
+     * QAddresses base, base + stride, ... Lanes whose value matches
+     * the current regfile contents are skipped — they neither touch
+     * the SRAM nor invalidate dependents, so the stale set equals
+     * the scalar path's for the same effective update. Timing: one
+     * dispatch cycle plus one cycle per two 32-bit elements on the
+     * 64-bit operand path.
+     */
+    sim::Tick roccWriteVector(std::uint64_t base_qaddr,
+                              std::uint32_t stride,
+                              const std::vector<std::uint32_t> &values);
+
     /** Read a public QAddress over RoCC. */
     sim::Tick roccRead(std::uint64_t qaddr, std::uint64_t &data) const;
 
@@ -151,6 +164,7 @@ class QuantumController : public sim::Clocked
     /** @name Statistics */
     /// @{
     sim::Scalar roccTransfers;
+    sim::Scalar roccVectorElements;
     sim::Scalar setBytes;
     sim::Scalar acquireBytes;
     sim::Scalar generateRuns;

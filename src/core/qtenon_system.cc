@@ -33,8 +33,13 @@ QtenonSystem::QtenonSystem(QtenonConfig cfg) : _cfg(cfg)
     exec_cfg.host = _cfg.host;
     exec_cfg.gateTiming = _cfg.gateTiming;
     exec_cfg.batchIntervalOverride = _cfg.batchIntervalOverride;
+    // The executor's compiler must lower the way the driver did, so
+    // its cost/wave accounting matches the images it is handed.
+    isa::PipelineConfig pipe;
+    pipe.vectorIsa = _cfg.software.vectorIsa;
     _executor = std::make_unique<runtime::QtenonExecutor>(
-        _eq, *_controller, isa::QtenonCompiler{}, exec_cfg);
+        _eq, *_controller,
+        isa::QtenonCompiler{isa::CompilerCostModel{}, pipe}, exec_cfg);
 }
 
 QtenonSystem::~QtenonSystem() = default;

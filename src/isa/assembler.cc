@@ -1,5 +1,6 @@
 #include "assembler.hh"
 
+#include <algorithm>
 #include <sstream>
 
 namespace qtenon::isa {
@@ -15,22 +16,6 @@ InstructionStream::count(Opcode op) const
     return n;
 }
 
-AssembledOp
-QtenonAssembler::makeOp(Opcode op, std::uint64_t rs1,
-                        std::uint64_t rs2, bool uses_rs1,
-                        bool uses_rs2) const
-{
-    AssembledOp a;
-    a.instruction.funct7 = op;
-    a.instruction.rs1 = uses_rs1 ? _abi.addrReg : 0;
-    a.instruction.rs2 = uses_rs2 ? _abi.lenReg : 0;
-    a.instruction.xs1 = uses_rs1;
-    a.instruction.xs2 = uses_rs2;
-    a.rs1Value = rs1;
-    a.rs2Value = rs2;
-    return a;
-}
-
 InstructionStream
 QtenonAssembler::assembleInstall(const ProgramImage &image,
                                  std::uint64_t host_base) const
@@ -39,25 +24,22 @@ QtenonAssembler::assembleInstall(const ProgramImage &image,
 
     // Initialize every regfile slot.
     for (std::size_t r = 0; r < image.regfileInit.size(); ++r) {
-        s.ops.push_back(makeOp(
-            Opcode::QUpdate,
-            _layout.regfileAddr(static_cast<std::uint32_t>(r)),
-            image.regfileInit[r], true, true));
+        s.ops.push_back(_builder.qUpdate(
+            QAddr(_layout.regfileAddr(static_cast<std::uint32_t>(r))),
+            image.regfileInit[r]));
     }
 
     // One q_set per qubit chunk.
     std::uint64_t host = host_base;
     for (std::uint32_t q = 0; q < image.numQubits; ++q) {
         const auto entries = image.perQubit[q].size();
-        s.ops.push_back(makeOp(
-            Opcode::QSet, host,
-            packLengthQaddr(entries, _layout.programAddr(q, 0)), true,
-            true));
+        s.ops.push_back(_builder.qSet(CAddr(host), entries,
+                                      QAddr(_layout.programAddr(q, 0))));
         host += entries * 12;
     }
 
     // Initial full pulse generation.
-    s.ops.push_back(makeOp(Opcode::QGen, 0, 0, false, false));
+    s.ops.push_back(_builder.qGen());
     return s;
 }
 
@@ -69,16 +51,62 @@ QtenonAssembler::assembleRound(const UpdatePlan &plan,
 {
     InstructionStream s;
     for (const auto &[reg, value] : plan) {
-        s.ops.push_back(makeOp(Opcode::QUpdate,
-                               _layout.regfileAddr(reg), value, true,
-                               true));
+        s.ops.push_back(_builder.qUpdate(
+            QAddr(_layout.regfileAddr(reg)), value));
     }
-    s.ops.push_back(makeOp(Opcode::QGen, 0, 0, false, false));
-    s.ops.push_back(makeOp(Opcode::QRun, shots, 0, true, false));
-    s.ops.push_back(makeOp(
-        Opcode::QAcquire, acquire_dest,
-        packLengthQaddr(acquire_entries, _layout.measureAddr(0)), true,
-        true));
+    s.ops.push_back(_builder.qGen());
+    s.ops.push_back(_builder.qRun(shots));
+    s.ops.push_back(_builder.qAcquire(CAddr(acquire_dest),
+                                      acquire_entries,
+                                      QAddr(_layout.measureAddr(0))));
+    return s;
+}
+
+InstructionStream
+QtenonAssembler::assembleRoundVector(const ProgramImage &image,
+                                     const UpdatePlan &plan,
+                                     std::uint64_t shots,
+                                     std::uint64_t acquire_dest,
+                                     std::uint64_t acquire_entries,
+                                     std::uint64_t values_base) const
+{
+    if (!image.hasWaves())
+        return assembleRound(plan, shots, acquire_dest,
+                             acquire_entries);
+
+    InstructionStream s;
+    // One q_update.v per wave the plan touches, spanning the wave's
+    // changed slots (interior untouched slots ride along: the
+    // element vector refills them with their current values).
+    std::uint64_t values_off = 0;
+    for (const auto &wave : image.updateWaves) {
+        std::uint32_t lo = ~std::uint32_t(0), hi = 0;
+        for (const auto &[reg, value] : plan) {
+            (void)value;
+            if (!wave.contains(reg))
+                continue;
+            lo = std::min(lo, reg);
+            hi = std::max(hi, reg);
+        }
+        if (lo > hi)
+            continue; // untouched wave
+        const std::uint32_t count = (hi - lo) / wave.stride + 1;
+        s.ops.push_back(_builder.qUpdateV(
+            QAddr(_layout.regfileAddr(lo)), wave.stride, count,
+            CAddr(values_base + values_off)));
+        values_off += std::uint64_t(count) * 4;
+    }
+    if (!plan.empty()) {
+        for (const auto &wave : image.genWaves)
+            s.ops.push_back(_builder.qGenV(wave.baseQubit,
+                                           WaveMask(wave.laneMask)));
+    } else {
+        s.ops.push_back(_builder.qGen());
+    }
+    s.ops.push_back(_builder.qRun(shots));
+    s.ops.push_back(_builder.qAcquire(CAddr(acquire_dest),
+                                      acquire_entries,
+                                      QAddr(_layout.measureAddr(0))));
     return s;
 }
 
@@ -97,6 +125,16 @@ QtenonAssembler::disassemble(const AssembledOp &op)
         os << " caddr=0x" << std::hex << op.rs1Value << ", len="
            << std::dec << lengthOf(op.rs2Value) << ", qaddr=0x"
            << std::hex << qaddrOf(op.rs2Value);
+        break;
+      case Opcode::QUpdateV:
+        os << " base=0x" << std::hex << vecBaseOf(op.rs1Value)
+           << ", stride=" << std::dec << vecStrideOf(op.rs1Value)
+           << ", count=" << vecCountOf(op.rs1Value) << ", caddr=0x"
+           << std::hex << op.rs2Value;
+        break;
+      case Opcode::QGenV:
+        os << " base_qubit=" << std::dec << op.rs1Value
+           << ", lanes=0x" << std::hex << op.rs2Value;
         break;
       case Opcode::QRun:
         os << " shots=" << std::dec << op.rs1Value;

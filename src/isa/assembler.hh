@@ -18,20 +18,11 @@
 
 #include "compiler.hh"
 #include "encoding.hh"
+#include "instr_builder.hh"
 #include "memory/address_map.hh"
 #include "program.hh"
 
 namespace qtenon::isa {
-
-/**
- * One emitted instruction with its operand register *values* (the
- * surrounding integer code that loads them is not modeled).
- */
-struct AssembledOp {
-    RoccInstruction instruction;
-    std::uint64_t rs1Value = 0;
-    std::uint64_t rs2Value = 0;
-};
 
 /** A complete instruction stream. */
 struct InstructionStream {
@@ -46,25 +37,17 @@ struct InstructionStream {
     std::uint64_t bytes() const { return ops.size() * 4; }
 };
 
-/** Register conventions used by the emitted streams. */
-struct AssemblerAbi {
-    std::uint8_t addrReg = 10;  // x10: classical address
-    std::uint8_t lenReg = 11;   // x11: {length, QAddress}
-    std::uint8_t qaddrReg = 12; // x12: QAddress
-    std::uint8_t dataReg = 13;  // x13: data / parameter
-    std::uint8_t shotReg = 14;  // x14: shot count
-};
-
 /** Lowers images and rounds to instruction streams. */
 class QtenonAssembler
 {
   public:
     QtenonAssembler(memory::QccLayout layout,
                     AssemblerAbi abi = AssemblerAbi{})
-        : _layout(layout), _abi(abi)
+        : _layout(layout), _builder(abi)
     {}
 
     const memory::QccLayout &layout() const { return _layout; }
+    const InstrBuilder &builder() const { return _builder; }
 
     /**
      * The one-time installation stream: a q_update per regfile slot
@@ -82,6 +65,22 @@ class QtenonAssembler
                                     std::uint64_t acquire_dest,
                                     std::uint64_t acquire_entries) const;
 
+    /**
+     * One optimizer round in vector form: the plan's updates are
+     * grouped into the image's waves — one q_update.v per touched
+     * wave, one q_gen.v per touched wave — then q_run / q_acquire as
+     * in the scalar round. @p image must carry updateWaves (compiled
+     * with PipelineConfig::vectorIsa); falls back to the scalar
+     * round otherwise.
+     */
+    InstructionStream
+    assembleRoundVector(const ProgramImage &image,
+                        const UpdatePlan &plan, std::uint64_t shots,
+                        std::uint64_t acquire_dest,
+                        std::uint64_t acquire_entries,
+                        std::uint64_t values_base = 0x3000'0000ull)
+        const;
+
     /** Render one op as assembly text. */
     static std::string disassemble(const AssembledOp &op);
 
@@ -89,12 +88,8 @@ class QtenonAssembler
     static std::string disassemble(const InstructionStream &s);
 
   private:
-    AssembledOp makeOp(Opcode op, std::uint64_t rs1,
-                       std::uint64_t rs2, bool uses_rs1,
-                       bool uses_rs2) const;
-
     memory::QccLayout _layout;
-    AssemblerAbi _abi;
+    InstrBuilder _builder;
 };
 
 } // namespace qtenon::isa

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <memory>
 
+#include "instr_builder.hh"
 #include "pass/edge_coloring.hh"
 #include "pass/entry_packing.hh"
 #include "pass/gate_fusion.hh"
 #include "pass/slt_layout.hh"
 #include "pass/swap_routing.hh"
+#include "pass/vector_packing.hh"
 #include "quantum/mapping.hh"
 #include "shard/partition.hh"
 #include "sim/logging.hh"
@@ -45,6 +47,9 @@ PipelineConfig::canonicalText() const
     // partitions extend the cache key (keeps historical keys stable).
     if (shardMap && !shardMap->isSingle())
         out += ";shard={" + shardMap->canonicalText() + "}";
+    // Off adds nothing: historical scalar cache keys stay valid.
+    if (vectorIsa)
+        out += ";vector=1";
     return out;
 }
 
@@ -58,6 +63,8 @@ QtenonCompiler::buildPipeline() const
     pm.add(std::make_unique<pass::EdgeColoredScheduling>());
     pm.add(std::make_unique<pass::SltLayout>());
     pm.add(std::make_unique<pass::ProgramEntryPacking>());
+    if (_pipe.vectorIsa)
+        pm.add(std::make_unique<pass::VectorPacking>());
     return pm;
 }
 
@@ -89,8 +96,8 @@ QtenonCompiler::planUpdates(const ProgramImage &image,
     }
     UpdatePlan plan;
     for (std::size_t p = 0; p < new_params.size(); ++p) {
-        const auto old_code = ProgramEntry::encodeAngle(old_params[p]);
-        const auto new_code = ProgramEntry::encodeAngle(new_params[p]);
+        const auto old_code = InstrBuilder::encodeParam(old_params[p]);
+        const auto new_code = InstrBuilder::encodeParam(new_params[p]);
         if (old_code != new_code)
             plan.emplace_back(image.paramToReg[p], new_code);
     }
@@ -108,6 +115,15 @@ double
 QtenonCompiler::incrementalCycles(std::size_t num_updates) const
 {
     return _cost.cyclesPerUpdate * static_cast<double>(num_updates);
+}
+
+double
+QtenonCompiler::incrementalCyclesVector(std::size_t num_waves,
+                                        std::size_t num_elements) const
+{
+    return _cost.cyclesPerVectorInstr * static_cast<double>(num_waves) +
+        _cost.cyclesPerVectorElement *
+        static_cast<double>(num_elements);
 }
 
 double
@@ -129,6 +145,31 @@ QtenonCompiler::countInstructions(const ProgramImage &image,
     n.qSet = image.numQubits;
     n.qUpdate = rounds * updates_per_round;
     n.qGen = rounds;
+    n.qRun = rounds;
+    n.qAcquire = rounds * acquires_per_round;
+    return n;
+}
+
+InstructionCount
+QtenonCompiler::countInstructionsVector(const ProgramImage &image,
+                                        std::uint64_t rounds,
+                                        std::uint64_t updates_per_round,
+                                        std::uint64_t acquires_per_round)
+{
+    if (!image.hasWaves()) {
+        return countInstructions(image, rounds, updates_per_round,
+                                 acquires_per_round);
+    }
+    // Worst case: the round's updates spread across every wave, so
+    // each round issues one q_update.v and one q_gen.v per wave
+    // (capped by the update count when a round touches fewer waves
+    // than exist).
+    const std::uint64_t touched = std::min<std::uint64_t>(
+        image.updateWaves.size(), updates_per_round);
+    InstructionCount n;
+    n.qSet = image.numQubits;
+    n.qUpdateV = rounds * touched;
+    n.qGenV = rounds * image.genWaves.size();
     n.qRun = rounds;
     n.qAcquire = rounds * acquires_per_round;
     return n;

@@ -51,6 +51,12 @@ struct CompilerCostModel {
      *  front-end fixedCycles when the structural image is served
      *  from the compile cache. */
     double cacheLookupCycles = 200.0;
+    /** Vector path: fixed cycles to prepare one q_update.v /
+     *  q_gen.v (wave bookkeeping + element-vector header). */
+    double cyclesPerVectorInstr = 14.0;
+    /** Vector path: cycles per packed element appended to the
+     *  q_update.v value vector. */
+    double cyclesPerVectorElement = 1.0;
 };
 
 /**
@@ -71,11 +77,17 @@ struct PipelineConfig {
      *  the historical cache key). Mutually exclusive with an
      *  explicit coupling map. Not owned. */
     const shard::ShardMap *shardMap = nullptr;
+    /** Append the vector-packing pass, annotating images with
+     *  q_update.v / q_gen.v waves (`--isa-vector`). Off keeps the
+     *  byte-stable scalar lowering and the historical cache key. */
+    bool vectorIsa = false;
 
     /** Deterministic text form for cache keying. Multi-shard maps
      *  append a `;shard={...}` segment, so cached images never leak
      *  across partitions; single-shard/absent maps add nothing
-     *  (their lowering is identical by construction). */
+     *  (their lowering is identical by construction). The vector-ISA
+     *  flag likewise appends `;vector=1` only when set, so every
+     *  historical scalar key survives unchanged. */
     std::string canonicalText() const;
 };
 
@@ -89,11 +101,15 @@ struct InstructionCount {
     std::uint64_t qAcquire = 0;
     std::uint64_t qGen = 0;
     std::uint64_t qRun = 0;
+    /** Vector forms (`--isa-vector` lowering only). */
+    std::uint64_t qUpdateV = 0;
+    std::uint64_t qGenV = 0;
 
     std::uint64_t
     total() const
     {
-        return qSet + qUpdate + qAcquire + qGen + qRun;
+        return qSet + qUpdate + qAcquire + qGen + qRun + qUpdateV +
+            qGenV;
     }
 };
 
@@ -139,6 +155,14 @@ class QtenonCompiler
     double incrementalCycles(std::size_t num_updates) const;
 
     /**
+     * Host cycles to prepare a vector round: @p num_waves q_update.v
+     * instructions carrying @p num_elements packed values in total
+     * (plus the q_gen.v per wave, folded into the per-instr cost).
+     */
+    double incrementalCyclesVector(std::size_t num_waves,
+                                   std::size_t num_elements) const;
+
+    /**
      * Host cycles for a compile served from the structural cache:
      * the front-end fixed cost plus one update-path refill per
      * regfile slot — the per-entry emit work is skipped entirely.
@@ -151,6 +175,18 @@ class QtenonCompiler
      * q_updates plus q_gen + q_run + q_acquire.
      */
     static InstructionCount countInstructions(
+        const ProgramImage &image, std::uint64_t rounds,
+        std::uint64_t updates_per_round,
+        std::uint64_t acquires_per_round = 1);
+
+    /**
+     * Vector-ISA instruction count for the same run shape: the
+     * per-round q_updates collapse to one q_update.v per touched
+     * wave and q_gen to one q_gen.v per wave. Requires an image
+     * annotated by the vector-packing pass; falls back to the scalar
+     * count otherwise.
+     */
+    static InstructionCount countInstructionsVector(
         const ProgramImage &image, std::uint64_t rounds,
         std::uint64_t updates_per_round,
         std::uint64_t acquires_per_round = 1);

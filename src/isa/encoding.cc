@@ -11,8 +11,10 @@ opcodeName(Opcode op)
       case Opcode::QUpdate: return "q_update";
       case Opcode::QSet: return "q_set";
       case Opcode::QAcquire: return "q_acquire";
+      case Opcode::QUpdateV: return "q_update.v";
       case Opcode::QGen: return "q_gen";
       case Opcode::QRun: return "q_run";
+      case Opcode::QGenV: return "q_gen.v";
     }
     sim::panic("unknown opcode");
 }

@@ -23,13 +23,21 @@
 
 namespace qtenon::isa {
 
-/** The five Qtenon operations (funct7 values). */
+/** The Qtenon operations (funct7 values). The five scalar forms are
+ *  the paper's Table 3; the two vector forms carry one instruction
+ *  per *wave* of qubits (mask/stride operands, below) and are only
+ *  emitted when the vector-packing pass is enabled (`--isa-vector`). */
 enum class Opcode : std::uint8_t {
     QUpdate = 0x01,
     QSet = 0x02,
     QAcquire = 0x03,
+    /** Vector q_update: rs1 = {count, stride, base QAddress}, rs2 =
+     *  classical address of the packed element vector. */
+    QUpdateV = 0x05,
     QGen = 0x10,
     QRun = 0x11,
+    /** Vector q_gen: rs1 = wave base qubit, rs2 = 64-bit lane mask. */
+    QGenV = 0x12,
 };
 
 /** Mnemonic for an opcode. */
@@ -80,6 +88,80 @@ qaddrOf(std::uint64_t rs2)
 {
     return rs2 & ((std::uint64_t(1) << qaddrFieldBits) - 1);
 }
+
+/**
+ * @name Vector operand encodings
+ *
+ * q_update.v packs its whole wave descriptor into rs1:
+ *
+ *   rs1 = {count[63:47], stride[46:39], base QAddress[38:0]}
+ *
+ * so a wave of up to 2^17 - 1 elements, strided by 1..255 QAddresses,
+ * is one instruction; rs2 carries the classical address of the packed
+ * element vector (RISC-V V-extension framing: element values travel
+ * through the vector register file, not the scalar operand).
+ *
+ * q_gen.v uses rs1 = wave base qubit and rs2 = a 64-bit lane mask
+ * relative to that base, so one instruction regenerates pulses for an
+ * arbitrary subset of a 64-qubit wave.
+ */
+/// @{
+
+/** Stride field width within the q_update.v rs1 value. */
+constexpr std::uint32_t vecStrideBits = 8;
+/** Count field width within the q_update.v rs1 value. */
+constexpr std::uint32_t vecCountBits = 17;
+/** Widest wave one q_gen.v lane mask can cover. */
+constexpr std::uint32_t vecMaxLanes = 64;
+/** Largest element count one q_update.v can carry. */
+constexpr std::uint32_t vecMaxCount = (1u << vecCountBits) - 1;
+/** Largest stride one q_update.v can carry (0 is reserved). */
+constexpr std::uint32_t vecMaxStride = (1u << vecStrideBits) - 1;
+
+/** Build the {count, stride, base} q_update.v rs1 register value. */
+constexpr std::uint64_t
+packVecStride(std::uint64_t base, std::uint32_t stride,
+              std::uint32_t count)
+{
+    return (std::uint64_t(count) << (qaddrFieldBits + vecStrideBits)) |
+        (std::uint64_t(stride & vecMaxStride) << qaddrFieldBits) |
+        (base & ((std::uint64_t(1) << qaddrFieldBits) - 1));
+}
+
+/** Base QAddress of a q_update.v rs1 value. */
+constexpr std::uint64_t
+vecBaseOf(std::uint64_t rs1)
+{
+    return rs1 & ((std::uint64_t(1) << qaddrFieldBits) - 1);
+}
+
+/** Stride of a q_update.v rs1 value. */
+constexpr std::uint32_t
+vecStrideOf(std::uint64_t rs1)
+{
+    return static_cast<std::uint32_t>(
+        (rs1 >> qaddrFieldBits) & vecMaxStride);
+}
+
+/** Element count of a q_update.v rs1 value. */
+constexpr std::uint32_t
+vecCountOf(std::uint64_t rs1)
+{
+    return static_cast<std::uint32_t>(
+        (rs1 >> (qaddrFieldBits + vecStrideBits)) &
+        ((std::uint64_t(1) << vecCountBits) - 1));
+}
+
+/** Lane mask with @p count consecutive lanes set from @p first. */
+constexpr std::uint64_t
+waveMask(std::uint32_t first, std::uint32_t count)
+{
+    const std::uint64_t run = count >= vecMaxLanes
+        ? ~std::uint64_t(0)
+        : ((std::uint64_t(1) << count) - 1);
+    return run << first;
+}
+/// @}
 
 } // namespace qtenon::isa
 

@@ -1,0 +1,109 @@
+#include "instr_builder.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::isa {
+
+using controller::EntryStatus;
+using controller::ProgramEntry;
+
+AssembledOp
+InstrBuilder::make(Opcode op, std::uint64_t rs1, std::uint64_t rs2,
+                   bool uses_rs1, bool uses_rs2) const
+{
+    AssembledOp a;
+    a.instruction.funct7 = op;
+    a.instruction.rs1 = uses_rs1 ? _abi.addrReg : 0;
+    a.instruction.rs2 = uses_rs2 ? _abi.lenReg : 0;
+    a.instruction.xs1 = uses_rs1;
+    a.instruction.xs2 = uses_rs2;
+    a.rs1Value = rs1;
+    a.rs2Value = rs2;
+    return a;
+}
+
+AssembledOp
+InstrBuilder::qUpdate(QAddr qaddr, std::uint64_t data) const
+{
+    if (qaddr.value >> qaddrFieldBits)
+        sim::panic("q_update QAddress 0x", std::hex, qaddr.value,
+                   " exceeds ", std::dec, qaddrFieldBits, " bits");
+    return make(Opcode::QUpdate, qaddr.value, data, true, true);
+}
+
+AssembledOp
+InstrBuilder::qSet(CAddr src, std::uint64_t entries, QAddr dst) const
+{
+    return make(Opcode::QSet, src.value,
+                packLengthQaddr(entries, dst.value), true, true);
+}
+
+AssembledOp
+InstrBuilder::qAcquire(CAddr dst, std::uint64_t entries,
+                       QAddr src) const
+{
+    return make(Opcode::QAcquire, dst.value,
+                packLengthQaddr(entries, src.value), true, true);
+}
+
+AssembledOp
+InstrBuilder::qGen() const
+{
+    return make(Opcode::QGen, 0, 0, false, false);
+}
+
+AssembledOp
+InstrBuilder::qRun(std::uint64_t shots) const
+{
+    return make(Opcode::QRun, shots, 0, true, false);
+}
+
+AssembledOp
+InstrBuilder::qUpdateV(QAddr base, std::uint32_t stride,
+                       std::uint32_t count, CAddr values) const
+{
+    if (stride == 0 || stride > vecMaxStride)
+        sim::panic("q_update.v stride ", stride, " outside [1, ",
+                   vecMaxStride, "]");
+    if (count == 0 || count > vecMaxCount)
+        sim::panic("q_update.v count ", count, " outside [1, ",
+                   vecMaxCount, "]");
+    if (base.value >> qaddrFieldBits)
+        sim::panic("q_update.v base 0x", std::hex, base.value,
+                   " exceeds ", std::dec, qaddrFieldBits, " bits");
+    return make(Opcode::QUpdateV,
+                packVecStride(base.value, stride, count),
+                values.value, true, true);
+}
+
+AssembledOp
+InstrBuilder::qGenV(std::uint32_t base_qubit, WaveMask lanes) const
+{
+    if (lanes.bits == 0)
+        sim::panic("q_gen.v with an empty lane mask");
+    return make(Opcode::QGenV, base_qubit, lanes.bits, true, true);
+}
+
+ProgramEntry
+InstrBuilder::symbolicEntry(quantum::GateType t, std::uint32_t reg)
+{
+    ProgramEntry e;
+    e.type = ProgramEntry::encodeType(t);
+    e.status = EntryStatus::Invalid;
+    e.regFlag = true;
+    e.data = reg;
+    return e;
+}
+
+ProgramEntry
+InstrBuilder::literalEntry(quantum::GateType t, double angle)
+{
+    ProgramEntry e;
+    e.type = ProgramEntry::encodeType(t);
+    e.status = EntryStatus::Invalid;
+    e.regFlag = false;
+    e.data = ProgramEntry::encodeAngle(angle);
+    return e;
+}
+
+} // namespace qtenon::isa

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The typed instruction-construction surface of the Qtenon ISA.
+ *
+ * Every RoCC instruction the repo emits — assembler streams, the
+ * compiler's update plans, the pass pipeline's program entries —
+ * goes through `InstrBuilder`, replacing the raw-field constructors
+ * that used to be duplicated across assembler.cc, compiler.cc, and
+ * the passes. Operands are wrapped in single-purpose types (QAddr,
+ * CAddr, WaveMask) so mixing up a quantum and a classical address is
+ * a compile error rather than a silently wrong stream, and the
+ * vector forms (q_update.v / q_gen.v) validate their stride/count/
+ * lane ranges at construction time.
+ */
+
+#ifndef QTENON_ISA_INSTR_BUILDER_HH
+#define QTENON_ISA_INSTR_BUILDER_HH
+
+#include <cstdint>
+
+#include "controller/program_entry.hh"
+#include "encoding.hh"
+
+namespace qtenon::isa {
+
+/** A 39-bit quantum (QCC) address operand. */
+struct QAddr {
+    std::uint64_t value = 0;
+
+    constexpr explicit QAddr(std::uint64_t v) : value(v) {}
+};
+
+/** A classical (host memory) address operand. */
+struct CAddr {
+    std::uint64_t value = 0;
+
+    constexpr explicit CAddr(std::uint64_t v) : value(v) {}
+};
+
+/** A q_gen.v lane mask relative to the wave base qubit. */
+struct WaveMask {
+    std::uint64_t bits = 0;
+
+    constexpr explicit WaveMask(std::uint64_t b) : bits(b) {}
+
+    /** Mask of @p count consecutive lanes starting at @p first. */
+    static WaveMask
+    span(std::uint32_t first, std::uint32_t count)
+    {
+        return WaveMask(waveMask(first, count));
+    }
+};
+
+/**
+ * One emitted instruction with its operand register *values* (the
+ * surrounding integer code that loads them is not modeled).
+ */
+struct AssembledOp {
+    RoccInstruction instruction;
+    std::uint64_t rs1Value = 0;
+    std::uint64_t rs2Value = 0;
+};
+
+/** Register conventions used by the emitted streams. */
+struct AssemblerAbi {
+    std::uint8_t addrReg = 10;  // x10: classical address
+    std::uint8_t lenReg = 11;   // x11: {length, QAddress}
+    std::uint8_t qaddrReg = 12; // x12: QAddress
+    std::uint8_t dataReg = 13;  // x13: data / parameter
+    std::uint8_t shotReg = 14;  // x14: shot count
+};
+
+/** Builds every scalar and vector Qtenon instruction form. */
+class InstrBuilder
+{
+  public:
+    explicit InstrBuilder(AssemblerAbi abi = AssemblerAbi{})
+        : _abi(abi)
+    {}
+
+    const AssemblerAbi &abi() const { return _abi; }
+
+    /** @name Scalar forms (paper Table 3) */
+    /// @{
+
+    /** q_update: write @p data to regfile/program @p qaddr. */
+    AssembledOp qUpdate(QAddr qaddr, std::uint64_t data) const;
+
+    /** q_set: install @p entries program entries from @p src. */
+    AssembledOp qSet(CAddr src, std::uint64_t entries,
+                     QAddr dst) const;
+
+    /** q_acquire: move @p entries .measure entries to @p dst. */
+    AssembledOp qAcquire(CAddr dst, std::uint64_t entries,
+                         QAddr src) const;
+
+    /** q_gen: regenerate pulses for every stale entry. */
+    AssembledOp qGen() const;
+
+    /** q_run: fire @p shots quantum shots. */
+    AssembledOp qRun(std::uint64_t shots) const;
+    /// @}
+
+    /** @name Vector forms (wave-granular, `--isa-vector`) */
+    /// @{
+
+    /**
+     * q_update.v: one instruction delivering @p count elements to
+     * QAddresses base, base + stride, ... The packed element vector
+     * lives at classical address @p values. Fatal on stride 0,
+     * stride/count/base outside their field widths.
+     */
+    AssembledOp qUpdateV(QAddr base, std::uint32_t stride,
+                         std::uint32_t count, CAddr values) const;
+
+    /**
+     * q_gen.v: one instruction regenerating the wave of qubits
+     * selected by @p lanes relative to @p base_qubit. Fatal on an
+     * empty mask.
+     */
+    AssembledOp qGenV(std::uint32_t base_qubit, WaveMask lanes) const;
+    /// @}
+
+    /** @name Program-entry construction (pass pipeline) */
+    /// @{
+
+    /** Entry whose data is regfile slot @p reg (dynamic parameter). */
+    static controller::ProgramEntry
+    symbolicEntry(quantum::GateType t, std::uint32_t reg);
+
+    /** Entry carrying the fixed-point encoding of @p angle. */
+    static controller::ProgramEntry
+    literalEntry(quantum::GateType t, double angle);
+
+    /** The shared parameter codec (regfile values, update plans). */
+    static std::uint32_t
+    encodeParam(double angle)
+    {
+        return controller::ProgramEntry::encodeAngle(angle);
+    }
+    /// @}
+
+  private:
+    AssembledOp make(Opcode op, std::uint64_t rs1, std::uint64_t rs2,
+                     bool uses_rs1, bool uses_rs2) const;
+
+    AssemblerAbi _abi;
+};
+
+} // namespace qtenon::isa
+
+#endif // QTENON_ISA_INSTR_BUILDER_HH

@@ -2,12 +2,10 @@
 
 #include <atomic>
 
-#include "controller/program_entry.hh"
+#include "isa/instr_builder.hh"
 #include "obs/metrics.hh"
 
 namespace qtenon::isa {
-
-using controller::ProgramEntry;
 
 namespace {
 
@@ -48,6 +46,21 @@ imageBytes(const ProgramImage &image)
         appendU64(out, l.reg);
         appendU64(out, l.qubit);
         appendU64(out, l.entry);
+    }
+    // Vector waves extend the serialization only when present, so
+    // every scalar image keeps its historical byte stream.
+    if (image.hasWaves()) {
+        appendU64(out, image.updateWaves.size());
+        for (const auto &w : image.updateWaves) {
+            appendU64(out, w.baseReg);
+            appendU64(out, w.stride);
+            appendU64(out, w.count);
+        }
+        appendU64(out, image.genWaves.size());
+        for (const auto &w : image.genWaves) {
+            appendU64(out, w.baseQubit);
+            appendU64(out, w.laneMask);
+        }
     }
     return out;
 }
@@ -152,7 +165,7 @@ CompileCache::compile(const quantum::QuantumCircuit &c,
     image.regfileInit.reserve(c.numParameters());
     for (std::uint32_t p = 0; p < c.numParameters(); ++p)
         image.regfileInit.push_back(
-            ProgramEntry::encodeAngle(c.parameter(p)));
+            InstrBuilder::encodeParam(c.parameter(p)));
     if (was_hit)
         *was_hit = true;
     return image;

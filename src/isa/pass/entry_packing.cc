@@ -1,9 +1,8 @@
 #include "entry_packing.hh"
 
-namespace qtenon::isa::pass {
+#include "isa/instr_builder.hh"
 
-using controller::EntryStatus;
-using controller::ProgramEntry;
+namespace qtenon::isa::pass {
 
 ProgramImage
 ProgramEntryPacking::pack(const quantum::QuantumCircuit &c)
@@ -18,22 +17,19 @@ ProgramEntryPacking::pack(const quantum::QuantumCircuit &c)
     for (std::uint32_t p = 0; p < c.numParameters(); ++p) {
         img.paramToReg[p] = p;
         img.regfileInit.push_back(
-            ProgramEntry::encodeAngle(c.parameter(p)));
+            InstrBuilder::encodeParam(c.parameter(p)));
     }
 
     auto emit = [&](std::uint32_t qubit, const quantum::Gate &g) {
-        ProgramEntry e;
-        e.type = ProgramEntry::encodeType(g.type);
-        e.status = EntryStatus::Invalid;
+        controller::ProgramEntry e;
         if (quantum::isParameterized(g.type) && g.param.isSymbolic()) {
-            e.regFlag = true;
-            e.data = img.paramToReg[g.param.index];
+            e = InstrBuilder::symbolicEntry(
+                g.type, img.paramToReg[g.param.index]);
             img.links.push_back(RegfileLink{
                 e.data, qubit,
                 static_cast<std::uint32_t>(img.perQubit[qubit].size())});
         } else {
-            e.regFlag = false;
-            e.data = ProgramEntry::encodeAngle(c.resolveAngle(g));
+            e = InstrBuilder::literalEntry(g.type, c.resolveAngle(g));
         }
         img.perQubit[qubit].push_back(e);
     };

@@ -2,13 +2,12 @@
 
 #include <set>
 
-#include "controller/program_entry.hh"
 #include "controller/slt.hh"
+#include "isa/instr_builder.hh"
 #include "obs/metrics.hh"
 
 namespace qtenon::isa::pass {
 
-using controller::ProgramEntry;
 using controller::SkipLookupTable;
 
 SltLayoutPlan
@@ -29,9 +28,15 @@ SltLayout::analyse(const quantum::QuantumCircuit &c,
                 quantum::isTwoQubit(g.type) ? 2 : 1;
             continue;
         }
-        const auto type = ProgramEntry::encodeType(g.type);
+        // Derive the (type, data) analysis key from the same entry
+        // codec the emit pass uses, so the pressure estimate can
+        // never drift from the packed image.
+        const auto probe = quantum::isParameterized(g.type)
+            ? InstrBuilder::literalEntry(g.type, c.resolveAngle(g))
+            : InstrBuilder::literalEntry(g.type, 0.0);
+        const auto type = probe.type;
         const auto data = quantum::isParameterized(g.type)
-            ? ProgramEntry::encodeAngle(c.resolveAngle(g))
+            ? probe.data
             : 0;
         if (!seen.insert({type, data}).second)
             continue;

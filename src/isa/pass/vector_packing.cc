@@ -1,0 +1,42 @@
+#include "vector_packing.hh"
+
+#include "isa/encoding.hh"
+
+namespace qtenon::isa::pass {
+
+void
+VectorPacking::annotate(ProgramImage &img)
+{
+    img.updateWaves.clear();
+    img.genWaves.clear();
+
+    // Regfile slots: consecutive stride-1 waves of <= 64 lanes.
+    const auto slots =
+        static_cast<std::uint32_t>(img.regfileInit.size());
+    for (std::uint32_t base = 0; base < slots; base += vecMaxLanes) {
+        UpdateWave w;
+        w.baseReg = base;
+        w.stride = 1;
+        w.count = std::min<std::uint32_t>(vecMaxLanes, slots - base);
+        img.updateWaves.push_back(w);
+    }
+
+    // Qubits: consecutive 64-lane q_gen.v waves.
+    for (std::uint32_t base = 0; base < img.numQubits;
+         base += vecMaxLanes) {
+        GenWave w;
+        w.baseQubit = base;
+        w.laneMask = waveMask(
+            0, std::min<std::uint32_t>(vecMaxLanes,
+                                       img.numQubits - base));
+        img.genWaves.push_back(w);
+    }
+}
+
+void
+VectorPacking::run(CompileContext &ctx) const
+{
+    annotate(ctx.image);
+}
+
+} // namespace qtenon::isa::pass

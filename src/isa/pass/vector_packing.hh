@@ -1,0 +1,35 @@
+/**
+ * @file
+ * VectorPacking: annotate the packed ProgramImage with q_update.v /
+ * q_gen.v waves (the `--isa-vector` lowering).
+ *
+ * Wave formation rules: regfile slots are partitioned into
+ * consecutive stride-1 waves of at most 64 lanes, in slot order;
+ * qubits are chunked into consecutive 64-lane q_gen.v waves. The
+ * pass only *annotates* — per-qubit entries, regfile init, and
+ * links are untouched, so a vector image lowers byte-identically to
+ * its scalar twin everywhere the waves are ignored.
+ */
+
+#ifndef QTENON_ISA_PASS_VECTOR_PACKING_HH
+#define QTENON_ISA_PASS_VECTOR_PACKING_HH
+
+#include "pass.hh"
+
+namespace qtenon::isa::pass {
+
+class VectorPacking : public Pass
+{
+  public:
+    const char *name() const override { return "vector-packing"; }
+    Field reads() const override { return Field::Image; }
+    Field writes() const override { return Field::Image; }
+    void run(CompileContext &ctx) const override;
+
+    /** Annotate @p img with waves (idempotent). */
+    static void annotate(ProgramImage &img);
+};
+
+} // namespace qtenon::isa::pass
+
+#endif // QTENON_ISA_PASS_VECTOR_PACKING_HH

@@ -23,6 +23,39 @@ struct RegfileLink {
     std::uint32_t entry;
 };
 
+/**
+ * One q_update.v wave over the regfile: `count` consecutive slots
+ * (stride 1 in QAddress space) starting at `baseReg`. Produced by
+ * the vector-packing pass; empty on scalar-compiled images.
+ */
+struct UpdateWave {
+    std::uint32_t baseReg = 0;
+    std::uint32_t stride = 1;
+    std::uint32_t count = 0;
+
+    bool operator==(const UpdateWave &) const = default;
+
+    /** Whether regfile slot @p reg falls inside this wave. */
+    bool
+    contains(std::uint32_t reg) const
+    {
+        return reg >= baseReg && reg < baseReg + count * stride &&
+            (reg - baseReg) % stride == 0;
+    }
+};
+
+/**
+ * One q_gen.v wave over the qubits: a lane mask relative to
+ * `baseQubit` (wave formation rule: qubits are chunked into
+ * consecutive 64-lane waves).
+ */
+struct GenWave {
+    std::uint32_t baseQubit = 0;
+    std::uint64_t laneMask = 0;
+
+    bool operator==(const GenWave &) const = default;
+};
+
 /** The compiled image q_set ships to the controller. */
 struct ProgramImage {
     std::uint32_t numQubits = 0;
@@ -38,6 +71,26 @@ struct ProgramImage {
 
     /** All regfile dependencies. */
     std::vector<RegfileLink> links;
+
+    /** q_update.v waves over the regfile (vector-packing pass only;
+     *  empty on the byte-stable scalar lowering). */
+    std::vector<UpdateWave> updateWaves;
+
+    /** q_gen.v waves over the qubits (vector-packing pass only). */
+    std::vector<GenWave> genWaves;
+
+    /** Whether the vector-packing pass annotated this image. */
+    bool hasWaves() const { return !updateWaves.empty(); }
+
+    /** The update wave containing regfile slot @p reg, or ~0. */
+    std::uint32_t
+    waveOfReg(std::uint32_t reg) const
+    {
+        for (std::size_t w = 0; w < updateWaves.size(); ++w)
+            if (updateWaves[w].contains(reg))
+                return static_cast<std::uint32_t>(w);
+        return ~std::uint32_t(0);
+    }
 
     /** Total .program entries across qubits. */
     std::uint64_t

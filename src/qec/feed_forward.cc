@@ -1,0 +1,187 @@
+#include "feed_forward.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/qtenon_system.hh"
+#include "isa/compiler.hh"
+#include "sim/logging.hh"
+
+namespace qtenon::qec {
+
+namespace {
+
+void
+advanceTo(sim::EventQueue &eq, sim::Tick t)
+{
+    if (t > eq.curTick())
+        eq.run(t);
+}
+
+} // namespace
+
+FeedForwardHarness::FeedForwardHarness(FeedForwardConfig cfg)
+    : _cfg(cfg)
+{
+    if (cfg.rounds == 0)
+        sim::fatal("feed-forward harness needs at least one round");
+}
+
+FeedForwardResult
+FeedForwardHarness::run() const
+{
+    const RepetitionCode code(
+        RepetitionCodeConfig{_cfg.distance, _cfg.dataErrorRate});
+
+    // ---- The tight system: one controller spanning the code block.
+    core::QtenonConfig qcfg;
+    qcfg.numQubits = code.numQubits();
+    qcfg.software.vectorIsa = _cfg.vectorIsa;
+    qcfg.host = _cfg.tightHost;
+    qcfg.injector = _cfg.injector;
+    core::QtenonSystem sys(qcfg);
+    auto &ctrl = sys.controller();
+    auto &eq = sys.eventQueue();
+    const auto &layout = ctrl.config().layout;
+
+    // The correction program: one symbolic X rotation per data
+    // qubit; a feed-forward correction toggles its angle between 0
+    // and pi, so delivery is exactly the q_update / q_update.v path
+    // a VQA parameter update takes.
+    quantum::QuantumCircuit c(code.numQubits());
+    for (std::uint32_t q = 0; q < code.numData(); ++q) {
+        const auto p = c.addParameter(0.0);
+        c.rx(q, quantum::ParamRef::symbol(p));
+    }
+    isa::PipelineConfig pipe;
+    pipe.vectorIsa = _cfg.vectorIsa;
+    isa::QtenonCompiler compiler(isa::CompilerCostModel{}, pipe);
+    const auto image = compiler.compile(c);
+    sys.executor().installProgram(image);
+
+    // ---- The decoupled baseline's link.
+    baseline::EthernetChannel eth(_cfg.eth);
+    if (_cfg.injector)
+        eth.attachInjector(_cfg.injector);
+    baseline::UdpExchange udp(eth, _cfg.udpRetry);
+
+    quantum::StabilizerSimulator stab(code.numQubits());
+    sim::Rng rng(_cfg.seed);
+    std::vector<double> angles(code.numData(), 0.0);
+
+    const sim::Tick deadline = _cfg.deadlineNs * sim::nsTicks;
+    const double decode_ops =
+        _cfg.decodeOpsPerSyndromeBit * code.numAncilla();
+    const std::uint64_t syndrome_bytes = code.numAncilla();
+    const std::uint64_t correction_bytes = code.numData();
+    constexpr std::uint64_t host_base = 0x1000'0000ull;
+
+    FeedForwardResult res;
+    res.rounds.reserve(_cfg.rounds);
+    sim::Tick decoupled_now = 0;
+
+    for (std::uint32_t r = 0; r < _cfg.rounds; ++r) {
+        const auto sr = code.round(stab, rng);
+        res.injectedErrors += sr.injectedErrors;
+        res.correctionsApplied += sr.correctionsApplied;
+
+        FeedForwardRound round;
+        round.injectedErrors = sr.injectedErrors;
+        round.corrections = sr.correctionsApplied;
+
+        // ---- Tight path: ADI crossing, q_acquire DMA of the
+        // syndrome, one soft-barrier poll, host decode, corrections
+        // over RoCC, incremental q_gen.
+        const sim::Tick t0 = eq.curTick();
+        advanceTo(eq, t0 + ctrl.adiInputLatency());
+        sim::Tick dma_done = eq.curTick();
+        ctrl.dmaAcquire(host_base, 0, code.numAncilla(),
+                        [&dma_done](sim::Tick d) { dma_done = d; });
+        eq.run();
+        advanceTo(eq, dma_done);
+
+        const sim::Tick decode_t =
+            _cfg.tightHost.timeFor(decode_ops);
+        advanceTo(eq, eq.curTick() + ctrl.clockPeriod() + decode_t);
+
+        const auto old_angles = angles;
+        for (std::uint32_t q = 0; q < code.numData(); ++q) {
+            if (sr.corrections[q])
+                angles[q] = angles[q] == 0.0 ? M_PI : 0.0;
+        }
+        const auto plan =
+            compiler.planUpdates(image, old_angles, angles);
+        if (!plan.empty()) {
+            if (_cfg.vectorIsa && image.hasWaves()) {
+                // One q_update.v spanning the changed slots of each
+                // touched wave (interior lanes carry their current
+                // values; write-if-different skips them).
+                for (const auto &wave : image.updateWaves) {
+                    std::uint32_t lo = ~std::uint32_t(0), hi = 0;
+                    for (const auto &[reg, val] : plan) {
+                        (void)val;
+                        if (!wave.contains(reg))
+                            continue;
+                        lo = std::min(lo, reg);
+                        hi = std::max(hi, reg);
+                    }
+                    if (lo > hi)
+                        continue;
+                    std::vector<std::uint32_t> values;
+                    for (std::uint32_t g = lo; g <= hi;
+                         g += wave.stride)
+                        values.push_back(ctrl.qcc().readRegfile(g));
+                    for (const auto &[reg, val] : plan) {
+                        if (reg >= lo && reg <= hi)
+                            values[(reg - lo) / wave.stride] = val;
+                    }
+                    advanceTo(eq, ctrl.roccWriteVector(
+                        layout.regfileAddr(lo), wave.stride, values));
+                }
+            } else {
+                for (const auto &[reg, val] : plan)
+                    advanceTo(eq, ctrl.roccWrite(
+                        layout.regfileAddr(reg), val));
+            }
+            controller::PipelineResult pres;
+            ctrl.generate(ctrl.staleProgramEntries(),
+                          [&pres](const controller::PipelineResult &p,
+                                  sim::Tick) { pres = p; });
+            eq.run();
+        }
+        const sim::Tick tight_elapsed = eq.curTick() - t0;
+        round.tightNs = static_cast<std::uint64_t>(
+            sim::ticksToNs(tight_elapsed));
+        round.tightMiss = tight_elapsed > deadline;
+
+        // ---- Decoupled path: syndrome up over UDP, x86 decode,
+        // corrections back down; injected loss burns retransmission
+        // rounds on either leg.
+        const auto up = udp.transfer(syndrome_bytes, decoupled_now);
+        const sim::Tick dec_t =
+            _cfg.decoupledHost.timeFor(decode_ops);
+        const auto down = udp.transfer(
+            correction_bytes, decoupled_now + up.elapsed + dec_t);
+        const sim::Tick dec_elapsed =
+            up.elapsed + dec_t + down.elapsed;
+        decoupled_now += dec_elapsed;
+        round.decoupledNs = static_cast<std::uint64_t>(
+            sim::ticksToNs(dec_elapsed));
+        round.decoupledMiss = dec_elapsed > deadline;
+
+        if (round.tightMiss)
+            ++res.tightMisses;
+        if (round.decoupledMiss)
+            ++res.decoupledMisses;
+        res.rounds.push_back(round);
+    }
+
+    res.roccTransfers = static_cast<std::uint64_t>(
+        ctrl.roccTransfers.value());
+    res.roccVectorElements = static_cast<std::uint64_t>(
+        ctrl.roccVectorElements.value());
+    res.logicalValue = code.logicalValue(stab, rng);
+    return res;
+}
+
+} // namespace qtenon::qec

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The QEC feed-forward timing harness: repeated rounds of
+ * repetition-code stabilizer measurement with decode -> correct
+ * feed-forward under a per-round deadline, timed on two transports.
+ *
+ *   tight      the Qtenon path: syndrome crosses the ADI, a q_acquire
+ *              DMA lands it in host memory, one soft-barrier poll,
+ *              the host decodes, and the corrections return as
+ *              q_update (or one q_update.v per wave under
+ *              `--isa-vector`) followed by the incremental q_gen.
+ *
+ *   decoupled  the baseline: syndrome and corrections each cross a
+ *              UDP/Ethernet link (retransmitting under injected loss)
+ *              with the decode on the x86 host between them.
+ *
+ * The reported deadline-miss rates quantify the paper's core claim
+ * at QEC timescales: feed-forward inside a microsecond-class budget
+ * is only possible with architectural integration.
+ */
+
+#ifndef QTENON_QEC_FEED_FORWARD_HH
+#define QTENON_QEC_FEED_FORWARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/ethernet.hh"
+#include "baseline/udp.hh"
+#include "fault/fault.hh"
+#include "repetition_code.hh"
+#include "runtime/host_core.hh"
+
+namespace qtenon::qec {
+
+/** Harness parameters. */
+struct FeedForwardConfig {
+    /** Code distance (data qubits). */
+    std::uint32_t distance = 5;
+    /** Stabilizer-measurement rounds to run. */
+    std::uint32_t rounds = 10;
+    /** Per-round decode -> correct deadline in nanoseconds. */
+    std::uint64_t deadlineNs = 10000;
+    /** Per-data-qubit X-error probability per round. */
+    double dataErrorRate = 0.01;
+    /** Deliver corrections with q_update.v waves (`--isa-vector`). */
+    bool vectorIsa = false;
+    /** Functional RNG seed (error injection + measurements). */
+    std::uint64_t seed = 7;
+    /** Decoder cost per syndrome bit, in host operations. */
+    double decodeOpsPerSyndromeBit = 40.0;
+    /** The tightly-coupled host core (Table 4). */
+    runtime::HostCoreModel tightHost = runtime::HostCoreModel::rocket();
+    /** The decoupled baseline's host. */
+    runtime::HostCoreModel decoupledHost = runtime::HostCoreModel::i9();
+    /** The decoupled baseline's link. */
+    baseline::EthernetConfig eth;
+    /** Retransmission budget for the decoupled link. */
+    fault::RetryPolicy udpRetry{.maxAttempts = 3};
+    /** Optional fault injection (not owned): site "adi" jitters the
+     *  tight readout path, site "eth" drops baseline datagrams. */
+    fault::FaultInjector *injector = nullptr;
+};
+
+/** One round's timing verdicts. */
+struct FeedForwardRound {
+    std::uint64_t tightNs = 0;
+    std::uint64_t decoupledNs = 0;
+    bool tightMiss = false;
+    bool decoupledMiss = false;
+    std::uint32_t injectedErrors = 0;
+    std::uint32_t corrections = 0;
+};
+
+/** The full run. */
+struct FeedForwardResult {
+    std::vector<FeedForwardRound> rounds;
+    std::uint64_t tightMisses = 0;
+    std::uint64_t decoupledMisses = 0;
+    /** RoCC transfers the tight path issued (install + rounds). */
+    std::uint64_t roccTransfers = 0;
+    /** Elements moved by q_update.v (0 on the scalar path). */
+    std::uint64_t roccVectorElements = 0;
+    /** Total X errors injected / corrections fed forward. */
+    std::uint64_t injectedErrors = 0;
+    std::uint64_t correctionsApplied = 0;
+    /** Majority logical readout after the last round. */
+    bool logicalValue = false;
+
+    double
+    tightMissRate() const
+    {
+        return rounds.empty()
+            ? 0.0
+            : static_cast<double>(tightMisses) / rounds.size();
+    }
+
+    double
+    decoupledMissRate() const
+    {
+        return rounds.empty()
+            ? 0.0
+            : static_cast<double>(decoupledMisses) / rounds.size();
+    }
+};
+
+/**
+ * Runs the workload: functional QEC on the stabilizer backend, with
+ * each round's feed-forward timed on both transports against the
+ * deadline. Deterministic in (config, seed) for any worker count —
+ * the harness owns its event queue and RNG.
+ */
+class FeedForwardHarness
+{
+  public:
+    explicit FeedForwardHarness(FeedForwardConfig cfg);
+
+    const FeedForwardConfig &config() const { return _cfg; }
+
+    FeedForwardResult run() const;
+
+  private:
+    FeedForwardConfig _cfg;
+};
+
+} // namespace qtenon::qec
+
+#endif // QTENON_QEC_FEED_FORWARD_HH

@@ -1,0 +1,108 @@
+#include "repetition_code.hh"
+
+#include "sim/logging.hh"
+
+namespace qtenon::qec {
+
+RepetitionCode::RepetitionCode(RepetitionCodeConfig cfg) : _cfg(cfg)
+{
+    if (cfg.distance < 2)
+        sim::fatal("repetition code needs distance >= 2, got ",
+                   cfg.distance);
+    if (cfg.dataErrorRate < 0.0 || cfg.dataErrorRate > 1.0)
+        sim::fatal("data error rate ", cfg.dataErrorRate,
+                   " outside [0, 1]");
+}
+
+std::vector<bool>
+RepetitionCode::decode(const std::vector<bool> &syndrome)
+{
+    const auto d = static_cast<std::uint32_t>(syndrome.size()) + 1;
+    // Chain the syndrome parities: assuming data qubit 0 unflipped,
+    // s_i = flip_i XOR flip_{i+1} determines every other flip.
+    std::vector<bool> flips(d, false);
+    std::uint32_t weight = 0;
+    for (std::uint32_t i = 0; i + 1 < d; ++i) {
+        flips[i + 1] = flips[i] != syndrome[i];
+        if (flips[i + 1])
+            ++weight;
+    }
+    // Majority: the complementary pattern explains the same syndrome;
+    // pick the lighter one (the likelier error for p < 1/2).
+    if (2 * weight > d) {
+        for (std::uint32_t i = 0; i < d; ++i)
+            flips[i] = !flips[i];
+    }
+    return flips;
+}
+
+SyndromeRound
+RepetitionCode::round(quantum::StabilizerSimulator &sim,
+                      sim::Rng &rng) const
+{
+    if (sim.numQubits() < numQubits())
+        sim::fatal("stabilizer simulator has ", sim.numQubits(),
+                   " qubits, repetition code needs ", numQubits());
+
+    SyndromeRound out;
+
+    // Inject X errors on the data qubits.
+    for (std::uint32_t q = 0; q < numData(); ++q) {
+        if (rng.coin(_cfg.dataErrorRate)) {
+            sim.x(q);
+            ++out.injectedErrors;
+        }
+    }
+
+    // Extract each ZZ stabilizer through its ancilla: two CNOTs, a
+    // collapsing measurement, and an active reset.
+    out.syndrome.resize(numAncilla());
+    for (std::uint32_t i = 0; i < numAncilla(); ++i) {
+        const auto anc = ancillaQubit(i);
+        sim.cnot(i, anc);
+        sim.cnot(i + 1, anc);
+        const bool bit = sim.measure(anc, rng);
+        if (bit)
+            sim.x(anc); // active reset to |0>
+        out.syndrome[i] = bit;
+    }
+
+    // Decode and feed the corrections forward.
+    out.corrections = decode(out.syndrome);
+    for (std::uint32_t q = 0; q < numData(); ++q) {
+        if (out.corrections[q]) {
+            sim.x(q);
+            ++out.correctionsApplied;
+        }
+    }
+    return out;
+}
+
+bool
+RepetitionCode::logicalValue(quantum::StabilizerSimulator &sim,
+                             sim::Rng &rng) const
+{
+    std::uint32_t ones = 0;
+    for (std::uint32_t q = 0; q < numData(); ++q)
+        if (sim.measure(q, rng))
+            ++ones;
+    return 2 * ones > numData();
+}
+
+quantum::DynamicCircuit
+RepetitionCode::roundCircuit() const
+{
+    quantum::DynamicCircuit c(numQubits(), numAncilla());
+    for (std::uint32_t i = 0; i < numAncilla(); ++i) {
+        const auto anc = ancillaQubit(i);
+        c.gate2(quantum::GateType::CNOT, i, anc);
+        c.gate2(quantum::GateType::CNOT, i + 1, anc);
+        c.measure(anc, i);
+        // Measurement-conditioned active reset: the feed-forward
+        // primitive the tight coupling makes nanosecond-cheap.
+        c.gateIf(quantum::GateType::X, anc, i);
+    }
+    return c;
+}
+
+} // namespace qtenon::qec

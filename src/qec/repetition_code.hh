@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The functional QEC layer of the feed-forward workload class: a
+ * distance-d bit-flip repetition code on the stabilizer backend.
+ *
+ * Data qubits 0..d-1 hold the logical qubit; ancilla qubits
+ * d..2d-2 extract the d-1 ZZ stabilizers each round. X errors are
+ * injected on data qubits at a configured per-round rate; a
+ * prefix/majority decoder turns the syndrome into the X corrections
+ * the controller must feed forward before the next round's deadline.
+ */
+
+#ifndef QTENON_QEC_REPETITION_CODE_HH
+#define QTENON_QEC_REPETITION_CODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quantum/dynamic.hh"
+#include "quantum/stabilizer.hh"
+#include "sim/random.hh"
+
+namespace qtenon::qec {
+
+/** Repetition-code parameters. */
+struct RepetitionCodeConfig {
+    /** Code distance = number of data qubits. */
+    std::uint32_t distance = 5;
+    /** Per-data-qubit X-error probability per round. */
+    double dataErrorRate = 0.01;
+};
+
+/** What one stabilizer-measurement round produced. */
+struct SyndromeRound {
+    /** The d-1 ZZ stabilizer outcomes. */
+    std::vector<bool> syndrome;
+    /** Decoded X corrections per data qubit. */
+    std::vector<bool> corrections;
+    /** X errors injected this round. */
+    std::uint32_t injectedErrors = 0;
+    /** Corrections the decoder asked for. */
+    std::uint32_t correctionsApplied = 0;
+};
+
+/** A distance-d repetition code over 2d-1 qubits. */
+class RepetitionCode
+{
+  public:
+    explicit RepetitionCode(RepetitionCodeConfig cfg);
+
+    const RepetitionCodeConfig &config() const { return _cfg; }
+    std::uint32_t numData() const { return _cfg.distance; }
+    std::uint32_t numAncilla() const { return _cfg.distance - 1; }
+    std::uint32_t numQubits() const { return 2 * _cfg.distance - 1; }
+
+    /** Ancilla qubit index of stabilizer @p i. */
+    std::uint32_t
+    ancillaQubit(std::uint32_t i) const
+    {
+        return _cfg.distance + i;
+    }
+
+    /**
+     * One full round on @p sim: inject X errors on the data qubits,
+     * extract every ZZ syndrome through its ancilla (CNOT, CNOT,
+     * measure, active reset), decode, and apply the corrections.
+     */
+    SyndromeRound round(quantum::StabilizerSimulator &sim,
+                        sim::Rng &rng) const;
+
+    /**
+     * Prefix/majority decoder: assume data qubit 0 unflipped, chain
+     * the syndrome parities into a candidate flip pattern, and take
+     * the complement when the pattern flips a majority. Corrects any
+     * error of weight <= (d-1)/2.
+     */
+    static std::vector<bool> decode(const std::vector<bool> &syndrome);
+
+    /** Majority readout of the logical Z value (collapsing). */
+    bool logicalValue(quantum::StabilizerSimulator &sim,
+                      sim::Rng &rng) const;
+
+    /**
+     * The same round as a DynamicCircuit (no error injection): the
+     * syndrome extraction, measurements into cbits 0..d-2, and the
+     * measurement-conditioned active reset of each ancilla (X iff
+     * its cbit read 1) — the feed-forward primitive. Cross-validates
+     * the stabilizer round on the dense statevector runner.
+     */
+    quantum::DynamicCircuit roundCircuit() const;
+
+  private:
+    RepetitionCodeConfig _cfg;
+};
+
+} // namespace qtenon::qec
+
+#endif // QTENON_QEC_REPETITION_CODE_HH

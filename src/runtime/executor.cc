@@ -97,13 +97,27 @@ QtenonExecutor::installProgram(const isa::ProgramImage &image)
         _ctrl.linkRegfile(l.reg, layout.programAddr(l.qubit, l.entry));
     }
 
-    // Initialize the regfile over RoCC (one q_update per slot).
+    // Initialize the regfile over RoCC: one q_update per slot, or
+    // one q_update.v per wave under the vector ISA.
     const sim::Tick reg_t0 = _eq.curTick();
-    for (std::size_t r = 0; r < image.regfileInit.size(); ++r) {
-        const sim::Tick done = _ctrl.roccWrite(
-            layout.regfileAddr(static_cast<std::uint32_t>(r)),
-            image.regfileInit[r]);
-        advanceTo(done);
+    if (_cfg.software.vectorIsa && image.hasWaves()) {
+        for (const auto &w : image.updateWaves) {
+            std::vector<std::uint32_t> values;
+            values.reserve(w.count);
+            for (std::uint32_t i = 0; i < w.count; ++i)
+                values.push_back(
+                    image.regfileInit[w.baseReg + i * w.stride]);
+            const sim::Tick done = _ctrl.roccWriteVector(
+                layout.regfileAddr(w.baseReg), w.stride, values);
+            advanceTo(done);
+        }
+    } else {
+        for (std::size_t r = 0; r < image.regfileInit.size(); ++r) {
+            const sim::Tick done = _ctrl.roccWrite(
+                layout.regfileAddr(static_cast<std::uint32_t>(r)),
+                image.regfileInit[r]);
+            advanceTo(done);
+        }
     }
     bd.commUpdate += _eq.curTick() - reg_t0;
 
@@ -158,19 +172,74 @@ QtenonExecutor::executeRound(const RoundRecord &round,
     // ---- Parameter delivery. Both incremental modes take the
     // q_update path; only FullRecompile re-emits the program.
     if (sw.compile != CompileMode::FullRecompile) {
-        const sim::Tick prep = _cfg.host.timeFor(
-            _compiler.incrementalCycles(round.updates.size()));
-        bd.host += prep;
-        bd.hostBusy += prep;
-        advanceTo(start + prep);
+        if (sw.vectorIsa && image.hasWaves() &&
+            !round.updates.empty()) {
+            // ---- Vector delivery: one q_update.v per touched wave.
+            // Untouched interior lanes of a wave ride along carrying
+            // their current values (the controller's write-if-
+            // different keeps them from invalidating anything).
+            struct WaveSpan {
+                std::uint32_t lo = ~std::uint32_t(0);
+                std::uint32_t hi = 0;
+            };
+            std::vector<WaveSpan> spans(image.updateWaves.size());
+            for (const auto &[reg, val] : round.updates) {
+                const auto w = image.waveOfReg(reg);
+                if (w == ~std::uint32_t(0))
+                    sim::panic("round update to regfile slot ", reg,
+                               " outside every image wave");
+                spans[w].lo = std::min(spans[w].lo, reg);
+                spans[w].hi = std::max(spans[w].hi, reg);
+            }
+            std::size_t waves = 0, elements = 0;
+            for (std::size_t w = 0; w < spans.size(); ++w) {
+                const auto &s = spans[w];
+                if (s.lo > s.hi)
+                    continue;
+                ++waves;
+                elements +=
+                    (s.hi - s.lo) / image.updateWaves[w].stride + 1;
+            }
+            const sim::Tick prep = _cfg.host.timeFor(
+                _compiler.incrementalCyclesVector(waves, elements));
+            bd.host += prep;
+            bd.hostBusy += prep;
+            advanceTo(start + prep);
 
-        const sim::Tick upd_t0 = _eq.curTick();
-        for (const auto &[reg, val] : round.updates) {
-            const sim::Tick done =
-                _ctrl.roccWrite(layout.regfileAddr(reg), val);
-            advanceTo(done);
+            const sim::Tick upd_t0 = _eq.curTick();
+            for (std::size_t w = 0; w < spans.size(); ++w) {
+                const auto &s = spans[w];
+                if (s.lo > s.hi)
+                    continue;
+                const auto stride = image.updateWaves[w].stride;
+                std::vector<std::uint32_t> values;
+                values.reserve((s.hi - s.lo) / stride + 1);
+                for (std::uint32_t r = s.lo; r <= s.hi; r += stride)
+                    values.push_back(_ctrl.qcc().readRegfile(r));
+                for (const auto &[reg, val] : round.updates) {
+                    if (reg >= s.lo && reg <= s.hi)
+                        values[(reg - s.lo) / stride] = val;
+                }
+                const sim::Tick done = _ctrl.roccWriteVector(
+                    layout.regfileAddr(s.lo), stride, values);
+                advanceTo(done);
+            }
+            bd.commUpdate += _eq.curTick() - upd_t0;
+        } else {
+            const sim::Tick prep = _cfg.host.timeFor(
+                _compiler.incrementalCycles(round.updates.size()));
+            bd.host += prep;
+            bd.hostBusy += prep;
+            advanceTo(start + prep);
+
+            const sim::Tick upd_t0 = _eq.curTick();
+            for (const auto &[reg, val] : round.updates) {
+                const sim::Tick done =
+                    _ctrl.roccWrite(layout.regfileAddr(reg), val);
+                advanceTo(done);
+            }
+            bd.commUpdate += _eq.curTick() - upd_t0;
         }
-        bd.commUpdate += _eq.curTick() - upd_t0;
     } else {
         // Full recompile + full q_set each round, as a system without
         // communication instructions would be forced to do.

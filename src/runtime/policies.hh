@@ -98,6 +98,15 @@ struct SoftwareConfig {
     SyncPolicy sync = SyncPolicy::FineGrained;
     TransmissionPolicy transmission = TransmissionPolicy::Batched;
     CompileMode compile = CompileMode::Incremental;
+    /**
+     * Issue regfile traffic in wave-granular vector form (q_update.v
+     * / q_gen.v, `--isa-vector`): the executor groups each round's
+     * updates by the image's waves and delivers one RoCC transfer
+     * per touched wave. Requires an image compiled with
+     * PipelineConfig::vectorIsa; off (default) keeps the byte-stable
+     * scalar instruction stream.
+     */
+    bool vectorIsa = false;
 
     /** The paper's "Qtenon w/o software" hardware-only configuration. */
     static SoftwareConfig

@@ -173,6 +173,9 @@ runJobSpec(const JobSpec &spec, std::uint64_t job_id,
         qcfg.numQubits = spec.workload.numQubits;
         qcfg.host = host;
         qcfg.injector = inj.get();
+        // The driver compiled the trace image; the replay must
+        // dispatch it the same way (scalar or wave-granular vector).
+        qcfg.software.vectorIsa = driver_cfg.isaVector;
         core::QtenonSystem sys(qcfg);
         r.shotDuration = sys.shotDuration(workload.circuit);
         r.systems.push_back(replayOnQtenon(

@@ -263,6 +263,8 @@ JobRequest::toJson() const
     o.set("sv_simd", svSimd);
     if (svFusion)
         o.set("sv_fusion", svFusion);
+    if (isaVector)
+        o.set("isa_vector", isaVector);
     if (exactCost)
         o.set("exact_cost", exactCost);
     if (readoutError != 0.0)
@@ -312,6 +314,8 @@ JobRequest::fromJson(const json::Value &v)
         r.svSimd = x->asString();
     if (const auto *x = v.find("sv_fusion"))
         r.svFusion = x->asBool();
+    if (const auto *x = v.find("isa_vector"))
+        r.isaVector = x->asBool();
     if (const auto *x = v.find("exact_cost"))
         r.exactCost = x->asBool();
     if (const auto *x = v.find("readout_error"))
@@ -349,6 +353,7 @@ JobRequest::toJobSpec() const
     spec.driver.backend = backendFromNameThrows(backend);
     spec.driver.kernel.simd = simdFromNameThrows(svSimd);
     spec.driver.kernel.fuse1q = svFusion;
+    spec.driver.isaVector = isaVector;
     spec.driver.useExactCost = exactCost;
     spec.driver.readoutError = readoutError;
     spec.driver.recordShotData = false;

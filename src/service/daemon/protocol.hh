@@ -102,6 +102,9 @@ struct JobRequest {
     /** Statevector kernel instruction set ("auto" or "scalar"). */
     std::string svSimd = "auto";
     bool svFusion = false;
+    /** Compile + replay with the wave-granular vector ISA
+     *  (`--isa-vector`); off keeps the byte-stable scalar path. */
+    bool isaVector = false;
     bool exactCost = false;
     double readoutError = 0.0;
     /** fault::FaultSpec textual form; empty = perfect links. */

@@ -39,6 +39,9 @@ canonicalText(const DriverConfig &cfg)
         std::to_string(cfg.recordShotData ? 1 : 0);
     out += ";exact=" + std::to_string(cfg.useExactCost ? 1 : 0);
     out += ";ro=" + rohex;
+    // Appended only when set so historical cache keys survive.
+    if (cfg.isaVector)
+        out += ";vector=1";
     return out;
 }
 
@@ -49,7 +52,9 @@ VqaDriver::run(Workload &w)
     runtime::VqaTrace trace;
     trace.numQubits = n;
 
-    isa::QtenonCompiler compiler;
+    isa::PipelineConfig pipe;
+    pipe.vectorIsa = _cfg.isaVector;
+    isa::QtenonCompiler compiler(isa::CompilerCostModel{}, pipe);
     auto *cache = _cfg.compileCache ? _cfg.compileCache
                                     : isa::processCompileCache();
     trace.image = cache ? cache->compile(w.circuit, compiler)

@@ -65,6 +65,13 @@ struct DriverConfig {
      * like the injector.
      */
     isa::CompileCache *compileCache = nullptr;
+    /**
+     * Compile the trace image with the vector-packing pass
+     * (`--isa-vector`): the image carries q_update.v / q_gen.v wave
+     * annotations the runtime's vector dispatch needs. Off keeps the
+     * byte-stable scalar image and the historical cache keys.
+     */
+    bool isaVector = false;
 };
 
 /**
